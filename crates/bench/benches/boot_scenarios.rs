@@ -1,0 +1,63 @@
+//! Whole-boot benchmarks: times the simulator end-to-end on the
+//! calibrated scenarios and *reports the simulated boot times* the
+//! paper's figures are built from (printed once per configuration).
+//!
+//! Covers E1/E5/E6 regeneration: `cargo bench --bench boot_scenarios`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bb_core::{boost, BbConfig};
+use bb_workloads::{camera_scenario, tv_scenario, tv_scenario_open_source};
+
+fn bench_boots(c: &mut Criterion) {
+    let mut group = c.benchmark_group("boot");
+    group.sample_size(10);
+    let cases: Vec<(&str, bb_core::Scenario, BbConfig)> = vec![
+        ("tv-conventional", tv_scenario(), BbConfig::conventional()),
+        ("tv-full-bb", tv_scenario(), BbConfig::full()),
+        (
+            "tv136-conventional",
+            tv_scenario_open_source(),
+            BbConfig::conventional(),
+        ),
+        ("tv136-full-bb", tv_scenario_open_source(), BbConfig::full()),
+        ("camera-conventional", camera_scenario(), BbConfig::conventional()),
+        ("camera-full-bb", camera_scenario(), BbConfig::full()),
+    ];
+    for (name, scenario, cfg) in &cases {
+        let report = boost(scenario, cfg).expect("scenario valid");
+        println!(
+            "[simulated] {name}: boot {:.3} s (quiesce {:.3} s)",
+            report.boot_time().as_secs_f64(),
+            report.quiesce_time.as_secs_f64()
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
+            b.iter(|| {
+                let r = boost(black_box(scenario), black_box(cfg)).expect("valid");
+                black_box(r.boot_time())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_features(c: &mut Criterion) {
+    let mut group = c.benchmark_group("boot-single-feature");
+    group.sample_size(10);
+    let scenario = tv_scenario();
+    for (name, cfg) in BbConfig::single_feature_configs() {
+        let report = boost(&scenario, &cfg).expect("valid");
+        println!(
+            "[simulated] tv+{name}: boot {:.3} s",
+            report.boot_time().as_secs_f64()
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| black_box(boost(&scenario, cfg).expect("valid").boot_time()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_boots, bench_single_features);
+criterion_main!(benches);

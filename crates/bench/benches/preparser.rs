@@ -1,0 +1,61 @@
+//! Real-code Pre-parser benchmark (E11): text parsing vs binary cache.
+//!
+//! Measures the actual `bb-init` unit-file parser against the actual
+//! binary cache decoder on real bytes — the mechanism behind the
+//! paper's 150 ms (loading) + 231 ms (parsing) savings. The ratio, not
+//! the absolute host-machine numbers, is the reproduced result.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use bb_init::{decode_units, encode_units, parse_unit, Unit};
+use bb_sim::DeviceId;
+use bb_workloads::{tizen_tv, TizenParams};
+
+fn unit_texts(services: usize) -> Vec<(String, String)> {
+    let params = TizenParams {
+        services,
+        ..TizenParams::default()
+    };
+    let w = tizen_tv(&params, DeviceId::from_raw(0));
+    w.units
+        .iter()
+        .map(|u| (u.name.as_str().to_owned(), u.to_unit_file()))
+        .collect()
+}
+
+fn parse_all(texts: &[(String, String)]) -> Vec<Unit> {
+    texts
+        .iter()
+        .map(|(name, text)| parse_unit(name, text).expect("generator output parses").unit)
+        .collect()
+}
+
+fn bench_parse_vs_cache(c: &mut Criterion) {
+    for services in [136usize, 250, 1000] {
+        let texts = unit_texts(services);
+        let total_bytes: usize = texts.iter().map(|(_, t)| t.len()).sum();
+        let units = parse_all(&texts);
+        let blob = encode_units(&units);
+        println!(
+            "[preparser] {services} services: text {total_bytes} B, cache {} B",
+            blob.len()
+        );
+
+        let mut group = c.benchmark_group(format!("preparser-{services}"));
+        group.throughput(Throughput::Elements(units.len() as u64));
+        group.bench_with_input(BenchmarkId::new("parse-text", services), &texts, |b, t| {
+            b.iter(|| black_box(parse_all(t)))
+        });
+        group.bench_with_input(BenchmarkId::new("decode-cache", services), &blob, |b, blob| {
+            b.iter(|| black_box(decode_units(blob).expect("valid cache")))
+        });
+        group.bench_with_input(BenchmarkId::new("encode-cache", services), &units, |b, u| {
+            b.iter(|| black_box(encode_units(u)))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_parse_vs_cache);
+criterion_main!(benches);

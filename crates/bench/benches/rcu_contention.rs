@@ -1,0 +1,96 @@
+//! Real-thread RCU benchmark: the §4.3 crossover measured on the host.
+//!
+//! Drives the *actual* `bb-rcu` implementation (real atomics, real
+//! threads) with varying writer contention and a steady reader load:
+//! the classic ticket-spin path is cheap uncontended and collapses under
+//! contention; the boosted blocking path pays a fixed overhead and wins
+//! when many writers synchronize concurrently — exactly the paper's
+//! reason to enable the booster during boot and disable it afterwards.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bb_rcu::{RcuDomain, WaitStrategy};
+
+/// Runs `writers` threads each performing `syncs_per_writer`
+/// grace-period waits, with two reader threads continuously entering
+/// short read-side critical sections. Returns total wall time.
+fn contended_syncs(strategy: WaitStrategy, writers: usize, syncs_per_writer: usize) {
+    let domain = Arc::new(RcuDomain::new(strategy));
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut readers = Vec::new();
+    for _ in 0..2 {
+        let d = Arc::clone(&domain);
+        let stop = Arc::clone(&stop);
+        readers.push(std::thread::spawn(move || {
+            let h = d.register_reader();
+            while !stop.load(Ordering::Relaxed) {
+                let g = h.read_lock();
+                black_box(&g);
+                drop(g);
+                std::hint::spin_loop();
+            }
+        }));
+    }
+    let mut handles = Vec::new();
+    for _ in 0..writers {
+        let d = Arc::clone(&domain);
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..syncs_per_writer {
+                d.synchronize();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("writer thread");
+    }
+    stop.store(true, Ordering::Relaxed);
+    for r in readers {
+        r.join().expect("reader thread");
+    }
+}
+
+fn bench_rcu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rcu-synchronize");
+    group.sample_size(10);
+    for writers in [1usize, 2, 4, 8] {
+        for (label, strategy) in [
+            ("classic", WaitStrategy::ClassicSpin),
+            ("boosted", WaitStrategy::Boosted),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, writers),
+                &writers,
+                |b, &writers| {
+                    b.iter(|| contended_syncs(strategy, writers, 50));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_read_side(c: &mut Criterion) {
+    // Read-side entry must stay wait-free and cheap in both modes.
+    let mut group = c.benchmark_group("rcu-read-lock");
+    for (label, strategy) in [
+        ("classic", WaitStrategy::ClassicSpin),
+        ("boosted", WaitStrategy::Boosted),
+    ] {
+        let domain = RcuDomain::new(strategy);
+        let handle = domain.register_reader();
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let g = handle.read_lock();
+                black_box(&g);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rcu, bench_read_side);
+criterion_main!(benches);

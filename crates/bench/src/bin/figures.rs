@@ -1,0 +1,138 @@
+//! Regenerates every table and figure of the paper as text, and writes
+//! dot/SVG artifacts under `artifacts/`.
+//!
+//! ```text
+//! figures [all|fig1|fig2|fig3|fig5a|fig6|fig7|tradeoff|background|ablation|schemes]
+//! ```
+
+use std::fs;
+use std::path::Path;
+
+use bb_bench::experiments::{
+    ablation, background, devices, fig1, fig2, fig3, fig5, fig6, fig7, linking, miner, schemes,
+    tradeoff, variance,
+};
+
+fn artifacts_dir() -> &'static Path {
+    let dir = Path::new("artifacts");
+    fs::create_dir_all(dir).expect("create artifacts dir");
+    dir
+}
+
+fn write_artifact(name: &str, content: &str) {
+    let path = artifacts_dir().join(name);
+    fs::write(&path, content).expect("write artifact");
+    println!("  [artifact] {}", path.display());
+}
+
+fn run_fig1() {
+    println!("{}", fig1::run().render());
+}
+
+fn run_fig2() {
+    let f = fig2::run();
+    println!("{}", f.render());
+    for v in &f.variants {
+        let file = format!(
+            "fig2-{}.dot",
+            if v.stats.units < 200 { "open-source" } else { "commercial" }
+        );
+        write_artifact(&file, &v.dot);
+    }
+}
+
+fn run_fig3() {
+    println!("{}", fig3::run().render());
+}
+
+fn run_fig5a() {
+    let f = fig5::run();
+    println!("{}", f.render());
+    write_artifact("fig5a-classic.svg", &f.classic.svg);
+    write_artifact("fig5a-boosted.svg", &f.boosted.svg);
+    write_artifact("fig5a-classic.txt", &f.classic.ascii);
+    write_artifact("fig5a-boosted.txt", &f.boosted.ascii);
+}
+
+fn run_fig6() {
+    println!("{}", fig6::run().render());
+}
+
+fn run_fig7() {
+    let f = fig7::run();
+    println!("{}", f.render());
+    write_artifact("fig7-conventional.svg", &f.conventional.svg);
+    write_artifact("fig7-isolated.svg", &f.isolated.svg);
+}
+
+fn run_tradeoff() {
+    println!("{}", tradeoff::run().render());
+}
+
+fn run_background() {
+    println!("{}", background::run().render());
+}
+
+fn run_ablation() {
+    println!("{}", ablation::run().render());
+}
+
+fn run_schemes() {
+    println!("{}", schemes::run().render());
+}
+
+fn run_linking() {
+    println!("{}", linking::run().render());
+}
+
+fn run_miner() {
+    let report = miner::run();
+    println!("{}", miner::render(&report));
+}
+
+fn run_devices() {
+    println!("{}", devices::run().render());
+}
+
+fn run_variance() {
+    println!("{}", variance::run().render());
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let jobs: Vec<(&str, fn())> = vec![
+        ("fig1", run_fig1),
+        ("fig2", run_fig2),
+        ("fig3", run_fig3),
+        ("fig5a", run_fig5a),
+        ("fig6", run_fig6),
+        ("fig7", run_fig7),
+        ("tradeoff", run_tradeoff),
+        ("background", run_background),
+        ("ablation", run_ablation),
+        ("schemes", run_schemes),
+        ("linking", run_linking),
+        ("miner", run_miner),
+        ("devices", run_devices),
+        ("variance", run_variance),
+    ];
+    match arg.as_str() {
+        "all" => {
+            for (name, job) in &jobs {
+                println!("==== {name} ====");
+                job();
+                println!();
+            }
+        }
+        other => match jobs.iter().find(|(n, _)| *n == other) {
+            Some((_, job)) => job(),
+            None => {
+                eprintln!(
+                    "unknown figure {other:?}; expected one of: all {}",
+                    jobs.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(" ")
+                );
+                std::process::exit(2);
+            }
+        },
+    }
+}

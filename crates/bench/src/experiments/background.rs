@@ -1,0 +1,166 @@
+//! E8 — the §2 background models that justify cold-boot optimization.
+//!
+//! * Snapshot (hibernation) restore time vs DRAM image size: the
+//!   Galaxy-S6 data point — 3 GiB at ~300 MiB/s ≈ 10 s — shows snapshot
+//!   booting stops scaling (§2.1).
+//! * Compression win/lose per storage generation: once flash outruns
+//!   decompression (S6: 300 vs 35 MiB/s), compressed images slow
+//!   booting (§2.3).
+
+use bb_kernel::{CompressionModel, SnapshotModel, StandbyPolicy, SuspendToRam};
+use bb_sim::{DeviceProfile, SimDuration};
+
+/// One snapshot-restore data point.
+#[derive(Debug, Clone)]
+pub struct SnapshotPoint {
+    /// Image size in MiB.
+    pub image_mib: u64,
+    /// Restore time.
+    pub restore: SimDuration,
+    /// Creation time at shutdown (writes at half read speed).
+    pub create: SimDuration,
+}
+
+/// One compression data point.
+#[derive(Debug, Clone)]
+pub struct CompressionPoint {
+    /// Storage label.
+    pub storage: &'static str,
+    /// Plain load time of a 100 MiB image.
+    pub uncompressed: SimDuration,
+    /// Pipelined compressed load time (2:1 ratio, 35 MiB/s decompress).
+    pub compressed: SimDuration,
+    /// Whether compression helps.
+    pub wins: bool,
+}
+
+/// The E8 output.
+#[derive(Debug)]
+pub struct Background {
+    /// Snapshot restore sweep on UFS 2.0 (Galaxy-S6-class storage).
+    pub snapshot: Vec<SnapshotPoint>,
+    /// Compression across storage generations.
+    pub compression: Vec<CompressionPoint>,
+    /// Suspend-to-RAM resume time (the "Instant On" alternative).
+    pub str_resume: SimDuration,
+    /// Whether silent-boot-then-suspend passes the EU 1 W standby rule.
+    pub silent_boot_compliant: bool,
+}
+
+/// Runs the experiment.
+pub fn run() -> Background {
+    let snapshot = [512u64, 1024, 2048, 3072, 4096]
+        .into_iter()
+        .map(|image_mib| {
+            let m = SnapshotModel {
+                image_mib,
+                storage: DeviceProfile::ufs20(),
+                fixed_overhead: SimDuration::from_millis(300),
+            };
+            SnapshotPoint {
+                image_mib,
+                restore: m.restore_time(),
+                create: m.create_time(0.5),
+            }
+        })
+        .collect();
+    let compression = [
+        ("slow NAND 10 MiB/s", DeviceProfile::from_mibs(10, 5, SimDuration::ZERO)),
+        ("eMMC 117 MiB/s (TV)", DeviceProfile::tv_emmc()),
+        ("UFS2.0 300 MiB/s (S6)", DeviceProfile::ufs20()),
+        ("SSD 515 MiB/s", DeviceProfile::consumer_ssd()),
+    ]
+    .into_iter()
+    .map(|(name, storage)| {
+        let m = CompressionModel {
+            image_mib: 100,
+            ratio: 2.0,
+            decompress_mibs: 35,
+            storage,
+        };
+        CompressionPoint {
+            storage: name,
+            uncompressed: m.uncompressed_time(),
+            compressed: m.compressed_time(),
+            wins: m.compression_wins(),
+        }
+    })
+    .collect();
+    Background {
+        snapshot,
+        compression,
+        str_resume: SuspendToRam::tv().resume_time(),
+        silent_boot_compliant: StandbyPolicy::tv_suspend_to_ram().compliant(),
+    }
+}
+
+impl Background {
+    /// Text rendering.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "§2.1 — snapshot restore vs DRAM image size (UFS 2.0):");
+        for p in &self.snapshot {
+            let _ = writeln!(
+                s,
+                "  {:>5} MiB: restore {:>9}, create {:>9}",
+                p.image_mib,
+                p.restore.to_string(),
+                p.create.to_string()
+            );
+        }
+        let _ = writeln!(s, "  (paper: 3 GiB at ~300 MiB/s needs ~10 s)");
+        let _ = writeln!(
+            s,
+            "§2.3 — compression of a 100 MiB boot image (2:1, 35 MiB/s decompress):"
+        );
+        for p in &self.compression {
+            let _ = writeln!(
+                s,
+                "  {:<24} plain {:>9}, compressed {:>9} -> {}",
+                p.storage,
+                p.uncompressed.to_string(),
+                p.compressed.to_string(),
+                if p.wins { "compression wins" } else { "compression LOSES" }
+            );
+        }
+        let _ = writeln!(
+            s,
+            "§2.1 — suspend-to-RAM resumes in {} (\"Instant On\"), but silent\n  boot-then-suspend at plug-in is {} under the EU 1 W standby rule",
+            self.str_resume,
+            if self.silent_boot_compliant { "allowed" } else { "NOT allowed" }
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s6_point_matches_paper() {
+        let b = run();
+        let p3g = b.snapshot.iter().find(|p| p.image_mib == 3072).unwrap();
+        let secs = p3g.restore.as_secs_f64();
+        assert!((9.5..11.5).contains(&secs), "restore {secs}");
+        // Restore grows monotonically with image size.
+        assert!(b.snapshot.windows(2).all(|w| w[0].restore < w[1].restore));
+    }
+
+    #[test]
+    fn instant_on_fast_but_disallowed_at_plug_in() {
+        let b = run();
+        assert!(b.str_resume < SimDuration::from_secs(2));
+        assert!(!b.silent_boot_compliant);
+    }
+
+    #[test]
+    fn compression_crossover_matches_paper() {
+        let b = run();
+        assert!(b.compression[0].wins, "slow NAND should benefit");
+        assert!(!b.compression[2].wins, "UFS should not benefit");
+        assert!(!b.compression[3].wins, "SSD should not benefit");
+        assert!(run().render().contains("compression LOSES"));
+    }
+}

@@ -1,0 +1,141 @@
+//! E14 — §4: BB across device classes.
+//!
+//! "BB has been applied to diverse devices, including mobile phones
+//! (Samsung Z1 and Z3), wearable devices (Gear series), digital cameras
+//! (NX series), and other home appliances." This sweep boots a scaled
+//! workload on each machine profile and shows that the win generalizes
+//! — cold boot improves on every class, with the largest factors where
+//! service counts are highest.
+
+use bb_core::{boost, BbConfig, Scenario};
+use bb_sim::SimTime;
+use bb_workloads::{profiles, tv_scenario_with, TizenParams};
+
+/// One device's result.
+#[derive(Debug)]
+pub struct DeviceResult {
+    /// Device name.
+    pub device: &'static str,
+    /// Services in its stack.
+    pub services: usize,
+    /// Conventional boot.
+    pub conventional: SimTime,
+    /// Full-BB boot.
+    pub bb: SimTime,
+}
+
+impl DeviceResult {
+    /// Relative reduction in percent.
+    pub fn reduction_percent(&self) -> f64 {
+        100.0 * (self.conventional.as_nanos() as f64 - self.bb.as_nanos() as f64)
+            / self.conventional.as_nanos() as f64
+    }
+}
+
+/// The E14 output.
+#[derive(Debug)]
+pub struct Devices {
+    /// Results per device class.
+    pub results: Vec<DeviceResult>,
+}
+
+fn scenario_for(profile: profiles::MachineProfile, services: usize, seed: u64) -> Scenario {
+    tv_scenario_with(
+        profile,
+        TizenParams {
+            services,
+            seed,
+            false_ordering_edges: 4 + services / 30,
+            ..TizenParams::default()
+        },
+    )
+}
+
+/// Runs the experiment.
+pub fn run() -> Devices {
+    let cases = [
+        ("UE48H6200 TV", profiles::ue48h6200(), 250usize, 2016u64),
+        ("JS9500 flagship TV", profiles::js9500(), 250, 2016),
+        ("Z1-class phone", profiles::galaxy_s6(), 180, 71),
+        ("NX300 camera", profiles::nx300(), 40, 300),
+        ("Gear wearable", profiles::nx300(), 30, 77),
+    ];
+    let results = cases
+        .into_iter()
+        .map(|(device, profile, services, seed)| {
+            let scenario = scenario_for(profile, services, seed);
+            let conventional = boost(&scenario, &BbConfig::conventional())
+                .expect("valid")
+                .boot_time();
+            let bb = boost(&scenario, &BbConfig::full()).expect("valid").boot_time();
+            DeviceResult {
+                device,
+                services,
+                conventional,
+                bb,
+            }
+        })
+        .collect();
+    Devices { results }
+}
+
+impl Devices {
+    /// Text rendering.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "BB across device classes (§4: deployed beyond TVs):");
+        let _ = writeln!(
+            s,
+            "  {:<22} {:>9} {:>14} {:>12} {:>10}",
+            "device", "services", "conventional", "bb", "reduction"
+        );
+        for r in &self.results {
+            let _ = writeln!(
+                s,
+                "  {:<22} {:>9} {:>14} {:>12} {:>9.1}%",
+                r.device,
+                r.services,
+                r.conventional.to_string(),
+                r.bb.to_string(),
+                r.reduction_percent()
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bb_improves_every_device_class() {
+        let d = run();
+        assert_eq!(d.results.len(), 5);
+        for r in &d.results {
+            assert!(
+                r.bb < r.conventional,
+                "{}: bb {} !< conventional {}",
+                r.device,
+                r.bb,
+                r.conventional
+            );
+            assert!(r.reduction_percent() > 5.0, "{} barely improved", r.device);
+        }
+    }
+
+    #[test]
+    fn richer_stacks_gain_more() {
+        let d = run();
+        let tv = d.results.iter().find(|r| r.device.contains("UE48")).unwrap();
+        let wearable = d.results.iter().find(|r| r.device.contains("Gear")).unwrap();
+        assert!(
+            tv.reduction_percent() > wearable.reduction_percent(),
+            "tv {:.1}% vs wearable {:.1}%",
+            tv.reduction_percent(),
+            wearable.reduction_percent()
+        );
+        assert!(run().render().contains("device"));
+    }
+}

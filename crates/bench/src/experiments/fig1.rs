@@ -1,0 +1,103 @@
+//! E1 — Figure 1: the overall boot sequence of a conventional TV.
+//!
+//! The paper's Figure 1 annotates the boot pipeline (bootloader →
+//! kernel → init → services & applications) with phase timings before
+//! BB. This experiment runs the calibrated UE48H6200 scenario
+//! conventionally and reports the same phase sequence.
+
+use bb_core::{boost, BbConfig};
+use bb_sim::SimDuration;
+use bb_workloads::tv_scenario;
+
+/// One timeline phase.
+#[derive(Debug, Clone)]
+pub struct Phase {
+    /// Phase name.
+    pub name: String,
+    /// Duration.
+    pub duration: SimDuration,
+}
+
+/// The Figure 1 timeline.
+#[derive(Debug, Clone)]
+pub struct Fig1 {
+    /// Ordered phases.
+    pub phases: Vec<Phase>,
+    /// End-to-end boot time.
+    pub total: SimDuration,
+}
+
+/// Runs the experiment.
+pub fn run() -> Fig1 {
+    let scenario = tv_scenario();
+    let report = boost(&scenario, &BbConfig::conventional()).expect("scenario is valid");
+    let mut phases = Vec::new();
+    for p in &report.kernel.phases {
+        phases.push(Phase {
+            name: format!("kernel: {}", p.name),
+            duration: p.duration,
+        });
+    }
+    phases.push(Phase {
+        name: "init: initialization".into(),
+        duration: report.boot.init_done.since(report.boot.userspace_start),
+    });
+    phases.push(Phase {
+        name: "init: load+parse units".into(),
+        duration: report.boot.load_done.since(report.boot.init_done),
+    });
+    phases.push(Phase {
+        name: "services & applications".into(),
+        duration: report.boot.boot_time().since(report.boot.load_done),
+    });
+    Fig1 {
+        phases,
+        total: report.boot.boot_time().since(bb_sim::SimTime::ZERO),
+    }
+}
+
+impl Fig1 {
+    /// Text rendering.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "Figure 1 — conventional boot sequence (UE48H6200)");
+        let mut at = SimDuration::ZERO;
+        for p in &self.phases {
+            let _ = writeln!(
+                s,
+                "  t={:>9} +{:>9}  {}",
+                at.to_string(),
+                p.duration.to_string(),
+                p.name
+            );
+            at += p.duration;
+        }
+        let _ = writeln!(s, "  total: {} (paper: ~8.1s conventional)", self.total);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_sum_to_total() {
+        let f = run();
+        let sum: SimDuration = f.phases.iter().map(|p| p.duration).sum();
+        assert_eq!(sum, f.total);
+        assert_eq!(f.phases.len(), 8);
+    }
+
+    #[test]
+    fn services_phase_dominates() {
+        // Figure 1's point: after conventional optimization, user-space
+        // services dominate the boot time.
+        let f = run();
+        let services = f.phases.last().unwrap().duration;
+        assert!(services.as_nanos() * 2 > f.total.as_nanos());
+        let render = run().render();
+        assert!(render.contains("services & applications"));
+    }
+}

@@ -1,0 +1,161 @@
+//! E5 — Figure 6: the headline result.
+//!
+//! Conventional vs full-BB boot of the calibrated UE48H6200 scenario,
+//! with the paper's per-step breakdown and a per-feature attribution
+//! computed two ways: single-feature (conventional + one mechanism) and
+//! leave-one-out (full BB minus one mechanism).
+
+use bb_core::{boost, BbConfig, Comparison, FullBootReport};
+use bb_sim::{SimDuration, SimTime};
+use bb_workloads::tv_scenario;
+
+/// Per-feature attribution row.
+#[derive(Debug, Clone)]
+pub struct Attribution {
+    /// Feature name.
+    pub feature: &'static str,
+    /// Boot-time saving when added alone to the conventional boot.
+    pub single_saving: SimDuration,
+    /// Boot-time cost when removed from the full BB.
+    pub leave_one_out_cost: SimDuration,
+    /// The paper's reported saving for the closest step, if stated.
+    pub paper_ms: Option<u64>,
+}
+
+/// The Figure 6 experiment output.
+#[derive(Debug)]
+pub struct Fig6 {
+    /// Conventional run.
+    pub conventional: FullBootReport,
+    /// Full BB run.
+    pub bb: FullBootReport,
+    /// Phase comparison.
+    pub comparison: Comparison,
+    /// Per-feature attribution.
+    pub attribution: Vec<Attribution>,
+}
+
+/// Paper-reported per-feature savings (milliseconds), for side-by-side
+/// reporting: RCU Booster 1828 (2289→461), BB Group 1101, Deferred
+/// Executor 496, On-demand Modularizer 428, Pre-parser 381 (150+231),
+/// memory init 260 (370→110), journal deferral 35 (110→75), init tasks
+/// 124 (195→71).
+pub fn paper_savings(feature: &str) -> Option<u64> {
+    Some(match feature {
+        "rcu_booster" => 1828,
+        "bb_group" => 1101,
+        "deferred_executor" => 496 + 124,
+        "ondemand_modularizer" => 428,
+        "preparser" => 381,
+        "defer_memory" => 260,
+        "defer_journal" => 35,
+        _ => return None,
+    })
+}
+
+/// Runs the experiment.
+pub fn run() -> Fig6 {
+    let scenario = tv_scenario();
+    let conventional = boost(&scenario, &BbConfig::conventional()).expect("valid");
+    let bb = boost(&scenario, &BbConfig::full()).expect("valid");
+    let conv_t = conventional.boot_time();
+    let bb_t = bb.boot_time();
+
+    let mut attribution = Vec::new();
+    let singles = BbConfig::single_feature_configs();
+    let loos = BbConfig::leave_one_out_configs();
+    for ((feature, single_cfg), (feature2, loo_cfg)) in singles.into_iter().zip(loos) {
+        assert_eq!(feature, feature2);
+        let single_t = boost(&scenario, &single_cfg).expect("valid").boot_time();
+        let loo_t = boost(&scenario, &loo_cfg).expect("valid").boot_time();
+        attribution.push(Attribution {
+            feature,
+            single_saving: SimTime::saturating_since(conv_t, single_t),
+            leave_one_out_cost: SimTime::saturating_since(loo_t, bb_t),
+            paper_ms: paper_savings(feature),
+        });
+    }
+    let comparison = Comparison::build(&conventional, &bb);
+    Fig6 {
+        conventional,
+        bb,
+        comparison,
+        attribution,
+    }
+}
+
+impl Fig6 {
+    /// Text rendering.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "Figure 6 — conventional vs Booting Booster (UE48H6200, 250 services)\n"
+        );
+        s.push_str(&self.comparison.to_table());
+        let _ = writeln!(
+            s,
+            "\n  paper: 8.1 s -> 3.5 s (-57%); BB group: {:?}",
+            self.bb.bb_group.iter().map(|n| n.as_str()).collect::<Vec<_>>()
+        );
+        let _ = writeln!(s, "\nPer-feature attribution (ablations):");
+        let _ = writeln!(
+            s,
+            "  {:<22} {:>14} {:>16} {:>12}",
+            "feature", "single-saving", "leave-one-out", "paper"
+        );
+        for a in &self.attribution {
+            let paper = a
+                .paper_ms
+                .map(|ms| format!("{ms}ms"))
+                .unwrap_or_else(|| "-".into());
+            let _ = writeln!(
+                s,
+                "  {:<22} {:>14} {:>16} {:>12}",
+                a.feature,
+                a.single_saving.to_string(),
+                a.leave_one_out_cost.to_string(),
+                paper
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_bands_hold() {
+        let f = run();
+        let conv = f.conventional.boot_time().as_secs_f64();
+        let bb = f.bb.boot_time().as_secs_f64();
+        assert!((7.0..9.2).contains(&conv), "conv {conv}");
+        assert!((3.0..4.0).contains(&bb), "bb {bb}");
+        assert_eq!(f.attribution.len(), 7);
+        assert!(f.render().contains("Per-feature attribution"));
+    }
+
+    #[test]
+    fn rcu_and_group_dominate_attribution() {
+        // The paper's two largest levers are the RCU Booster (1828 ms)
+        // and BB Group isolation (1101 ms); they should dominate the
+        // single-feature savings here as well.
+        let f = run();
+        let get = |name: &str| {
+            f.attribution
+                .iter()
+                .find(|a| a.feature == name)
+                .unwrap()
+                .single_saving
+        };
+        let rcu = get("rcu_booster");
+        let group = get("bb_group");
+        for other in ["defer_memory", "defer_journal", "preparser"] {
+            assert!(rcu > get(other), "rcu {} <= {other} {}", rcu, get(other));
+            assert!(group > get(other), "group {} <= {other}", group);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! E12 — §5: automated dependency verification on the TV workload.
+//!
+//! Runs the dependency miner (bb-core's implementation of the paper's
+//! proposed "automated mechanism... to verify dependency declarations")
+//! against the conventional commercial TV boot: observe edge slack,
+//! verify removal candidates by re-execution, and report the prunable
+//! declarations — which include the §4.2 `Before=var.mount` abusers.
+
+use bb_core::{mine, BbConfig, MiningReport};
+use bb_workloads::tv_scenario;
+
+/// Runs the experiment (bounded verification re-runs).
+pub fn run() -> MiningReport {
+    mine(&tv_scenario(), &BbConfig::conventional(), 12).expect("scenario valid")
+}
+
+/// Text rendering.
+pub fn render(report: &MiningReport) -> String {
+    let mut s = report.render(12);
+    s.push_str(
+        "  (§5: developers over-declare; the miner finds declarations that\n   never gated anything and verifies their removal by re-running)\n",
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miner_prunes_without_breaking_the_tv_boot() {
+        let report = run();
+        assert!(!report.verified_removable.is_empty(), "nothing prunable");
+        assert!(report.pruned_boot <= report.baseline_boot);
+        // Some of the §4.2 abusers' var.mount orderings should be among
+        // the observed edges.
+        assert!(report
+            .edges
+            .iter()
+            .any(|e| e.dst.as_str() == "var.mount" || e.src.as_str() == "var.mount"));
+    }
+}

@@ -1,0 +1,42 @@
+//! # bb-bench — the experiment harness
+//!
+//! One module per paper artifact (see DESIGN.md's experiment index):
+//!
+//! | module | reproduces |
+//! |---|---|
+//! | [`experiments::fig1`] | Figure 1 — conventional boot timeline |
+//! | [`experiments::fig2`] | Figure 2 — the Tizen dependency graph |
+//! | [`experiments::fig3`] | Figure 3 — one dependency disrupts the boot |
+//! | [`experiments::fig5`] | Figure 5(a) — RCU Booster bootcharts |
+//! | [`experiments::fig6`] | Figure 6 — the 8.1 s → 3.5 s headline |
+//! | [`experiments::fig7`] | Figure 7 — var.mount isolation (§4.2) |
+//! | [`experiments::tradeoff`] | §4.3 — deferral + RCU costs |
+//! | [`experiments::background`] | §2.1/§2.3 — snapshot & compression models |
+//! | [`experiments::ablation`] | extension — feature/scaling sweeps |
+//! | [`experiments::schemes`] | §2.5 — init-scheme family comparison |
+//! | [`experiments::linking`] | §5 — static/pre-link/pre-fork for the group |
+//! | [`experiments::miner`] | §5 — automated dependency verification |
+//! | [`experiments::devices`] | §4 — BB across device classes |
+//! | [`experiments::variance`] | §2.5.3/§5 — boot-time consistency |
+//!
+//! The `figures` binary prints each experiment and writes dot/SVG
+//! artifacts; the Criterion benches under `benches/` time them and the
+//! real-code microbenches (bb-rcu contention, unit parsing vs the
+//! pre-parsed cache).
+
+pub mod experiments {
+    pub mod ablation;
+    pub mod devices;
+    pub mod background;
+    pub mod fig1;
+    pub mod fig2;
+    pub mod fig3;
+    pub mod fig5;
+    pub mod fig6;
+    pub mod fig7;
+    pub mod linking;
+    pub mod miner;
+    pub mod schemes;
+    pub mod tradeoff;
+    pub mod variance;
+}

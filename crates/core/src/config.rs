@@ -1,0 +1,151 @@
+//! The Booting Booster's feature switches.
+//!
+//! Every mechanism of the paper's three engines is independently
+//! toggleable, which is what the ablation experiments (and Figure 6's
+//! per-feature attribution) are built on.
+
+/// Which BB mechanisms are active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BbConfig {
+    /// Core Engine: RCU Booster — boosted `synchronize_rcu` during boot,
+    /// switched back at boot completion by RCU Booster Control (§3.1).
+    pub rcu_booster: bool,
+    /// Core Engine: initialize only the required memory eagerly, the
+    /// rest in the background after boot (§3.1).
+    pub defer_memory: bool,
+    /// Core Engine: On-demand Modularizer — defer non-critical built-in
+    /// kernel component initialization instead of loading external
+    /// `.ko` modules during the service phase (§3.1).
+    pub ondemand_modularizer: bool,
+    /// Boot-up Engine: mount the rootfs read-only and enable the EXT4
+    /// journal after boot completion (§3.2).
+    pub defer_journal: bool,
+    /// Boot-up Engine: Deferred Executor — postpone init-scheme internal
+    /// tasks (logging, hostname, machine ID, loopback, test dirs, and
+    /// service-phase housekeeping) past boot completion (§3.2).
+    pub deferred_executor: bool,
+    /// Service Engine: Pre-parser — load a binary unit cache instead of
+    /// reading and parsing unit-file text at boot (§3.3).
+    pub preparser: bool,
+    /// Service Engine: BB Group Isolator + Booting Booster Manager —
+    /// identify, isolate, and prioritize booting-critical services
+    /// (§3.3).
+    pub bb_group: bool,
+}
+
+impl BbConfig {
+    /// Everything off: the conventional boot.
+    pub const fn conventional() -> Self {
+        BbConfig {
+            rcu_booster: false,
+            defer_memory: false,
+            ondemand_modularizer: false,
+            defer_journal: false,
+            deferred_executor: false,
+            preparser: false,
+            bb_group: false,
+        }
+    }
+
+    /// Everything on: the full Booting Booster.
+    pub const fn full() -> Self {
+        BbConfig {
+            rcu_booster: true,
+            defer_memory: true,
+            ondemand_modularizer: true,
+            defer_journal: true,
+            deferred_executor: true,
+            preparser: true,
+            bb_group: true,
+        }
+    }
+
+    /// Number of active features (for ablation reports).
+    pub fn active_features(&self) -> usize {
+        [
+            self.rcu_booster,
+            self.defer_memory,
+            self.ondemand_modularizer,
+            self.defer_journal,
+            self.deferred_executor,
+            self.preparser,
+            self.bb_group,
+        ]
+        .iter()
+        .filter(|&&b| b)
+        .count()
+    }
+
+    /// All single-feature configurations, as `(feature name, config)` —
+    /// the conventional boot with exactly one mechanism enabled.
+    pub fn single_feature_configs() -> Vec<(&'static str, BbConfig)> {
+        let base = BbConfig::conventional();
+        vec![
+            ("rcu_booster", BbConfig { rcu_booster: true, ..base }),
+            ("defer_memory", BbConfig { defer_memory: true, ..base }),
+            (
+                "ondemand_modularizer",
+                BbConfig { ondemand_modularizer: true, ..base },
+            ),
+            ("defer_journal", BbConfig { defer_journal: true, ..base }),
+            (
+                "deferred_executor",
+                BbConfig { deferred_executor: true, ..base },
+            ),
+            ("preparser", BbConfig { preparser: true, ..base }),
+            ("bb_group", BbConfig { bb_group: true, ..base }),
+        ]
+    }
+
+    /// All leave-one-out configurations, as `(dropped feature, config)` —
+    /// the full BB with exactly one mechanism disabled.
+    pub fn leave_one_out_configs() -> Vec<(&'static str, BbConfig)> {
+        let full = BbConfig::full();
+        vec![
+            ("rcu_booster", BbConfig { rcu_booster: false, ..full }),
+            ("defer_memory", BbConfig { defer_memory: false, ..full }),
+            (
+                "ondemand_modularizer",
+                BbConfig { ondemand_modularizer: false, ..full },
+            ),
+            ("defer_journal", BbConfig { defer_journal: false, ..full }),
+            (
+                "deferred_executor",
+                BbConfig { deferred_executor: false, ..full },
+            ),
+            ("preparser", BbConfig { preparser: false, ..full }),
+            ("bb_group", BbConfig { bb_group: false, ..full }),
+        ]
+    }
+}
+
+impl Default for BbConfig {
+    fn default() -> Self {
+        BbConfig::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conventional_has_nothing_full_has_everything() {
+        assert_eq!(BbConfig::conventional().active_features(), 0);
+        assert_eq!(BbConfig::full().active_features(), 7);
+    }
+
+    #[test]
+    fn ablation_sets_cover_every_feature_once() {
+        let singles = BbConfig::single_feature_configs();
+        assert_eq!(singles.len(), 7);
+        assert!(singles.iter().all(|(_, c)| c.active_features() == 1));
+        let loo = BbConfig::leave_one_out_configs();
+        assert_eq!(loo.len(), 7);
+        assert!(loo.iter().all(|(_, c)| c.active_features() == 6));
+        // Names are distinct.
+        let names: std::collections::BTreeSet<_> =
+            singles.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names.len(), 7);
+    }
+}

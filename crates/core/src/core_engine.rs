@@ -1,0 +1,180 @@
+//! Core Engine: kernel-space BB components (§3.1).
+//!
+//! * *On-demand Modularizer* — partitions kernel components so
+//!   non-boot-critical built-ins initialize after boot completion, and
+//!   replaces the conventional external-`.ko` loading of the service
+//!   phase with deferred built-in initialization.
+//! * Deferred memory initialization and deferred journal enabling are
+//!   applied to the kernel plan.
+//! * *RCU Booster* installation is a machine-level mode switch; its
+//!   user-space control half lives in
+//!   [`crate::bootup_engine::install_rcu_booster_control`].
+
+use bb_kernel::{KernelPlan, ModuleCatalog};
+use bb_sim::{DeviceId, FlagId, Machine, Op, ProcessSpec};
+
+use crate::config::BbConfig;
+
+/// Applies the Core Engine's kernel-plan knobs for `cfg`.
+pub fn apply_to_kernel_plan(plan: &mut KernelPlan, cfg: &BbConfig) {
+    plan.defer_memory = cfg.defer_memory;
+    plan.defer_initcalls = cfg.ondemand_modularizer;
+    plan.defer_journal = cfg.defer_journal;
+}
+
+/// How many parallel loader workers handle kernel modules in the
+/// conventional path (udev forks several workers).
+pub const MODULE_LOADER_WORKERS: usize = 4;
+
+/// Installs kernel-module handling for the service phase.
+///
+/// Conventional: spawns [`MODULE_LOADER_WORKERS`] loader processes that
+/// load every module as an external `.ko` (syscalls + flash I/O + init),
+/// competing with services for CPU and storage during boot.
+///
+/// With the On-demand Modularizer: deferrable components become built-in
+/// initializations gated on boot completion; only boot-critical modules
+/// load eagerly (built-in, no `.ko` overhead).
+///
+/// Returns the number of processes spawned.
+pub fn install_module_loading(
+    machine: &mut Machine,
+    catalog: &ModuleCatalog,
+    device: DeviceId,
+    cfg: &BbConfig,
+    boot_complete: FlagId,
+) -> usize {
+    if catalog.is_empty() {
+        return 0;
+    }
+    let mut spawned = 0;
+    if cfg.ondemand_modularizer {
+        // Boot-critical components initialize eagerly as built-ins (one
+        // worker; the set is small), deferrable ones after completion.
+        let eager: Vec<Op> = catalog
+            .boot_critical()
+            .flat_map(|m| catalog.deferred_builtin_ops(m))
+            .collect();
+        if !eager.is_empty() {
+            machine.spawn(ProcessSpec::new("kworker/builtin-init", eager).with_nice(-5));
+            spawned += 1;
+        }
+        let deferred: Vec<Op> = std::iter::once(Op::WaitFlag(boot_complete))
+            .chain(
+                catalog
+                    .deferrable()
+                    .flat_map(|m| catalog.deferred_builtin_ops(m)),
+            )
+            .collect();
+        machine.spawn(
+            ProcessSpec::new("kworker/ondemand-modularizer", deferred).with_nice(10),
+        );
+        spawned += 1;
+    } else {
+        // Conventional: everything loads as external `.ko` during boot,
+        // spread over a few udev-style workers.
+        let mut worker_ops: Vec<Vec<Op>> = vec![Vec::new(); MODULE_LOADER_WORKERS];
+        for (i, m) in catalog.modules.iter().enumerate() {
+            worker_ops[i % MODULE_LOADER_WORKERS]
+                .extend(catalog.external_load_ops(m, device));
+        }
+        for (i, ops) in worker_ops.into_iter().enumerate() {
+            if ops.is_empty() {
+                continue;
+            }
+            machine.spawn(ProcessSpec::new(format!("udev-worker/{i}"), ops).with_nice(0));
+            spawned += 1;
+        }
+    }
+    spawned
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bb_kernel::synthetic_catalog;
+    use bb_sim::{DeviceProfile, MachineConfig, SimTime};
+
+    fn machine() -> (Machine, DeviceId, FlagId) {
+        let mut m = Machine::new(MachineConfig::default());
+        let dev = m.add_device("emmc", DeviceProfile::tv_emmc());
+        let gate = m.flag("boot-complete");
+        (m, dev, gate)
+    }
+
+    #[test]
+    fn kernel_plan_knobs_follow_config() {
+        let mut plan = bb_kernel::KernelPlan {
+            bootloader: bb_sim::SimDuration::from_millis(1),
+            image_bytes: 0,
+            memory: bb_kernel::MemoryPlan::tv_1gib(),
+            initcalls: bb_kernel::InitcallRegistry::new(),
+            rootfs: bb_kernel::RootfsPlan::tv_emmc(),
+            misc: bb_sim::SimDuration::ZERO,
+            defer_memory: false,
+            defer_initcalls: false,
+            defer_journal: false,
+        };
+        apply_to_kernel_plan(&mut plan, &BbConfig::full());
+        assert!(plan.defer_memory && plan.defer_initcalls && plan.defer_journal);
+        apply_to_kernel_plan(&mut plan, &BbConfig::conventional());
+        assert!(!plan.defer_memory && !plan.defer_initcalls && !plan.defer_journal);
+    }
+
+    #[test]
+    fn conventional_module_loading_happens_at_boot() {
+        let (mut m, dev, gate) = machine();
+        let cat = synthetic_catalog(40);
+        let n = install_module_loading(&mut m, &cat, dev, &BbConfig::conventional(), gate);
+        assert_eq!(n, MODULE_LOADER_WORKERS);
+        let out = m.run();
+        // All loads done without the gate ever being set.
+        assert!(out.blocked.is_empty());
+        assert!(m.device(dev).bytes_read > 0);
+        assert!(out.end_time > SimTime::ZERO);
+    }
+
+    #[test]
+    fn modularizer_defers_most_work_past_completion() {
+        let (mut m, dev, gate) = machine();
+        let cat = synthetic_catalog(40);
+        let n = install_module_loading(&mut m, &cat, dev, &BbConfig::full(), gate);
+        assert_eq!(n, 2);
+        let before_gate = m.run();
+        // Only the eager built-in worker ran; the deferred one blocks.
+        assert_eq!(before_gate.blocked.len(), 1);
+        // No flash I/O at all: built-ins read nothing.
+        assert_eq!(m.device(dev).bytes_read, 0);
+        m.set_flag_external(gate);
+        let after = m.run();
+        assert!(after.blocked.is_empty());
+    }
+
+    #[test]
+    fn modularizer_pre_completion_work_is_much_smaller() {
+        let cat = synthetic_catalog(408);
+        let (mut m1, dev1, g1) = machine();
+        install_module_loading(&mut m1, &cat, dev1, &BbConfig::conventional(), g1);
+        let conv = m1.run().end_time;
+        let (mut m2, dev2, g2) = machine();
+        install_module_loading(&mut m2, &cat, dev2, &BbConfig::full(), g2);
+        let bb = m2.run().end_time;
+        assert!(
+            bb.as_nanos() * 5 < conv.as_nanos(),
+            "modularizer saved too little: {bb} vs {conv}"
+        );
+    }
+
+    #[test]
+    fn empty_catalog_spawns_nothing() {
+        let (mut m, dev, gate) = machine();
+        let n = install_module_loading(
+            &mut m,
+            &ModuleCatalog::default(),
+            dev,
+            &BbConfig::conventional(),
+            gate,
+        );
+        assert_eq!(n, 0);
+    }
+}

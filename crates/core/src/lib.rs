@@ -1,0 +1,33 @@
+//! # bb-core — the Booting Booster
+//!
+//! Reproduction of the paper's contribution: the three BB engines that
+//! cut a Samsung Tizen TV's cold boot from 8.1 s to 3.5 s (EuroSys 2016).
+//!
+//! * [`core_engine`] — kernel space: On-demand Modularizer, deferred
+//!   memory initialization, RCU Booster installation.
+//! * [`bootup_engine`] — init-scheme initialization: the Deferred
+//!   Executor's task tables and RCU Booster Control.
+//! * [`service_engine`] — BB Group Isolator, Booting Booster Manager
+//!   (priorities + dispatch order), Pre-parser, Service Analyzer.
+//! * [`booster`] — the one-call facade: run a [`booster::Scenario`]
+//!   under any [`BbConfig`] and get a [`booster::FullBootReport`].
+//! * [`report`] — Figure-6-style comparison tables.
+//!
+//! # Examples
+//!
+//! See `examples/quickstart.rs` at the workspace root for an end-to-end
+//! conventional-vs-BB comparison on a small TV scenario.
+
+pub mod booster;
+pub mod bootup_engine;
+pub mod config;
+pub mod core_engine;
+pub mod miner;
+pub mod report;
+pub mod service_engine;
+
+pub use booster::{boost, boost_custom, boost_with_machine, BoostError, FullBootReport, Scenario};
+pub use config::BbConfig;
+pub use miner::{mine, EdgeSlack, MiningReport};
+pub use report::{Comparison, Row};
+pub use service_engine::{analyze, identify_bb_group, load_model, Finding, ParseCostParams};

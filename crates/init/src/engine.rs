@@ -1,0 +1,909 @@
+//! Job engines: execute a boot transaction on the simulated machine.
+//!
+//! Three engines reproduce the init-scheme families of §2.5:
+//!
+//! * [`EngineMode::InOrder`] — systemd-like: every service self-gates on
+//!   the readiness flags of its ordering predecessors, so arbitrary
+//!   non-interdependent services launch in parallel while the boot
+//!   sequence is always correct.
+//! * [`EngineMode::OutOfOrder`] — BSD/SysV-style: services start without
+//!   waiting. Optionally with the bolted-on *path-check* retry loop
+//!   (poll for the prerequisite, burning CPU), or in `assert` mode where
+//!   a service crashes when its prerequisite is absent — the
+//!   correctness hazard of §2.5.1.
+//! * [`EngineMode::Serial`] — classic `rcS`: one service at a time.
+//!
+//! The Booting Booster's Service Engine effects enter through
+//! [`PlanOverrides`]: per-unit priorities (BB Manager), the isolated
+//! group whose members ignore foreign ordering declarations (BB Group
+//! Isolator), a dispatch-first list, and a deferred set gated on boot
+//! completion (Deferred Executor).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use bb_sim::{
+    AccessPattern, DeviceId, FlagId, Machine, Op, ProcessSpec, RunOutcome, SimDuration, SimTime,
+};
+
+use crate::graph::UnitGraph;
+use crate::transaction::Transaction;
+use crate::unit::{IoSchedulingClass, ServiceType, UnitName};
+
+/// How unit configuration reaches the manager at boot.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadModel {
+    /// Total bytes read from storage for unit configuration.
+    pub io_bytes: u64,
+    /// Access pattern of those reads (text files: random; cache: sequential).
+    pub pattern: AccessPattern,
+    /// Total CPU cost of turning the bytes into unit objects.
+    pub cpu: SimDuration,
+}
+
+/// An init-scheme internal task (logging setup, hostname, machine ID…).
+#[derive(Debug, Clone)]
+pub struct ManagerTask {
+    /// Task name, recorded in traces.
+    pub name: String,
+    /// Reference CPU cost.
+    pub cost: SimDuration,
+    /// True if the Deferred Executor postpones it past boot completion.
+    pub deferred: bool,
+}
+
+impl ManagerTask {
+    /// Creates a non-deferred task.
+    pub fn new(name: impl Into<String>, cost: SimDuration) -> Self {
+        ManagerTask {
+            name: name.into(),
+            cost,
+            deferred: false,
+        }
+    }
+
+    /// Marks the task deferred.
+    pub fn deferred(mut self) -> Self {
+        self.deferred = true;
+        self
+    }
+}
+
+/// Cost knobs of the manager process itself.
+#[derive(Debug, Clone, Copy)]
+pub struct ManagerCosts {
+    /// Manager CPU per dispatched job (dependency bookkeeping + fork).
+    pub dispatch_cpu_per_job: SimDuration,
+    /// CPU charged inside each service for fork+exec+dynamic linking.
+    pub fork_exec_cost: SimDuration,
+    /// Manager priority (PID 1 runs urgently).
+    pub manager_nice: i8,
+}
+
+impl Default for ManagerCosts {
+    fn default() -> Self {
+        ManagerCosts {
+            dispatch_cpu_per_job: SimDuration::from_micros(400),
+            fork_exec_cost: SimDuration::from_millis(3),
+            manager_nice: -10,
+        }
+    }
+}
+
+/// Which engine executes the transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineMode {
+    /// systemd-like dependency-gated parallel launching.
+    InOrder,
+    /// Launch everything immediately (§2.5.1).
+    OutOfOrder {
+        /// Bolt on the path-check polling loop for each dependency.
+        path_check: bool,
+        /// Crash services whose dependencies are not ready (no
+        /// path-check): exposes incorrect boots.
+        assert_deps: bool,
+    },
+    /// One service at a time (classic rcS).
+    Serial,
+}
+
+/// The Booting Booster's service-engine adjustments to a plan.
+#[derive(Debug, Clone, Default)]
+pub struct PlanOverrides {
+    /// Per-unit nice overrides (BB Manager prioritization).
+    pub nice: HashMap<usize, i8>,
+    /// Per-unit I/O class overrides (BB Manager prioritization).
+    pub io_class: HashMap<usize, IoSchedulingClass>,
+    /// The isolated BB Group: members ignore ordering edges declared by
+    /// units outside the group and never wait on non-group services.
+    pub isolate: BTreeSet<usize>,
+    /// Jobs dispatched before everything else, in order.
+    pub dispatch_first: Vec<usize>,
+    /// Jobs gated on boot completion (deferred services).
+    pub defer: BTreeSet<usize>,
+    /// Ordering edges `(src, dst)` to ignore (the dependency miner's
+    /// verified-redundant set, §5 "tackle dependencies directly").
+    pub drop_edges: BTreeSet<(usize, usize)>,
+    /// Per-job fork+exec cost overrides (static linking of BB Group
+    /// binaries removes the dynamic-linking share, §5).
+    pub fork_cost: HashMap<usize, SimDuration>,
+}
+
+/// A service's simulated workload body.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceBody {
+    /// Ops before the service signals readiness (`forking`/`notify`).
+    pub pre_ready: Vec<Op>,
+    /// Ops after readiness (main-loop warm-up etc.).
+    pub post_ready: Vec<Op>,
+}
+
+/// Maps `ExecStart=` strings to bodies. Units without an entry get a
+/// small default body.
+pub type WorkloadMap = HashMap<String, ServiceBody>;
+
+/// Everything the engine needs to run one boot.
+#[derive(Debug)]
+pub struct BootPlan<'g> {
+    /// The unit graph.
+    pub graph: &'g UnitGraph,
+    /// The transaction to execute.
+    pub transaction: Transaction,
+    /// Units whose readiness defines boot completion (§2: "the video and
+    /// audio of a broadcast channel is played and it responds to remote
+    /// control inputs").
+    pub completion: Vec<UnitName>,
+    /// Service-engine adjustments.
+    pub overrides: PlanOverrides,
+    /// Serial init-phase tasks run before unit loading (Figure 6(b)).
+    pub init_tasks: Vec<ManagerTask>,
+    /// Housekeeping spawned alongside services (Figure 6(c) Deferred
+    /// Executor items).
+    pub service_phase_tasks: Vec<ManagerTask>,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Engine family.
+    pub mode: EngineMode,
+    /// Unit configuration load model (the Pre-parser changes this).
+    pub load: LoadModel,
+    /// Manager cost knobs.
+    pub costs: ManagerCosts,
+    /// Storage device unit files are read from.
+    pub device: DeviceId,
+}
+
+/// Per-service timeline assembled from the run.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceRecord {
+    /// When the manager spawned the service process.
+    pub spawned: Option<SimTime>,
+    /// First time it got a CPU core.
+    pub started: Option<SimTime>,
+    /// When it signalled readiness (per its `Type=`).
+    pub ready: Option<SimTime>,
+    /// When its process finished all work.
+    pub finished: Option<SimTime>,
+    /// True if it aborted on a missing dependency (out-of-order mode).
+    pub failed: bool,
+    /// True if its readiness was forced by `TimeoutStartSec=` expiry
+    /// rather than signalled by the service itself.
+    pub timed_out: bool,
+}
+
+/// Result of one boot run.
+#[derive(Debug)]
+pub struct BootRecord {
+    /// Per-unit timelines.
+    pub services: BTreeMap<UnitName, ServiceRecord>,
+    /// When the boot-completion definition was met.
+    pub completion_time: Option<SimTime>,
+    /// When user space started (engine invocation time).
+    pub userspace_start: SimTime,
+    /// When the serial init phase finished (init tasks done).
+    pub init_done: SimTime,
+    /// When unit loading/parsing finished.
+    pub load_done: SimTime,
+    /// The machine outcome (blocked/failed processes).
+    pub outcome: RunOutcome,
+}
+
+impl BootRecord {
+    /// Boot time from power-on to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the boot never completed (a wiring error in the
+    /// experiment; check `outcome.blocked` instead).
+    pub fn boot_time(&self) -> SimTime {
+        self.completion_time.expect("boot did not complete")
+    }
+
+    /// Services that failed (out-of-order hazard).
+    pub fn failed_services(&self) -> Vec<&UnitName> {
+        self.services
+            .iter()
+            .filter(|(_, r)| r.failed)
+            .map(|(n, _)| n)
+            .collect()
+    }
+
+    /// The record for a unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the unit was not part of the run.
+    pub fn service(&self, name: &str) -> &ServiceRecord {
+        self.services
+            .get(&UnitName::new(name))
+            .unwrap_or_else(|| panic!("no record for {name}"))
+    }
+}
+
+/// Runs the boot described by `plan` on `machine`.
+///
+/// The machine clock should be at the kernel→userspace handover point
+/// (see `bb_kernel::execute_kernel_boot`). The engine creates a
+/// `boot-complete` flag on the machine, sets it when the completion
+/// definition is met, and runs the machine to quiescence — including
+/// deferred work that only starts after completion.
+pub fn run_boot(
+    machine: &mut Machine,
+    plan: &BootPlan<'_>,
+    workloads: &WorkloadMap,
+    cfg: &EngineConfig,
+) -> BootRecord {
+    let userspace_start = machine.now();
+    let graph = plan.graph;
+    let jobs = &plan.transaction.jobs;
+
+    // Flags: readiness per job + the boot-completion gate.
+    let boot_complete = machine.flag("boot-complete");
+    let ready_flags: HashMap<usize, FlagId> = jobs
+        .iter()
+        .map(|&j| (j, machine.flag(format!("ready:{}", graph.unit(j).name))))
+        .collect();
+    // Condition flags (ConditionPathExists= stands in for path presence).
+    let cond_flags: HashMap<usize, FlagId> = jobs
+        .iter()
+        .filter_map(|&j| {
+            graph.unit(j).condition_path_exists.as_ref().map(|p| {
+                let f = machine.flag(format!("path:{p}"));
+                (j, f)
+            })
+        })
+        .collect();
+
+    // Serial init phase (Figure 6(b)): non-deferred tasks run first in
+    // the manager process; deferred ones become gated background
+    // processes. Phase boundaries are recorded via marker flags so they
+    // remain measurable while other processes (module loaders, deferred
+    // kernel workers) compete for the machine.
+    let init_done_flag = machine.flag("phase:init-done");
+    let load_done_flag = machine.flag("phase:load-done");
+    let mut manager_ops: Vec<Op> = Vec::new();
+    for task in &plan.init_tasks {
+        if task.deferred {
+            machine.spawn(
+                ProcessSpec::new(
+                    format!("systemd:{}", task.name),
+                    vec![Op::WaitFlag(boot_complete), Op::Compute(task.cost)],
+                )
+                .with_nice(5),
+            );
+        } else {
+            manager_ops.push(Op::Compute(task.cost));
+        }
+    }
+    manager_ops.push(Op::SetFlag(init_done_flag));
+
+    // Unit loading and parsing (what the Pre-parser accelerates).
+    if cfg.load.io_bytes > 0 {
+        manager_ops.push(Op::IoRead {
+            device: cfg.device,
+            bytes: cfg.load.io_bytes,
+            pattern: cfg.load.pattern,
+        });
+    }
+    if !cfg.load.cpu.is_zero() {
+        manager_ops.push(Op::Compute(cfg.load.cpu));
+    }
+    manager_ops.push(Op::SetFlag(load_done_flag));
+
+    // Dispatch order.
+    let base_order = match cfg.mode {
+        EngineMode::Serial | EngineMode::InOrder => plan.transaction.execution_order(graph),
+        EngineMode::OutOfOrder { .. } => {
+            // Out-of-order engines use declaration order (name order for
+            // determinism), ignoring dependencies.
+            let mut v: Vec<usize> = jobs.iter().copied().collect();
+            v.sort_by(|&a, &b| graph.unit(a).name.cmp(&graph.unit(b).name));
+            v
+        }
+    };
+    let mut order: Vec<usize> = Vec::with_capacity(base_order.len());
+    let mut seen = BTreeSet::new();
+    for &j in plan.overrides.dispatch_first.iter().chain(base_order.iter()) {
+        if jobs.contains(&j) && seen.insert(j) {
+            order.push(j);
+        }
+    }
+
+    // Dispatch every job (services self-gate), then spawn service-phase
+    // housekeeping.
+    let mut prev_ready: Option<FlagId> = None;
+    for &j in &order {
+        let spec = service_spec(
+            graph,
+            plan,
+            workloads,
+            cfg,
+            j,
+            &ready_flags,
+            &cond_flags,
+            boot_complete,
+            prev_ready,
+        );
+        manager_ops.push(Op::Compute(cfg.costs.dispatch_cpu_per_job));
+        manager_ops.push(Op::Spawn(spec));
+        // TimeoutStartSec=: a watchdog forces the readiness flag when the
+        // timeout expires, so dependents are released even if the service
+        // hangs (recorded as `timed_out` when the watchdog fired first).
+        let timeout_ms = graph.unit(j).exec.timeout_ms;
+        if timeout_ms > 0 {
+            manager_ops.push(Op::Spawn(ProcessSpec::new(
+                format!("timeout:{}", graph.unit(j).name),
+                vec![
+                    Op::Sleep(SimDuration::from_millis(timeout_ms)),
+                    Op::SetFlag(ready_flags[&j]),
+                ],
+            )));
+        }
+        if cfg.mode == EngineMode::Serial {
+            prev_ready = Some(ready_flags[&j]);
+        }
+    }
+    for task in &plan.service_phase_tasks {
+        let mut ops = Vec::new();
+        if task.deferred {
+            ops.push(Op::WaitFlag(boot_complete));
+        }
+        ops.push(Op::Compute(task.cost));
+        manager_ops.push(Op::Spawn(
+            ProcessSpec::new(format!("systemd:{}", task.name), ops).with_nice(0),
+        ));
+    }
+    machine.spawn(
+        ProcessSpec::new("systemd-manager", manager_ops).with_nice(cfg.costs.manager_nice),
+    );
+
+    // Boot-completion watcher: sets the gate when the definition is met.
+    let completion_waits: Vec<Op> = plan
+        .completion
+        .iter()
+        .map(|name| {
+            let idx = graph
+                .idx(name)
+                .unwrap_or_else(|| panic!("completion unit {name} not in graph"));
+            assert!(
+                jobs.contains(&idx),
+                "completion unit {name} not in the transaction"
+            );
+            Op::WaitFlag(ready_flags[&idx])
+        })
+        .chain([Op::SetFlag(boot_complete)])
+        .collect();
+    machine.spawn(ProcessSpec::new("boot-complete-watcher", completion_waits).with_nice(-20));
+
+    let outcome = machine.run();
+
+    // Assemble records from the trace.
+    let mut services: BTreeMap<UnitName, ServiceRecord> = BTreeMap::new();
+    let timelines = machine.trace().process_timeline();
+    let by_name: HashMap<&str, &bb_sim::ProcessTimeline> =
+        timelines.values().map(|t| (t.name.as_str(), t)).collect();
+    // Who set each readiness flag (to attribute timeout releases).
+    let flag_setters: HashMap<FlagId, bb_sim::Pid> = machine
+        .trace()
+        .events()
+        .iter()
+        .filter_map(|e| match e.kind {
+            bb_sim::TraceKind::FlagSet { flag } => Some((flag, e.pid)),
+            _ => None,
+        })
+        .collect();
+    for &j in jobs.iter() {
+        let name = &graph.unit(j).name;
+        let ready_flag = ready_flags[&j];
+        let timed_out = flag_setters
+            .get(&ready_flag)
+            .is_some_and(|&pid| machine.process(pid).name.starts_with("timeout:"));
+        let mut rec = ServiceRecord {
+            ready: machine.flag_set_at(ready_flag),
+            timed_out,
+            ..ServiceRecord::default()
+        };
+        if let Some(t) = by_name.get(name.as_str()) {
+            rec.spawned = t.spawned;
+            rec.started = t.first_run;
+            rec.finished = t.finished;
+            rec.failed = t.failed;
+        }
+        services.insert(name.clone(), rec);
+    }
+
+    BootRecord {
+        services,
+        completion_time: machine.flag_set_at(boot_complete),
+        userspace_start,
+        init_done: machine
+            .flag_set_at(init_done_flag)
+            .expect("manager always sets the init marker"),
+        load_done: machine
+            .flag_set_at(load_done_flag)
+            .expect("manager always sets the load marker"),
+        outcome,
+    }
+}
+
+/// Builds the simulated process for one job.
+#[allow(clippy::too_many_arguments)]
+fn service_spec(
+    graph: &UnitGraph,
+    plan: &BootPlan<'_>,
+    workloads: &WorkloadMap,
+    cfg: &EngineConfig,
+    job: usize,
+    ready_flags: &HashMap<usize, FlagId>,
+    cond_flags: &HashMap<usize, FlagId>,
+    boot_complete: FlagId,
+    serial_prev: Option<FlagId>,
+) -> ProcessSpec {
+    let unit = graph.unit(job);
+    let jobs = &plan.transaction.jobs;
+    let isolated = plan.overrides.isolate.contains(&job);
+
+    // Ordering predecessors this service waits for.
+    let deps: Vec<usize> = match cfg.mode {
+        EngineMode::Serial | EngineMode::OutOfOrder { .. } => Vec::new(),
+        EngineMode::InOrder => {
+            let mut seen = BTreeSet::new();
+            graph
+                .ordering_in_edges(job)
+                .filter(|e| jobs.contains(&e.src))
+                .filter(|e| !plan.overrides.drop_edges.contains(&(e.src, e.dst)))
+                .filter(|e| {
+                    // BB Group isolation: members ignore foreign
+                    // declarations and never wait on non-members.
+                    !isolated
+                        || (plan.overrides.isolate.contains(&e.src)
+                            && plan.overrides.isolate.contains(&e.declared_by))
+                })
+                .map(|e| e.src)
+                .filter(|s| seen.insert(*s))
+                .collect()
+        }
+    };
+
+    let mut ops: Vec<Op> = Vec::new();
+    if plan.overrides.defer.contains(&job) {
+        ops.push(Op::WaitFlag(boot_complete));
+    }
+    if let Some(prev) = serial_prev {
+        ops.push(Op::WaitFlag(prev));
+    }
+    match cfg.mode {
+        EngineMode::InOrder => {
+            for d in &deps {
+                ops.push(Op::WaitFlag(ready_flags[d]));
+            }
+        }
+        EngineMode::OutOfOrder { path_check, assert_deps } => {
+            let mut seen = BTreeSet::new();
+            let raw_deps: Vec<usize> = graph
+                .ordering_in_edges(job)
+                .filter(|e| jobs.contains(&e.src))
+                .map(|e| e.src)
+                .filter(|s| seen.insert(*s))
+                .collect();
+            for d in raw_deps {
+                if path_check {
+                    ops.push(Op::PollFlag {
+                        flag: ready_flags[&d],
+                        interval: SimDuration::from_millis(50),
+                        poll_cost: SimDuration::from_micros(80),
+                    });
+                } else if assert_deps {
+                    ops.push(Op::AssertFlag(ready_flags[&d]));
+                }
+            }
+        }
+        EngineMode::Serial => {}
+    }
+
+    let fork_cost = plan
+        .overrides
+        .fork_cost
+        .get(&job)
+        .copied()
+        .unwrap_or(cfg.costs.fork_exec_cost);
+    ops.push(Op::Compute(fork_cost));
+
+    let body = unit
+        .exec
+        .exec_start
+        .as_deref()
+        .and_then(|e| workloads.get(e))
+        .cloned()
+        .unwrap_or_else(|| ServiceBody {
+            pre_ready: vec![Op::Compute(SimDuration::from_millis(2))],
+            post_ready: Vec::new(),
+        });
+    let ready = ready_flags[&job];
+    let cond = cond_flags.get(&job).copied();
+
+    match unit.exec.service_type {
+        ServiceType::Simple => {
+            // Ready as soon as exec starts; condition skips the body.
+            ops.push(Op::SetFlag(ready));
+            push_conditional(&mut ops, cond, body.pre_ready);
+            push_conditional(&mut ops, cond, body.post_ready);
+        }
+        ServiceType::Forking | ServiceType::Notify => {
+            push_conditional(&mut ops, cond, body.pre_ready);
+            ops.push(Op::SetFlag(ready));
+            push_conditional(&mut ops, cond, body.post_ready);
+        }
+        ServiceType::Oneshot => {
+            push_conditional(&mut ops, cond, body.pre_ready);
+            push_conditional(&mut ops, cond, body.post_ready);
+            ops.push(Op::SetFlag(ready));
+        }
+    }
+
+    let nice = plan
+        .overrides
+        .nice
+        .get(&job)
+        .copied()
+        .unwrap_or(unit.exec.nice);
+    let io_class = plan
+        .overrides
+        .io_class
+        .get(&job)
+        .copied()
+        .unwrap_or(unit.exec.io_class);
+    let io_priority = match io_class {
+        IoSchedulingClass::Realtime => bb_sim::IoPriority::Realtime,
+        IoSchedulingClass::BestEffort => bb_sim::IoPriority::BestEffort,
+        IoSchedulingClass::Idle => bb_sim::IoPriority::Idle,
+    };
+    ProcessSpec::new(unit.name.as_str(), ops)
+        .with_nice(nice)
+        .with_io_priority(io_priority)
+}
+
+/// Appends `body`, wrapped in a conditional skip when `cond` is present.
+fn push_conditional(ops: &mut Vec<Op>, cond: Option<FlagId>, body: Vec<Op>) {
+    if body.is_empty() {
+        return;
+    }
+    if let Some(flag) = cond {
+        ops.push(Op::CondSkip {
+            flag,
+            skip_ops: body.len() as u32,
+        });
+    }
+    ops.extend(body);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unit::Unit;
+    use bb_sim::{DeviceProfile, MachineConfig, OpsBuilder};
+
+    fn svc(name: &str) -> Unit {
+        Unit::new(UnitName::new(name)).with_exec(format!("bin:{name}"))
+    }
+
+    fn body_ms(ms: u64) -> ServiceBody {
+        ServiceBody {
+            pre_ready: OpsBuilder::new().compute_ms(ms).build(),
+            post_ready: Vec::new(),
+        }
+    }
+
+    struct Setup {
+        machine: Machine,
+        cfg: EngineConfig,
+    }
+
+    fn setup(cores: usize) -> Setup {
+        let mut machine = Machine::new(MachineConfig {
+            cores,
+            ..MachineConfig::default()
+        });
+        let device = machine.add_device("emmc", DeviceProfile::tv_emmc());
+        let cfg = EngineConfig {
+            mode: EngineMode::InOrder,
+            load: LoadModel {
+                io_bytes: 64 * 1024,
+                pattern: AccessPattern::Random,
+                cpu: SimDuration::from_millis(5),
+            },
+            costs: ManagerCosts::default(),
+            device,
+        };
+        Setup { machine, cfg }
+    }
+
+    /// Units: a ← b ← c chain plus an independent d; completion = c.
+    fn chain_units() -> Vec<Unit> {
+        vec![
+            Unit::new(UnitName::new("boot.target"))
+                .requires("c.service")
+                .requires("d.service"),
+            svc("a.service").with_type(ServiceType::Forking),
+            svc("b.service").needs("a.service").with_type(ServiceType::Forking),
+            svc("c.service").needs("b.service").with_type(ServiceType::Forking),
+            svc("d.service").with_type(ServiceType::Forking),
+        ]
+    }
+
+    fn workloads(ms: u64) -> WorkloadMap {
+        ["a", "b", "c", "d"]
+            .iter()
+            .map(|n| (format!("bin:{n}.service"), body_ms(ms)))
+            .collect()
+    }
+
+    fn plan<'g>(graph: &'g UnitGraph, completion: &[&str]) -> BootPlan<'g> {
+        // `a` is not pulled by the target in chain_units; pull everything
+        // required transitively through c.
+        let transaction = Transaction::build(graph, "boot.target").unwrap();
+        BootPlan {
+            graph,
+            transaction,
+            completion: completion.iter().map(|c| UnitName::new(*c)).collect(),
+            overrides: PlanOverrides::default(),
+            init_tasks: Vec::new(),
+            service_phase_tasks: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn in_order_respects_dependencies() {
+        let graph = UnitGraph::build(chain_units()).unwrap();
+        let mut s = setup(4);
+        let p = plan(&graph, &["c.service"]);
+        let record = run_boot(&mut s.machine, &p, &workloads(10), &s.cfg);
+        let a = record.service("a.service").ready.unwrap();
+        let b = record.service("b.service").ready.unwrap();
+        let c = record.service("c.service").ready.unwrap();
+        assert!(a < b && b < c, "chain order violated: {a} {b} {c}");
+        assert!(record.completion_time.unwrap() >= c);
+        assert!(record.outcome.failed.is_empty());
+    }
+
+    #[test]
+    fn independent_services_run_in_parallel() {
+        let graph = UnitGraph::build(chain_units()).unwrap();
+        let mut s = setup(4);
+        let p = plan(&graph, &["c.service"]);
+        let record = run_boot(&mut s.machine, &p, &workloads(10), &s.cfg);
+        // d has no deps: its ready time should be near a's, far before c.
+        let a = record.service("a.service").ready.unwrap();
+        let d = record.service("d.service").ready.unwrap();
+        let c = record.service("c.service").ready.unwrap();
+        assert!(d.as_millis() <= a.as_millis() + 15);
+        assert!(d < c);
+    }
+
+    #[test]
+    fn serial_engine_is_slower_than_in_order() {
+        let graph = UnitGraph::build(chain_units()).unwrap();
+        let mut s1 = setup(4);
+        let p1 = plan(&graph, &["c.service"]);
+        let inorder = run_boot(&mut s1.machine, &p1, &workloads(10), &s1.cfg);
+
+        let mut s2 = setup(4);
+        let mut cfg = s2.cfg;
+        cfg.mode = EngineMode::Serial;
+        let p2 = plan(&graph, &["c.service"]);
+        let serial = run_boot(&mut s2.machine, &p2, &workloads(10), &cfg);
+        assert!(serial.boot_time() > inorder.boot_time());
+        assert!(serial.outcome.failed.is_empty());
+    }
+
+    #[test]
+    fn out_of_order_with_asserts_fails_dependents() {
+        let graph = UnitGraph::build(chain_units()).unwrap();
+        let mut s = setup(4);
+        let mut cfg = s.cfg;
+        cfg.mode = EngineMode::OutOfOrder {
+            path_check: false,
+            assert_deps: true,
+        };
+        let p = plan(&graph, &["c.service"]);
+        let record = run_boot(&mut s.machine, &p, &workloads(10), &cfg);
+        // b and c start immediately, find their prerequisites missing,
+        // and crash; the boot never completes.
+        assert!(!record.failed_services().is_empty());
+        assert!(record.completion_time.is_none());
+    }
+
+    #[test]
+    fn out_of_order_with_path_check_completes_but_burns_cpu() {
+        let graph = UnitGraph::build(chain_units()).unwrap();
+        let mut s = setup(4);
+        let mut cfg = s.cfg;
+        cfg.mode = EngineMode::OutOfOrder {
+            path_check: true,
+            assert_deps: false,
+        };
+        let p = plan(&graph, &["c.service"]);
+        let record = run_boot(&mut s.machine, &p, &workloads(10), &cfg);
+        assert!(record.completion_time.is_some());
+        assert!(record.outcome.failed.is_empty());
+        // Polling quantizes readiness to the 50 ms retry interval: the
+        // chain completes later than the dependency-gated engine would.
+        let mut s2 = setup(4);
+        let p2 = plan(&graph, &["c.service"]);
+        let inorder = run_boot(&mut s2.machine, &p2, &workloads(10), &s2.cfg);
+        assert!(record.boot_time() > inorder.boot_time());
+    }
+
+    #[test]
+    fn deferred_services_wait_for_completion() {
+        let graph = UnitGraph::build(chain_units()).unwrap();
+        let mut s = setup(4);
+        let mut p = plan(&graph, &["c.service"]);
+        let d = graph.idx_of("d.service");
+        p.overrides.defer.insert(d);
+        let record = run_boot(&mut s.machine, &p, &workloads(10), &s.cfg);
+        let completion = record.completion_time.unwrap();
+        let d_ready = record.service("d.service").ready.unwrap();
+        assert!(d_ready > completion);
+    }
+
+    #[test]
+    fn isolation_drops_foreign_before_edges() {
+        // Foreign units declare Before=var.mount (the §4.2 abuse): the
+        // isolated group ignores them.
+        let mut units = vec![
+            Unit::new(UnitName::new("boot.target"))
+                .requires("dbus.service")
+                .requires("slow1.service")
+                .requires("slow2.service"),
+            svc("var.mount").with_type(ServiceType::Oneshot),
+            svc("dbus.service").needs("var.mount").with_type(ServiceType::Forking),
+        ];
+        for i in 1..=2 {
+            units.push(
+                svc(&format!("slow{i}.service"))
+                    .before("var.mount")
+                    .with_type(ServiceType::Forking),
+            );
+        }
+        let graph = UnitGraph::build(units).unwrap();
+        let mut wl = WorkloadMap::new();
+        wl.insert("bin:var.mount".into(), body_ms(5));
+        wl.insert("bin:dbus.service".into(), body_ms(10));
+        wl.insert("bin:slow1.service".into(), body_ms(100));
+        wl.insert("bin:slow2.service".into(), body_ms(100));
+
+        // Conventional: dbus waits for var.mount which waits for slows.
+        let mut s1 = setup(2);
+        let p1 = plan(&graph, &["dbus.service"]);
+        let conv = run_boot(&mut s1.machine, &p1, &wl, &s1.cfg);
+
+        // Isolated: var.mount + dbus in the BB group.
+        let mut s2 = setup(2);
+        let mut p2 = plan(&graph, &["dbus.service"]);
+        p2.overrides.isolate =
+            [graph.idx_of("var.mount"), graph.idx_of("dbus.service")].into();
+        p2.overrides.dispatch_first =
+            vec![graph.idx_of("var.mount"), graph.idx_of("dbus.service")];
+        for &j in &p2.overrides.isolate.clone() {
+            p2.overrides.nice.insert(j, -15);
+        }
+        let boosted = run_boot(&mut s2.machine, &p2, &wl, &s2.cfg);
+
+        let conv_dbus = conv.service("dbus.service").ready.unwrap();
+        let boosted_dbus = boosted.service("dbus.service").ready.unwrap();
+        assert!(
+            boosted_dbus.as_millis() * 2 < conv_dbus.as_millis(),
+            "isolation did not advance dbus: {boosted_dbus} vs {conv_dbus}"
+        );
+    }
+
+    #[test]
+    fn init_tasks_delay_or_defer() {
+        let graph = UnitGraph::build(chain_units()).unwrap();
+        let tasks = |deferred: bool| {
+            vec![
+                ManagerTask::new("enable-logging", SimDuration::from_millis(28)),
+                if deferred {
+                    ManagerTask::new("setup-hostname", SimDuration::from_millis(13)).deferred()
+                } else {
+                    ManagerTask::new("setup-hostname", SimDuration::from_millis(13))
+                },
+            ]
+        };
+        let mut s1 = setup(4);
+        let mut p1 = plan(&graph, &["c.service"]);
+        p1.init_tasks = tasks(false);
+        let conv = run_boot(&mut s1.machine, &p1, &workloads(5), &s1.cfg);
+        assert_eq!(
+            conv.init_done.since(conv.userspace_start).as_millis(),
+            41
+        );
+
+        let mut s2 = setup(4);
+        let mut p2 = plan(&graph, &["c.service"]);
+        p2.init_tasks = tasks(true);
+        let boosted = run_boot(&mut s2.machine, &p2, &workloads(5), &s2.cfg);
+        assert_eq!(
+            boosted.init_done.since(boosted.userspace_start).as_millis(),
+            28
+        );
+        assert!(boosted.boot_time() < conv.boot_time());
+    }
+
+    #[test]
+    fn condition_path_skips_body_but_marks_ready() {
+        let mut unit = svc("cond.service").with_type(ServiceType::Oneshot);
+        unit.condition_path_exists = Some("/nonexistent".into());
+        let units = vec![
+            Unit::new(UnitName::new("boot.target")).requires("cond.service"),
+            unit,
+        ];
+        let graph = UnitGraph::build(units).unwrap();
+        let mut s = setup(2);
+        let mut wl = WorkloadMap::new();
+        wl.insert("bin:cond.service".into(), body_ms(500));
+        let p = plan(&graph, &["cond.service"]);
+        let record = run_boot(&mut s.machine, &p, &wl, &s.cfg);
+        // Ready despite the skipped 500 ms body: completion well under it.
+        let ready = record.service("cond.service").ready.unwrap();
+        assert!(ready.since(record.load_done).as_millis() < 50);
+    }
+
+    #[test]
+    fn priority_override_wins_cpu_contention() {
+        // One core, two independent services; the prioritized one
+        // finishes first even though dispatched second.
+        let units = vec![
+            Unit::new(UnitName::new("boot.target"))
+                .requires("hi.service")
+                .requires("lo.service"),
+            svc("hi.service").with_type(ServiceType::Oneshot),
+            svc("lo.service").with_type(ServiceType::Oneshot),
+        ];
+        let graph = UnitGraph::build(units).unwrap();
+        let mut s = setup(1);
+        let mut wl = WorkloadMap::new();
+        wl.insert("bin:hi.service".into(), body_ms(20));
+        wl.insert("bin:lo.service".into(), body_ms(20));
+        let mut p = plan(&graph, &["hi.service", "lo.service"]);
+        p.overrides.nice.insert(graph.idx_of("hi.service"), -15);
+        let record = run_boot(&mut s.machine, &p, &wl, &s.cfg);
+        let hi = record.service("hi.service").ready.unwrap();
+        let lo = record.service("lo.service").ready.unwrap();
+        assert!(hi < lo, "priority override ineffective: {hi} vs {lo}");
+    }
+
+    #[test]
+    fn boot_record_phases_are_ordered() {
+        let graph = UnitGraph::build(chain_units()).unwrap();
+        let mut s = setup(4);
+        let mut p = plan(&graph, &["c.service"]);
+        p.init_tasks = vec![ManagerTask::new("x", SimDuration::from_millis(5))];
+        let record = run_boot(&mut s.machine, &p, &workloads(5), &s.cfg);
+        assert!(record.userspace_start <= record.init_done);
+        assert!(record.init_done <= record.load_done);
+        assert!(record.load_done <= record.completion_time.unwrap());
+    }
+}

@@ -1,0 +1,479 @@
+//! Unit-file parser: systemd's INI dialect.
+//!
+//! Supports the subset the paper's systems use: `[Section]` headers,
+//! `Key=Value` assignments, `#`/`;` comments, trailing-backslash line
+//! continuations, space-separated multi-value dependency lists that
+//! *accumulate* across repeated assignments, and the systemd quirk that
+//! an empty assignment (`After=`) resets the accumulated list.
+//!
+//! This parser is the component the Pre-parser bypasses: at boot,
+//! conventional systemd reads and parses every unit file as text; BB
+//! loads a pre-parsed binary cache instead (§3.3). The Criterion bench
+//! `preparser` measures the real difference on this very code.
+
+use std::fmt;
+
+use crate::unit::{IoSchedulingClass, ServiceType, Unit, UnitName};
+
+/// A parse failure with its location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number in the input.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+}
+
+/// Parse failure categories.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Text before any `[Section]` header.
+    DirectiveOutsideSection,
+    /// Malformed `[Section` header.
+    UnterminatedSection,
+    /// A line without `=` inside a section.
+    MissingEquals,
+    /// A dependency list entry that is not a valid unit name.
+    BadUnitName(String),
+    /// An unparsable directive value.
+    BadValue {
+        /// The directive.
+        key: String,
+        /// The offending value.
+        value: String,
+    },
+    /// Unit file given a name without a recognized suffix.
+    BadFileName(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            ParseErrorKind::DirectiveOutsideSection => {
+                write!(f, "directive outside any [Section]")
+            }
+            ParseErrorKind::UnterminatedSection => write!(f, "unterminated section header"),
+            ParseErrorKind::MissingEquals => write!(f, "expected Key=Value"),
+            ParseErrorKind::BadUnitName(n) => write!(f, "invalid unit name {n:?}"),
+            ParseErrorKind::BadValue { key, value } => {
+                write!(f, "invalid value {value:?} for {key}")
+            }
+            ParseErrorKind::BadFileName(n) => write!(f, "invalid unit file name {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Result of a parse: the unit plus non-fatal warnings (unknown keys,
+/// which systemd logs and ignores).
+#[derive(Debug, Clone)]
+pub struct Parsed {
+    /// The parsed unit.
+    pub unit: Unit,
+    /// Unknown directives encountered, as `(line, key)`.
+    pub warnings: Vec<(usize, String)>,
+}
+
+/// Parses one unit file. `file_name` must carry a unit suffix
+/// (`dbus.service`); it becomes the unit's name.
+///
+/// # Examples
+///
+/// ```
+/// use bb_init::parse_unit;
+///
+/// let parsed = parse_unit(
+///     "myapp.service",
+///     "[Unit]\nBefore=socket.service\n[Service]\nType=oneshot\n",
+/// )
+/// .unwrap();
+/// assert_eq!(parsed.unit.before[0].as_str(), "socket.service");
+/// ```
+pub fn parse_unit(file_name: &str, text: &str) -> Result<Parsed, ParseError> {
+    let name = UnitName::parse(file_name).map_err(|_| ParseError {
+        line: 0,
+        kind: ParseErrorKind::BadFileName(file_name.to_owned()),
+    })?;
+    let mut unit = Unit::new(name);
+    let mut warnings = Vec::new();
+    let mut section: Option<String> = None;
+
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let line_no = idx + 1;
+        let mut line = raw.trim().to_owned();
+        // Trailing backslash joins with following lines.
+        while line.ends_with('\\') {
+            line.pop();
+            match lines.next() {
+                Some((_, next)) => {
+                    line.push(' ');
+                    line.push_str(next.trim());
+                }
+                None => break,
+            }
+        }
+        if line.is_empty() || line.starts_with('#') || line.starts_with(';') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let Some(name) = rest.strip_suffix(']') else {
+                return Err(ParseError {
+                    line: line_no,
+                    kind: ParseErrorKind::UnterminatedSection,
+                });
+            };
+            section = Some(name.to_owned());
+            continue;
+        }
+        let Some(current) = section.as_deref() else {
+            return Err(ParseError {
+                line: line_no,
+                kind: ParseErrorKind::DirectiveOutsideSection,
+            });
+        };
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(ParseError {
+                line: line_no,
+                kind: ParseErrorKind::MissingEquals,
+            });
+        };
+        let key = key.trim();
+        let value = value.trim();
+        apply_directive(&mut unit, current, key, value, line_no, &mut warnings)?;
+    }
+    Ok(Parsed { unit, warnings })
+}
+
+fn parse_name_list(
+    value: &str,
+    line: usize,
+    into: &mut Vec<UnitName>,
+) -> Result<(), ParseError> {
+    if value.is_empty() {
+        // systemd: an empty assignment resets the accumulated list.
+        into.clear();
+        return Ok(());
+    }
+    for token in value.split_whitespace() {
+        let name = UnitName::parse(token).map_err(|_| ParseError {
+            line,
+            kind: ParseErrorKind::BadUnitName(token.to_owned()),
+        })?;
+        into.push(name);
+    }
+    Ok(())
+}
+
+fn parse_bool(key: &str, value: &str, line: usize) -> Result<bool, ParseError> {
+    match value {
+        "yes" | "true" | "on" | "1" => Ok(true),
+        "no" | "false" | "off" | "0" => Ok(false),
+        _ => Err(ParseError {
+            line,
+            kind: ParseErrorKind::BadValue {
+                key: key.to_owned(),
+                value: value.to_owned(),
+            },
+        }),
+    }
+}
+
+fn bad_value(key: &str, value: &str, line: usize) -> ParseError {
+    ParseError {
+        line,
+        kind: ParseErrorKind::BadValue {
+            key: key.to_owned(),
+            value: value.to_owned(),
+        },
+    }
+}
+
+fn apply_directive(
+    unit: &mut Unit,
+    section: &str,
+    key: &str,
+    value: &str,
+    line: usize,
+    warnings: &mut Vec<(usize, String)>,
+) -> Result<(), ParseError> {
+    match (section, key) {
+        ("Unit", "Description") => unit.description = value.to_owned(),
+        ("Unit", "Documentation") => unit.documentation.push(value.to_owned()),
+        ("Unit", "After") => parse_name_list(value, line, &mut unit.after)?,
+        ("Unit", "Before") => parse_name_list(value, line, &mut unit.before)?,
+        ("Unit", "Requires") => parse_name_list(value, line, &mut unit.requires)?,
+        ("Unit", "Wants") => parse_name_list(value, line, &mut unit.wants)?,
+        ("Unit", "Conflicts") => parse_name_list(value, line, &mut unit.conflicts)?,
+        ("Unit", "ConditionPathExists") => {
+            unit.condition_path_exists = if value.is_empty() {
+                None
+            } else {
+                Some(value.to_owned())
+            };
+        }
+        ("Unit", "DefaultDependencies") => {
+            unit.default_dependencies = parse_bool(key, value, line)?;
+        }
+        ("Service" | "Mount" | "Socket", "Type") => {
+            unit.exec.service_type =
+                ServiceType::parse(value).ok_or_else(|| bad_value(key, value, line))?;
+        }
+        ("Service" | "Mount" | "Socket", "ExecStart" | "ExecMount" | "ListenStream") => {
+            unit.exec.exec_start = Some(value.to_owned());
+        }
+        ("Service" | "Mount" | "Socket", "Nice") => {
+            let nice: i8 = value.parse().map_err(|_| bad_value(key, value, line))?;
+            if !(-20..=19).contains(&nice) {
+                return Err(bad_value(key, value, line));
+            }
+            unit.exec.nice = nice;
+        }
+        ("Service" | "Mount" | "Socket", "IOSchedulingClass") => {
+            unit.exec.io_class =
+                IoSchedulingClass::parse(value).ok_or_else(|| bad_value(key, value, line))?;
+        }
+        ("Service" | "Mount" | "Socket", "TimeoutStartSec") => {
+            unit.exec.timeout_ms = parse_timeout_ms(value).ok_or_else(|| bad_value(key, value, line))?;
+        }
+        ("Install", "WantedBy") => parse_name_list(value, line, &mut unit.wanted_by)?,
+        ("Install", "RequiredBy") => parse_name_list(value, line, &mut unit.required_by)?,
+        _ => warnings.push((line, format!("{section}::{key}"))),
+    }
+    Ok(())
+}
+
+/// Parses `TimeoutStartSec=` values: bare seconds, `<n>ms`, or `<n>s`.
+fn parse_timeout_ms(value: &str) -> Option<u64> {
+    if let Some(ms) = value.strip_suffix("ms") {
+        return ms.parse().ok();
+    }
+    if let Some(s) = value.strip_suffix('s') {
+        return s.parse::<u64>().ok().map(|v| v * 1000);
+    }
+    value.parse::<u64>().ok().map(|v| v * 1000)
+}
+
+/// Loads and parses every unit file in a directory on disk. File names
+/// must carry unit suffixes (`.service`, `.mount`, …); other files are
+/// skipped. Files are processed in name order for determinism.
+///
+/// # Errors
+///
+/// I/O failures and parse failures are both reported; parse failures
+/// carry the offending file name.
+pub fn parse_unit_dir(dir: &std::path::Path) -> Result<Vec<Unit>, UnitDirError> {
+    let mut files: Vec<(String, std::path::PathBuf)> = std::fs::read_dir(dir)
+        .map_err(UnitDirError::Io)?
+        .filter_map(|entry| {
+            let entry = entry.ok()?;
+            let path = entry.path();
+            let name = path.file_name()?.to_str()?.to_owned();
+            (path.is_file() && UnitName::parse(&name).is_ok()).then_some((name, path))
+        })
+        .collect();
+    files.sort();
+    files
+        .into_iter()
+        .map(|(name, path)| {
+            let text = std::fs::read_to_string(&path).map_err(UnitDirError::Io)?;
+            parse_unit(&name, &text)
+                .map(|p| p.unit)
+                .map_err(|e| UnitDirError::Parse(name, e))
+        })
+        .collect()
+}
+
+/// Failure loading a unit directory.
+#[derive(Debug)]
+pub enum UnitDirError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// A unit file failed to parse.
+    Parse(String, ParseError),
+}
+
+impl fmt::Display for UnitDirError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnitDirError::Io(e) => write!(f, "unit directory I/O error: {e}"),
+            UnitDirError::Parse(name, e) => write!(f, "{name}: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for UnitDirError {}
+
+/// Parses a whole directory of unit files given as `(name, text)` pairs.
+/// Returns units in input order; fails on the first error, tagged with
+/// the file name.
+pub fn parse_unit_set<'a>(
+    files: impl IntoIterator<Item = (&'a str, &'a str)>,
+) -> Result<Vec<Unit>, (String, ParseError)> {
+    files
+        .into_iter()
+        .map(|(name, text)| {
+            parse_unit(name, text)
+                .map(|p| p.unit)
+                .map_err(|e| (name.to_owned(), e))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LISTING1: &str = "\
+[Unit]
+Description=Summarized explanation of Myapp.service
+Before=socket.service
+
+[Service]
+Type=oneshot
+ExecStart=/usr/bin/myapp-service-daemon
+
+[Install]
+WantedBy=multi-user.target
+";
+
+    #[test]
+    fn parses_paper_listing1() {
+        let p = parse_unit("myapp.service", LISTING1).unwrap();
+        assert_eq!(p.unit.description, "Summarized explanation of Myapp.service");
+        assert_eq!(p.unit.before, vec![UnitName::new("socket.service")]);
+        assert_eq!(p.unit.exec.service_type, ServiceType::Oneshot);
+        assert_eq!(
+            p.unit.exec.exec_start.as_deref(),
+            Some("/usr/bin/myapp-service-daemon")
+        );
+        assert_eq!(p.unit.wanted_by, vec![UnitName::new("multi-user.target")]);
+        assert!(p.warnings.is_empty());
+    }
+
+    #[test]
+    fn multi_value_lists_accumulate() {
+        let text = "[Unit]\nAfter=a.service b.service\nAfter=c.service\n";
+        let p = parse_unit("x.service", text).unwrap();
+        assert_eq!(p.unit.after.len(), 3);
+    }
+
+    #[test]
+    fn empty_assignment_resets_list() {
+        let text = "[Unit]\nAfter=a.service b.service\nAfter=\nAfter=c.service\n";
+        let p = parse_unit("x.service", text).unwrap();
+        assert_eq!(p.unit.after, vec![UnitName::new("c.service")]);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# header\n; alt comment\n\n[Unit]\n# inner\nDescription=d\n";
+        let p = parse_unit("x.service", text).unwrap();
+        assert_eq!(p.unit.description, "d");
+    }
+
+    #[test]
+    fn line_continuation_joins() {
+        let text = "[Unit]\nAfter=a.service \\\n  b.service\n";
+        let p = parse_unit("x.service", text).unwrap();
+        assert_eq!(p.unit.after.len(), 2);
+    }
+
+    #[test]
+    fn unknown_keys_warn_not_fail() {
+        let text = "[Unit]\nFancyNewDirective=zap\n[Service]\nRestart=always\n";
+        let p = parse_unit("x.service", text).unwrap();
+        assert_eq!(p.warnings.len(), 2);
+        assert_eq!(p.warnings[0].1, "Unit::FancyNewDirective");
+    }
+
+    #[test]
+    fn directive_outside_section_fails() {
+        let err = parse_unit("x.service", "Description=d\n").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::DirectiveOutsideSection);
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn missing_equals_fails_with_line() {
+        let err = parse_unit("x.service", "[Unit]\nDescription\n").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::MissingEquals);
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn unterminated_section_fails() {
+        let err = parse_unit("x.service", "[Unit\n").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::UnterminatedSection);
+    }
+
+    #[test]
+    fn bad_dependency_name_fails() {
+        let err = parse_unit("x.service", "[Unit]\nAfter=not-a-unit\n").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::BadUnitName(_)));
+    }
+
+    #[test]
+    fn bad_file_name_fails() {
+        let err = parse_unit("x.banana", "[Unit]\n").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::BadFileName(_)));
+    }
+
+    #[test]
+    fn nice_and_io_class_parse() {
+        let text = "[Service]\nNice=-15\nIOSchedulingClass=idle\nTimeoutStartSec=5s\n";
+        let p = parse_unit("x.service", text).unwrap();
+        assert_eq!(p.unit.exec.nice, -15);
+        assert_eq!(p.unit.exec.io_class, IoSchedulingClass::Idle);
+        assert_eq!(p.unit.exec.timeout_ms, 5000);
+    }
+
+    #[test]
+    fn out_of_range_nice_fails() {
+        let err = parse_unit("x.service", "[Service]\nNice=42\n").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::BadValue { .. }));
+    }
+
+    #[test]
+    fn timeout_formats() {
+        assert_eq!(parse_timeout_ms("250ms"), Some(250));
+        assert_eq!(parse_timeout_ms("5s"), Some(5000));
+        assert_eq!(parse_timeout_ms("7"), Some(7000));
+        assert_eq!(parse_timeout_ms("x"), None);
+    }
+
+    #[test]
+    fn default_dependencies_boolean() {
+        let p = parse_unit("x.service", "[Unit]\nDefaultDependencies=no\n").unwrap();
+        assert!(!p.unit.default_dependencies);
+        let err = parse_unit("x.service", "[Unit]\nDefaultDependencies=maybe\n").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::BadValue { .. }));
+    }
+
+    #[test]
+    fn roundtrip_render_then_parse() {
+        let u = Unit::new(UnitName::new("dbus.service"))
+            .with_description("D-Bus IPC")
+            .needs("var.mount")
+            .before("fasttv.service")
+            .wants("log.service")
+            .with_type(ServiceType::Notify)
+            .with_exec("dbus-daemon")
+            .wanted_by("multi-user.target");
+        let text = u.to_unit_file();
+        let p = parse_unit("dbus.service", &text).unwrap();
+        assert_eq!(p.unit, u);
+    }
+
+    #[test]
+    fn parse_set_reports_failing_file() {
+        let files = vec![
+            ("a.service", "[Unit]\nDescription=ok\n"),
+            ("b.service", "Description=broken\n"),
+        ];
+        let err = parse_unit_set(files).unwrap_err();
+        assert_eq!(err.0, "b.service");
+    }
+}

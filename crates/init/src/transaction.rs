@@ -1,0 +1,328 @@
+//! Boot transactions: from a target to an executable job set.
+//!
+//! Mirrors systemd's transaction machinery: starting from a target, the
+//! requirement closure (`Requires=`, `Wants=`, and the `[Install]`
+//! reverses) determines *what* to start; ordering edges determine *when*.
+//! Conflicting jobs fail the transaction; ordering cycles are broken by
+//! dropping weakly-pulled jobs (systemd deletes non-indispensable jobs
+//! from cycles), and remain fatal when every cycle member is required.
+
+use std::collections::BTreeSet;
+
+use crate::algo::tarjan_scc;
+use crate::graph::{EdgeKind, UnitGraph};
+use crate::unit::UnitName;
+
+/// A buildable start-up plan.
+///
+/// # Examples
+///
+/// ```
+/// use bb_init::{Transaction, Unit, UnitGraph, UnitName};
+///
+/// let graph = UnitGraph::build(vec![
+///     Unit::new(UnitName::new("boot.target")).requires("app.service"),
+///     Unit::new(UnitName::new("app.service")).needs("db.service"),
+///     Unit::new(UnitName::new("db.service")),
+///     Unit::new(UnitName::new("unrelated.service")),
+/// ])
+/// .unwrap();
+/// let tx = Transaction::build(&graph, "boot.target").unwrap();
+/// assert_eq!(tx.jobs.len(), 3); // target + app + db; unrelated stays out
+/// let order = tx.execution_order(&graph);
+/// assert_eq!(graph.unit(order[1]).name.as_str(), "db.service");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Transaction {
+    /// The target everything was expanded from.
+    pub target: usize,
+    /// Unit indices to start.
+    pub jobs: BTreeSet<usize>,
+    /// Weakly-pulled jobs dropped to break ordering cycles.
+    pub dropped_jobs: Vec<usize>,
+}
+
+/// Why a transaction could not be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransactionError {
+    /// The requested target is not defined.
+    UnknownTarget(UnitName),
+    /// Two queued jobs conflict (`Conflicts=`).
+    ConflictingJobs(UnitName, UnitName),
+    /// An ordering cycle among required jobs that cannot be broken.
+    OrderingCycle(Vec<UnitName>),
+}
+
+impl std::fmt::Display for TransactionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransactionError::UnknownTarget(t) => write!(f, "unknown target {t}"),
+            TransactionError::ConflictingJobs(a, b) => {
+                write!(f, "transaction contains conflicting jobs: {a} vs {b}")
+            }
+            TransactionError::OrderingCycle(units) => {
+                write!(f, "ordering cycle among required jobs:")?;
+                for u in units {
+                    write!(f, " {u}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransactionError {}
+
+impl Transaction {
+    /// Builds the transaction for `target_name` over `graph`.
+    pub fn build(graph: &UnitGraph, target_name: &str) -> Result<Self, TransactionError> {
+        let target_name = UnitName::new(target_name);
+        let target = graph
+            .idx(&target_name)
+            .ok_or(TransactionError::UnknownTarget(target_name))?;
+
+        let mut jobs = graph.requirement_closure([target], true);
+        let required = graph.requirement_closure([target], false);
+
+        // Conflicts between queued jobs are fatal.
+        for e in graph.edges() {
+            if e.kind == EdgeKind::Conflict && jobs.contains(&e.src) && jobs.contains(&e.dst) {
+                return Err(TransactionError::ConflictingJobs(
+                    graph.unit(e.src).name.clone(),
+                    graph.unit(e.dst).name.clone(),
+                ));
+            }
+        }
+
+        // Break ordering cycles by dropping weakly-pulled members.
+        let mut dropped_jobs = Vec::new();
+        loop {
+            let cycles = job_cycles(graph, &jobs);
+            if cycles.is_empty() {
+                break;
+            }
+            let mut progressed = false;
+            for cycle in &cycles {
+                // Prefer the newest (highest-index) weakly-pulled member:
+                // the most recently added unit is the likeliest culprit.
+                if let Some(&victim) = cycle.iter().rev().find(|m| !required.contains(m)) {
+                    jobs.remove(&victim);
+                    dropped_jobs.push(victim);
+                    progressed = true;
+                    break; // Re-evaluate cycles after each drop.
+                }
+            }
+            if !progressed {
+                let members = cycles[0]
+                    .iter()
+                    .map(|&i| graph.unit(i).name.clone())
+                    .collect();
+                return Err(TransactionError::OrderingCycle(members));
+            }
+        }
+
+        Ok(Transaction {
+            target,
+            jobs,
+            dropped_jobs,
+        })
+    }
+
+    /// The jobs in a deterministic dependency-respecting order (Kahn over
+    /// ordering edges restricted to the job set, name-tie-broken). The
+    /// transaction is cycle-free by construction.
+    pub fn execution_order(&self, graph: &UnitGraph) -> Vec<usize> {
+        let jobs = &self.jobs;
+        let mut indeg: std::collections::HashMap<usize, usize> =
+            jobs.iter().map(|&j| (j, 0)).collect();
+        for e in graph.edges() {
+            if e.kind == EdgeKind::Ordering && jobs.contains(&e.src) && jobs.contains(&e.dst) {
+                *indeg.get_mut(&e.dst).expect("dst in jobs") += 1;
+            }
+        }
+        let mut frontier: std::collections::BTreeMap<&UnitName, usize> = indeg
+            .iter()
+            .filter(|&(_, &d)| d == 0)
+            .map(|(&j, _)| (&graph.unit(j).name, j))
+            .collect();
+        let mut out = Vec::with_capacity(jobs.len());
+        while let Some((_, j)) = frontier.pop_first() {
+            out.push(j);
+            for e in graph.edges() {
+                if e.kind == EdgeKind::Ordering && e.src == j && jobs.contains(&e.dst) {
+                    let d = indeg.get_mut(&e.dst).expect("dst in jobs");
+                    *d -= 1;
+                    if *d == 0 {
+                        frontier.insert(&graph.unit(e.dst).name, e.dst);
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(out.len(), jobs.len(), "transaction was not acyclic");
+        out
+    }
+
+    /// Ordering predecessors of `job` that are themselves in the job set.
+    pub fn active_preds(&self, graph: &UnitGraph, job: usize) -> Vec<usize> {
+        graph
+            .ordering_preds(job)
+            .into_iter()
+            .filter(|p| self.jobs.contains(p))
+            .collect()
+    }
+}
+
+/// Cycles (SCCs of size > 1 or self-loops) of the ordering graph induced
+/// on `jobs`.
+fn job_cycles(graph: &UnitGraph, jobs: &BTreeSet<usize>) -> Vec<Vec<usize>> {
+    // Compact the job set for the SCC run.
+    let idx_list: Vec<usize> = jobs.iter().copied().collect();
+    let pos: std::collections::HashMap<usize, usize> =
+        idx_list.iter().enumerate().map(|(p, &j)| (j, p)).collect();
+    let succ = |p: usize| -> Vec<usize> {
+        let j = idx_list[p];
+        graph
+            .edges()
+            .iter()
+            .filter(|e| e.kind == EdgeKind::Ordering && e.src == j)
+            .filter_map(|e| pos.get(&e.dst).copied())
+            .collect()
+    };
+    let self_loops: BTreeSet<usize> = graph
+        .edges()
+        .iter()
+        .filter(|e| e.kind == EdgeKind::Ordering && e.src == e.dst && jobs.contains(&e.src))
+        .map(|e| e.src)
+        .collect();
+    tarjan_scc(idx_list.len(), succ)
+        .into_iter()
+        .map(|comp| comp.into_iter().map(|p| idx_list[p]).collect::<Vec<_>>())
+        .filter(|comp: &Vec<usize>| comp.len() > 1 || comp.iter().any(|v| self_loops.contains(v)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unit::Unit;
+
+    fn svc(name: &str) -> Unit {
+        Unit::new(UnitName::new(name))
+    }
+
+    fn graph(units: Vec<Unit>) -> UnitGraph {
+        UnitGraph::build(units).unwrap()
+    }
+
+    fn boot_target() -> Unit {
+        svc("multi-user.target")
+    }
+
+    #[test]
+    fn expands_wants_and_requires() {
+        let g = graph(vec![
+            boot_target(),
+            svc("a.service").wanted_by("multi-user.target"),
+            svc("b.service").requires("c.service").wanted_by("multi-user.target"),
+            svc("c.service"),
+            svc("unrelated.service"),
+        ]);
+        let t = Transaction::build(&g, "multi-user.target").unwrap();
+        assert_eq!(t.jobs.len(), 4); // target + a + b + c
+        assert!(!t.jobs.contains(&g.idx_of("unrelated.service")));
+    }
+
+    #[test]
+    fn unknown_target_errors() {
+        let g = graph(vec![svc("a.service")]);
+        assert!(matches!(
+            Transaction::build(&g, "nope.target"),
+            Err(TransactionError::UnknownTarget(_))
+        ));
+    }
+
+    #[test]
+    fn conflicting_jobs_fail() {
+        let mut a = svc("a.service").wanted_by("multi-user.target");
+        a.conflicts.push(UnitName::new("b.service"));
+        let g = graph(vec![
+            boot_target(),
+            a,
+            svc("b.service").wanted_by("multi-user.target"),
+        ]);
+        assert!(matches!(
+            Transaction::build(&g, "multi-user.target"),
+            Err(TransactionError::ConflictingJobs(..))
+        ));
+    }
+
+    #[test]
+    fn weak_cycle_member_is_dropped() {
+        // a (required) and w (wanted) form an ordering cycle; w drops.
+        let g = graph(vec![
+            boot_target(),
+            svc("a.service")
+                .after("w.service")
+                .wanted_by("multi-user.target")
+                .requires("keep.service"),
+            svc("keep.service"),
+            svc("w.service").after("a.service").wanted_by("multi-user.target"),
+        ]);
+        // Make `a` required: pull it strongly from the target.
+        let mut units: Vec<Unit> = g.units().to_vec();
+        units[0] = units[0].clone().requires("a.service");
+        let g = graph(units);
+        let t = Transaction::build(&g, "multi-user.target").unwrap();
+        assert_eq!(t.dropped_jobs, vec![g.idx_of("w.service")]);
+        assert!(!t.jobs.contains(&g.idx_of("w.service")));
+        assert!(t.jobs.contains(&g.idx_of("a.service")));
+    }
+
+    #[test]
+    fn required_cycle_is_fatal() {
+        let g = graph(vec![
+            boot_target().requires("a.service"),
+            svc("a.service").needs("b.service"),
+            svc("b.service").after("a.service"),
+        ]);
+        // b is strongly required by a (needs = Requires+After) and also
+        // ordered after a: a hard cycle.
+        match Transaction::build(&g, "multi-user.target") {
+            Err(TransactionError::OrderingCycle(members)) => {
+                assert_eq!(members.len(), 2);
+            }
+            other => panic!("expected ordering cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn execution_order_respects_job_subgraph() {
+        let g = graph(vec![
+            boot_target(),
+            svc("c.service").after("b.service").wanted_by("multi-user.target"),
+            svc("b.service").after("a.service").wanted_by("multi-user.target"),
+            svc("a.service").wanted_by("multi-user.target"),
+        ]);
+        let t = Transaction::build(&g, "multi-user.target").unwrap();
+        let order = t.execution_order(&g);
+        let names: Vec<&str> = order.iter().map(|&i| g.unit(i).name.as_str()).collect();
+        let pa = names.iter().position(|n| *n == "a.service").unwrap();
+        let pb = names.iter().position(|n| *n == "b.service").unwrap();
+        let pc = names.iter().position(|n| *n == "c.service").unwrap();
+        assert!(pa < pb && pb < pc);
+        assert_eq!(order.len(), t.jobs.len());
+    }
+
+    #[test]
+    fn active_preds_ignores_outside_jobs() {
+        let g = graph(vec![
+            boot_target(),
+            svc("a.service").wanted_by("multi-user.target"),
+            // outside.service orders itself before a but is not pulled in.
+            svc("outside.service").before("a.service"),
+        ]);
+        let t = Transaction::build(&g, "multi-user.target").unwrap();
+        let preds = t.active_preds(&g, g.idx_of("a.service"));
+        assert!(preds.is_empty());
+    }
+}

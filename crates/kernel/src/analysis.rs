@@ -1,0 +1,170 @@
+//! Analytic background models from the paper's §2: snapshot (hibernation)
+//! boot and boot-image compression.
+//!
+//! These reproduce the quantitative arguments the paper uses to justify
+//! cold-boot optimization over the alternatives:
+//!
+//! * §2.1 — restoring a hibernation snapshot reads the used DRAM image
+//!   from flash: a 3 GiB image at the Galaxy S6's ~300 MiB/s UFS takes
+//!   ~10 s, so snapshot booting stops scaling with DRAM size.
+//! * §2.3 — compression only helps while decompression outruns flash:
+//!   the S6 decompresses at ~35 MiB/s (all eight cores) but reads at
+//!   ~300 MiB/s, so compressed images *slow* booting.
+
+use bb_sim::{DeviceProfile, SimDuration, MIB};
+
+/// Snapshot (hibernation) restore model.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotModel {
+    /// DRAM image size to restore, in MiB.
+    pub image_mib: u64,
+    /// Storage the snapshot is read from.
+    pub storage: DeviceProfile,
+    /// Fixed firmware/bootloader overhead before the restore starts.
+    pub fixed_overhead: SimDuration,
+}
+
+impl SnapshotModel {
+    /// Time to restore the snapshot (sequential read + overhead).
+    pub fn restore_time(&self) -> SimDuration {
+        self.fixed_overhead
+            + self
+                .storage
+                .service_time(self.image_mib * MIB, bb_sim::AccessPattern::Sequential)
+    }
+
+    /// Time to *create* the snapshot at shutdown, assuming write
+    /// throughput is `write_fraction` of sequential read throughput.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `write_fraction` is not in (0, 1].
+    pub fn create_time(&self, write_fraction: f64) -> SimDuration {
+        assert!(
+            write_fraction > 0.0 && write_fraction <= 1.0,
+            "write fraction out of range"
+        );
+        let bytes = self.image_mib * MIB;
+        let secs = bytes as f64 / (self.storage.seq_read_bps as f64 * write_fraction);
+        SimDuration::from_secs_f64(secs)
+    }
+}
+
+/// Boot-image compression model (§2.3).
+#[derive(Debug, Clone, Copy)]
+pub struct CompressionModel {
+    /// Uncompressed image size in MiB.
+    pub image_mib: u64,
+    /// Compression ratio (compressed = image / ratio), e.g. 2.0.
+    pub ratio: f64,
+    /// Decompression throughput in MiB/s (output bytes).
+    pub decompress_mibs: u64,
+    /// Storage the image is read from.
+    pub storage: DeviceProfile,
+}
+
+impl CompressionModel {
+    /// Load time *without* compression: plain sequential read.
+    pub fn uncompressed_time(&self) -> SimDuration {
+        self.storage
+            .service_time(self.image_mib * MIB, bb_sim::AccessPattern::Sequential)
+    }
+
+    /// Load time *with* compression: read of the smaller image pipelined
+    /// with decompression — the slower of the two stages dominates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ratio is not > 1.
+    pub fn compressed_time(&self) -> SimDuration {
+        assert!(self.ratio > 1.0, "compression ratio must exceed 1");
+        let compressed_bytes = (self.image_mib as f64 / self.ratio * MIB as f64) as u64;
+        let read = self
+            .storage
+            .service_time(compressed_bytes, bb_sim::AccessPattern::Sequential);
+        let decompress =
+            SimDuration::from_secs_f64(self.image_mib as f64 / self.decompress_mibs as f64);
+        read.max(decompress)
+    }
+
+    /// True if compression speeds up loading on this hardware.
+    pub fn compression_wins(&self) -> bool {
+        self.compressed_time() < self.uncompressed_time()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn galaxy_s6_snapshot_takes_ten_seconds() {
+        // §2.1: 3 GiB at ~300 MiB/s ⇒ ~10 s.
+        let m = SnapshotModel {
+            image_mib: 3 * 1024,
+            storage: DeviceProfile::ufs20(),
+            fixed_overhead: SimDuration::ZERO,
+        };
+        let t = m.restore_time().as_secs_f64();
+        assert!((9.5..11.0).contains(&t), "restore {t} s");
+    }
+
+    #[test]
+    fn small_snapshot_on_camera_is_fast() {
+        // NX300-class: few hundred MiB, ~1 s restore (§2.1).
+        let m = SnapshotModel {
+            image_mib: 256,
+            storage: DeviceProfile::tv_emmc(),
+            fixed_overhead: SimDuration::from_millis(300),
+        };
+        let t = m.restore_time().as_secs_f64();
+        assert!((1.0..3.5).contains(&t), "restore {t} s");
+    }
+
+    #[test]
+    fn snapshot_create_slower_than_restore() {
+        let m = SnapshotModel {
+            image_mib: 1024,
+            storage: DeviceProfile::tv_emmc(),
+            fixed_overhead: SimDuration::ZERO,
+        };
+        assert!(m.create_time(0.5) > m.restore_time());
+    }
+
+    #[test]
+    fn compression_loses_on_modern_flash() {
+        // §2.3: S6 decompresses at 35 MiB/s vs 300 MiB/s flash.
+        let m = CompressionModel {
+            image_mib: 100,
+            ratio: 2.0,
+            decompress_mibs: 35,
+            storage: DeviceProfile::ufs20(),
+        };
+        assert!(!m.compression_wins());
+    }
+
+    #[test]
+    fn compression_wins_on_slow_flash() {
+        // Historic case: slow NOR/NAND (say 10 MiB/s) with fast-enough
+        // decompression made compression worthwhile.
+        let m = CompressionModel {
+            image_mib: 100,
+            ratio: 2.0,
+            decompress_mibs: 80,
+            storage: DeviceProfile::from_mibs(10, 5, SimDuration::ZERO),
+        };
+        assert!(m.compression_wins());
+    }
+
+    #[test]
+    #[should_panic(expected = "compression ratio")]
+    fn bad_ratio_panics() {
+        CompressionModel {
+            image_mib: 1,
+            ratio: 0.5,
+            decompress_mibs: 10,
+            storage: DeviceProfile::tv_emmc(),
+        }
+        .compressed_time();
+    }
+}

@@ -1,0 +1,26 @@
+//! # bb-kernel — simulated Linux kernel boot
+//!
+//! The kernel-side substrate of the Booting Booster reproduction:
+//! a cost-model of the serial kernel boot (bootloader, image load,
+//! memory initialization, leveled initcalls, rootfs mount) executed on a
+//! [`bb_sim::Machine`], plus catalogs of loadable kernel components and
+//! the analytic background models of the paper's §2.
+//!
+//! The Core Engine knobs of the paper map onto [`boot::KernelPlan`]
+//! fields: `defer_memory` (partial memory init), `defer_initcalls`
+//! (On-demand Modularizer), and `defer_journal` (read-only rootfs mount
+//! with a post-boot journal remount).
+
+pub mod analysis;
+pub mod boot;
+pub mod initcall;
+pub mod memory;
+pub mod modules;
+pub mod suspend;
+
+pub use analysis::{CompressionModel, SnapshotModel};
+pub use boot::{execute_kernel_boot, KernelPhase, KernelPlan, KernelReport, RootfsPlan};
+pub use initcall::{Criticality, Initcall, InitcallLevel, InitcallRegistry};
+pub use memory::MemoryPlan;
+pub use suspend::{StandbyPolicy, SuspendToRam};
+pub use modules::{synthetic_catalog, KernelModule, ModuleCatalog, ModuleLoadCosts};

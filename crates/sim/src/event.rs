@@ -1,0 +1,157 @@
+//! Deterministic event queue.
+//!
+//! A min-heap keyed on `(time, sequence)`. The sequence number is a
+//! monotone counter assigned at push time, so events scheduled for the
+//! same instant fire in submission order — this makes whole-simulation
+//! runs bit-for-bit reproducible, which the test suite relies on.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::ids::{CoreId, DeviceId, Pid};
+use crate::time::SimTime;
+
+/// What happens when an event fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// The current compute slice of `pid` on `core` finished.
+    SliceDone {
+        /// Process whose slice ended.
+        pid: Pid,
+        /// Core it ran on.
+        core: CoreId,
+    },
+    /// A non-preemptible RCU read-side hold by `pid` on `core` ended.
+    ReadHoldDone {
+        /// Process holding the read lock.
+        pid: Pid,
+        /// Core it ran on.
+        core: CoreId,
+    },
+    /// The in-flight request of `device` completed.
+    IoDone {
+        /// Device whose head request finished.
+        device: DeviceId,
+    },
+    /// The in-flight RCU grace period ended.
+    RcuGraceDone,
+    /// A sleeping process wakes.
+    WakeUp {
+        /// Process to wake.
+        pid: Pid,
+    },
+    /// An externally scheduled process becomes ready (deferred spawns).
+    ExternalSpawn {
+        /// Index into the machine's pending-spawn table.
+        spawn_slot: u32,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct QueuedEvent {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The simulator's future-event list.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<QueuedEvent>>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` to fire at `time`.
+    pub fn push(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(QueuedEvent { time, seq, kind }));
+    }
+
+    /// Removes and returns the earliest event, or `None` when drained.
+    pub fn pop(&mut self) -> Option<(SimTime, EventKind)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.kind))
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(30), EventKind::RcuGraceDone);
+        q.push(
+            SimTime::from_nanos(10),
+            EventKind::WakeUp { pid: Pid::from_raw(1) },
+        );
+        q.push(
+            SimTime::from_nanos(20),
+            EventKind::IoDone { device: DeviceId::from_raw(0) },
+        );
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(t, _)| t.as_nanos())
+            .collect();
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_by_submission_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        for i in 0..4 {
+            q.push(t, EventKind::WakeUp { pid: Pid::from_raw(i) });
+        }
+        let pids: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|(_, k)| match k {
+                EventKind::WakeUp { pid } => pid.as_raw(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(pids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_nanos(9), EventKind::RcuGraceDone);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(9)));
+    }
+}

@@ -1,0 +1,82 @@
+//! Identifier newtypes for simulator entities.
+//!
+//! Each entity class (process, core, device, flag) gets its own index
+//! newtype so the type system prevents cross-class mixups in the
+//! scheduler and event queue.
+
+use core::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            pub const fn from_raw(raw: u32) -> Self {
+                $name(raw)
+            }
+
+            /// The raw index backing this id.
+            pub const fn as_raw(self) -> u32 {
+                self.0
+            }
+
+            /// The raw index as `usize`, for table lookups.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a simulated process.
+    Pid,
+    "pid"
+);
+id_type!(
+    /// Identifies a CPU core of the simulated machine.
+    CoreId,
+    "cpu"
+);
+id_type!(
+    /// Identifies a storage device of the simulated machine.
+    DeviceId,
+    "dev"
+);
+id_type!(
+    /// Identifies a named synchronization flag (a one-shot event that
+    /// processes may wait on, like a condition that is signalled once).
+    FlagId,
+    "flag"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_display() {
+        let p = Pid::from_raw(7);
+        assert_eq!(p.as_raw(), 7);
+        assert_eq!(p.index(), 7);
+        assert_eq!(p.to_string(), "pid7");
+        assert_eq!(CoreId::from_raw(1).to_string(), "cpu1");
+        assert_eq!(DeviceId::from_raw(0).to_string(), "dev0");
+        assert_eq!(FlagId::from_raw(3).to_string(), "flag3");
+    }
+
+    #[test]
+    fn ordering_follows_raw_index() {
+        assert!(Pid::from_raw(1) < Pid::from_raw(2));
+        assert_eq!(Pid::from_raw(5), Pid::from_raw(5));
+    }
+}

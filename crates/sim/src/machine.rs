@@ -1,0 +1,1177 @@
+//! The simulated machine: cores, scheduler, devices, flags, RCU, and the
+//! discrete-event run loop.
+//!
+//! # Execution model
+//!
+//! Processes are op lists ([`crate::process::Op`]). Ops that need a CPU
+//! core (`Compute`, `RcuReadHold`, `RcuSync`, `PollFlag` checks) are
+//! dispatched by a global priority scheduler (lowest nice first, FIFO
+//! within a level, quantum-sliced preemption for `Compute`). Ops that
+//! wait (`IoRead`, `Sleep`, `WaitFlag`, boosted `RcuSync`) park the
+//! process off-CPU. Zero-cost ops (`SetFlag`, `Spawn`, `AssertFlag`,
+//! `Yield`) are folded at advance time.
+//!
+//! The two RCU waiter modes differ exactly as in the paper: a classic
+//! (Algorithm 1) waiter *keeps its core busy* from dispatch until its
+//! grace period ends; a boosted (Algorithm 2) waiter releases the core
+//! and pays a context-switch cost when woken.
+//!
+//! Determinism: event ties break by scheduling order, the ready queue by
+//! (nice, arrival sequence); two runs of the same scenario produce
+//! identical traces.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::event::{EventKind, EventQueue};
+use crate::ids::{CoreId, DeviceId, FlagId, Pid};
+use crate::io::{Device, DeviceProfile, IoRequest};
+use crate::process::{BlockReason, Op, ProcState, Process, ProcessSpec};
+use crate::rcu::{RcuEngine, RcuMode, RcuParams, RcuStats};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{CoreSpan, Trace, TraceKind};
+
+/// Static machine parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MachineConfig {
+    /// Number of CPU cores.
+    pub cores: usize,
+    /// Core speed as a multiple of the reference CPU (1.0 = reference;
+    /// `Compute` durations are divided by this).
+    pub core_speed: f64,
+    /// Scheduler timeslice for `Compute` ops.
+    pub quantum: SimDuration,
+    /// RCU engine cost parameters.
+    pub rcu_params: RcuParams,
+    /// Initial RCU waiter mode.
+    pub rcu_mode: RcuMode,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            cores: 4,
+            core_speed: 1.0,
+            quantum: SimDuration::from_millis(1),
+            rcu_params: RcuParams::default(),
+            rcu_mode: RcuMode::ClassicSpin,
+        }
+    }
+}
+
+/// Scheduler/substrate counters, for reports and regression tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Times a process was placed on a core.
+    pub dispatches: u64,
+    /// Quantum-boundary preemptions (compute requeued unfinished).
+    pub preemptions: u64,
+    /// Storage requests submitted.
+    pub io_requests: u64,
+    /// Processes woken by flag sets.
+    pub flag_wakeups: u64,
+}
+
+/// Why `run` returned.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Simulated time when the run went quiescent.
+    pub end_time: SimTime,
+    /// Processes still blocked (e.g. waiting on a flag nobody sets).
+    pub blocked: Vec<Pid>,
+    /// Processes that aborted on a failed `AssertFlag`.
+    pub failed: Vec<Pid>,
+}
+
+#[derive(Debug, Default)]
+struct FlagState {
+    name: String,
+    set_at: Option<SimTime>,
+    waiters: Vec<Pid>,
+}
+
+/// Where a core-occupying span started, per running process.
+#[derive(Debug, Clone, Copy)]
+struct Running {
+    core: CoreId,
+    since: SimTime,
+}
+
+/// The simulated machine.
+#[derive(Debug)]
+pub struct Machine {
+    cfg: MachineConfig,
+    now: SimTime,
+    events: EventQueue,
+    procs: Vec<Process>,
+    /// `Some(pid)` per busy core.
+    cores: Vec<Option<Pid>>,
+    /// Dispatch bookkeeping for busy processes.
+    running: HashMap<Pid, Running>,
+    ready: BinaryHeap<Reverse<(i8, u64, u32)>>,
+    ready_seq: u64,
+    devices: Vec<Device>,
+    flags: Vec<FlagState>,
+    flag_index: HashMap<String, FlagId>,
+    rcu: RcuEngine,
+    trace: Trace,
+    pending_spawns: Vec<Option<ProcessSpec>>,
+    work: Vec<Pid>,
+    failed: Vec<Pid>,
+    sched_stats: SchedStats,
+}
+
+impl Machine {
+    /// Creates an idle machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (no cores, zero speed,
+    /// zero quantum).
+    pub fn new(cfg: MachineConfig) -> Self {
+        assert!(cfg.cores > 0, "machine needs at least one core");
+        assert!(
+            cfg.core_speed.is_finite() && cfg.core_speed > 0.0,
+            "core speed must be positive"
+        );
+        assert!(!cfg.quantum.is_zero(), "quantum must be nonzero");
+        Machine {
+            cores: vec![None; cfg.cores],
+            rcu: RcuEngine::new(cfg.rcu_mode, cfg.rcu_params),
+            cfg,
+            now: SimTime::ZERO,
+            events: EventQueue::new(),
+            procs: Vec::new(),
+            running: HashMap::new(),
+            ready: BinaryHeap::new(),
+            ready_seq: 0,
+            devices: Vec::new(),
+            flags: Vec::new(),
+            flag_index: HashMap::new(),
+            trace: Trace::new(),
+            pending_spawns: Vec::new(),
+            work: Vec::new(),
+            failed: Vec::new(),
+            sched_stats: SchedStats::default(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// The collected trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Disables core-span recording (for very long runs).
+    pub fn disable_span_recording(&mut self) {
+        self.trace.record_spans = false;
+    }
+
+    /// RCU statistics so far.
+    pub fn rcu_stats(&self) -> RcuStats {
+        self.rcu.stats()
+    }
+
+    /// Scheduler counters so far.
+    pub fn sched_stats(&self) -> SchedStats {
+        self.sched_stats
+    }
+
+    /// Switches the RCU waiter mode (the Booster Control knob).
+    pub fn set_rcu_mode(&mut self, mode: RcuMode) {
+        self.rcu.set_mode(mode);
+    }
+
+    /// Current RCU waiter mode.
+    pub fn rcu_mode(&self) -> RcuMode {
+        self.rcu.mode()
+    }
+
+    /// Adds a storage device and returns its id.
+    pub fn add_device(&mut self, name: impl Into<String>, profile: DeviceProfile) -> DeviceId {
+        let id = DeviceId::from_raw(self.devices.len() as u32);
+        self.devices.push(Device::new(id, name, profile));
+        id
+    }
+
+    /// Read-only access to a device (for stats).
+    pub fn device(&self, id: DeviceId) -> &Device {
+        &self.devices[id.index()]
+    }
+
+    /// Returns the flag with the given name, creating it if needed.
+    pub fn flag(&mut self, name: impl Into<String>) -> FlagId {
+        let name = name.into();
+        if let Some(&id) = self.flag_index.get(&name) {
+            return id;
+        }
+        let id = FlagId::from_raw(self.flags.len() as u32);
+        self.flags.push(FlagState {
+            name: name.clone(),
+            set_at: None,
+            waiters: Vec::new(),
+        });
+        self.flag_index.insert(name, id);
+        id
+    }
+
+    /// Name of a flag.
+    pub fn flag_name(&self, id: FlagId) -> &str {
+        &self.flags[id.index()].name
+    }
+
+    /// When the flag was set, if it has been.
+    pub fn flag_set_at(&self, id: FlagId) -> Option<SimTime> {
+        self.flags[id.index()].set_at
+    }
+
+    /// Number of processes created so far.
+    pub fn process_count(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Read-only access to a process (for stats and assertions).
+    pub fn process(&self, pid: Pid) -> &Process {
+        &self.procs[pid.index()]
+    }
+
+    /// All processes, for reports.
+    pub fn processes(&self) -> &[Process] {
+        &self.procs
+    }
+
+    /// Spawns a process, ready at the current time. Returns its pid.
+    pub fn spawn(&mut self, spec: ProcessSpec) -> Pid {
+        let pid = Pid::from_raw(self.procs.len() as u32);
+        self.trace
+            .push(self.now, pid, TraceKind::Spawned { name: spec.name.clone() });
+        self.procs.push(Process::from_spec(pid, spec, self.now));
+        self.work.push(pid);
+        self.drain_work();
+        pid
+    }
+
+    /// Schedules a process to spawn at a future time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn spawn_at(&mut self, at: SimTime, spec: ProcessSpec) {
+        assert!(at >= self.now, "spawn_at in the past");
+        let slot = self.pending_spawns.len() as u32;
+        self.pending_spawns.push(Some(spec));
+        self.events.push(at, EventKind::ExternalSpawn { spawn_slot: slot });
+    }
+
+    /// Sets a flag from outside the simulation (e.g. a kernel phase model
+    /// marking the rootfs mounted before user space starts).
+    pub fn set_flag_external(&mut self, flag: FlagId) {
+        self.do_set_flag(flag, Pid::from_raw(u32::MAX));
+        self.drain_work();
+        self.dispatch();
+    }
+
+    /// Advances simulated time without running anything (used by phase
+    /// models for costs that happen before/outside process execution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if events are pending before the target time; skipping over
+    /// scheduled work would corrupt the timeline.
+    pub fn advance_time(&mut self, d: SimDuration) {
+        let target = self.now + d;
+        if let Some(t) = self.events.peek_time() {
+            assert!(
+                t >= target,
+                "advance_time would skip a pending event at {t}"
+            );
+        }
+        assert!(
+            self.ready.is_empty(),
+            "advance_time with runnable processes pending; run() them first"
+        );
+        self.now = target;
+    }
+
+    /// Runs until no events remain and nothing is ready.
+    pub fn run(&mut self) -> RunOutcome {
+        self.dispatch();
+        while let Some((time, kind)) = self.events.pop() {
+            debug_assert!(time >= self.now, "event queue went backwards");
+            self.now = time;
+            self.handle(kind);
+            self.drain_work();
+            self.dispatch();
+        }
+        let blocked = self
+            .procs
+            .iter()
+            .filter(|p| matches!(p.state, ProcState::Blocked(_)))
+            .map(|p| p.pid)
+            .collect();
+        RunOutcome {
+            end_time: self.now,
+            blocked,
+            failed: self.failed.clone(),
+        }
+    }
+
+    /// Runs until the given time (inclusive of events at it), leaving
+    /// later events pending. Returns the new current time.
+    pub fn run_until(&mut self, until: SimTime) -> SimTime {
+        self.dispatch();
+        while let Some(t) = self.events.peek_time() {
+            if t > until {
+                break;
+            }
+            let (time, kind) = self.events.pop().expect("peeked event exists");
+            self.now = time;
+            self.handle(kind);
+            self.drain_work();
+            self.dispatch();
+        }
+        self.now = self.now.max(until);
+        self.now
+    }
+
+    // ---- internal: event handling -------------------------------------
+
+    fn handle(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::SliceDone { pid, core } => self.on_slice_done(pid, core),
+            EventKind::ReadHoldDone { pid, core } => self.on_read_hold_done(pid, core),
+            EventKind::IoDone { device } => self.on_io_done(device),
+            EventKind::RcuGraceDone => self.on_grace_done(),
+            EventKind::WakeUp { pid } => self.on_wake(pid),
+            EventKind::ExternalSpawn { spawn_slot } => {
+                let spec = self.pending_spawns[spawn_slot as usize]
+                    .take()
+                    .expect("spawn slot fired twice");
+                let pid = Pid::from_raw(self.procs.len() as u32);
+                self.trace
+                    .push(self.now, pid, TraceKind::Spawned { name: spec.name.clone() });
+                self.procs.push(Process::from_spec(pid, spec, self.now));
+                self.work.push(pid);
+            }
+        }
+    }
+
+    fn on_slice_done(&mut self, pid: Pid, core: CoreId) {
+        self.release_core(pid, core);
+        let p = &mut self.procs[pid.index()];
+        if p.compute_left.is_zero() {
+            // Compute op finished (or a PollFlag check completed).
+            match p.ops.front() {
+                Some(Op::Compute(_)) => {
+                    p.ops.pop_front();
+                    self.work.push(pid);
+                }
+                Some(Op::PollFlag { flag, interval, .. }) => {
+                    let (flag, interval) = (*flag, *interval);
+                    if self.flags[flag.index()].set_at.is_some() {
+                        self.procs[pid.index()].ops.pop_front();
+                        self.work.push(pid);
+                    } else {
+                        self.procs[pid.index()].state = ProcState::Blocked(BlockReason::Sleep);
+                        self.events
+                            .push(self.now + interval, EventKind::WakeUp { pid });
+                    }
+                }
+                other => unreachable!("slice done with unexpected front op {other:?}"),
+            }
+        } else {
+            // Preemption point: requeue with remaining work.
+            self.sched_stats.preemptions += 1;
+            self.make_ready(pid);
+        }
+    }
+
+    fn on_read_hold_done(&mut self, pid: Pid, core: CoreId) {
+        self.rcu.reader_exit();
+        self.release_core(pid, core);
+        let p = &mut self.procs[pid.index()];
+        debug_assert!(matches!(p.ops.front(), Some(Op::RcuReadHold(_))));
+        p.ops.pop_front();
+        self.work.push(pid);
+    }
+
+    fn on_io_done(&mut self, device: DeviceId) {
+        let (done, next) = self.devices[device.index()].complete_head(self.now);
+        if let Some(next_done) = next {
+            self.events.push(next_done, EventKind::IoDone { device });
+        }
+        let p = &mut self.procs[done.pid.index()];
+        debug_assert_eq!(p.state, ProcState::Blocked(BlockReason::Io));
+        debug_assert!(matches!(p.ops.front(), Some(Op::IoRead { .. })));
+        p.ops.pop_front();
+        self.work.push(done.pid);
+    }
+
+    fn on_grace_done(&mut self) {
+        let (released, next) = self.rcu.complete_grace_period(self.now);
+        if let Some(next_end) = next {
+            self.events.push(next_end, EventKind::RcuGraceDone);
+        }
+        for waiter in released {
+            let waited = self.now.saturating_since(waiter.submitted_at);
+            self.trace
+                .push(self.now, waiter.pid, TraceKind::RcuSyncDone { waited });
+            match waiter.kind {
+                crate::rcu::WaitKind::Spinning => {
+                    // The waiter burned its core the whole time; charge
+                    // and free it.
+                    let run = self.running[&waiter.pid];
+                    self.procs[waiter.pid.index()].cpu_time +=
+                        self.now.saturating_since(run.since);
+                    self.release_core(waiter.pid, run.core);
+                    self.work.push(waiter.pid);
+                }
+                crate::rcu::WaitKind::SleepingClassic => {
+                    let p = &mut self.procs[waiter.pid.index()];
+                    debug_assert_eq!(p.state, ProcState::Blocked(BlockReason::RcuBlocked));
+                    self.work.push(waiter.pid);
+                }
+                crate::rcu::WaitKind::SleepingBoosted => {
+                    // Wake the sleeper; it pays a context switch on-CPU.
+                    let p = &mut self.procs[waiter.pid.index()];
+                    debug_assert_eq!(p.state, ProcState::Blocked(BlockReason::RcuBlocked));
+                    let ctx = self.rcu.params().ctx_switch_cost;
+                    if !ctx.is_zero() {
+                        p.ops.push_front(Op::Compute(ctx));
+                    }
+                    self.work.push(waiter.pid);
+                }
+            }
+        }
+    }
+
+    fn on_wake(&mut self, pid: Pid) {
+        let p = &mut self.procs[pid.index()];
+        debug_assert_eq!(p.state, ProcState::Blocked(BlockReason::Sleep));
+        match p.ops.front() {
+            Some(Op::Sleep(_)) => {
+                p.ops.pop_front();
+            }
+            // A PollFlag sleeper re-checks on wake (the op stays at front
+            // and is re-dispatched for its next on-CPU check).
+            Some(Op::PollFlag { .. }) => {}
+            other => unreachable!("wake with unexpected front op {other:?}"),
+        }
+        self.work.push(pid);
+    }
+
+    // ---- internal: process advancement ---------------------------------
+
+    fn drain_work(&mut self) {
+        while let Some(pid) = self.work.pop() {
+            self.step_process(pid);
+        }
+    }
+
+    /// Folds zero-cost ops and parks the process in the state its next
+    /// real op requires (ready, blocked, or done).
+    fn step_process(&mut self, pid: Pid) {
+        loop {
+            let front = self.procs[pid.index()].ops.front().cloned();
+            match front {
+                None => {
+                    let p = &mut self.procs[pid.index()];
+                    if p.state != ProcState::Done {
+                        p.state = ProcState::Done;
+                        p.finished_at = Some(self.now);
+                        self.trace.push(self.now, pid, TraceKind::Finished);
+                    }
+                    return;
+                }
+                Some(Op::Compute(d)) => {
+                    let p = &mut self.procs[pid.index()];
+                    if p.compute_left.is_zero() {
+                        p.compute_left = d;
+                    }
+                    self.make_ready(pid);
+                    return;
+                }
+                Some(Op::RcuReadHold(_)) | Some(Op::RcuSync) | Some(Op::PollFlag { .. }) => {
+                    // PollFlag with an already-set flag can skip the check.
+                    if let Some(Op::PollFlag { flag, .. }) = front {
+                        if self.flags[flag.index()].set_at.is_some() {
+                            self.procs[pid.index()].ops.pop_front();
+                            continue;
+                        }
+                    }
+                    self.make_ready(pid);
+                    return;
+                }
+                Some(Op::IoRead { device, bytes, pattern }) => {
+                    let req = IoRequest {
+                        pid,
+                        bytes,
+                        pattern,
+                        priority: self.procs[pid.index()].io_priority,
+                        submitted_at: self.now,
+                    };
+                    self.procs[pid.index()].state = ProcState::Blocked(BlockReason::Io);
+                    self.sched_stats.io_requests += 1;
+                    if let Some(done_at) = self.devices[device.index()].submit(req, self.now) {
+                        self.events.push(done_at, EventKind::IoDone { device });
+                    }
+                    return;
+                }
+                Some(Op::Sleep(d)) => {
+                    self.procs[pid.index()].state = ProcState::Blocked(BlockReason::Sleep);
+                    self.events.push(self.now + d, EventKind::WakeUp { pid });
+                    return;
+                }
+                Some(Op::WaitFlag(flag)) => {
+                    if self.flags[flag.index()].set_at.is_some() {
+                        self.procs[pid.index()].ops.pop_front();
+                        continue;
+                    }
+                    self.procs[pid.index()].state =
+                        ProcState::Blocked(BlockReason::Flag(flag));
+                    self.flags[flag.index()].waiters.push(pid);
+                    return;
+                }
+                Some(Op::AssertFlag(flag)) => {
+                    if self.flags[flag.index()].set_at.is_some() {
+                        self.procs[pid.index()].ops.pop_front();
+                        continue;
+                    }
+                    let p = &mut self.procs[pid.index()];
+                    p.ops.clear();
+                    p.state = ProcState::Done;
+                    p.finished_at = Some(self.now);
+                    self.failed.push(pid);
+                    self.trace.push(self.now, pid, TraceKind::Failed { flag });
+                    return;
+                }
+                Some(Op::CondSkip { flag, skip_ops }) => {
+                    let p = &mut self.procs[pid.index()];
+                    p.ops.pop_front();
+                    if self.flags[flag.index()].set_at.is_none() {
+                        for _ in 0..skip_ops {
+                            if self.procs[pid.index()].ops.pop_front().is_none() {
+                                break;
+                            }
+                        }
+                    }
+                }
+                Some(Op::SetFlag(flag)) => {
+                    self.procs[pid.index()].ops.pop_front();
+                    self.do_set_flag(flag, pid);
+                }
+                Some(Op::Spawn(spec)) => {
+                    self.procs[pid.index()].ops.pop_front();
+                    let child = Pid::from_raw(self.procs.len() as u32);
+                    self.trace
+                        .push(self.now, child, TraceKind::Spawned { name: spec.name.clone() });
+                    self.procs.push(Process::from_spec(child, spec, self.now));
+                    self.work.push(child);
+                }
+                Some(Op::Yield) => {
+                    self.procs[pid.index()].ops.pop_front();
+                    // A bare requeue: if the next op needs a core it will
+                    // naturally arrive behind current ready peers.
+                }
+                Some(Op::SetRcuMode(mode)) => {
+                    self.procs[pid.index()].ops.pop_front();
+                    self.rcu.set_mode(mode);
+                }
+            }
+        }
+    }
+
+    fn do_set_flag(&mut self, flag: FlagId, setter: Pid) {
+        let f = &mut self.flags[flag.index()];
+        if f.set_at.is_some() {
+            return;
+        }
+        f.set_at = Some(self.now);
+        self.trace.push(self.now, setter, TraceKind::FlagSet { flag });
+        for waiter in std::mem::take(&mut f.waiters) {
+            self.sched_stats.flag_wakeups += 1;
+            let p = &mut self.procs[waiter.index()];
+            debug_assert_eq!(p.state, ProcState::Blocked(BlockReason::Flag(flag)));
+            debug_assert!(matches!(p.ops.front(), Some(Op::WaitFlag(_))));
+            p.ops.pop_front();
+            self.work.push(waiter);
+        }
+    }
+
+    fn make_ready(&mut self, pid: Pid) {
+        let seq = self.ready_seq;
+        self.ready_seq += 1;
+        let p = &mut self.procs[pid.index()];
+        p.state = ProcState::Ready;
+        p.ready_seq = seq;
+        self.ready.push(Reverse((p.nice, seq, pid.as_raw())));
+    }
+
+    // ---- internal: dispatching -----------------------------------------
+
+    fn dispatch(&mut self) {
+        loop {
+            let Some(core) = self.cores.iter().position(Option::is_none) else {
+                return;
+            };
+            let Some(Reverse((_, _, raw))) = self.ready.pop() else {
+                return;
+            };
+            let pid = Pid::from_raw(raw);
+            self.start_on_core(pid, CoreId::from_raw(core as u32));
+        }
+    }
+
+    fn start_on_core(&mut self, pid: Pid, core: CoreId) {
+        debug_assert!(self.cores[core.index()].is_none());
+        self.sched_stats.dispatches += 1;
+        self.cores[core.index()] = Some(pid);
+        self.running.insert(pid, Running { core, since: self.now });
+        let speed = self.cfg.core_speed;
+        let p = &mut self.procs[pid.index()];
+        p.state = ProcState::Running;
+        let front = p.ops.front().cloned();
+        if !p.first_dispatched {
+            p.first_dispatched = true;
+            self.trace.push(self.now, pid, TraceKind::FirstRun);
+        }
+        match front {
+            Some(Op::Compute(_)) => {
+                let p = &mut self.procs[pid.index()];
+                let slice = p.compute_left.min(self.cfg.quantum);
+                p.compute_left = p.compute_left - slice;
+                let wall = slice.scale(1.0 / speed);
+                p.cpu_time += wall;
+                self.events
+                    .push(self.now + wall, EventKind::SliceDone { pid, core });
+            }
+            Some(Op::PollFlag { poll_cost, .. }) => {
+                let wall = poll_cost.scale(1.0 / speed).max(SimDuration::from_nanos(1));
+                self.procs[pid.index()].cpu_time += wall;
+                self.events
+                    .push(self.now + wall, EventKind::SliceDone { pid, core });
+            }
+            Some(Op::RcuReadHold(d)) => {
+                self.rcu.reader_enter();
+                let wall = d.scale(1.0 / speed);
+                self.procs[pid.index()].cpu_time += wall;
+                self.events
+                    .push(self.now + wall, EventKind::ReadHoldDone { pid, core });
+            }
+            Some(Op::RcuSync) => {
+                self.procs[pid.index()].ops.pop_front();
+                let overhead = self.rcu.submit_overhead().scale(1.0 / speed);
+                self.procs[pid.index()].cpu_time += overhead;
+                let submit_at = self.now + overhead;
+                // The overhead is tiny; fold it by submitting now but
+                // starting the grace period after the overhead.
+                let (kind, started) = self.rcu.submit(pid, submit_at);
+                if let Some(end) = started {
+                    self.events.push(end, EventKind::RcuGraceDone);
+                }
+                match kind {
+                    crate::rcu::WaitKind::Spinning => {
+                        // Busy-wait: keep the core until the grace period
+                        // releases this waiter (handled in on_grace_done).
+                    }
+                    crate::rcu::WaitKind::SleepingClassic
+                    | crate::rcu::WaitKind::SleepingBoosted => {
+                        self.release_core(pid, core);
+                        self.procs[pid.index()].state =
+                            ProcState::Blocked(BlockReason::RcuBlocked);
+                    }
+                }
+            }
+            other => unreachable!("dispatched process with non-core op {other:?}"),
+        }
+    }
+
+    fn release_core(&mut self, pid: Pid, core: CoreId) {
+        debug_assert_eq!(self.cores[core.index()], Some(pid));
+        self.cores[core.index()] = None;
+        if let Some(run) = self.running.remove(&pid) {
+            if run.since < self.now {
+                self.trace.push_span(CoreSpan {
+                    core,
+                    pid,
+                    start: run.since,
+                    end: self.now,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::OpsBuilder;
+
+    fn machine(cores: usize) -> Machine {
+        Machine::new(MachineConfig {
+            cores,
+            ..MachineConfig::default()
+        })
+    }
+
+    #[test]
+    fn single_compute_process_runs_to_completion() {
+        let mut m = machine(1);
+        let pid = m.spawn(ProcessSpec::new(
+            "worker",
+            OpsBuilder::new().compute_ms(5).build(),
+        ));
+        let out = m.run();
+        assert_eq!(out.end_time.as_millis(), 5);
+        assert!(out.blocked.is_empty());
+        assert_eq!(m.process(pid).state, ProcState::Done);
+        assert_eq!(m.process(pid).cpu_time.as_millis(), 5);
+    }
+
+    #[test]
+    fn two_processes_share_one_core() {
+        let mut m = machine(1);
+        m.spawn(ProcessSpec::new("a", OpsBuilder::new().compute_ms(3).build()));
+        m.spawn(ProcessSpec::new("b", OpsBuilder::new().compute_ms(3).build()));
+        let out = m.run();
+        // Serialized on one core: 6 ms total.
+        assert_eq!(out.end_time.as_millis(), 6);
+    }
+
+    #[test]
+    fn two_processes_run_in_parallel_on_two_cores() {
+        let mut m = machine(2);
+        m.spawn(ProcessSpec::new("a", OpsBuilder::new().compute_ms(3).build()));
+        m.spawn(ProcessSpec::new("b", OpsBuilder::new().compute_ms(3).build()));
+        let out = m.run();
+        assert_eq!(out.end_time.as_millis(), 3);
+    }
+
+    #[test]
+    fn priority_preempts_at_quantum_granularity() {
+        let mut m = machine(1);
+        m.spawn(ProcessSpec::new(
+            "low",
+            OpsBuilder::new().compute_ms(10).build(),
+        ));
+        m.spawn(
+            ProcessSpec::new("high", OpsBuilder::new().compute_ms(2).build()).with_nice(-20),
+        );
+        m.run();
+        let tl = m.trace().process_timeline();
+        let high_done = tl
+            .values()
+            .find(|t| t.name == "high")
+            .and_then(|t| t.finished)
+            .unwrap();
+        // High-priority work finishes long before the 10 ms low job would
+        // allow if it ran to completion first (1 ms head start max).
+        assert!(high_done.as_millis() <= 3, "high finished at {high_done}");
+    }
+
+    #[test]
+    fn core_speed_scales_compute() {
+        let mut m = Machine::new(MachineConfig {
+            cores: 1,
+            core_speed: 2.0,
+            ..MachineConfig::default()
+        });
+        m.spawn(ProcessSpec::new("a", OpsBuilder::new().compute_ms(10).build()));
+        let out = m.run();
+        assert_eq!(out.end_time.as_millis(), 5);
+    }
+
+    #[test]
+    fn io_blocks_and_overlaps_with_compute() {
+        let mut m = machine(1);
+        let dev = m.add_device("emmc", DeviceProfile::from_mibs(1, 1, SimDuration::ZERO));
+        // Reader waits 1 s for I/O while the computer uses the core.
+        m.spawn(ProcessSpec::new(
+            "reader",
+            OpsBuilder::new().read_seq(dev, crate::io::MIB).build(),
+        ));
+        m.spawn(ProcessSpec::new(
+            "computer",
+            OpsBuilder::new().compute_ms(800).build(),
+        ));
+        let out = m.run();
+        // Overlap: total is max(1000, 800) = 1000 ms, not 1800.
+        assert_eq!(out.end_time.as_millis(), 1000);
+        assert_eq!(m.device(dev).bytes_read, crate::io::MIB);
+    }
+
+    #[test]
+    fn flags_order_processes() {
+        let mut m = machine(2);
+        let f = m.flag("a-ready");
+        m.spawn(ProcessSpec::new(
+            "b",
+            OpsBuilder::new().wait_flag(f).compute_ms(1).build(),
+        ));
+        m.spawn(ProcessSpec::new(
+            "a",
+            OpsBuilder::new().compute_ms(5).set_flag(f).build(),
+        ));
+        let out = m.run();
+        assert_eq!(out.end_time.as_millis(), 6);
+        assert_eq!(m.flag_set_at(f).unwrap().as_millis(), 5);
+        assert!(out.blocked.is_empty());
+    }
+
+    #[test]
+    fn unset_flag_leaves_waiter_blocked() {
+        let mut m = machine(1);
+        let f = m.flag("never");
+        let pid = m.spawn(ProcessSpec::new(
+            "waiter",
+            OpsBuilder::new().wait_flag(f).build(),
+        ));
+        let out = m.run();
+        assert_eq!(out.blocked, vec![pid]);
+    }
+
+    #[test]
+    fn assert_flag_fails_process() {
+        let mut m = machine(1);
+        let f = m.flag("prereq");
+        let pid = m.spawn(ProcessSpec::new(
+            "fragile",
+            OpsBuilder::new().assert_flag(f).compute_ms(1).build(),
+        ));
+        let out = m.run();
+        assert_eq!(out.failed, vec![pid]);
+        let tl = m.trace().process_timeline();
+        assert!(tl[&pid].failed);
+    }
+
+    #[test]
+    fn assert_flag_passes_when_set() {
+        let mut m = machine(1);
+        let f = m.flag("prereq");
+        m.spawn(ProcessSpec::new("setter", OpsBuilder::new().set_flag(f).build()));
+        m.spawn(ProcessSpec::new(
+            "fragile",
+            OpsBuilder::new().assert_flag(f).compute_ms(1).build(),
+        ));
+        let out = m.run();
+        assert!(out.failed.is_empty());
+    }
+
+    #[test]
+    fn spawn_op_creates_children() {
+        let mut m = machine(2);
+        let child = ProcessSpec::new("child", OpsBuilder::new().compute_ms(2).build());
+        m.spawn(ProcessSpec::new(
+            "parent",
+            OpsBuilder::new().compute_ms(1).spawn(child).compute_ms(1).build(),
+        ));
+        let out = m.run();
+        assert_eq!(m.process_count(), 2);
+        // Child spawns at 1 ms, runs 2 ms in parallel with parent's tail.
+        assert_eq!(out.end_time.as_millis(), 3);
+    }
+
+    #[test]
+    fn sleep_is_off_cpu() {
+        let mut m = machine(1);
+        m.spawn(ProcessSpec::new(
+            "sleeper",
+            OpsBuilder::new()
+                .sleep(SimDuration::from_millis(10))
+                .compute_ms(1)
+                .build(),
+        ));
+        m.spawn(ProcessSpec::new("worker", OpsBuilder::new().compute_ms(8).build()));
+        let out = m.run();
+        // Sleeper wakes at 10 and computes 1 ms; worker overlapped fully.
+        assert_eq!(out.end_time.as_millis(), 11);
+    }
+
+    fn rcu_machine(cores: usize, mode: RcuMode) -> Machine {
+        Machine::new(MachineConfig {
+            cores,
+            rcu_mode: mode,
+            rcu_params: RcuParams {
+                base_grace_period: SimDuration::from_millis(10),
+                per_reader_extension: SimDuration::ZERO,
+                ctx_switch_cost: SimDuration::ZERO,
+                boosted_overhead: SimDuration::ZERO,
+                classic_overhead: SimDuration::ZERO,
+            },
+            ..MachineConfig::default()
+        })
+    }
+
+    #[test]
+    fn classic_rcu_uncontended_sleeps_through_grace_period() {
+        // A single classic caller is at the ticket-lock head immediately:
+        // it sleeps, the worker overlaps.
+        let mut m = rcu_machine(1, RcuMode::ClassicSpin);
+        m.spawn(ProcessSpec::new("syncer", vec![Op::RcuSync]));
+        m.spawn(ProcessSpec::new("worker", OpsBuilder::new().compute_ms(5).build()));
+        let out = m.run();
+        assert_eq!(out.end_time.as_millis(), 10);
+        assert!(m.process(Pid::from_raw(0)).cpu_time.as_millis() < 1);
+    }
+
+    #[test]
+    fn classic_rcu_queued_waiter_burns_the_core() {
+        // Two classic callers: the second spins on the ticket lock for
+        // the first's whole grace period (0..10 ms), starving the worker.
+        let mut m = rcu_machine(1, RcuMode::ClassicSpin);
+        m.spawn(ProcessSpec::new("syncer-a", vec![Op::RcuSync]));
+        m.spawn(ProcessSpec::new("syncer-b", vec![Op::RcuSync]));
+        m.spawn(ProcessSpec::new("worker", OpsBuilder::new().compute_ms(15).build()));
+        let out = m.run();
+        // a parks uncontended (gp 0..10); b finds a pending and spins on
+        // the core for the rest of a's grace period plus its own
+        // (0..20); the worker only then gets the core (20..35).
+        assert_eq!(out.end_time.as_millis(), 35);
+        let spinner = m.process(Pid::from_raw(1));
+        assert_eq!(spinner.cpu_time.as_millis(), 20);
+    }
+
+    #[test]
+    fn boosted_rcu_frees_the_core_while_queued() {
+        let mut m = rcu_machine(1, RcuMode::Boosted);
+        m.spawn(ProcessSpec::new("syncer-a", vec![Op::RcuSync]));
+        m.spawn(ProcessSpec::new("syncer-b", vec![Op::RcuSync]));
+        m.spawn(ProcessSpec::new("worker", OpsBuilder::new().compute_ms(15).build()));
+        let out = m.run();
+        // Worker runs 0..15 in parallel with both sleeping waiters.
+        assert_eq!(out.end_time.as_millis(), 20);
+        assert!(m.process(Pid::from_raw(1)).cpu_time.as_millis() < 1);
+    }
+
+    #[test]
+    fn rcu_readers_extend_grace_periods() {
+        let mut m = Machine::new(MachineConfig {
+            cores: 2,
+            rcu_mode: RcuMode::Boosted,
+            rcu_params: RcuParams {
+                base_grace_period: SimDuration::from_millis(1),
+                per_reader_extension: SimDuration::from_millis(4),
+                ctx_switch_cost: SimDuration::ZERO,
+                boosted_overhead: SimDuration::ZERO,
+                classic_overhead: SimDuration::ZERO,
+            },
+            ..MachineConfig::default()
+        });
+        // Reader holds a read-side section 0..10ms; syncer's grace period
+        // starts inside it and is extended.
+        m.spawn(ProcessSpec::new(
+            "reader",
+            OpsBuilder::new().rcu_read(SimDuration::from_millis(10)).build(),
+        ));
+        m.spawn(ProcessSpec::new("syncer", vec![Op::RcuSync]));
+        let out = m.run();
+        // Grace = 1 + 4*1 = 5 ms.
+        assert_eq!(out.end_time.as_millis(), 10);
+        let sync_done = m
+            .trace()
+            .events()
+            .iter()
+            .find(|e| matches!(e.kind, TraceKind::RcuSyncDone { .. }))
+            .unwrap();
+        assert_eq!(sync_done.time.as_millis(), 5);
+    }
+
+    #[test]
+    fn poll_flag_burns_cpu_until_set() {
+        let mut m = machine(1);
+        let f = m.flag("path-exists");
+        m.spawn(ProcessSpec::new(
+            "poller",
+            OpsBuilder::new()
+                .poll_flag(f, SimDuration::from_millis(10), SimDuration::from_micros(100))
+                .compute_ms(1)
+                .build(),
+        ));
+        m.spawn_at(
+            SimTime::from_nanos(25_000_000),
+            ProcessSpec::new("creator", OpsBuilder::new().set_flag(f).build()),
+        );
+        let out = m.run();
+        assert!(out.blocked.is_empty());
+        // Poller checked at ~0, ~10, ~20, then saw the flag at ~30.
+        let poller = m.process(Pid::from_raw(0));
+        assert!(poller.cpu_time.as_micros() >= 1300, "cpu {}", poller.cpu_time);
+        assert!(out.end_time.as_millis() >= 30);
+    }
+
+    #[test]
+    fn spawn_at_defers_arrival() {
+        let mut m = machine(1);
+        m.spawn_at(
+            SimTime::from_nanos(5_000_000),
+            ProcessSpec::new("late", OpsBuilder::new().compute_ms(1).build()),
+        );
+        let out = m.run();
+        assert_eq!(out.end_time.as_millis(), 6);
+    }
+
+    #[test]
+    fn external_flag_set_wakes_waiters() {
+        let mut m = machine(1);
+        let f = m.flag("kernel-ready");
+        m.spawn(ProcessSpec::new(
+            "init",
+            OpsBuilder::new().wait_flag(f).compute_ms(2).build(),
+        ));
+        m.run(); // goes quiescent, waiter blocked
+        m.set_flag_external(f);
+        let out = m.run();
+        assert_eq!(out.end_time.as_millis(), 2);
+        assert!(out.blocked.is_empty());
+    }
+
+    #[test]
+    fn determinism_same_trace_twice() {
+        let build = || {
+            let mut m = machine(2);
+            let dev = m.add_device("emmc", DeviceProfile::tv_emmc());
+            let f = m.flag("x");
+            for i in 0..10 {
+                m.spawn(ProcessSpec::new(
+                    format!("svc{i}"),
+                    OpsBuilder::new()
+                        .compute_ms(1 + i % 3)
+                        .read_rand(dev, 4096 * (i + 1))
+                        .set_flag(f)
+                        .build(),
+                ));
+            }
+            let out = m.run();
+            (out.end_time, m.trace().events().len())
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn sched_stats_count_activity() {
+        let mut m = machine(1);
+        let dev = m.add_device("emmc", DeviceProfile::tv_emmc());
+        let f = m.flag("gate");
+        m.spawn(ProcessSpec::new(
+            "worker",
+            OpsBuilder::new()
+                .compute_ms(3) // 3 slices on a 1 ms quantum: 2 preemptions
+                .read_rand(dev, 4096)
+                .set_flag(f)
+                .build(),
+        ));
+        m.spawn(ProcessSpec::new(
+            "waiter",
+            OpsBuilder::new().wait_flag(f).compute_ms(1).build(),
+        ));
+        m.run();
+        let s = m.sched_stats();
+        assert!(s.dispatches >= 4, "dispatches {}", s.dispatches);
+        assert_eq!(s.io_requests, 1);
+        assert_eq!(s.flag_wakeups, 1);
+        assert!(s.preemptions >= 2, "preemptions {}", s.preemptions);
+    }
+
+    #[test]
+    fn advance_time_moves_clock() {
+        let mut m = machine(1);
+        m.advance_time(SimDuration::from_millis(100));
+        assert_eq!(m.now().as_millis(), 100);
+        m.spawn(ProcessSpec::new("p", OpsBuilder::new().compute_ms(1).build()));
+        let out = m.run();
+        assert_eq!(out.end_time.as_millis(), 101);
+    }
+
+    #[test]
+    fn run_until_stops_at_boundary() {
+        let mut m = machine(1);
+        m.spawn(ProcessSpec::new("p", OpsBuilder::new().compute_ms(10).build()));
+        let t = m.run_until(SimTime::from_nanos(4_000_000));
+        assert_eq!(t.as_millis(), 4);
+        let out = m.run();
+        assert_eq!(out.end_time.as_millis(), 10);
+    }
+
+    #[test]
+    fn set_rcu_mode_op_switches_waiters() {
+        let mut m = Machine::new(MachineConfig {
+            cores: 1,
+            rcu_mode: RcuMode::Boosted,
+            rcu_params: RcuParams {
+                base_grace_period: SimDuration::from_millis(10),
+                per_reader_extension: SimDuration::ZERO,
+                ctx_switch_cost: SimDuration::ZERO,
+                boosted_overhead: SimDuration::ZERO,
+                classic_overhead: SimDuration::ZERO,
+            },
+            ..MachineConfig::default()
+        });
+        let gate = m.flag("boot-complete");
+        m.spawn(ProcessSpec::new(
+            "booster-control",
+            OpsBuilder::new().wait_flag(gate).build().into_iter()
+                .chain([Op::SetRcuMode(RcuMode::ClassicSpin)])
+                .collect(),
+        ));
+        m.spawn(ProcessSpec::new("early-sync", vec![Op::RcuSync, Op::SetFlag(gate)]));
+        m.spawn(ProcessSpec::new("late-sync", vec![Op::WaitFlag(gate), Op::RcuSync]));
+        m.run();
+        let stats = m.rcu_stats();
+        assert_eq!(stats.boosted_syncs, 1);
+        assert_eq!(stats.classic_syncs, 1);
+        assert_eq!(m.rcu_mode(), RcuMode::ClassicSpin);
+    }
+
+    #[test]
+    fn cond_skip_skips_body_when_flag_unset() {
+        let mut m = machine(1);
+        let cond = m.flag("path-exists");
+        let ready = m.flag("svc-ready");
+        m.spawn(ProcessSpec::new(
+            "conditional",
+            OpsBuilder::new()
+                .cond_skip(cond, 1)
+                .compute_ms(50)
+                .set_flag(ready)
+                .build(),
+        ));
+        let out = m.run();
+        // Body skipped: finishes immediately, ready still set.
+        assert_eq!(out.end_time.as_millis(), 0);
+        assert!(m.flag_set_at(ready).is_some());
+    }
+
+    #[test]
+    fn cond_skip_runs_body_when_flag_set() {
+        let mut m = machine(1);
+        let cond = m.flag("path-exists");
+        m.spawn(ProcessSpec::new("creator", OpsBuilder::new().set_flag(cond).build()));
+        m.spawn(ProcessSpec::new(
+            "conditional",
+            OpsBuilder::new().cond_skip(cond, 1).compute_ms(50).build(),
+        ));
+        let out = m.run();
+        assert_eq!(out.end_time.as_millis(), 50);
+    }
+
+    #[test]
+    fn yield_requeues_behind_peers() {
+        let mut m = machine(1);
+        m.spawn(ProcessSpec::new(
+            "yielder",
+            OpsBuilder::new().compute_ms(1).yield_now().compute_ms(1).build(),
+        ));
+        m.spawn(ProcessSpec::new("other", OpsBuilder::new().compute_ms(1).build()));
+        let out = m.run();
+        assert_eq!(out.end_time.as_millis(), 3);
+    }
+}

@@ -1,0 +1,36 @@
+//! Quickstart: boot a small TV-like device with and without the
+//! Booting Booster and print the comparison.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use booting_booster::bb::{boost, BbConfig, Comparison};
+use booting_booster::workloads::camera_scenario;
+
+fn main() {
+    // The camera scenario is the smallest full scenario: 40 services on
+    // a two-core NX300-class device.
+    let scenario = camera_scenario();
+    println!("scenario: {}\n", scenario.name);
+
+    let conventional =
+        boost(&scenario, &BbConfig::conventional()).expect("scenario is well-formed");
+    let boosted = boost(&scenario, &BbConfig::full()).expect("scenario is well-formed");
+
+    println!(
+        "conventional boot: {:.3} s",
+        conventional.boot_time().as_secs_f64()
+    );
+    println!(
+        "booting booster:   {:.3} s (BB group: {})\n",
+        boosted.boot_time().as_secs_f64(),
+        boosted
+            .bb_group
+            .iter()
+            .map(|n| n.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!("{}", Comparison::build(&conventional, &boosted).to_table());
+}

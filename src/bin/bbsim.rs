@@ -1,0 +1,266 @@
+//! `bbsim` — boot-simulation CLI.
+//!
+//! Boots a scenario under a chosen Booting Booster configuration and
+//! prints the timeline; optionally writes a bootchart SVG and the
+//! dependency graph.
+//!
+//! ```text
+//! bbsim [--scenario tv|tv136|camera] [--units DIR --target T --completion U]
+//!       [--features all|none|LIST] [--services N] [--cores N] [--compare]
+//!       [--chart FILE.svg] [--dot FILE.dot] [--trace FILE.json] [--blame N]
+//! ```
+//!
+//! With `--units DIR`, your own systemd unit files are parsed and booted
+//! with synthesized workload bodies (structure exploration, not absolute
+//! timing); `--target` defaults to `boot.target` and `--completion` to
+//! the target's first strong requirement.
+//!
+//! `LIST` is a comma-separated subset of: rcu-booster, defer-memory,
+//! modularizer, defer-journal, deferred-executor, preparser, bb-group.
+
+use std::process::exit;
+
+use booting_booster::bb::{boost_with_machine, BbConfig, Comparison};
+use booting_booster::init::{blame, parse_unit_dir, time_summary, Bootchart, UnitGraph, UnitName};
+use booting_booster::workloads::{
+    camera_scenario, custom_scenario, profiles, tv_scenario, tv_scenario_open_source,
+    tv_scenario_with, TizenParams,
+};
+
+struct Args {
+    scenario: String,
+    units_dir: Option<String>,
+    target: String,
+    completion: Option<String>,
+    features: String,
+    services: Option<usize>,
+    cores: Option<usize>,
+    compare: bool,
+    chart: Option<String>,
+    dot: Option<String>,
+    trace: Option<String>,
+    blame: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bbsim [--scenario tv|tv136|camera] [--features all|none|LIST]\n\
+         \u{20}            [--services N] [--cores N] [--compare]\n\
+         \u{20}            [--chart FILE.svg] [--dot FILE.dot] [--blame N]\n\
+         LIST: comma-separated of rcu-booster,defer-memory,modularizer,\n\
+         \u{20}     defer-journal,deferred-executor,preparser,bb-group"
+    );
+    exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scenario: "tv".into(),
+        units_dir: None,
+        target: "boot.target".into(),
+        completion: None,
+        features: "all".into(),
+        services: None,
+        cores: None,
+        compare: false,
+        chart: None,
+        dot: None,
+        trace: None,
+        blame: 0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--scenario" => args.scenario = value("--scenario"),
+            "--units" => args.units_dir = Some(value("--units")),
+            "--target" => args.target = value("--target"),
+            "--completion" => args.completion = Some(value("--completion")),
+            "--features" => args.features = value("--features"),
+            "--services" => {
+                args.services = Some(value("--services").parse().unwrap_or_else(|_| usage()))
+            }
+            "--cores" => args.cores = Some(value("--cores").parse().unwrap_or_else(|_| usage())),
+            "--compare" => args.compare = true,
+            "--chart" => args.chart = Some(value("--chart")),
+            "--dot" => args.dot = Some(value("--dot")),
+            "--trace" => args.trace = Some(value("--trace")),
+            "--blame" => args.blame = value("--blame").parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn parse_features(spec: &str) -> BbConfig {
+    match spec {
+        "all" | "full" => return BbConfig::full(),
+        "none" | "conventional" => return BbConfig::conventional(),
+        _ => {}
+    }
+    let mut cfg = BbConfig::conventional();
+    for feature in spec.split(',') {
+        match feature.trim() {
+            "rcu-booster" => cfg.rcu_booster = true,
+            "defer-memory" => cfg.defer_memory = true,
+            "modularizer" => cfg.ondemand_modularizer = true,
+            "defer-journal" => cfg.defer_journal = true,
+            "deferred-executor" => cfg.deferred_executor = true,
+            "preparser" => cfg.preparser = true,
+            "bb-group" => cfg.bb_group = true,
+            other => {
+                eprintln!("unknown feature {other:?}");
+                usage()
+            }
+        }
+    }
+    cfg
+}
+
+fn build_scenario(args: &Args) -> booting_booster::bb::Scenario {
+    if let Some(dir) = &args.units_dir {
+        let units = parse_unit_dir(std::path::Path::new(dir)).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            exit(1);
+        });
+        let graph = UnitGraph::build(units.clone()).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            exit(1);
+        });
+        // Completion: explicit flag, or the target's first strong
+        // requirement.
+        let completion = match &args.completion {
+            Some(c) => UnitName::parse(c).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                exit(1);
+            }),
+            None => {
+                let Some(target_idx) = graph.idx(&UnitName::new(&args.target)) else {
+                    eprintln!("error: target {} not found in the unit directory", args.target);
+                    exit(1);
+                };
+                // Prefer the target's own strong requirement; fall back
+                // to anything it pulls in.
+                let mut edges: Vec<_> = graph.requirement_edges(target_idx).collect();
+                edges.sort_by_key(|e| {
+                    (e.kind != booting_booster::init::EdgeKind::RequiresStrong, e.src)
+                });
+                edges
+                    .first()
+                    .map(|e| graph.unit(e.src).name.clone())
+                    .unwrap_or_else(|| {
+                        eprintln!("error: {} has no requirements; pass --completion", args.target);
+                        exit(1);
+                    })
+            }
+        };
+        let mut profile = profiles::ue48h6200();
+        if let Some(cores) = args.cores {
+            profile.machine.cores = cores;
+        }
+        return custom_scenario(profile, units, &args.target, vec![completion]);
+    }
+    let mut scenario = match args.scenario.as_str() {
+        "tv" => tv_scenario(),
+        "tv136" => tv_scenario_open_source(),
+        "camera" => camera_scenario(),
+        other => {
+            eprintln!("unknown scenario {other:?}");
+            usage()
+        }
+    };
+    if let Some(services) = args.services {
+        if services < 24 {
+            eprintln!("error: --services must be at least 24 (the TV backbone alone needs that)");
+            exit(2);
+        }
+        let mut profile = profiles::ue48h6200();
+        if let Some(cores) = args.cores {
+            profile.machine.cores = cores;
+        }
+        scenario = tv_scenario_with(
+            profile,
+            TizenParams {
+                services,
+                ..TizenParams::default()
+            },
+        );
+    } else if let Some(cores) = args.cores {
+        scenario.machine.cores = cores;
+    }
+    scenario
+}
+
+fn main() {
+    let args = parse_args();
+    let scenario = build_scenario(&args);
+    let cfg = parse_features(&args.features);
+
+    println!(
+        "scenario {} | {} units | {} cores | features: {}/7",
+        scenario.name,
+        scenario.units.len(),
+        scenario.machine.cores,
+        cfg.active_features()
+    );
+
+    let (report, machine) = match boost_with_machine(&scenario, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("boot failed: {e}");
+            exit(1);
+        }
+    };
+    match report.boot.completion_time {
+        Some(t) => println!("boot completed at {:.3} s", t.as_secs_f64()),
+        None => println!("boot did NOT complete (blocked: {})", report.boot.outcome.blocked.len()),
+    }
+    println!("{}", time_summary(&report.boot));
+    println!(
+        "kernel {} | init {} | load {} | quiesce {:.3} s",
+        report.kernel.kernel_total(),
+        report.boot.init_done.since(report.boot.userspace_start),
+        report.boot.load_done.since(report.boot.init_done),
+        report.quiesce_time.as_secs_f64()
+    );
+    if !report.bb_group.is_empty() {
+        let names: Vec<&str> = report.bb_group.iter().map(|n| n.as_str()).collect();
+        println!("BB group: {}", names.join(", "));
+    }
+
+    if args.compare {
+        let (conv, _) = boost_with_machine(&scenario, &BbConfig::conventional())
+            .expect("conventional boots");
+        println!("\n{}", Comparison::build(&conv, &report).to_table());
+    }
+    if args.blame > 0 {
+        println!("\nslowest services by activation time:");
+        for (name, d) in blame(&report.boot).into_iter().take(args.blame) {
+            println!("  {d:>12} {name}");
+        }
+    }
+    if let Some(path) = &args.chart {
+        let chart = Bootchart::build(&report.boot, &machine);
+        std::fs::write(path, chart.to_svg()).expect("write chart");
+        println!("bootchart written to {path}");
+    }
+    if let Some(path) = &args.trace {
+        std::fs::write(path, booting_booster::sim::chrome_trace(&machine)).expect("write trace");
+        println!("chrome trace written to {path} (open in chrome://tracing or Perfetto)");
+    }
+    if let Some(path) = &args.dot {
+        let graph = UnitGraph::build(scenario.units.clone()).expect("valid units");
+        let group = booting_booster::bb::identify_bb_group(&graph, &scenario.completion);
+        std::fs::write(path, graph.to_dot(Some(&group))).expect("write dot");
+        println!("dependency graph written to {path}");
+    }
+}

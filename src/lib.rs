@@ -1,0 +1,39 @@
+//! # booting-booster — reproduction of "BB: Booting Booster for
+//! Consumer Electronics with Modern OS" (EuroSys 2016)
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`sim`] — deterministic discrete-event machine simulator
+//!   (cores, storage, flags, RCU waiter modes).
+//! * [`kernel`] — simulated kernel boot (memory init, initcalls,
+//!   modules, rootfs) plus the §2 background models.
+//! * [`rcu`] — a *real* user-space RCU with the paper's classic
+//!   ticket-spin and boosted blocking `synchronize_rcu` paths.
+//! * [`init`] — a systemd-like init scheme: unit files, dependency
+//!   graph, transactions, three job engines, bootchart rendering.
+//! * [`bb`] — the Booting Booster itself: Core Engine, Boot-up Engine,
+//!   Service Engine, and the [`bb::boost`] facade.
+//! * [`workloads`] — machine profiles, the synthetic Tizen TV service
+//!   graph, and calibrated scenarios.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use booting_booster::bb::{boost, BbConfig};
+//! use booting_booster::workloads::camera_scenario;
+//!
+//! let scenario = camera_scenario();
+//! let conventional = boost(&scenario, &BbConfig::conventional()).unwrap();
+//! let boosted = boost(&scenario, &BbConfig::full()).unwrap();
+//! assert!(boosted.boot_time() < conventional.boot_time());
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the experiment map.
+
+pub use bb_core as bb;
+pub use bb_init as init;
+pub use bb_kernel as kernel;
+pub use bb_rcu as rcu;
+pub use bb_sim as sim;
+pub use bb_workloads as workloads;

@@ -1,0 +1,52 @@
+//! Calibration pins: exact, deterministic headline numbers.
+//!
+//! The simulator is bit-for-bit deterministic, so the headline results
+//! can be pinned exactly. These tests exist to catch *accidental*
+//! calibration drift — if you change a cost model on purpose, update
+//! the pins and the tables in EXPERIMENTS.md together.
+
+use booting_booster::bb::{boost, BbConfig};
+use booting_booster::workloads::tv_scenario;
+
+#[test]
+fn headline_numbers_are_pinned() {
+    let scenario = tv_scenario();
+    let conv = boost(&scenario, &BbConfig::conventional()).expect("valid");
+    let bb = boost(&scenario, &BbConfig::full()).expect("valid");
+
+    let conv_ms = conv.boot_time().as_millis();
+    let bb_ms = bb.boot_time().as_millis();
+    // Paper: 8100 ms -> 3500 ms. Pinned measured values:
+    assert_eq!(conv_ms, 8765, "conventional drifted (update EXPERIMENTS.md)");
+    assert_eq!(bb_ms, 3218, "bb drifted (update EXPERIMENTS.md)");
+}
+
+#[test]
+fn kernel_and_init_phases_are_pinned() {
+    let scenario = tv_scenario();
+    let conv = boost(&scenario, &BbConfig::conventional()).expect("valid");
+    let bb = boost(&scenario, &BbConfig::full()).expect("valid");
+    // Paper: kernel 698 -> 403 ms; init 195 -> 71 ms.
+    assert_eq!(conv.kernel.kernel_total().as_millis(), 696);
+    assert_eq!(bb.kernel.kernel_total().as_millis(), 401);
+    assert_eq!(
+        conv.boot.init_done.since(conv.boot.userspace_start).as_millis(),
+        195
+    );
+    assert_eq!(
+        bb.boot.init_done.since(bb.boot.userspace_start).as_millis(),
+        71
+    );
+}
+
+#[test]
+fn rcu_sync_counts_are_pinned() {
+    let scenario = tv_scenario();
+    let conv = boost(&scenario, &BbConfig::conventional()).expect("valid");
+    let bb = boost(&scenario, &BbConfig::full()).expect("valid");
+    // Same generated workload → identical sync counts in both modes.
+    assert_eq!(conv.rcu.syncs_completed, bb.rcu.syncs_completed);
+    // Batching merges grace periods; both stay well below sync count.
+    assert!(conv.rcu.grace_periods < conv.rcu.syncs_completed);
+    assert!(bb.rcu.grace_periods < bb.rcu.syncs_completed);
+}

@@ -1,0 +1,215 @@
+//! Property-based tests of the simulation substrate: scheduling,
+//! accounting, and causality invariants over random op programs.
+
+use proptest::prelude::*;
+
+use booting_booster::sim::{
+    DeviceProfile, IoPriority, Machine, MachineConfig, Op, ProcessSpec, RcuMode, SimDuration,
+    SimTime, TraceKind,
+};
+
+/// A closed-universe flag space so waits can always be satisfied.
+const FLAGS: usize = 4;
+
+#[derive(Debug, Clone)]
+enum GenOp {
+    Compute(u64),
+    IoRead(u64),
+    Sleep(u64),
+    RcuSync,
+    RcuRead(u64),
+    SetFlag(usize),
+    WaitFlag(usize),
+    Yield,
+}
+
+fn op_strategy() -> impl Strategy<Value = GenOp> {
+    prop_oneof![
+        (1u64..20).prop_map(GenOp::Compute),
+        (512u64..262_144).prop_map(GenOp::IoRead),
+        (1u64..30).prop_map(GenOp::Sleep),
+        Just(GenOp::RcuSync),
+        (1u64..5).prop_map(GenOp::RcuRead),
+        (0usize..FLAGS).prop_map(GenOp::SetFlag),
+        (0usize..FLAGS).prop_map(GenOp::WaitFlag),
+        Just(GenOp::Yield),
+    ]
+}
+
+#[derive(Debug, Clone)]
+struct GenProgram {
+    nice: i8,
+    io_priority: IoPriority,
+    ops: Vec<GenOp>,
+}
+
+fn program_strategy() -> impl Strategy<Value = GenProgram> {
+    (
+        -20i8..=19,
+        prop_oneof![
+            Just(IoPriority::Realtime),
+            Just(IoPriority::BestEffort),
+            Just(IoPriority::Idle)
+        ],
+        prop::collection::vec(op_strategy(), 1..10),
+    )
+        .prop_map(|(nice, io_priority, ops)| GenProgram {
+            nice,
+            io_priority,
+            ops,
+        })
+}
+
+/// Builds a machine where every flag is eventually set (a dedicated
+/// setter process guarantees waits terminate).
+fn build(programs: &[GenProgram], cores: usize, mode: RcuMode) -> Machine {
+    let mut m = Machine::new(MachineConfig {
+        cores,
+        rcu_mode: mode,
+        ..MachineConfig::default()
+    });
+    let dev = m.add_device("emmc", DeviceProfile::tv_emmc());
+    let flags: Vec<_> = (0..FLAGS).map(|i| m.flag(format!("f{i}"))).collect();
+    // Setter guarantees liveness: after 100 ms every flag is set.
+    let mut setter_ops = vec![Op::Sleep(SimDuration::from_millis(100))];
+    setter_ops.extend(flags.iter().map(|&f| Op::SetFlag(f)));
+    m.spawn(ProcessSpec::new("setter", setter_ops));
+    for (i, p) in programs.iter().enumerate() {
+        let ops: Vec<Op> = p
+            .ops
+            .iter()
+            .map(|op| match *op {
+                GenOp::Compute(ms) => Op::Compute(SimDuration::from_millis(ms)),
+                GenOp::IoRead(bytes) => Op::IoRead {
+                    device: dev,
+                    bytes,
+                    pattern: booting_booster::sim::AccessPattern::Random,
+                },
+                GenOp::Sleep(ms) => Op::Sleep(SimDuration::from_millis(ms)),
+                GenOp::RcuSync => Op::RcuSync,
+                GenOp::RcuRead(ms) => Op::RcuReadHold(SimDuration::from_millis(ms)),
+                GenOp::SetFlag(f) => Op::SetFlag(flags[f]),
+                GenOp::WaitFlag(f) => Op::WaitFlag(flags[f]),
+                GenOp::Yield => Op::Yield,
+            })
+            .collect();
+        m.spawn(
+            ProcessSpec::new(format!("p{i}"), ops)
+                .with_nice(p.nice)
+                .with_io_priority(p.io_priority),
+        );
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every process finishes (liveness), the clock never runs
+    /// backwards, and total charged CPU never exceeds cores × wall time
+    /// (conservation).
+    #[test]
+    fn liveness_and_cpu_conservation(
+        programs in prop::collection::vec(program_strategy(), 1..8),
+        cores in 1usize..5,
+        boosted in any::<bool>(),
+    ) {
+        let mode = if boosted { RcuMode::Boosted } else { RcuMode::ClassicSpin };
+        let mut m = build(&programs, cores, mode);
+        let out = m.run();
+        prop_assert!(out.blocked.is_empty(), "deadlocked: {:?}", out.blocked);
+        prop_assert!(out.failed.is_empty());
+        // Clock monotonicity over the trace.
+        let times: Vec<SimTime> = m.trace().events().iter().map(|e| e.time).collect();
+        prop_assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        // CPU conservation.
+        let total_cpu: u64 = m.processes().iter().map(|p| p.cpu_time.as_nanos()).sum();
+        let budget = out.end_time.as_nanos().saturating_mul(cores as u64);
+        prop_assert!(
+            total_cpu <= budget,
+            "cpu {total_cpu} exceeds {cores}-core budget {budget}"
+        );
+    }
+
+    /// Core busy spans never overlap on the same core.
+    #[test]
+    fn core_spans_never_overlap(
+        programs in prop::collection::vec(program_strategy(), 1..6),
+        cores in 1usize..4,
+    ) {
+        let mut m = build(&programs, cores, RcuMode::ClassicSpin);
+        m.run();
+        let mut per_core: std::collections::HashMap<u32, Vec<(u64, u64)>> =
+            std::collections::HashMap::new();
+        for s in m.trace().spans() {
+            per_core
+                .entry(s.core.as_raw())
+                .or_default()
+                .push((s.start.as_nanos(), s.end.as_nanos()));
+        }
+        for (_core, mut spans) in per_core {
+            spans.sort_unstable();
+            for w in spans.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0, "overlap: {:?} then {:?}", w[0], w[1]);
+            }
+        }
+    }
+
+    /// Identical inputs give identical traces (bitwise determinism).
+    #[test]
+    fn determinism(
+        programs in prop::collection::vec(program_strategy(), 1..6),
+        cores in 1usize..4,
+    ) {
+        let run = || {
+            let mut m = build(&programs, cores, RcuMode::Boosted);
+            let out = m.run();
+            let sig: Vec<(u64, u32)> = m
+                .trace()
+                .events()
+                .iter()
+                .map(|e| (e.time.as_nanos(), e.pid.as_raw()))
+                .collect();
+            (out.end_time, sig)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Flag causality: a waiter never proceeds past a wait before the
+    /// flag's recorded set time.
+    #[test]
+    fn flag_causality(
+        programs in prop::collection::vec(program_strategy(), 1..6),
+    ) {
+        let mut m = build(&programs, 2, RcuMode::ClassicSpin);
+        m.run();
+        // Every FlagSet trace time matches flag_set_at, and finished
+        // processes that waited on a flag finished at or after it.
+        for e in m.trace().events() {
+            if let TraceKind::FlagSet { flag } = e.kind {
+                prop_assert_eq!(m.flag_set_at(flag), Some(e.time));
+            }
+        }
+    }
+
+    /// RCU accounting: completed syncs equal submissions, and grace
+    /// periods never exceed syncs (batching only merges).
+    #[test]
+    fn rcu_accounting(
+        programs in prop::collection::vec(program_strategy(), 1..8),
+        boosted in any::<bool>(),
+    ) {
+        let mode = if boosted { RcuMode::Boosted } else { RcuMode::ClassicSpin };
+        let expected_syncs: u64 = programs
+            .iter()
+            .flat_map(|p| &p.ops)
+            .filter(|op| matches!(op, GenOp::RcuSync))
+            .count() as u64;
+        let mut m = build(&programs, 4, mode);
+        m.run();
+        let stats = m.rcu_stats();
+        prop_assert_eq!(stats.syncs_completed, expected_syncs);
+        prop_assert!(stats.grace_periods <= expected_syncs.max(1));
+        prop_assert_eq!(stats.classic_syncs + stats.boosted_syncs, expected_syncs);
+    }
+}
