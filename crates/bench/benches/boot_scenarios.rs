@@ -22,7 +22,11 @@ fn bench_boots(c: &mut Criterion) {
             BbConfig::conventional(),
         ),
         ("tv136-full-bb", tv_scenario_open_source(), BbConfig::full()),
-        ("camera-conventional", camera_scenario(), BbConfig::conventional()),
+        (
+            "camera-conventional",
+            camera_scenario(),
+            BbConfig::conventional(),
+        ),
         ("camera-full-bb", camera_scenario(), BbConfig::full()),
     ];
     for (name, scenario, cfg) in &cases {

@@ -2,7 +2,7 @@
 //! paper's scales (136 → 250 services) and beyond (1000, the "will
 //! surely grow" case of §5).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use bb_core::service_engine::{analyze, identify_bb_group};
@@ -39,7 +39,9 @@ fn bench_graph(c: &mut Criterion) {
         group.bench_function("transaction", |b| {
             b.iter(|| black_box(Transaction::build(&graph, "tv-boot.target").expect("ok")))
         });
-        group.bench_function("service-analyzer", |b| b.iter(|| black_box(analyze(&graph))));
+        group.bench_function("service-analyzer", |b| {
+            b.iter(|| black_box(analyze(&graph)))
+        });
         group.finish();
     }
 }

@@ -27,7 +27,11 @@ fn unit_texts(services: usize) -> Vec<(String, String)> {
 fn parse_all(texts: &[(String, String)]) -> Vec<Unit> {
     texts
         .iter()
-        .map(|(name, text)| parse_unit(name, text).expect("generator output parses").unit)
+        .map(|(name, text)| {
+            parse_unit(name, text)
+                .expect("generator output parses")
+                .unit
+        })
         .collect()
 }
 
@@ -47,12 +51,16 @@ fn bench_parse_vs_cache(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("parse-text", services), &texts, |b, t| {
             b.iter(|| black_box(parse_all(t)))
         });
-        group.bench_with_input(BenchmarkId::new("decode-cache", services), &blob, |b, blob| {
-            b.iter(|| black_box(decode_units(blob).expect("valid cache")))
-        });
-        group.bench_with_input(BenchmarkId::new("encode-cache", services), &units, |b, u| {
-            b.iter(|| black_box(encode_units(u)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("decode-cache", services),
+            &blob,
+            |b, blob| b.iter(|| black_box(decode_units(blob).expect("valid cache"))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("encode-cache", services),
+            &units,
+            |b, u| b.iter(|| black_box(encode_units(u))),
+        );
         group.finish();
     }
 }

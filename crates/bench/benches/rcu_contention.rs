@@ -61,13 +61,9 @@ fn bench_rcu(c: &mut Criterion) {
             ("classic", WaitStrategy::ClassicSpin),
             ("boosted", WaitStrategy::Boosted),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(label, writers),
-                &writers,
-                |b, &writers| {
-                    b.iter(|| contended_syncs(strategy, writers, 50));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, writers), &writers, |b, &writers| {
+                b.iter(|| contended_syncs(strategy, writers, 50));
+            });
         }
     }
     group.finish();

@@ -5,9 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use bb_sim::{
-    DeviceProfile, Machine, MachineConfig, OpsBuilder, ProcessSpec, SimDuration,
-};
+use bb_sim::{DeviceProfile, Machine, MachineConfig, OpsBuilder, ProcessSpec, SimDuration};
 
 /// A machine crunching `procs` compute-heavy processes on 4 cores.
 fn compute_storm(procs: usize) {
@@ -58,9 +56,11 @@ fn bench_sim(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("compute-storm", procs), &procs, |b, &n| {
             b.iter(|| compute_storm(n))
         });
-        group.bench_with_input(BenchmarkId::new("mixed-workload", procs), &procs, |b, &n| {
-            b.iter(|| mixed_workload(n))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("mixed-workload", procs),
+            &procs,
+            |b, &n| b.iter(|| mixed_workload(n)),
+        );
     }
     group.finish();
 }

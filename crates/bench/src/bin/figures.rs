@@ -35,7 +35,11 @@ fn run_fig2() {
     for v in &f.variants {
         let file = format!(
             "fig2-{}.dot",
-            if v.stats.units < 200 { "open-source" } else { "commercial" }
+            if v.stats.units < 200 {
+                "open-source"
+            } else {
+                "commercial"
+            }
         );
         write_artifact(&file, &v.dot);
     }

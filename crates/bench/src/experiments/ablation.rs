@@ -6,10 +6,14 @@
 //! doubled" pressure of §2.5) and with core count (the §1 observation
 //! that more cores alone do not fix booting because dependencies and
 //! synchronization serialize the work).
+//!
+//! Both sweeps are expressed as one bb-fleet grid — one cell per sweep
+//! coordinate, booted conventional-vs-BB on the work-stealing pool —
+//! and read back from the deterministic aggregated report.
 
-use bb_core::{boost, BbConfig};
+use bb_fleet::{run_sweep, CellSpec, PoolConfig, SweepReport, SweepSpec};
 use bb_sim::SimTime;
-use bb_workloads::{profiles, tv_scenario_with, TizenParams};
+use bb_workloads::{profiles, TizenParams};
 
 /// One sweep point.
 #[derive(Debug, Clone)]
@@ -39,7 +43,7 @@ pub struct Ablation {
     pub core_sweep: Vec<Point>,
 }
 
-fn point(label: String, services: usize, cores: usize) -> Point {
+fn cell(label: &str, services: usize, cores: usize) -> CellSpec {
     let mut profile = profiles::ue48h6200();
     profile.machine.cores = cores;
     let params = TizenParams {
@@ -47,31 +51,43 @@ fn point(label: String, services: usize, cores: usize) -> Point {
         false_ordering_edges: 12 + services / 40,
         ..TizenParams::default()
     };
-    let scenario = tv_scenario_with(profile, params);
-    let conventional = boost(&scenario, &BbConfig::conventional())
-        .expect("valid")
-        .boot_time();
-    let bb = boost(&scenario, &BbConfig::full()).expect("valid").boot_time();
+    CellSpec::tizen(label, profile, params).conventional_vs_bb()
+}
+
+fn point(report: &SweepReport, idx: usize) -> Point {
+    let cell = &report.cells[idx];
+    assert_eq!(
+        cell.completed, cell.seeds,
+        "{}: {:?}",
+        cell.label, report.failures
+    );
+    // One seed per cell, so min == the single sample (exact, no float).
     Point {
-        label,
-        conventional,
-        bb,
+        label: cell.label.clone(),
+        conventional: SimTime::from_nanos(cell.configs[0].min_ns),
+        bb: SimTime::from_nanos(cell.configs[1].min_ns),
     }
 }
 
+const SERVICE_SWEEP: [usize; 4] = [64, 136, 250, 400];
+const CORE_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
 /// Runs the experiment.
 pub fn run() -> Ablation {
-    let service_sweep = [64, 136, 250, 400]
-        .into_iter()
-        .map(|n| point(format!("{n} services"), n, 4))
-        .collect();
-    let core_sweep = [1, 2, 4, 8]
-        .into_iter()
-        .map(|c| point(format!("{c} cores"), 250, c))
-        .collect();
+    let mut spec = SweepSpec::new();
+    for n in SERVICE_SWEEP {
+        spec = spec.cell(cell(&format!("{n} services"), n, 4));
+    }
+    for c in CORE_SWEEP {
+        spec = spec.cell(cell(&format!("{c} cores"), 250, c));
+    }
+    let outcome = run_sweep(&spec, &PoolConfig::default());
+    let report = &outcome.report;
     Ablation {
-        service_sweep,
-        core_sweep,
+        service_sweep: (0..SERVICE_SWEEP.len()).map(|i| point(report, i)).collect(),
+        core_sweep: (0..CORE_SWEEP.len())
+            .map(|i| point(report, SERVICE_SWEEP.len() + i))
+            .collect(),
     }
 }
 
@@ -112,7 +128,13 @@ mod tests {
     fn bb_wins_everywhere_and_grows_with_services() {
         let a = run();
         for p in a.service_sweep.iter().chain(&a.core_sweep) {
-            assert!(p.bb < p.conventional, "{}: {} vs {}", p.label, p.bb, p.conventional);
+            assert!(
+                p.bb < p.conventional,
+                "{}: {} vs {}",
+                p.label,
+                p.bb,
+                p.conventional
+            );
         }
         // Conventional boot degrades with service count much faster
         // than BB (whose completion is pinned to the critical chain).
@@ -135,6 +157,10 @@ mod tests {
         // Even at 8 cores the conventional boot does not reach BB at 4
         // cores — parallelism alone does not fix dependencies (§1).
         let bb4 = &a.core_sweep[2];
-        assert!(conv8 > bb4.bb, "8-core conventional {conv8} vs 4-core BB {}", bb4.bb);
+        assert!(
+            conv8 > bb4.bb,
+            "8-core conventional {conv8} vs 4-core BB {}",
+            bb4.bb
+        );
     }
 }

@@ -65,7 +65,10 @@ pub fn run() -> Background {
         })
         .collect();
     let compression = [
-        ("slow NAND 10 MiB/s", DeviceProfile::from_mibs(10, 5, SimDuration::ZERO)),
+        (
+            "slow NAND 10 MiB/s",
+            DeviceProfile::from_mibs(10, 5, SimDuration::ZERO),
+        ),
         ("eMMC 117 MiB/s (TV)", DeviceProfile::tv_emmc()),
         ("UFS2.0 300 MiB/s (S6)", DeviceProfile::ufs20()),
         ("SSD 515 MiB/s", DeviceProfile::consumer_ssd()),
@@ -121,7 +124,11 @@ impl Background {
                 p.storage,
                 p.uncompressed.to_string(),
                 p.compressed.to_string(),
-                if p.wins { "compression wins" } else { "compression LOSES" }
+                if p.wins {
+                    "compression wins"
+                } else {
+                    "compression LOSES"
+                }
             );
         }
         let _ = writeln!(

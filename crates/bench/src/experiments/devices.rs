@@ -6,10 +6,13 @@
 //! workload on each machine profile and shows that the win generalizes
 //! — cold boot improves on every class, with the largest factors where
 //! service counts are highest.
+//!
+//! The device matrix is one bb-fleet grid (one cell per device class)
+//! executed on the work-stealing pool.
 
-use bb_core::{boost, BbConfig, Scenario};
+use bb_fleet::{run_sweep, CellSpec, PoolConfig, SweepSpec};
 use bb_sim::SimTime;
-use bb_workloads::{profiles, tv_scenario_with, TizenParams};
+use bb_workloads::{profiles, TizenParams};
 
 /// One device's result.
 #[derive(Debug)]
@@ -39,18 +42,6 @@ pub struct Devices {
     pub results: Vec<DeviceResult>,
 }
 
-fn scenario_for(profile: profiles::MachineProfile, services: usize, seed: u64) -> Scenario {
-    tv_scenario_with(
-        profile,
-        TizenParams {
-            services,
-            seed,
-            false_ordering_edges: 4 + services / 30,
-            ..TizenParams::default()
-        },
-    )
-}
-
 /// Runs the experiment.
 pub fn run() -> Devices {
     let cases = [
@@ -60,19 +51,38 @@ pub fn run() -> Devices {
         ("NX300 camera", profiles::nx300(), 40, 300),
         ("Gear wearable", profiles::nx300(), 30, 77),
     ];
+    let mut spec = SweepSpec::new();
+    for (device, profile, services, seed) in cases.iter().cloned() {
+        spec = spec.cell(
+            CellSpec::tizen(
+                device,
+                profile,
+                TizenParams {
+                    services,
+                    seed,
+                    false_ordering_edges: 4 + services / 30,
+                    ..TizenParams::default()
+                },
+            )
+            .conventional_vs_bb(),
+        );
+    }
+    let outcome = run_sweep(&spec, &PoolConfig::default());
     let results = cases
-        .into_iter()
-        .map(|(device, profile, services, seed)| {
-            let scenario = scenario_for(profile, services, seed);
-            let conventional = boost(&scenario, &BbConfig::conventional())
-                .expect("valid")
-                .boot_time();
-            let bb = boost(&scenario, &BbConfig::full()).expect("valid").boot_time();
+        .iter()
+        .zip(&outcome.report.cells)
+        .map(|((device, _, services, _), cell)| {
+            assert_eq!(
+                cell.completed, cell.seeds,
+                "{device}: {:?}",
+                outcome.report.failures
+            );
+            // One seed per cell: min == the single sample, exactly.
             DeviceResult {
                 device,
-                services,
-                conventional,
-                bb,
+                services: *services,
+                conventional: SimTime::from_nanos(cell.configs[0].min_ns),
+                bb: SimTime::from_nanos(cell.configs[1].min_ns),
             }
         })
         .collect();
@@ -128,8 +138,16 @@ mod tests {
     #[test]
     fn richer_stacks_gain_more() {
         let d = run();
-        let tv = d.results.iter().find(|r| r.device.contains("UE48")).unwrap();
-        let wearable = d.results.iter().find(|r| r.device.contains("Gear")).unwrap();
+        let tv = d
+            .results
+            .iter()
+            .find(|r| r.device.contains("UE48"))
+            .unwrap();
+        let wearable = d
+            .results
+            .iter()
+            .find(|r| r.device.contains("Gear"))
+            .unwrap();
         assert!(
             tv.reduction_percent() > wearable.reduction_percent(),
             "tv {:.1}% vs wearable {:.1}%",

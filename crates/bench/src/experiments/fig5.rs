@@ -134,10 +134,7 @@ mod tests {
     #[test]
     fn same_sync_count_different_modes() {
         let f = run();
-        assert_eq!(
-            f.classic.rcu.syncs_completed,
-            f.boosted.rcu.syncs_completed
-        );
+        assert_eq!(f.classic.rcu.syncs_completed, f.boosted.rcu.syncs_completed);
         assert!(f.classic.rcu.classic_syncs > 0);
         assert!(f.boosted.rcu.boosted_syncs > 0);
         assert!(f.classic.ascii.contains("cpu"));

@@ -97,7 +97,11 @@ impl Fig6 {
         let _ = writeln!(
             s,
             "\n  paper: 8.1 s -> 3.5 s (-57%); BB group: {:?}",
-            self.bb.bb_group.iter().map(|n| n.as_str()).collect::<Vec<_>>()
+            self.bb
+                .bb_group
+                .iter()
+                .map(|n| n.as_str())
+                .collect::<Vec<_>>()
         );
         let _ = writeln!(s, "\nPer-feature attribution (ablations):");
         let _ = writeln!(

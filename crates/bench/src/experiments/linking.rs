@@ -87,7 +87,10 @@ fn chain_scenario() -> Scenario {
         &mut units,
         Unit::new(UnitName::new("var.mount")).with_type(ServiceType::Oneshot),
         ServiceBody {
-            pre_ready: OpsBuilder::new().read_rand(device, 192 * 1024).compute_ms(5).build(),
+            pre_ready: OpsBuilder::new()
+                .read_rand(device, 192 * 1024)
+                .compute_ms(5)
+                .build(),
             post_ready: Vec::new(),
         },
     );
@@ -161,7 +164,11 @@ fn chain_scenario() -> Scenario {
     }
 }
 
-fn run_strategy(name: &'static str, group_fork_cost: Option<SimDuration>, prefork: bool) -> StrategyResult {
+fn run_strategy(
+    name: &'static str,
+    group_fork_cost: Option<SimDuration>,
+    prefork: bool,
+) -> StrategyResult {
     let mut scenario = chain_scenario();
     if prefork {
         // Zygote setup for each of the 7 group services happens during

@@ -96,7 +96,10 @@ pub fn deferred_overhead() -> DeferredOverhead {
         .map(|(w, wo)| w.saturating_sub(*wo))
         .collect();
     let mean = overheads.iter().copied().sum::<SimDuration>() / n as u64;
-    let max = overheads.iter().copied().fold(SimDuration::ZERO, SimDuration::max);
+    let max = overheads
+        .iter()
+        .copied()
+        .fold(SimDuration::ZERO, SimDuration::max);
     DeferredOverhead {
         launches: n,
         mean_overhead: mean,
@@ -181,10 +184,7 @@ impl Tradeoff {
             "  deferred-task overhead over {} app launches: mean {} max {} steady-state {}",
             d.launches, d.mean_overhead, d.max_overhead, d.steady_state_overhead
         );
-        let _ = writeln!(
-            s,
-            "  (paper: <15 ms average; only the first trigger pays)"
-        );
+        let _ = writeln!(s, "  (paper: <15 ms average; only the first trigger pays)");
         let _ = writeln!(
             s,
             "  RCU waiter cost (20 syncs/writer, 4 cores):\n  {:>8} {:>14} {:>14} {:>13} {:>13}",

@@ -9,10 +9,14 @@
 //! orderings — the instance-to-instance churn of a living platform)
 //! boots with large spread conventionally and almost none under BB,
 //! whose completion is pinned to the stable broadcast chain.
+//!
+//! The seed sweep itself runs on the bb-fleet work-stealing pool: one
+//! cell, one seed per instance, conventional and full-BB configs per
+//! job — the aggregator's per-config statistics are the spread.
 
-use bb_core::{boost, BbConfig};
+use bb_fleet::{run_sweep, CellSpec, ConfigStats, PoolConfig, SweepSpec};
 use bb_sim::SimTime;
-use bb_workloads::{profiles, tv_scenario_with, TizenParams};
+use bb_workloads::{profiles, TizenParams};
 
 /// Spread statistics over the seed sweep.
 #[derive(Debug, Clone, Copy)]
@@ -28,15 +32,13 @@ pub struct Spread {
 }
 
 impl Spread {
-    fn from(times: &[SimTime]) -> Spread {
-        let secs: Vec<f64> = times.iter().map(|t| t.as_secs_f64()).collect();
-        let mean = secs.iter().sum::<f64>() / secs.len() as f64;
-        let var = secs.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / secs.len() as f64;
+    fn from_stats(stats: &ConfigStats) -> Spread {
+        assert!(stats.count > 0, "sweep produced no samples");
         Spread {
-            mean_s: mean,
-            stddev_s: var.sqrt(),
-            min: *times.iter().min().expect("nonempty"),
-            max: *times.iter().max().expect("nonempty"),
+            mean_s: stats.mean_ns / 1e9,
+            stddev_s: stats.stddev_ns / 1e9,
+            min: SimTime::from_nanos(stats.min_ns),
+            max: SimTime::from_nanos(stats.max_ns),
         }
     }
 
@@ -59,25 +61,22 @@ pub struct Variance {
 
 /// Runs the experiment over `instances` regenerated workloads.
 pub fn run_with(instances: usize) -> Variance {
-    let mut conv_times = Vec::with_capacity(instances);
-    let mut bb_times = Vec::with_capacity(instances);
-    for i in 0..instances {
-        let params = TizenParams {
-            seed: 9000 + i as u64,
-            ..TizenParams::commercial()
-        };
-        let scenario = tv_scenario_with(profiles::ue48h6200(), params);
-        conv_times.push(
-            boost(&scenario, &BbConfig::conventional())
-                .expect("valid")
-                .boot_time(),
-        );
-        bb_times.push(boost(&scenario, &BbConfig::full()).expect("valid").boot_time());
-    }
+    let spec = SweepSpec::new().cell(
+        CellSpec::tizen("variance", profiles::ue48h6200(), TizenParams::commercial())
+            .seeds((0..instances as u64).map(|i| 9000 + i))
+            .conventional_vs_bb(),
+    );
+    let outcome = run_sweep(&spec, &PoolConfig::default());
+    let cell = &outcome.report.cells[0];
+    assert_eq!(
+        cell.completed, instances,
+        "instances failed: {:?}",
+        outcome.report.failures
+    );
     Variance {
         instances,
-        conventional: Spread::from(&conv_times),
-        bb: Spread::from(&bb_times),
+        conventional: Spread::from_stats(&cell.configs[0]),
+        bb: Spread::from_stats(&cell.configs[1]),
     }
 }
 

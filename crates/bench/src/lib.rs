@@ -26,8 +26,8 @@
 
 pub mod experiments {
     pub mod ablation;
-    pub mod devices;
     pub mod background;
+    pub mod devices;
     pub mod fig1;
     pub mod fig2;
     pub mod fig3;

@@ -22,7 +22,7 @@ use bb_sim::{DeviceProfile, Machine, MachineConfig, RcuStats, SimTime};
 use crate::bootup_engine;
 use crate::config::BbConfig;
 use crate::core_engine;
-use crate::service_engine::{self, ParseCostParams};
+use crate::service_engine::{self, ParseCostParams, PreParser};
 
 /// A complete boot scenario (hardware + software + completion policy).
 ///
@@ -120,6 +120,23 @@ pub fn boost_with_machine(
     boost_custom(scenario, cfg, |_, _, _| {})
 }
 
+/// Runs `scenario` under `cfg` with the unit set's [`PreParser`]
+/// measurements already built. This is the sweep-friendly entry point:
+/// a fleet runs thousands of boots of the same scenario, and building
+/// the Pre-parser blob (rendering every unit file and encoding the
+/// binary cache) once instead of per boot removes the dominant
+/// per-boot setup cost.
+///
+/// `pre` must describe `scenario.units`; it is the caller's job to keep
+/// them in sync (use [`PreParser::build`] on the same unit set).
+pub fn boost_prepared(
+    scenario: &Scenario,
+    cfg: &BbConfig,
+    pre: &PreParser,
+) -> Result<FullBootReport, BoostError> {
+    boost_inner(scenario, cfg, Some(pre), |_, _, _| {}).map(|(r, _)| r)
+}
+
 /// Like [`boost_with_machine`], but lets the caller adjust the plan
 /// overrides after the Service Engine computed them — e.g. the paper's
 /// §4.2 experiment that manually adds *only* `var.mount` to the BB
@@ -127,6 +144,15 @@ pub fn boost_with_machine(
 pub fn boost_custom(
     scenario: &Scenario,
     cfg: &BbConfig,
+    tweak: impl FnOnce(&UnitGraph, &Transaction, &mut bb_init::PlanOverrides),
+) -> Result<(FullBootReport, Machine), BoostError> {
+    boost_inner(scenario, cfg, None, tweak)
+}
+
+fn boost_inner(
+    scenario: &Scenario,
+    cfg: &BbConfig,
+    pre: Option<&PreParser>,
     tweak: impl FnOnce(&UnitGraph, &Transaction, &mut bb_init::PlanOverrides),
 ) -> Result<(FullBootReport, Machine), BoostError> {
     let graph = UnitGraph::build(scenario.units.clone()).map_err(BoostError::Graph)?;
@@ -163,7 +189,10 @@ pub fn boost_custom(
         .iter()
         .map(|&i| graph.unit(i).name.clone())
         .collect();
-    let load = service_engine::load_model(&scenario.units, &scenario.parse_params, cfg.preparser);
+    let load = match pre {
+        Some(p) => p.load_model(&scenario.parse_params, cfg.preparser),
+        None => service_engine::load_model(&scenario.units, &scenario.parse_params, cfg.preparser),
+    };
 
     let mut init_tasks = scenario.extra_init_tasks.clone();
     init_tasks.extend(bootup_engine::init_tasks(cfg));
@@ -252,7 +281,10 @@ pub(crate) mod tests {
         workloads.insert(
             "mount:/var".into(),
             ServiceBody {
-                pre_ready: OpsBuilder::new().read_rand(dev, 256 * 1024).compute_ms(4).build(),
+                pre_ready: OpsBuilder::new()
+                    .read_rand(dev, 256 * 1024)
+                    .compute_ms(4)
+                    .build(),
                 post_ready: Vec::new(),
             },
         );
@@ -355,8 +387,13 @@ pub(crate) mod tests {
         );
         assert_eq!(
             bb.bb_group,
-            ["var.mount", "dbus.service", "tuner.service", "fasttv.service"]
-                .map(UnitName::new)
+            [
+                "var.mount",
+                "dbus.service",
+                "tuner.service",
+                "fasttv.service"
+            ]
+            .map(UnitName::new)
         );
     }
 
@@ -370,7 +407,11 @@ pub(crate) mod tests {
             // mini scenario has little writer contention, which is
             // exactly the regime where the paper keeps the classic path
             // (§4.3). The full TV scenario asserts the win (bb-bench).
-            let slack = if name == "rcu_booster" { 8_000_000 } else { 2_000_000 };
+            let slack = if name == "rcu_booster" {
+                8_000_000
+            } else {
+                2_000_000
+            };
             assert!(
                 t.as_nanos() <= conv.as_nanos() + slack,
                 "feature {name} hurt boot: {t} vs {conv}"

@@ -25,13 +25,14 @@ pub fn init_tasks(cfg: &BbConfig) -> Vec<ManagerTask> {
         ("setup-loopback-device", 17),
         ("test-directory", 29),
     ];
-    let mut tasks = vec![ManagerTask::new(
-        "init-core",
-        SimDuration::from_millis(71),
-    )];
+    let mut tasks = vec![ManagerTask::new("init-core", SimDuration::from_millis(71))];
     for (name, ms) in deferrable {
         let t = ManagerTask::new(name, SimDuration::from_millis(ms));
-        tasks.push(if cfg.deferred_executor { t.deferred() } else { t });
+        tasks.push(if cfg.deferred_executor {
+            t.deferred()
+        } else {
+            t
+        });
     }
     tasks
 }

@@ -81,19 +81,55 @@ impl BbConfig {
     pub fn single_feature_configs() -> Vec<(&'static str, BbConfig)> {
         let base = BbConfig::conventional();
         vec![
-            ("rcu_booster", BbConfig { rcu_booster: true, ..base }),
-            ("defer_memory", BbConfig { defer_memory: true, ..base }),
+            (
+                "rcu_booster",
+                BbConfig {
+                    rcu_booster: true,
+                    ..base
+                },
+            ),
+            (
+                "defer_memory",
+                BbConfig {
+                    defer_memory: true,
+                    ..base
+                },
+            ),
             (
                 "ondemand_modularizer",
-                BbConfig { ondemand_modularizer: true, ..base },
+                BbConfig {
+                    ondemand_modularizer: true,
+                    ..base
+                },
             ),
-            ("defer_journal", BbConfig { defer_journal: true, ..base }),
+            (
+                "defer_journal",
+                BbConfig {
+                    defer_journal: true,
+                    ..base
+                },
+            ),
             (
                 "deferred_executor",
-                BbConfig { deferred_executor: true, ..base },
+                BbConfig {
+                    deferred_executor: true,
+                    ..base
+                },
             ),
-            ("preparser", BbConfig { preparser: true, ..base }),
-            ("bb_group", BbConfig { bb_group: true, ..base }),
+            (
+                "preparser",
+                BbConfig {
+                    preparser: true,
+                    ..base
+                },
+            ),
+            (
+                "bb_group",
+                BbConfig {
+                    bb_group: true,
+                    ..base
+                },
+            ),
         ]
     }
 
@@ -102,19 +138,55 @@ impl BbConfig {
     pub fn leave_one_out_configs() -> Vec<(&'static str, BbConfig)> {
         let full = BbConfig::full();
         vec![
-            ("rcu_booster", BbConfig { rcu_booster: false, ..full }),
-            ("defer_memory", BbConfig { defer_memory: false, ..full }),
+            (
+                "rcu_booster",
+                BbConfig {
+                    rcu_booster: false,
+                    ..full
+                },
+            ),
+            (
+                "defer_memory",
+                BbConfig {
+                    defer_memory: false,
+                    ..full
+                },
+            ),
             (
                 "ondemand_modularizer",
-                BbConfig { ondemand_modularizer: false, ..full },
+                BbConfig {
+                    ondemand_modularizer: false,
+                    ..full
+                },
             ),
-            ("defer_journal", BbConfig { defer_journal: false, ..full }),
+            (
+                "defer_journal",
+                BbConfig {
+                    defer_journal: false,
+                    ..full
+                },
+            ),
             (
                 "deferred_executor",
-                BbConfig { deferred_executor: false, ..full },
+                BbConfig {
+                    deferred_executor: false,
+                    ..full
+                },
             ),
-            ("preparser", BbConfig { preparser: false, ..full }),
-            ("bb_group", BbConfig { bb_group: false, ..full }),
+            (
+                "preparser",
+                BbConfig {
+                    preparser: false,
+                    ..full
+                },
+            ),
+            (
+                "bb_group",
+                BbConfig {
+                    bb_group: false,
+                    ..full
+                },
+            ),
         ]
     }
 }
@@ -144,8 +216,7 @@ mod tests {
         assert_eq!(loo.len(), 7);
         assert!(loo.iter().all(|(_, c)| c.active_features() == 6));
         // Names are distinct.
-        let names: std::collections::BTreeSet<_> =
-            singles.iter().map(|(n, _)| *n).collect();
+        let names: std::collections::BTreeSet<_> = singles.iter().map(|(n, _)| *n).collect();
         assert_eq!(names.len(), 7);
     }
 }

@@ -66,17 +66,14 @@ pub fn install_module_loading(
                     .flat_map(|m| catalog.deferred_builtin_ops(m)),
             )
             .collect();
-        machine.spawn(
-            ProcessSpec::new("kworker/ondemand-modularizer", deferred).with_nice(10),
-        );
+        machine.spawn(ProcessSpec::new("kworker/ondemand-modularizer", deferred).with_nice(10));
         spawned += 1;
     } else {
         // Conventional: everything loads as external `.ko` during boot,
         // spread over a few udev-style workers.
         let mut worker_ops: Vec<Vec<Op>> = vec![Vec::new(); MODULE_LOADER_WORKERS];
         for (i, m) in catalog.modules.iter().enumerate() {
-            worker_ops[i % MODULE_LOADER_WORKERS]
-                .extend(catalog.external_load_ops(m, device));
+            worker_ops[i % MODULE_LOADER_WORKERS].extend(catalog.external_load_ops(m, device));
         }
         for (i, ops) in worker_ops.into_iter().enumerate() {
             if ops.is_empty() {

@@ -26,8 +26,12 @@ pub mod miner;
 pub mod report;
 pub mod service_engine;
 
-pub use booster::{boost, boost_custom, boost_with_machine, BoostError, FullBootReport, Scenario};
+pub use booster::{
+    boost, boost_custom, boost_prepared, boost_with_machine, BoostError, FullBootReport, Scenario,
+};
 pub use config::BbConfig;
 pub use miner::{mine, EdgeSlack, MiningReport};
 pub use report::{Comparison, Row};
-pub use service_engine::{analyze, identify_bb_group, load_model, Finding, ParseCostParams};
+pub use service_engine::{
+    analyze, analyze_directives, identify_bb_group, load_model, Finding, ParseCostParams, PreParser,
+};

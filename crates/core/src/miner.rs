@@ -188,8 +188,7 @@ mod tests {
         // Every verified removal keeps the boot complete and not slower
         // than baseline beyond noise.
         assert!(
-            report.pruned_boot.as_nanos()
-                <= report.baseline_boot.as_nanos() + 10_000_000,
+            report.pruned_boot.as_nanos() <= report.baseline_boot.as_nanos() + 10_000_000,
             "pruning made boot worse: {} vs {}",
             report.pruned_boot,
             report.baseline_boot

@@ -39,10 +39,15 @@ impl Comparison {
     /// Builds the comparison from two runs of the same scenario.
     pub fn build(conv: &FullBootReport, bb: &FullBootReport) -> Comparison {
         let mut rows = Vec::new();
-        let phase = |r: &FullBootReport, name: &str| {
-            r.kernel.phase(name).unwrap_or(SimDuration::ZERO)
-        };
-        for name in ["bootloader", "memory-init", "initcalls", "kernel-misc", "rootfs-mount"] {
+        let phase =
+            |r: &FullBootReport, name: &str| r.kernel.phase(name).unwrap_or(SimDuration::ZERO);
+        for name in [
+            "bootloader",
+            "memory-init",
+            "initcalls",
+            "kernel-misc",
+            "rootfs-mount",
+        ] {
             rows.push(Row {
                 step: format!("kernel: {name}"),
                 conventional: phase(conv, name),
@@ -61,10 +66,7 @@ impl Comparison {
         });
         rows.push(Row {
             step: "services & applications".into(),
-            conventional: conv
-                .boot
-                .boot_time()
-                .since(conv.boot.load_done),
+            conventional: conv.boot.boot_time().since(conv.boot.load_done),
             boosted: bb.boot.boot_time().since(bb.boot.load_done),
         });
         Comparison {

@@ -97,27 +97,59 @@ impl Default for ParseCostParams {
     }
 }
 
-/// Computes the boot-time [`LoadModel`] for a unit set. Uses *real*
-/// byte counts: the rendered unit-file text for the conventional path
-/// and the actual [`encode_units`] blob for the cached path.
-pub fn load_model(units: &[Unit], params: &ParseCostParams, preparsed: bool) -> LoadModel {
-    if preparsed {
-        let blob = encode_units(units);
-        LoadModel {
-            io_bytes: blob.len() as u64,
-            pattern: AccessPattern::Sequential,
-            cpu: params.decode_cost_per_unit * units.len() as u64,
-        }
-    } else {
-        let text_bytes: u64 = units.iter().map(|u| u.to_unit_file().len() as u64).sum();
-        LoadModel {
-            io_bytes: text_bytes,
-            pattern: AccessPattern::Random,
-            cpu: params.open_cost_per_file * units.len() as u64
-                + params.parse_cost_per_unit * units.len() as u64
-                + params.parse_cost_per_byte * text_bytes,
+/// Pre-computed Pre-parser measurements for a unit set: the byte sizes
+/// that drive the boot-time [`LoadModel`], captured once so thousands
+/// of boots of the same scenario (a bb-fleet sweep) do not re-render
+/// the unit-file text or re-encode the binary cache per boot.
+///
+/// Built from *real* byte counts: the rendered unit-file text for the
+/// conventional path and the actual [`encode_units`] blob for the
+/// cached path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreParser {
+    /// Number of units in the set.
+    pub unit_count: usize,
+    /// Total rendered unit-file text size (conventional path).
+    pub text_bytes: u64,
+    /// Binary unit-cache blob size (pre-parsed path).
+    pub blob_bytes: u64,
+}
+
+impl PreParser {
+    /// Measures `units` once. This is the expensive step a sweep
+    /// amortizes across boots.
+    pub fn build(units: &[Unit]) -> PreParser {
+        PreParser {
+            unit_count: units.len(),
+            text_bytes: units.iter().map(|u| u.to_unit_file().len() as u64).sum(),
+            blob_bytes: encode_units(units).len() as u64,
         }
     }
+
+    /// Computes the boot-time [`LoadModel`] from the captured sizes.
+    pub fn load_model(&self, params: &ParseCostParams, preparsed: bool) -> LoadModel {
+        if preparsed {
+            LoadModel {
+                io_bytes: self.blob_bytes,
+                pattern: AccessPattern::Sequential,
+                cpu: params.decode_cost_per_unit * self.unit_count as u64,
+            }
+        } else {
+            LoadModel {
+                io_bytes: self.text_bytes,
+                pattern: AccessPattern::Random,
+                cpu: params.open_cost_per_file * self.unit_count as u64
+                    + params.parse_cost_per_unit * self.unit_count as u64
+                    + params.parse_cost_per_byte * self.text_bytes,
+            }
+        }
+    }
+}
+
+/// Computes the boot-time [`LoadModel`] for a unit set (one-shot form
+/// of [`PreParser::build`] + [`PreParser::load_model`]).
+pub fn load_model(units: &[Unit], params: &ParseCostParams, preparsed: bool) -> LoadModel {
+    PreParser::build(units).load_model(params, preparsed)
 }
 
 // ---------------------------------------------------------------------
@@ -144,6 +176,20 @@ pub enum Finding {
     DanglingReference(UnitName),
     /// A unit orders or requires itself.
     SelfDependency(UnitName),
+    /// A unit file used a directive that was parsed but not applied
+    /// (real-systemd directives this model does not support, or unknown
+    /// keys). Surfaced so dropped behavior is visible, not silent.
+    UnsupportedDirective {
+        /// Unit file the directive appeared in.
+        file: String,
+        /// 1-based line number.
+        line: usize,
+        /// The directive as `Section::Key`.
+        directive: String,
+        /// Whether the directive is real systemd (unsupported here) or
+        /// entirely unknown.
+        known_directive: bool,
+    },
 }
 
 impl std::fmt::Display for Finding {
@@ -164,8 +210,39 @@ impl std::fmt::Display for Finding {
             }
             Finding::DanglingReference(n) => write!(f, "dangling reference to {n}"),
             Finding::SelfDependency(n) => write!(f, "{n} depends on itself"),
+            Finding::UnsupportedDirective {
+                file,
+                line,
+                directive,
+                known_directive,
+            } => {
+                let why = if *known_directive {
+                    "not supported by this model"
+                } else {
+                    "unknown"
+                };
+                write!(
+                    f,
+                    "{file} line {line}: directive {directive} dropped ({why})"
+                )
+            }
         }
     }
+}
+
+/// Converts the unit-file parser's per-file lint warnings into analyzer
+/// findings, so `analyze` results and parse-time lint share one report
+/// format. Pair with [`bb_init::parse_unit_dir_with_warnings`].
+pub fn analyze_directives(warnings: &[(String, bb_init::DirectiveWarning)]) -> Vec<Finding> {
+    warnings
+        .iter()
+        .map(|(file, w)| Finding::UnsupportedDirective {
+            file: file.clone(),
+            line: w.line,
+            directive: w.directive.clone(),
+            known_directive: w.kind == bb_init::DirectiveWarningKind::Unsupported,
+        })
+        .collect()
 }
 
 /// The Service Analyzer: investigates relations between services and
@@ -228,7 +305,9 @@ mod tests {
             svc("var.mount").with_type(ServiceType::Oneshot),
             svc("dbus.service").needs("var.mount"),
             svc("tuner.service").needs("dbus.service"),
-            svc("fasttv.service").needs("tuner.service").needs("dbus.service"),
+            svc("fasttv.service")
+                .needs("tuner.service")
+                .needs("dbus.service"),
             // Not boot-critical; abusively orders itself before var.mount
             // (so it cannot also depend on anything after the mount).
             svc("messenger.service").before("var.mount"),
@@ -242,7 +321,12 @@ mod tests {
         let names: Vec<&str> = group.iter().map(|&i| g.unit(i).name.as_str()).collect();
         assert_eq!(
             names,
-            vec!["var.mount", "dbus.service", "tuner.service", "fasttv.service"]
+            vec![
+                "var.mount",
+                "dbus.service",
+                "tuner.service",
+                "fasttv.service"
+            ]
         );
     }
 
@@ -302,15 +386,21 @@ mod tests {
         units.push(svc("e.service").after("b.service").after("b.service"));
         let g = UnitGraph::build(units).unwrap();
         let findings = analyze(&g);
-        assert!(findings.iter().any(|f| matches!(f, Finding::OrderingCycle(_))));
-        assert!(findings.iter().any(|f| matches!(f, Finding::Contradiction(..))));
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, Finding::OrderingCycle(_))));
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, Finding::Contradiction(..))));
         assert!(findings
             .iter()
             .any(|f| matches!(f, Finding::DuplicateEdge { count: 2, .. })));
         assert!(findings
             .iter()
             .any(|f| matches!(f, Finding::DanglingReference(_))));
-        assert!(findings.iter().any(|f| matches!(f, Finding::SelfDependency(_))));
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, Finding::SelfDependency(_))));
     }
 
     #[test]

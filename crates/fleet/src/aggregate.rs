@@ -1,0 +1,646 @@
+//! Streaming aggregation of sweep results.
+//!
+//! The [`Aggregator`] consumes job results from the pool's channel as
+//! they arrive (any order) and stores them into slots addressed by
+//! `(cell, seed_idx)`. [`Aggregator::finalize`] then computes all
+//! statistics by walking the slots in deterministic order — so the
+//! resulting [`SweepReport`] (and its JSON form) is byte-identical for
+//! any worker count.
+
+use crate::json::{self, Json};
+use crate::pool::{JobFailure, JobOutput};
+use crate::spec::SweepSpec;
+
+/// Accumulates job results into seed-addressed slots.
+#[derive(Debug)]
+pub struct Aggregator {
+    cells: Vec<CellSlots>,
+    failures: Vec<(usize, usize, u64, String)>, // (cell, seed_idx, seed, reason)
+}
+
+#[derive(Debug)]
+struct CellSlots {
+    label: String,
+    config_labels: Vec<String>,
+    seeds: Vec<u64>,
+    /// Per seed slot: boot nanoseconds per config, once the job lands.
+    boots: Vec<Option<Vec<u64>>>,
+}
+
+impl Aggregator {
+    /// Allocates slots for every `(cell, seed)` of `spec`.
+    pub fn new(spec: &SweepSpec) -> Self {
+        Aggregator {
+            cells: spec
+                .cells
+                .iter()
+                .map(|c| CellSlots {
+                    label: c.label.clone(),
+                    config_labels: c.configs.iter().map(|(l, _)| l.clone()).collect(),
+                    seeds: c.seeds.clone(),
+                    boots: vec![None; c.seeds.len()],
+                })
+                .collect(),
+            failures: Vec::new(),
+        }
+    }
+
+    /// Accepts one pool message, in arrival (nondeterministic) order.
+    pub fn accept(&mut self, msg: Result<JobOutput, JobFailure>) {
+        match msg {
+            Ok(out) => {
+                let cell = &mut self.cells[out.job.cell];
+                debug_assert!(cell.boots[out.job.seed_idx].is_none(), "slot filled twice");
+                let mut by_config = vec![0u64; cell.config_labels.len()];
+                for s in &out.samples {
+                    by_config[s.config] = s.boot_ns;
+                }
+                cell.boots[out.job.seed_idx] = Some(by_config);
+            }
+            Err(fail) => {
+                self.failures.push((
+                    fail.job.cell,
+                    fail.job.seed_idx,
+                    fail.seed,
+                    fail.kind.reason(),
+                ));
+            }
+        }
+    }
+
+    /// Computes the final report, walking slots in deterministic order.
+    pub fn finalize(self) -> SweepReport {
+        let Aggregator {
+            cells: cell_slots,
+            mut failures,
+        } = self;
+        // Failure order must not depend on scheduling.
+        failures.sort();
+        let failures = failures
+            .into_iter()
+            .map(|(cell, _, seed, reason)| FailureReport {
+                cell: cell_slots[cell].label.clone(),
+                seed,
+                reason,
+            })
+            .collect();
+
+        let mut total_boots = 0;
+        let cells = cell_slots
+            .iter()
+            .map(|cell| {
+                let completed = cell.boots.iter().flatten().count();
+                let baseline = cell
+                    .config_labels
+                    .iter()
+                    .position(|l| l == "conventional")
+                    .and_then(|ci| mean_of(cell, ci));
+                let configs = cell
+                    .config_labels
+                    .iter()
+                    .enumerate()
+                    .map(|(ci, label)| {
+                        // Samples in seed order (slot order), skipping
+                        // failed slots.
+                        let samples: Vec<u64> = cell
+                            .boots
+                            .iter()
+                            .flatten()
+                            .map(|by_config| by_config[ci])
+                            .collect();
+                        total_boots += samples.len();
+                        config_stats(label, &samples, label != "conventional", baseline)
+                    })
+                    .collect();
+                CellReport {
+                    label: cell.label.clone(),
+                    seeds: cell.seeds.len(),
+                    completed,
+                    configs,
+                }
+            })
+            .collect();
+
+        SweepReport {
+            cells,
+            failures,
+            total_boots,
+        }
+    }
+}
+
+fn mean_of(cell: &CellSlots, config: usize) -> Option<f64> {
+    let samples: Vec<u64> = cell
+        .boots
+        .iter()
+        .flatten()
+        .map(|by_config| by_config[config])
+        .collect();
+    if samples.is_empty() {
+        None
+    } else {
+        Some(samples.iter().map(|&n| n as f64).sum::<f64>() / samples.len() as f64)
+    }
+}
+
+fn config_stats(
+    label: &str,
+    samples: &[u64],
+    compare_to_baseline: bool,
+    baseline_mean_ns: Option<f64>,
+) -> ConfigStats {
+    let count = samples.len();
+    if count == 0 {
+        return ConfigStats {
+            label: label.to_owned(),
+            count,
+            mean_ns: 0.0,
+            stddev_ns: 0.0,
+            min_ns: 0,
+            max_ns: 0,
+            p50_ns: 0,
+            p95_ns: 0,
+            p99_ns: 0,
+            saving_ms: None,
+            saving_pct: None,
+        };
+    }
+    let mean_ns = samples.iter().map(|&n| n as f64).sum::<f64>() / count as f64;
+    let var = samples
+        .iter()
+        .map(|&n| {
+            let d = n as f64 - mean_ns;
+            d * d
+        })
+        .sum::<f64>()
+        / count as f64;
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let (saving_ms, saving_pct) = match baseline_mean_ns {
+        Some(base) if compare_to_baseline && base > 0.0 => (
+            Some((base - mean_ns) / 1e6),
+            Some(100.0 * (1.0 - mean_ns / base)),
+        ),
+        _ => (None, None),
+    };
+    ConfigStats {
+        label: label.to_owned(),
+        count,
+        mean_ns,
+        stddev_ns: var.sqrt(),
+        min_ns: sorted[0],
+        max_ns: sorted[count - 1],
+        p50_ns: percentile(&sorted, 50),
+        p95_ns: percentile(&sorted, 95),
+        p99_ns: percentile(&sorted, 99),
+        saving_ms,
+        saving_pct,
+    }
+}
+
+/// Nearest-rank percentile on a sorted slice (integer nanoseconds, so
+/// no float ambiguity enters the deterministic output).
+fn percentile(sorted: &[u64], p: u32) -> u64 {
+    debug_assert!(!sorted.is_empty() && (1..=100).contains(&p));
+    let rank = (p as usize * sorted.len()).div_ceil(100);
+    sorted[rank - 1]
+}
+
+/// Aggregated statistics for one config within one cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigStats {
+    /// Config label.
+    pub label: String,
+    /// Completed boots.
+    pub count: usize,
+    /// Mean boot time, simulated ns.
+    pub mean_ns: f64,
+    /// Population standard deviation, simulated ns.
+    pub stddev_ns: f64,
+    /// Fastest boot, simulated ns.
+    pub min_ns: u64,
+    /// Slowest boot, simulated ns.
+    pub max_ns: u64,
+    /// Median (nearest-rank), simulated ns.
+    pub p50_ns: u64,
+    /// 95th percentile (nearest-rank), simulated ns.
+    pub p95_ns: u64,
+    /// 99th percentile (nearest-rank), simulated ns.
+    pub p99_ns: u64,
+    /// Mean saving vs the cell's `"conventional"` config, ms.
+    pub saving_ms: Option<f64>,
+    /// Mean saving vs `"conventional"`, percent.
+    pub saving_pct: Option<f64>,
+}
+
+/// Aggregated results for one cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellReport {
+    /// Cell label.
+    pub label: String,
+    /// Seed slots specified.
+    pub seeds: usize,
+    /// Seed slots that completed (rest failed).
+    pub completed: usize,
+    /// Per-config statistics, in config order.
+    pub configs: Vec<ConfigStats>,
+}
+
+/// One failed job in the report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureReport {
+    /// Cell label.
+    pub cell: String,
+    /// Seed that was running.
+    pub seed: u64,
+    /// Stable reason line (no host-time content).
+    pub reason: String,
+}
+
+/// The deterministic output of a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Per-cell results, in spec order.
+    pub cells: Vec<CellReport>,
+    /// Failed jobs, sorted by (cell index, seed index).
+    pub failures: Vec<FailureReport>,
+    /// Completed boots across all cells.
+    pub total_boots: usize,
+}
+
+impl SweepReport {
+    /// Serializes the report as deterministic JSON: fixed key order,
+    /// fixed `{:.3}` ms floats, no host-time fields. Byte-identical for
+    /// any worker count.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"bb-fleet-sweep-v1\",\n  \"cells\": [");
+        for (i, cell) in self.cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"label\": \"");
+            out.push_str(&json::escape(&cell.label));
+            out.push_str(&format!(
+                "\", \"seeds\": {}, \"completed\": {}, \"configs\": [",
+                cell.seeds, cell.completed
+            ));
+            for (j, c) in cell.configs.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n      {\"label\": \"");
+                out.push_str(&json::escape(&c.label));
+                out.push_str(&format!(
+                    "\", \"count\": {}, \"mean_ms\": {}, \"stddev_ms\": {}, \"min_ms\": {}, \"max_ms\": {}, \"p50_ms\": {}, \"p95_ms\": {}, \"p99_ms\": {}",
+                    c.count,
+                    json::ms(c.mean_ns),
+                    json::ms(c.stddev_ns),
+                    json::ms(c.min_ns as f64),
+                    json::ms(c.max_ns as f64),
+                    json::ms(c.p50_ns as f64),
+                    json::ms(c.p95_ns as f64),
+                    json::ms(c.p99_ns as f64),
+                ));
+                if let (Some(ms), Some(pct)) = (c.saving_ms, c.saving_pct) {
+                    out.push_str(&format!(
+                        ", \"saving_ms\": {:.3}, \"saving_pct\": {:.3}",
+                        ms, pct
+                    ));
+                }
+                out.push('}');
+            }
+            if !cell.configs.is_empty() {
+                out.push_str("\n    ");
+            }
+            out.push_str("]}");
+        }
+        if !self.cells.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"failures\": [");
+        for (i, f) in self.failures.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"cell\": \"{}\", \"seed\": {}, \"reason\": \"{}\"}}",
+                json::escape(&f.cell),
+                f.seed,
+                json::escape(&f.reason)
+            ));
+        }
+        if !self.failures.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str(&format!(
+            "],\n  \"total_boots\": {}\n}}\n",
+            self.total_boots
+        ));
+        out
+    }
+
+    /// Human-readable table for terminals.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for cell in &self.cells {
+            let _ = writeln!(
+                out,
+                "{} ({} of {} seeds completed)",
+                cell.label, cell.completed, cell.seeds
+            );
+            let _ = writeln!(
+                out,
+                "  {:<16} {:>6} {:>10} {:>9} {:>10} {:>10} {:>10}  saving",
+                "config", "boots", "mean", "stddev", "p50", "p95", "p99"
+            );
+            for c in &cell.configs {
+                let saving = match (c.saving_ms, c.saving_pct) {
+                    (Some(ms), Some(pct)) => format!("{ms:.0} ms ({pct:.1}%)"),
+                    _ => String::new(),
+                };
+                let _ = writeln!(
+                    out,
+                    "  {:<16} {:>6} {:>8.0}ms {:>7.1}ms {:>8.0}ms {:>8.0}ms {:>8.0}ms  {}",
+                    c.label,
+                    c.count,
+                    c.mean_ns / 1e6,
+                    c.stddev_ns / 1e6,
+                    c.p50_ns as f64 / 1e6,
+                    c.p95_ns as f64 / 1e6,
+                    c.p99_ns as f64 / 1e6,
+                    saving
+                );
+            }
+        }
+        if !self.failures.is_empty() {
+            let _ = writeln!(out, "failures ({}):", self.failures.len());
+            for f in &self.failures {
+                let _ = writeln!(out, "  {} seed {}: {}", f.cell, f.seed, f.reason);
+            }
+        }
+        let _ = writeln!(out, "total boots aggregated: {}", self.total_boots);
+        out
+    }
+
+    /// Compares this report against a previously saved JSON baseline.
+    /// Entries whose mean drifted more than `tolerance_pct` percent are
+    /// flagged as regressions (slower) or improvements (faster).
+    pub fn diff_baseline(
+        &self,
+        baseline_json: &str,
+        tolerance_pct: f64,
+    ) -> Result<Vec<DiffEntry>, json::JsonError> {
+        let baseline = json::parse(baseline_json)?;
+        let cells = baseline
+            .get("cells")
+            .and_then(Json::as_arr)
+            .ok_or(json::JsonError {
+                pos: 0,
+                msg: "baseline has no cells array".into(),
+            })?;
+        let mut diffs = Vec::new();
+        for cell in &self.cells {
+            let base_cell = cells
+                .iter()
+                .find(|c| c.get("label").and_then(Json::as_str) == Some(cell.label.as_str()));
+            for cfg in &cell.configs {
+                let base_mean_ms = base_cell
+                    .and_then(|bc| bc.get("configs"))
+                    .and_then(Json::as_arr)
+                    .and_then(|cfgs| {
+                        cfgs.iter().find(|c| {
+                            c.get("label").and_then(Json::as_str) == Some(cfg.label.as_str())
+                        })
+                    })
+                    .and_then(|c| c.get("mean_ms"))
+                    .and_then(Json::as_f64);
+                let current_ms = cfg.mean_ns / 1e6;
+                diffs.push(match base_mean_ms {
+                    None => DiffEntry {
+                        cell: cell.label.clone(),
+                        config: cfg.label.clone(),
+                        baseline_ms: None,
+                        current_ms,
+                        delta_pct: None,
+                        verdict: DiffVerdict::NewCell,
+                    },
+                    Some(base) => {
+                        let delta_pct = if base > 0.0 {
+                            100.0 * (current_ms - base) / base
+                        } else {
+                            0.0
+                        };
+                        let verdict = if delta_pct > tolerance_pct {
+                            DiffVerdict::Regression
+                        } else if delta_pct < -tolerance_pct {
+                            DiffVerdict::Improvement
+                        } else {
+                            DiffVerdict::Unchanged
+                        };
+                        DiffEntry {
+                            cell: cell.label.clone(),
+                            config: cfg.label.clone(),
+                            baseline_ms: Some(base),
+                            current_ms,
+                            delta_pct: Some(delta_pct),
+                            verdict,
+                        }
+                    }
+                });
+            }
+        }
+        Ok(diffs)
+    }
+}
+
+/// How one (cell, config) mean compares against the baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffVerdict {
+    /// Within tolerance.
+    Unchanged,
+    /// Slower than baseline beyond tolerance.
+    Regression,
+    /// Faster than baseline beyond tolerance.
+    Improvement,
+    /// Not present in the baseline.
+    NewCell,
+}
+
+/// One row of a baseline comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffEntry {
+    /// Cell label.
+    pub cell: String,
+    /// Config label.
+    pub config: String,
+    /// Baseline mean, ms (None if the baseline lacks this entry).
+    pub baseline_ms: Option<f64>,
+    /// Current mean, ms.
+    pub current_ms: f64,
+    /// Relative drift, percent (None if no baseline entry).
+    pub delta_pct: Option<f64>,
+    /// Classification at the requested tolerance.
+    pub verdict: DiffVerdict,
+}
+
+impl std::fmt::Display for DiffEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}: ", self.cell, self.config)?;
+        match (self.baseline_ms, self.delta_pct) {
+            (Some(base), Some(delta)) => write!(
+                f,
+                "{:.1} -> {:.1} ms ({:+.2}%) {:?}",
+                base, self.current_ms, delta, self.verdict
+            ),
+            _ => write!(f, "{:.1} ms (no baseline)", self.current_ms),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::{BootSample, FailureKind};
+    use crate::spec::{CellSpec, Job};
+    use bb_workloads::{profiles, TizenParams};
+
+    fn two_seed_spec() -> SweepSpec {
+        SweepSpec::new().cell(
+            CellSpec::tizen("cell-a", profiles::ue48h6200(), TizenParams::open_source())
+                .seeds([5, 6])
+                .conventional_vs_bb(),
+        )
+    }
+
+    fn output(cell: usize, seed_idx: usize, seed: u64, boots: &[u64]) -> JobOutput {
+        JobOutput {
+            job: Job { cell, seed_idx },
+            seed,
+            samples: boots
+                .iter()
+                .enumerate()
+                .map(|(config, &boot_ns)| BootSample {
+                    config,
+                    boot_ns,
+                    quiesce_ns: boot_ns,
+                })
+                .collect(),
+            elapsed: std::time::Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn aggregation_is_order_independent() {
+        let spec = two_seed_spec();
+        let mut a = Aggregator::new(&spec);
+        a.accept(Ok(output(0, 0, 5, &[8_000_000_000, 3_000_000_000])));
+        a.accept(Ok(output(0, 1, 6, &[9_000_000_000, 3_500_000_000])));
+        let mut b = Aggregator::new(&spec);
+        b.accept(Ok(output(0, 1, 6, &[9_000_000_000, 3_500_000_000])));
+        b.accept(Ok(output(0, 0, 5, &[8_000_000_000, 3_000_000_000])));
+        let (ra, rb) = (a.finalize(), b.finalize());
+        assert_eq!(ra, rb);
+        assert_eq!(ra.to_json(), rb.to_json());
+    }
+
+    #[test]
+    fn stats_and_savings_compute() {
+        let spec = two_seed_spec();
+        let mut agg = Aggregator::new(&spec);
+        agg.accept(Ok(output(0, 0, 5, &[8_000_000_000, 3_000_000_000])));
+        agg.accept(Ok(output(0, 1, 6, &[10_000_000_000, 3_000_000_000])));
+        let report = agg.finalize();
+        let conv = &report.cells[0].configs[0];
+        let bb = &report.cells[0].configs[1];
+        assert_eq!(conv.count, 2);
+        assert_eq!(conv.mean_ns, 9.0e9);
+        assert_eq!(conv.stddev_ns, 1.0e9);
+        assert_eq!(conv.min_ns, 8_000_000_000);
+        assert_eq!(conv.max_ns, 10_000_000_000);
+        assert_eq!(conv.p50_ns, 8_000_000_000);
+        assert_eq!(conv.p99_ns, 10_000_000_000);
+        assert!(conv.saving_ms.is_none(), "baseline has no saving vs itself");
+        assert_eq!(bb.saving_ms, Some(6000.0));
+        let pct = bb.saving_pct.unwrap();
+        assert!((pct - 66.666).abs() < 0.01, "{pct}");
+    }
+
+    #[test]
+    fn failures_sort_deterministically_and_keep_slots_empty() {
+        let spec = two_seed_spec();
+        let mut agg = Aggregator::new(&spec);
+        agg.accept(Err(JobFailure {
+            job: Job {
+                cell: 0,
+                seed_idx: 1,
+            },
+            seed: 6,
+            kind: FailureKind::Panic("boom".into()),
+        }));
+        agg.accept(Ok(output(0, 0, 5, &[8_000_000_000, 3_000_000_000])));
+        let report = agg.finalize();
+        assert_eq!(report.cells[0].completed, 1);
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].reason, "panic: boom");
+        assert_eq!(report.total_boots, 2);
+    }
+
+    #[test]
+    fn json_output_parses_back() {
+        let spec = two_seed_spec();
+        let mut agg = Aggregator::new(&spec);
+        agg.accept(Ok(output(0, 0, 5, &[8_000_000_000, 3_000_000_000])));
+        agg.accept(Ok(output(0, 1, 6, &[9_000_000_000, 3_200_000_000])));
+        let report = agg.finalize();
+        let parsed = json::parse(&report.to_json()).expect("sweep JSON parses");
+        assert_eq!(
+            parsed.get("schema").and_then(Json::as_str),
+            Some("bb-fleet-sweep-v1")
+        );
+        assert_eq!(parsed.get("total_boots").and_then(Json::as_f64), Some(4.0));
+        let cells = parsed.get("cells").and_then(Json::as_arr).unwrap();
+        assert_eq!(cells.len(), 1);
+        let mean = cells[0].get("configs").and_then(Json::as_arr).unwrap()[0]
+            .get("mean_ms")
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!((mean - 8500.0).abs() < 0.001);
+    }
+
+    #[test]
+    fn baseline_diff_classifies_drift() {
+        let spec = two_seed_spec();
+        let mut agg = Aggregator::new(&spec);
+        agg.accept(Ok(output(0, 0, 5, &[8_000_000_000, 3_000_000_000])));
+        agg.accept(Ok(output(0, 1, 6, &[9_000_000_000, 3_200_000_000])));
+        let report = agg.finalize();
+        let baseline = report.to_json();
+
+        // Same data → everything unchanged.
+        let diffs = report.diff_baseline(&baseline, 1.0).unwrap();
+        assert!(diffs.iter().all(|d| d.verdict == DiffVerdict::Unchanged));
+
+        // A much faster baseline → we look like a regression.
+        let fast = baseline.replace("\"mean_ms\": 8500.000", "\"mean_ms\": 4000.000");
+        let diffs = report.diff_baseline(&fast, 1.0).unwrap();
+        assert_eq!(diffs[0].verdict, DiffVerdict::Regression);
+        assert!(diffs[0].to_string().contains('%'));
+
+        // Unknown baseline cell → NewCell.
+        let diffs = report.diff_baseline("{\"cells\": []}", 1.0).unwrap();
+        assert!(diffs.iter().all(|d| d.verdict == DiffVerdict::NewCell));
+
+        // Garbage baseline → error.
+        assert!(report.diff_baseline("not json", 1.0).is_err());
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 50), 50);
+        assert_eq!(percentile(&sorted, 95), 95);
+        assert_eq!(percentile(&sorted, 99), 99);
+        assert_eq!(percentile(&[42], 99), 42);
+    }
+}

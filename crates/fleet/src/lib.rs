@@ -1,0 +1,66 @@
+//! # bb-fleet — parallel boot-simulation sweep engine
+//!
+//! The evaluation sections of the paper (and this repo's EXPERIMENTS.md)
+//! are built from *sweeps*: thousands of independent boot simulations
+//! across seeds, workload parameters, machine profiles, and
+//! [`bb_core::BbConfig`] feature sets. Serially those dominate
+//! experiment turnaround; bb-fleet executes them on a work-stealing
+//! thread pool while keeping the one property the experiments depend
+//! on — **deterministic output**.
+//!
+//! * [`spec`] — [`SweepSpec`]: a grid of cells, each a scenario source
+//!   × seed list × config list. One job boots every config of one
+//!   `(cell, seed)` instance, sharing one generated scenario and one
+//!   [`bb_core::PreParser`] measurement across the config axis.
+//! * [`pool`] — [`run_sweep`]: fixed-size work-stealing pool
+//!   (`crossbeam` injector + per-worker deques) with per-job panic
+//!   isolation, per-job wall-clock deadlines, a failed-job report
+//!   channel, and per-worker observability counters.
+//! * [`aggregate`] — the streaming [`Aggregator`]: consumes results in
+//!   arrival order into seed-addressed slots, finalizes in slot order.
+//!   Count/mean/stddev/min/max and nearest-rank p50/p95/p99 per
+//!   (cell, config), savings vs the cell's `"conventional"` config,
+//!   and baseline-comparison mode against a saved report.
+//! * [`json`] — the hand-rolled JSON codec (same auditable-codec policy
+//!   as `bb-init::preparse`; DESIGN.md §4 keeps serde out).
+//!
+//! The aggregated report — including its JSON serialization — is
+//! byte-identical for any worker count: results land in slots addressed
+//! by `(cell, seed_idx)`, statistics are computed in slot order at
+//! finalize, and nothing host-time-dependent (worker timings, queue
+//! depths) enters the report. Pool observability lives separately in
+//! [`PoolStats`].
+//!
+//! ```
+//! use bb_fleet::{CellSpec, PoolConfig, SweepSpec, run_sweep};
+//! use bb_workloads::{profiles, TizenParams};
+//!
+//! let spec = SweepSpec::new().cell(
+//!     CellSpec::tizen(
+//!         "open-source",
+//!         profiles::ue48h6200(),
+//!         TizenParams { services: 24, ..TizenParams::open_source() },
+//!     )
+//!     .seeds(0..4)
+//!     .conventional_vs_bb(),
+//! );
+//! let outcome = run_sweep(&spec, &PoolConfig::with_workers(2));
+//! assert_eq!(outcome.report.total_boots, 8);
+//! println!("{}", outcome.report.summary());
+//! println!("{}", outcome.stats.summary());
+//! ```
+
+pub mod aggregate;
+pub mod json;
+pub mod pool;
+pub mod spec;
+
+pub use aggregate::{
+    Aggregator, CellReport, ConfigStats, DiffEntry, DiffVerdict, FailureReport, SweepReport,
+};
+pub use json::{parse as parse_json, Json, JsonError};
+pub use pool::{
+    run_sweep, BootSample, FailureKind, JobFailure, JobOutput, PoolConfig, PoolStats, SweepOutcome,
+    WorkerStats,
+};
+pub use spec::{CellSpec, Job, ScenarioSource, SweepSpec};

@@ -1,0 +1,421 @@
+//! The worker pool: a fixed-size, work-stealing executor for sweep
+//! jobs.
+//!
+//! Jobs are seeded into a [`crossbeam::deque::Injector`]; each worker
+//! owns a FIFO deque and steals from the injector first, then from
+//! siblings. Every job runs under [`std::panic::catch_unwind`], so one
+//! poisoned scenario cannot take down the sweep: the panic becomes a
+//! [`JobFailure`] on the report channel and the pool keeps draining.
+//! A per-job wall-clock deadline (from [`SweepSpec::deadline`]) is
+//! checked after the job runs — the simulator has no preemption points,
+//! so overruns are detected post-hoc and the result discarded.
+//!
+//! Determinism: results are identified by `(cell, seed_idx)` and the
+//! aggregator stores them into index-addressed slots, so the *output*
+//! of a sweep is identical for any worker count even though execution
+//! order is not.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel;
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+
+use crate::aggregate::{Aggregator, SweepReport};
+use crate::spec::{job_scenario, Job, SweepSpec};
+use bb_core::boost_prepared;
+
+/// Pool sizing and policy.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Worker thread count. Defaults to available parallelism.
+    pub workers: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    }
+}
+
+impl PoolConfig {
+    /// A pool with exactly `workers` threads.
+    pub fn with_workers(workers: usize) -> Self {
+        PoolConfig {
+            workers: workers.max(1),
+        }
+    }
+}
+
+/// One boot measurement inside a job.
+#[derive(Debug, Clone, Copy)]
+pub struct BootSample {
+    /// Index into the cell's config list.
+    pub config: usize,
+    /// Boot time (power-on to completion), simulated nanoseconds.
+    pub boot_ns: u64,
+    /// Full quiesce time (deferred work included), simulated nanoseconds.
+    pub quiesce_ns: u64,
+}
+
+/// A completed job: every config of one `(cell, seed)` slot.
+#[derive(Debug, Clone)]
+pub struct JobOutput {
+    /// Which slot this fills.
+    pub job: Job,
+    /// The seed that was run.
+    pub seed: u64,
+    /// One sample per config, in config order.
+    pub samples: Vec<BootSample>,
+    /// Wall-clock time the job took (host time; not in JSON output).
+    pub elapsed: Duration,
+}
+
+/// Why a job produced no samples.
+#[derive(Debug, Clone)]
+pub enum FailureKind {
+    /// The job panicked; the payload message is attached.
+    Panic(String),
+    /// The scenario failed to assemble (graph/transaction error).
+    Boost(String),
+    /// The job finished but blew its wall-clock deadline.
+    DeadlineExceeded {
+        /// How long the job actually took.
+        elapsed: Duration,
+    },
+}
+
+impl FailureKind {
+    /// Stable one-line form for reports. Deliberately excludes
+    /// wall-clock durations so failure output stays deterministic.
+    pub fn reason(&self) -> String {
+        match self {
+            FailureKind::Panic(msg) => format!("panic: {msg}"),
+            FailureKind::Boost(msg) => format!("boost: {msg}"),
+            FailureKind::DeadlineExceeded { .. } => "deadline exceeded".to_owned(),
+        }
+    }
+}
+
+/// A failed job, reported on the failure path instead of aggregated.
+#[derive(Debug, Clone)]
+pub struct JobFailure {
+    /// Which slot failed.
+    pub job: Job,
+    /// The seed that was running.
+    pub seed: u64,
+    /// What happened.
+    pub kind: FailureKind,
+}
+
+/// Per-worker observability counters.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerStats {
+    /// Jobs this worker executed.
+    pub jobs: usize,
+    /// Jobs it stole from sibling deques (subset of `jobs`).
+    pub steals: usize,
+    /// Wall-clock time spent executing jobs.
+    pub busy: Duration,
+}
+
+/// Pool-level observability for the sweep summary. Host-time based and
+/// therefore *never* part of the deterministic JSON output.
+#[derive(Debug, Clone)]
+pub struct PoolStats {
+    /// Worker thread count.
+    pub workers: usize,
+    /// Wall-clock duration of the whole sweep.
+    pub wall: Duration,
+    /// Jobs executed (completed + failed).
+    pub jobs: usize,
+    /// Maximum injector queue depth observed by the aggregator.
+    pub max_queue_depth: usize,
+    /// Per-worker counters.
+    pub per_worker: Vec<WorkerStats>,
+}
+
+impl PoolStats {
+    /// Jobs per wall-clock second.
+    pub fn jobs_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.jobs as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Fraction of the sweep wall time worker `w` spent executing jobs.
+    pub fn utilization(&self, w: usize) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall > 0.0 {
+            self.per_worker[w].busy.as_secs_f64() / wall
+        } else {
+            0.0
+        }
+    }
+
+    /// Human-readable multi-line summary.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "pool: {} workers, {} jobs in {:.3}s ({:.1} jobs/s), peak queue depth {}",
+            self.workers,
+            self.jobs,
+            self.wall.as_secs_f64(),
+            self.jobs_per_sec(),
+            self.max_queue_depth,
+        );
+        for (w, ws) in self.per_worker.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  worker {w}: {} jobs ({} stolen), {:.0}% utilized",
+                ws.jobs,
+                ws.steals,
+                100.0 * self.utilization(w),
+            );
+        }
+        out
+    }
+}
+
+/// Everything a sweep returns: the deterministic report and the
+/// host-time pool statistics.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Aggregated, deterministic results (JSON-stable).
+    pub report: SweepReport,
+    /// Pool observability (host-time, nondeterministic).
+    pub stats: PoolStats,
+}
+
+/// Runs `spec` on a work-stealing pool of `pool.workers` threads.
+///
+/// The aggregated report is byte-identical for any worker count: result
+/// slots are addressed by `(cell, seed_idx)` and finalized in slot
+/// order, and nothing host-time-dependent enters the report.
+pub fn run_sweep(spec: &SweepSpec, pool: &PoolConfig) -> SweepOutcome {
+    let jobs = spec.jobs();
+    let shared = spec.shared_templates();
+    let n_workers = pool.workers.max(1);
+
+    let injector: Injector<Job> = Injector::new();
+    for &job in &jobs {
+        injector.push(job);
+    }
+
+    let locals: Vec<Worker<Job>> = (0..n_workers).map(|_| Worker::new_fifo()).collect();
+    let stealers: Vec<Stealer<Job>> = locals.iter().map(Worker::stealer).collect();
+
+    let (tx, rx) = channel::unbounded::<Result<JobOutput, JobFailure>>();
+    let mut aggregator = Aggregator::new(spec);
+    let started = Instant::now();
+    let mut max_queue_depth = jobs.len();
+    let mut per_worker: Vec<WorkerStats> = Vec::new();
+
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (w, local) in locals.into_iter().enumerate() {
+            let tx = tx.clone();
+            let injector = &injector;
+            let stealers = &stealers;
+            let shared = &shared;
+            handles.push(scope.spawn(move |_| {
+                let mut stats = WorkerStats::default();
+                loop {
+                    let job = next_job(&local, injector, stealers, w, &mut stats);
+                    let Some(job) = job else { break };
+                    let job_started = Instant::now();
+                    let result = run_job(spec, shared, job);
+                    stats.busy += job_started.elapsed();
+                    stats.jobs += 1;
+                    if tx.send(result).is_err() {
+                        break; // aggregator went away; nothing to do
+                    }
+                }
+                stats
+            }));
+        }
+        drop(tx);
+
+        // Streaming aggregation on this thread while workers run.
+        while let Ok(msg) = rx.recv() {
+            max_queue_depth = max_queue_depth.max(injector.len());
+            aggregator.accept(msg);
+        }
+
+        per_worker = handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panics are caught per job"))
+            .collect();
+    })
+    .expect("sweep scope");
+
+    let wall = started.elapsed();
+    SweepOutcome {
+        report: aggregator.finalize(),
+        stats: PoolStats {
+            workers: n_workers,
+            wall,
+            jobs: jobs.len(),
+            max_queue_depth,
+            per_worker,
+        },
+    }
+}
+
+/// Acquires the next job: local deque, then the global injector, then
+/// sibling deques (work stealing).
+fn next_job(
+    local: &Worker<Job>,
+    injector: &Injector<Job>,
+    stealers: &[Stealer<Job>],
+    me: usize,
+    stats: &mut WorkerStats,
+) -> Option<Job> {
+    if let Some(job) = local.pop() {
+        return Some(job);
+    }
+    loop {
+        match injector.steal_batch_and_pop(local) {
+            Steal::Success(job) => return Some(job),
+            Steal::Retry => continue,
+            Steal::Empty => break,
+        }
+    }
+    for (other, stealer) in stealers.iter().enumerate() {
+        if other == me {
+            continue;
+        }
+        loop {
+            match stealer.steal() {
+                Steal::Success(job) => {
+                    stats.steals += 1;
+                    return Some(job);
+                }
+                Steal::Retry => continue,
+                Steal::Empty => break,
+            }
+        }
+    }
+    None
+}
+
+/// Executes one job with panic isolation and post-hoc deadline check.
+fn run_job(
+    spec: &SweepSpec,
+    shared: &[Option<(
+        std::sync::Arc<bb_core::booster::Scenario>,
+        bb_core::PreParser,
+    )>],
+    job: Job,
+) -> Result<JobOutput, JobFailure> {
+    let cell = &spec.cells[job.cell];
+    let seed = cell.seeds[job.seed_idx];
+    let started = Instant::now();
+
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let (scenario, pre) = job_scenario(cell, seed, &shared[job.cell]);
+        let mut samples = Vec::with_capacity(cell.configs.len());
+        for (config, (_, cfg)) in cell.configs.iter().enumerate() {
+            let report = boost_prepared(&scenario, cfg, &pre).map_err(|e| e.to_string())?;
+            samples.push(BootSample {
+                config,
+                boot_ns: report.boot_time().as_nanos(),
+                quiesce_ns: report.quiesce_time.as_nanos(),
+            });
+        }
+        Ok::<_, String>(samples)
+    }));
+    let elapsed = started.elapsed();
+
+    let fail = |kind| Err(JobFailure { job, seed, kind });
+    match outcome {
+        Err(payload) => fail(FailureKind::Panic(panic_message(payload))),
+        Ok(Err(msg)) => fail(FailureKind::Boost(msg)),
+        Ok(Ok(samples)) => {
+            if let Some(deadline) = spec.deadline {
+                if elapsed > deadline {
+                    return fail(FailureKind::DeadlineExceeded { elapsed });
+                }
+            }
+            Ok(JobOutput {
+                job,
+                seed,
+                samples,
+                elapsed,
+            })
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CellSpec;
+    use bb_workloads::{profiles, TizenParams};
+
+    fn tiny_spec(seeds: impl IntoIterator<Item = u64>) -> SweepSpec {
+        SweepSpec::new().cell(
+            CellSpec::tizen(
+                "tiny",
+                profiles::ue48h6200(),
+                TizenParams {
+                    services: 24,
+                    ..TizenParams::open_source()
+                },
+            )
+            .seeds(seeds)
+            .conventional_vs_bb(),
+        )
+    }
+
+    #[test]
+    fn sweep_completes_and_counts_jobs() {
+        let spec = tiny_spec([1, 2, 3]);
+        let outcome = run_sweep(&spec, &PoolConfig::with_workers(2));
+        assert_eq!(outcome.stats.jobs, 3);
+        assert_eq!(outcome.stats.workers, 2);
+        assert_eq!(outcome.report.total_boots, 6);
+        assert!(outcome.report.failures.is_empty());
+        let jobs_done: usize = outcome.stats.per_worker.iter().map(|w| w.jobs).sum();
+        assert_eq!(jobs_done, 3);
+        assert!(outcome.stats.summary().contains("pool: 2 workers"));
+    }
+
+    #[test]
+    fn zero_deadline_fails_every_job_but_sweep_survives() {
+        let spec = tiny_spec([1, 2]).deadline(Duration::ZERO);
+        let outcome = run_sweep(&spec, &PoolConfig::with_workers(2));
+        assert_eq!(outcome.report.failures.len(), 2);
+        assert_eq!(outcome.report.total_boots, 0);
+        assert!(outcome
+            .report
+            .failures
+            .iter()
+            .all(|f| f.reason == "deadline exceeded"));
+    }
+
+    #[test]
+    fn pool_config_default_is_at_least_one_worker() {
+        assert!(PoolConfig::default().workers >= 1);
+        assert_eq!(PoolConfig::with_workers(0).workers, 1);
+    }
+}

@@ -1,0 +1,270 @@
+//! Sweep specification: a cartesian grid of boot simulations.
+//!
+//! A [`SweepSpec`] is a list of *cells*. Each cell names a scenario
+//! source (a synthetic Tizen workload or a fixed [`Scenario`]), the
+//! seeds to instantiate it with, and the [`BbConfig`]s to boot each
+//! instance under. One *job* is one `(cell, seed)` slot: the worker
+//! builds the scenario once, measures its [`PreParser`] once, and boots
+//! every config against that shared template — the expensive
+//! regeneration work is amortized across the whole config axis instead
+//! of being paid per boot.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bb_core::booster::Scenario;
+use bb_core::{BbConfig, PreParser};
+use bb_workloads::{tv_scenario_with, MachineProfile, TizenParams};
+
+/// Where a cell's boot scenarios come from.
+#[derive(Debug, Clone)]
+pub enum ScenarioSource {
+    /// Generate the synthetic Tizen TV workload per seed: each job
+    /// regenerates units, workloads, and false-ordering edges with its
+    /// own seed (the sweep's variance axis).
+    Tizen {
+        /// Hardware profile to run on.
+        profile: MachineProfile,
+        /// Workload parameters; the `seed` field is overridden per job.
+        params: TizenParams,
+    },
+    /// One fixed scenario shared by every seed slot (the seed then only
+    /// addresses the result slot). Useful for scenario types the
+    /// generator cannot express, and for fault-injection tests.
+    Fixed(Arc<Scenario>),
+}
+
+/// One cell of the sweep grid.
+#[derive(Debug, Clone)]
+pub struct CellSpec {
+    /// Cell label; appears in reports and JSON.
+    pub label: String,
+    /// Scenario source.
+    pub source: ScenarioSource,
+    /// Seeds to instantiate the source with; one job per seed.
+    pub seeds: Vec<u64>,
+    /// `(label, config)` pairs each instance boots under. A config
+    /// labeled `"conventional"` becomes the cell's savings baseline.
+    pub configs: Vec<(String, BbConfig)>,
+}
+
+impl CellSpec {
+    /// A cell generating Tizen TV workloads on `profile`. Starts with
+    /// `params.seed` as the only seed; override with [`CellSpec::seeds`].
+    pub fn tizen(label: impl Into<String>, profile: MachineProfile, params: TizenParams) -> Self {
+        let seed = params.seed;
+        CellSpec {
+            label: label.into(),
+            source: ScenarioSource::Tizen { profile, params },
+            seeds: vec![seed],
+            configs: Vec::new(),
+        }
+    }
+
+    /// A cell booting one fixed scenario. Starts with a single seed 0
+    /// (one job); add more to boot the identical scenario repeatedly.
+    pub fn fixed(label: impl Into<String>, scenario: Scenario) -> Self {
+        CellSpec {
+            label: label.into(),
+            source: ScenarioSource::Fixed(Arc::new(scenario)),
+            seeds: vec![0],
+            configs: Vec::new(),
+        }
+    }
+
+    /// Replaces the seed list.
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Adds one config to boot under.
+    pub fn config(mut self, label: impl Into<String>, cfg: BbConfig) -> Self {
+        self.configs.push((label.into(), cfg));
+        self
+    }
+
+    /// Adds the standard pair: `"conventional"` and full-`"bb"`.
+    pub fn conventional_vs_bb(self) -> Self {
+        self.config("conventional", BbConfig::conventional())
+            .config("bb", BbConfig::full())
+    }
+
+    /// Boots this cell contributes to the sweep.
+    pub fn boots(&self) -> usize {
+        self.seeds.len() * self.configs.len()
+    }
+}
+
+/// The full sweep: cells plus execution policy that belongs to the
+/// *work* (not the pool), i.e. the per-job deadline.
+#[derive(Debug, Clone, Default)]
+pub struct SweepSpec {
+    /// The grid.
+    pub cells: Vec<CellSpec>,
+    /// Per-job wall-clock deadline. A job whose boots take longer is
+    /// reported as failed and excluded from aggregation. `None` = no
+    /// deadline.
+    pub deadline: Option<Duration>,
+}
+
+impl SweepSpec {
+    /// An empty sweep.
+    pub fn new() -> Self {
+        SweepSpec::default()
+    }
+
+    /// Adds a cell.
+    pub fn cell(mut self, cell: CellSpec) -> Self {
+        self.cells.push(cell);
+        self
+    }
+
+    /// Sets the per-job deadline.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Total boots across the grid.
+    pub fn total_boots(&self) -> usize {
+        self.cells.iter().map(CellSpec::boots).sum()
+    }
+
+    /// Expands the grid into jobs, in deterministic (cell, seed) order.
+    pub fn jobs(&self) -> Vec<Job> {
+        let mut jobs = Vec::new();
+        for (cell, c) in self.cells.iter().enumerate() {
+            for seed_idx in 0..c.seeds.len() {
+                jobs.push(Job { cell, seed_idx });
+            }
+        }
+        jobs
+    }
+
+    /// Builds the per-cell shared templates: for `Fixed` cells the
+    /// scenario and its [`PreParser`] are measured once here and shared
+    /// by every job; `Tizen` cells are seed-dependent and must build
+    /// per job.
+    pub(crate) fn shared_templates(&self) -> Vec<Option<(Arc<Scenario>, PreParser)>> {
+        self.cells
+            .iter()
+            .map(|c| match &c.source {
+                ScenarioSource::Fixed(s) => Some((Arc::clone(s), PreParser::build(&s.units))),
+                ScenarioSource::Tizen { .. } => None,
+            })
+            .collect()
+    }
+}
+
+/// One unit of pool work: all configs of one `(cell, seed)` slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Job {
+    /// Index into [`SweepSpec::cells`].
+    pub cell: usize,
+    /// Index into that cell's seed list.
+    pub seed_idx: usize,
+}
+
+/// Materializes the scenario a job boots: the shared template for
+/// `Fixed` cells, a freshly generated instance for `Tizen` cells.
+pub(crate) fn job_scenario(
+    cell: &CellSpec,
+    seed: u64,
+    shared: &Option<(Arc<Scenario>, PreParser)>,
+) -> (Arc<Scenario>, PreParser) {
+    match (&cell.source, shared) {
+        (ScenarioSource::Fixed(_), Some(tpl)) => tpl.clone(),
+        (ScenarioSource::Tizen { profile, params }, _) => {
+            let scenario = tv_scenario_with(*profile, TizenParams { seed, ..*params });
+            let pre = PreParser::build(&scenario.units);
+            (Arc::new(scenario), pre)
+        }
+        (ScenarioSource::Fixed(s), None) => (Arc::clone(s), PreParser::build(&s.units)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bb_workloads::profiles;
+
+    fn small_cell() -> CellSpec {
+        CellSpec::tizen(
+            "small",
+            profiles::ue48h6200(),
+            TizenParams {
+                services: 24,
+                ..TizenParams::open_source()
+            },
+        )
+    }
+
+    #[test]
+    fn jobs_expand_in_cell_then_seed_order() {
+        let spec = SweepSpec::new()
+            .cell(small_cell().seeds([1, 2, 3]).conventional_vs_bb())
+            .cell(small_cell().seeds([7]).config("bb", BbConfig::full()));
+        let jobs = spec.jobs();
+        assert_eq!(jobs.len(), 4);
+        assert_eq!(
+            jobs[0],
+            Job {
+                cell: 0,
+                seed_idx: 0
+            }
+        );
+        assert_eq!(
+            jobs[2],
+            Job {
+                cell: 0,
+                seed_idx: 2
+            }
+        );
+        assert_eq!(
+            jobs[3],
+            Job {
+                cell: 1,
+                seed_idx: 0
+            }
+        );
+        assert_eq!(spec.total_boots(), 3 * 2 + 1);
+    }
+
+    #[test]
+    fn tizen_jobs_regenerate_per_seed() {
+        let cell = small_cell().seeds([10, 11]).conventional_vs_bb();
+        let (a, _) = job_scenario(&cell, 10, &None);
+        let (b, _) = job_scenario(&cell, 11, &None);
+        // Different seeds draw different service durations.
+        assert_ne!(
+            format!("{:?}", a.workloads),
+            format!("{:?}", b.workloads),
+            "seeds should vary the generated workload"
+        );
+    }
+
+    #[test]
+    fn fixed_cells_share_one_template() {
+        let scenario = tv_scenario_with(
+            profiles::ue48h6200(),
+            TizenParams {
+                services: 24,
+                ..TizenParams::open_source()
+            },
+        );
+        let spec = SweepSpec::new().cell(
+            CellSpec::fixed("pinned", scenario)
+                .seeds([0, 1, 2])
+                .config("bb", BbConfig::full()),
+        );
+        let shared = spec.shared_templates();
+        let (a, pre_a) = job_scenario(&spec.cells[0], 0, &shared[0]);
+        let (b, pre_b) = job_scenario(&spec.cells[0], 1, &shared[0]);
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "fixed cells must not clone the scenario"
+        );
+        assert_eq!(pre_a, pre_b);
+    }
+}

@@ -84,7 +84,13 @@ mod tests {
     use super::*;
 
     fn adj(edges: &[(usize, usize)]) -> impl Fn(usize) -> Vec<usize> + '_ {
-        move |v| edges.iter().filter(|(s, _)| *s == v).map(|(_, d)| *d).collect()
+        move |v| {
+            edges
+                .iter()
+                .filter(|(s, _)| *s == v)
+                .map(|(_, d)| *d)
+                .collect()
+        }
     }
 
     #[test]

@@ -88,7 +88,8 @@ impl Bootchart {
         assert!(width >= 10, "chart width must be at least 10");
         let mut s = String::new();
         let total = self.end.as_nanos().max(1);
-        let col = |t: SimTime| ((t.as_nanos() as u128 * (width as u128 - 1)) / total as u128) as usize;
+        let col =
+            |t: SimTime| ((t.as_nanos() as u128 * (width as u128 - 1)) / total as u128) as usize;
         let _ = writeln!(s, "time: 0 .. {}", self.end);
         // CPU utilization sparkline.
         let levels = [' ', '.', ':', '-', '=', '+', '*', '#'];

@@ -324,7 +324,12 @@ pub fn run_boot(
     };
     let mut order: Vec<usize> = Vec::with_capacity(base_order.len());
     let mut seen = BTreeSet::new();
-    for &j in plan.overrides.dispatch_first.iter().chain(base_order.iter()) {
+    for &j in plan
+        .overrides
+        .dispatch_first
+        .iter()
+        .chain(base_order.iter())
+    {
         if jobs.contains(&j) && seen.insert(j) {
             order.push(j);
         }
@@ -374,9 +379,8 @@ pub fn run_boot(
             ProcessSpec::new(format!("systemd:{}", task.name), ops).with_nice(0),
         ));
     }
-    machine.spawn(
-        ProcessSpec::new("systemd-manager", manager_ops).with_nice(cfg.costs.manager_nice),
-    );
+    machine
+        .spawn(ProcessSpec::new("systemd-manager", manager_ops).with_nice(cfg.costs.manager_nice));
 
     // Boot-completion watcher: sets the gate when the definition is met.
     let completion_waits: Vec<Op> = plan
@@ -499,7 +503,10 @@ fn service_spec(
                 ops.push(Op::WaitFlag(ready_flags[d]));
             }
         }
-        EngineMode::OutOfOrder { path_check, assert_deps } => {
+        EngineMode::OutOfOrder {
+            path_check,
+            assert_deps,
+        } => {
             let mut seen = BTreeSet::new();
             let raw_deps: Vec<usize> = graph
                 .ordering_in_edges(job)
@@ -646,8 +653,12 @@ mod tests {
                 .requires("c.service")
                 .requires("d.service"),
             svc("a.service").with_type(ServiceType::Forking),
-            svc("b.service").needs("a.service").with_type(ServiceType::Forking),
-            svc("c.service").needs("b.service").with_type(ServiceType::Forking),
+            svc("b.service")
+                .needs("a.service")
+                .with_type(ServiceType::Forking),
+            svc("c.service")
+                .needs("b.service")
+                .with_type(ServiceType::Forking),
             svc("d.service").with_type(ServiceType::Forking),
         ]
     }
@@ -778,7 +789,9 @@ mod tests {
                 .requires("slow1.service")
                 .requires("slow2.service"),
             svc("var.mount").with_type(ServiceType::Oneshot),
-            svc("dbus.service").needs("var.mount").with_type(ServiceType::Forking),
+            svc("dbus.service")
+                .needs("var.mount")
+                .with_type(ServiceType::Forking),
         ];
         for i in 1..=2 {
             units.push(
@@ -802,10 +815,8 @@ mod tests {
         // Isolated: var.mount + dbus in the BB group.
         let mut s2 = setup(2);
         let mut p2 = plan(&graph, &["dbus.service"]);
-        p2.overrides.isolate =
-            [graph.idx_of("var.mount"), graph.idx_of("dbus.service")].into();
-        p2.overrides.dispatch_first =
-            vec![graph.idx_of("var.mount"), graph.idx_of("dbus.service")];
+        p2.overrides.isolate = [graph.idx_of("var.mount"), graph.idx_of("dbus.service")].into();
+        p2.overrides.dispatch_first = vec![graph.idx_of("var.mount"), graph.idx_of("dbus.service")];
         for &j in &p2.overrides.isolate.clone() {
             p2.overrides.nice.insert(j, -15);
         }
@@ -836,10 +847,7 @@ mod tests {
         let mut p1 = plan(&graph, &["c.service"]);
         p1.init_tasks = tasks(false);
         let conv = run_boot(&mut s1.machine, &p1, &workloads(5), &s1.cfg);
-        assert_eq!(
-            conv.init_done.since(conv.userspace_start).as_millis(),
-            41
-        );
+        assert_eq!(conv.init_done.since(conv.userspace_start).as_millis(), 41);
 
         let mut s2 = setup(4);
         let mut p2 = plan(&graph, &["c.service"]);

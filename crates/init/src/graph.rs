@@ -131,26 +131,61 @@ impl UnitGraph {
         for i in 0..n {
             let u = g.units[i].clone();
             for dep in &u.after {
-                g.add_edge(dep, i, |src| Edge { src, dst: i, kind: EdgeKind::Ordering, declared_by: i });
+                g.add_edge(dep, i, |src| Edge {
+                    src,
+                    dst: i,
+                    kind: EdgeKind::Ordering,
+                    declared_by: i,
+                });
             }
             for dep in &u.before {
-                g.add_edge(dep, i, |dst| Edge { src: i, dst, kind: EdgeKind::Ordering, declared_by: i });
+                g.add_edge(dep, i, |dst| Edge {
+                    src: i,
+                    dst,
+                    kind: EdgeKind::Ordering,
+                    declared_by: i,
+                });
             }
             for dep in &u.requires {
-                g.add_edge(dep, i, |src| Edge { src, dst: i, kind: EdgeKind::RequiresStrong, declared_by: i });
+                g.add_edge(dep, i, |src| Edge {
+                    src,
+                    dst: i,
+                    kind: EdgeKind::RequiresStrong,
+                    declared_by: i,
+                });
             }
             for dep in &u.wants {
-                g.add_edge(dep, i, |src| Edge { src, dst: i, kind: EdgeKind::RequiresWeak, declared_by: i });
+                g.add_edge(dep, i, |src| Edge {
+                    src,
+                    dst: i,
+                    kind: EdgeKind::RequiresWeak,
+                    declared_by: i,
+                });
             }
             for dep in &u.conflicts {
-                g.add_edge(dep, i, |dst| Edge { src: i, dst, kind: EdgeKind::Conflict, declared_by: i });
+                g.add_edge(dep, i, |dst| Edge {
+                    src: i,
+                    dst,
+                    kind: EdgeKind::Conflict,
+                    declared_by: i,
+                });
             }
             // [Install] reverses: `unit` is wanted/required by a target.
             for target in &u.wanted_by {
-                g.add_edge(target, i, |dst| Edge { src: i, dst, kind: EdgeKind::RequiresWeak, declared_by: i });
+                g.add_edge(target, i, |dst| Edge {
+                    src: i,
+                    dst,
+                    kind: EdgeKind::RequiresWeak,
+                    declared_by: i,
+                });
             }
             for target in &u.required_by {
-                g.add_edge(target, i, |dst| Edge { src: i, dst, kind: EdgeKind::RequiresStrong, declared_by: i });
+                g.add_edge(target, i, |dst| Edge {
+                    src: i,
+                    dst,
+                    kind: EdgeKind::RequiresStrong,
+                    declared_by: i,
+                });
             }
         }
         Ok(g)
@@ -401,7 +436,8 @@ impl UnitGraph {
             .filter(|e| e.kind == EdgeKind::RequiresStrong)
             .map(|e| (e.src, e.dst))
             .collect();
-        let mut s = String::from("digraph units {\n  rankdir=LR;\n  node [shape=ellipse, fontsize=9];\n");
+        let mut s =
+            String::from("digraph units {\n  rankdir=LR;\n  node [shape=ellipse, fontsize=9];\n");
         for (i, u) in self.units.iter().enumerate() {
             let extra = if highlight.is_some_and(|h| h.contains(&i)) {
                 ", shape=box, style=filled, fillcolor=lightyellow"
@@ -465,7 +501,7 @@ mod tests {
     #[test]
     fn requirement_closure_follows_strength() {
         let g = graph(vec![
-        svc("a.service"),
+            svc("a.service"),
             svc("b.service").requires("a.service"),
             svc("c.service").wants("b.service"),
         ]);
@@ -518,8 +554,7 @@ mod tests {
             svc("d.service").after("a.service"),
         ]);
         let order = g.topo_order().unwrap();
-        let pos: HashMap<usize, usize> =
-            order.iter().enumerate().map(|(p, &i)| (i, p)).collect();
+        let pos: HashMap<usize, usize> = order.iter().enumerate().map(|(p, &i)| (i, p)).collect();
         for e in g.edges() {
             if e.kind == EdgeKind::Ordering {
                 assert!(pos[&e.src] < pos[&e.dst]);

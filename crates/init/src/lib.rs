@@ -29,11 +29,14 @@ pub mod unit;
 
 pub use chart::{blame, critical_chain, render_critical_chain, time_summary, Bootchart, ChartRow};
 pub use engine::{
-    run_boot, BootPlan, BootRecord, EngineConfig, EngineMode, LoadModel, ManagerCosts,
-    ManagerTask, PlanOverrides, ServiceBody, ServiceRecord, WorkloadMap,
+    run_boot, BootPlan, BootRecord, EngineConfig, EngineMode, LoadModel, ManagerCosts, ManagerTask,
+    PlanOverrides, ServiceBody, ServiceRecord, WorkloadMap,
 };
 pub use graph::{Edge, EdgeKind, GraphError, GraphStats, UnitGraph};
-pub use parser::{parse_unit, parse_unit_dir, parse_unit_set, Parsed, ParseError, ParseErrorKind, UnitDirError};
+pub use parser::{
+    parse_unit, parse_unit_dir, parse_unit_dir_with_warnings, parse_unit_set, DirectiveWarning,
+    DirectiveWarningKind, FileWarnings, ParseError, ParseErrorKind, Parsed, UnitDirError,
+};
 pub use preparse::{decode_units, encode_units, CodecError};
 pub use transaction::{Transaction, TransactionError};
 pub use unit::{ExecConfig, IoSchedulingClass, ServiceType, Unit, UnitKind, UnitName};

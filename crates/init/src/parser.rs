@@ -66,14 +66,80 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-/// Result of a parse: the unit plus non-fatal warnings (unknown keys,
-/// which systemd logs and ignores).
+/// Directives that real systemd understands but this model deliberately
+/// does not simulate. Parsing them without warning would silently drop
+/// behavior that exists on the device, so the Service Analyzer surfaces
+/// them as lint findings instead.
+const UNSUPPORTED_DIRECTIVES: &[(&str, &str)] = &[
+    ("Unit", "OnFailure"),
+    ("Unit", "PartOf"),
+    ("Unit", "BindsTo"),
+    ("Service", "Restart"),
+    ("Service", "RestartSec"),
+    ("Service", "Environment"),
+    ("Service", "EnvironmentFile"),
+    ("Service", "ExecStartPre"),
+    ("Service", "ExecStartPost"),
+    ("Service", "ExecStop"),
+    ("Service", "ExecReload"),
+    ("Service", "User"),
+    ("Service", "Group"),
+    ("Service", "WorkingDirectory"),
+    ("Service", "LimitNOFILE"),
+    ("Socket", "SocketMode"),
+    ("Install", "Alias"),
+];
+
+/// Why a directive produced a warning instead of taking effect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirectiveWarningKind {
+    /// A real systemd directive this model parses but does not support.
+    /// The unit will behave differently here than on a real system.
+    Unsupported,
+    /// Not a directive either systemd or this model recognizes
+    /// (systemd logs and ignores these).
+    Unknown,
+}
+
+/// A non-fatal parser warning: a directive that was accepted
+/// syntactically but had no effect on the unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirectiveWarning {
+    /// 1-based line number in the input.
+    pub line: usize,
+    /// The directive as `Section::Key`.
+    pub directive: String,
+    /// Whether the directive is known-unsupported or simply unknown.
+    pub kind: DirectiveWarningKind,
+}
+
+impl fmt::Display for DirectiveWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            DirectiveWarningKind::Unsupported => write!(
+                f,
+                "line {}: {} is parsed but not supported by this model",
+                self.line, self.directive
+            ),
+            DirectiveWarningKind::Unknown => {
+                write!(
+                    f,
+                    "line {}: unknown directive {}",
+                    self.line, self.directive
+                )
+            }
+        }
+    }
+}
+
+/// Result of a parse: the unit plus non-fatal warnings (unsupported or
+/// unknown keys, which systemd logs and ignores).
 #[derive(Debug, Clone)]
 pub struct Parsed {
     /// The parsed unit.
     pub unit: Unit,
-    /// Unknown directives encountered, as `(line, key)`.
-    pub warnings: Vec<(usize, String)>,
+    /// Directives that were dropped rather than applied.
+    pub warnings: Vec<DirectiveWarning>,
 }
 
 /// Parses one unit file. `file_name` must carry a unit suffix
@@ -147,11 +213,7 @@ pub fn parse_unit(file_name: &str, text: &str) -> Result<Parsed, ParseError> {
     Ok(Parsed { unit, warnings })
 }
 
-fn parse_name_list(
-    value: &str,
-    line: usize,
-    into: &mut Vec<UnitName>,
-) -> Result<(), ParseError> {
+fn parse_name_list(value: &str, line: usize, into: &mut Vec<UnitName>) -> Result<(), ParseError> {
     if value.is_empty() {
         // systemd: an empty assignment resets the accumulated list.
         into.clear();
@@ -197,7 +259,7 @@ fn apply_directive(
     key: &str,
     value: &str,
     line: usize,
-    warnings: &mut Vec<(usize, String)>,
+    warnings: &mut Vec<DirectiveWarning>,
 ) -> Result<(), ParseError> {
     match (section, key) {
         ("Unit", "Description") => unit.description = value.to_owned(),
@@ -236,11 +298,23 @@ fn apply_directive(
                 IoSchedulingClass::parse(value).ok_or_else(|| bad_value(key, value, line))?;
         }
         ("Service" | "Mount" | "Socket", "TimeoutStartSec") => {
-            unit.exec.timeout_ms = parse_timeout_ms(value).ok_or_else(|| bad_value(key, value, line))?;
+            unit.exec.timeout_ms =
+                parse_timeout_ms(value).ok_or_else(|| bad_value(key, value, line))?;
         }
         ("Install", "WantedBy") => parse_name_list(value, line, &mut unit.wanted_by)?,
         ("Install", "RequiredBy") => parse_name_list(value, line, &mut unit.required_by)?,
-        _ => warnings.push((line, format!("{section}::{key}"))),
+        _ => {
+            let kind = if UNSUPPORTED_DIRECTIVES.contains(&(section, key)) {
+                DirectiveWarningKind::Unsupported
+            } else {
+                DirectiveWarningKind::Unknown
+            };
+            warnings.push(DirectiveWarning {
+                line,
+                directive: format!("{section}::{key}"),
+                kind,
+            });
+        }
     }
     Ok(())
 }
@@ -265,6 +339,19 @@ fn parse_timeout_ms(value: &str) -> Option<u64> {
 /// I/O failures and parse failures are both reported; parse failures
 /// carry the offending file name.
 pub fn parse_unit_dir(dir: &std::path::Path) -> Result<Vec<Unit>, UnitDirError> {
+    parse_unit_dir_with_warnings(dir).map(|(units, _)| units)
+}
+
+/// Per-file parser warnings: `(file_name, warning)` pairs.
+pub type FileWarnings = Vec<(String, DirectiveWarning)>;
+
+/// Like [`parse_unit_dir`], but also returns the per-file parser
+/// warnings as `(file_name, warning)` pairs, so callers (the Service
+/// Analyzer CLI, `bbsim --units`) can lint directives that real systemd
+/// honors but this model drops.
+pub fn parse_unit_dir_with_warnings(
+    dir: &std::path::Path,
+) -> Result<(Vec<Unit>, FileWarnings), UnitDirError> {
     let mut files: Vec<(String, std::path::PathBuf)> = std::fs::read_dir(dir)
         .map_err(UnitDirError::Io)?
         .filter_map(|entry| {
@@ -275,15 +362,15 @@ pub fn parse_unit_dir(dir: &std::path::Path) -> Result<Vec<Unit>, UnitDirError> 
         })
         .collect();
     files.sort();
-    files
-        .into_iter()
-        .map(|(name, path)| {
-            let text = std::fs::read_to_string(&path).map_err(UnitDirError::Io)?;
-            parse_unit(&name, &text)
-                .map(|p| p.unit)
-                .map_err(|e| UnitDirError::Parse(name, e))
-        })
-        .collect()
+    let mut units = Vec::with_capacity(files.len());
+    let mut warnings = Vec::new();
+    for (name, path) in files {
+        let text = std::fs::read_to_string(&path).map_err(UnitDirError::Io)?;
+        let parsed = parse_unit(&name, &text).map_err(|e| UnitDirError::Parse(name.clone(), e))?;
+        units.push(parsed.unit);
+        warnings.extend(parsed.warnings.into_iter().map(|w| (name.clone(), w)));
+    }
+    Ok((units, warnings))
 }
 
 /// Failure loading a unit directory.
@@ -342,7 +429,10 @@ WantedBy=multi-user.target
     #[test]
     fn parses_paper_listing1() {
         let p = parse_unit("myapp.service", LISTING1).unwrap();
-        assert_eq!(p.unit.description, "Summarized explanation of Myapp.service");
+        assert_eq!(
+            p.unit.description,
+            "Summarized explanation of Myapp.service"
+        );
         assert_eq!(p.unit.before, vec![UnitName::new("socket.service")]);
         assert_eq!(p.unit.exec.service_type, ServiceType::Oneshot);
         assert_eq!(
@@ -386,7 +476,13 @@ WantedBy=multi-user.target
         let text = "[Unit]\nFancyNewDirective=zap\n[Service]\nRestart=always\n";
         let p = parse_unit("x.service", text).unwrap();
         assert_eq!(p.warnings.len(), 2);
-        assert_eq!(p.warnings[0].1, "Unit::FancyNewDirective");
+        assert_eq!(p.warnings[0].directive, "Unit::FancyNewDirective");
+        assert_eq!(p.warnings[0].kind, DirectiveWarningKind::Unknown);
+        // `Restart=` is real systemd, just not modeled here: flagged as
+        // unsupported rather than unknown.
+        assert_eq!(p.warnings[1].directive, "Service::Restart");
+        assert_eq!(p.warnings[1].kind, DirectiveWarningKind::Unsupported);
+        assert!(p.warnings[1].to_string().contains("not supported"));
     }
 
     #[test]

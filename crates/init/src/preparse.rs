@@ -69,7 +69,15 @@ pub fn encode_units(units: &[Unit]) -> Vec<u8> {
         put_str(&mut out, u.name.as_str());
         put_str(&mut out, &u.description);
         put_str_list(&mut out, &u.documentation);
-        for list in [&u.after, &u.before, &u.requires, &u.wants, &u.conflicts, &u.wanted_by, &u.required_by] {
+        for list in [
+            &u.after,
+            &u.before,
+            &u.requires,
+            &u.wants,
+            &u.conflicts,
+            &u.wanted_by,
+            &u.required_by,
+        ] {
             put_name_list(&mut out, list);
         }
         match &u.condition_path_exists {
@@ -208,11 +216,15 @@ impl<'b> Reader<'b> {
     }
 
     fn u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     fn str(&mut self) -> Result<String, CodecError> {

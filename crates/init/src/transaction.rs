@@ -223,7 +223,9 @@ mod tests {
         let g = graph(vec![
             boot_target(),
             svc("a.service").wanted_by("multi-user.target"),
-            svc("b.service").requires("c.service").wanted_by("multi-user.target"),
+            svc("b.service")
+                .requires("c.service")
+                .wanted_by("multi-user.target"),
             svc("c.service"),
             svc("unrelated.service"),
         ]);
@@ -266,7 +268,9 @@ mod tests {
                 .wanted_by("multi-user.target")
                 .requires("keep.service"),
             svc("keep.service"),
-            svc("w.service").after("a.service").wanted_by("multi-user.target"),
+            svc("w.service")
+                .after("a.service")
+                .wanted_by("multi-user.target"),
         ]);
         // Make `a` required: pull it strongly from the target.
         let mut units: Vec<Unit> = g.units().to_vec();
@@ -299,8 +303,12 @@ mod tests {
     fn execution_order_respects_job_subgraph() {
         let g = graph(vec![
             boot_target(),
-            svc("c.service").after("b.service").wanted_by("multi-user.target"),
-            svc("b.service").after("a.service").wanted_by("multi-user.target"),
+            svc("c.service")
+                .after("b.service")
+                .wanted_by("multi-user.target"),
+            svc("b.service")
+                .after("a.service")
+                .wanted_by("multi-user.target"),
             svc("a.service").wanted_by("multi-user.target"),
         ]);
         let t = Transaction::build(&g, "multi-user.target").unwrap();

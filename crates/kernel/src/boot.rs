@@ -93,7 +93,10 @@ pub struct KernelReport {
 impl KernelReport {
     /// Duration of the named phase, if present.
     pub fn phase(&self, name: &str) -> Option<SimDuration> {
-        self.phases.iter().find(|p| p.name == name).map(|p| p.duration)
+        self.phases
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.duration)
     }
 
     /// Total serial kernel time (bootloader excluded).

@@ -183,10 +183,7 @@ mod tests {
     fn totals_by_criticality() {
         let r = registry();
         assert_eq!(r.total_cost(None).as_millis(), 15);
-        assert_eq!(
-            r.total_cost(Some(Criticality::BootCritical)).as_millis(),
-            7
-        );
+        assert_eq!(r.total_cost(Some(Criticality::BootCritical)).as_millis(), 7);
         assert_eq!(r.total_cost(Some(Criticality::Deferrable)).as_millis(), 8);
     }
 

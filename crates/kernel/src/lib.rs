@@ -22,5 +22,5 @@ pub use analysis::{CompressionModel, SnapshotModel};
 pub use boot::{execute_kernel_boot, KernelPhase, KernelPlan, KernelReport, RootfsPlan};
 pub use initcall::{Criticality, Initcall, InitcallLevel, InitcallRegistry};
 pub use memory::MemoryPlan;
-pub use suspend::{StandbyPolicy, SuspendToRam};
 pub use modules::{synthetic_catalog, KernelModule, ModuleCatalog, ModuleLoadCosts};
+pub use suspend::{StandbyPolicy, SuspendToRam};

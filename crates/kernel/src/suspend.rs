@@ -37,9 +37,7 @@ impl SuspendToRam {
 
     /// Time from power-button press to a usable device.
     pub fn resume_time(&self) -> SimDuration {
-        self.wake_latency
-            + self.per_device_resume * u64::from(self.devices)
-            + self.display_restart
+        self.wake_latency + self.per_device_resume * u64::from(self.devices) + self.display_restart
     }
 }
 

@@ -143,7 +143,10 @@ impl RcuDomain {
                 .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Relaxed)
                 .is_ok()
             {
-                return ReaderHandle { domain: self, slot: i };
+                return ReaderHandle {
+                    domain: self,
+                    slot: i,
+                };
             }
         }
         panic!("rcu domain reader slots exhausted ({MAX_READERS})");

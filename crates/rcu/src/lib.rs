@@ -33,6 +33,6 @@ pub mod ticket;
 
 pub use callback::DeferQueue;
 pub use cell::RcuCell;
-pub use list::RcuList;
 pub use domain::{DomainStats, RcuDomain, ReadGuard, ReaderHandle, WaitStrategy, MAX_READERS};
+pub use list::RcuList;
 pub use ticket::{TicketGuard, TicketLock};

@@ -115,10 +115,7 @@ mod tests {
         assert!(json.contains(r#""name":"the-flag""#));
         assert!(json.contains(r#""name":"cpu1""#));
         // Balanced braces (cheap well-formedness check).
-        assert_eq!(
-            json.matches('{').count(),
-            json.matches('}').count()
-        );
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
         // No trailing comma before the closing bracket.
         assert!(!json.contains(",\n]"));
     }

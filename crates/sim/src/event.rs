@@ -117,11 +117,15 @@ mod tests {
         q.push(SimTime::from_nanos(30), EventKind::RcuGraceDone);
         q.push(
             SimTime::from_nanos(10),
-            EventKind::WakeUp { pid: Pid::from_raw(1) },
+            EventKind::WakeUp {
+                pid: Pid::from_raw(1),
+            },
         );
         q.push(
             SimTime::from_nanos(20),
-            EventKind::IoDone { device: DeviceId::from_raw(0) },
+            EventKind::IoDone {
+                device: DeviceId::from_raw(0),
+            },
         );
         let times: Vec<u64> = std::iter::from_fn(|| q.pop())
             .map(|(t, _)| t.as_nanos())
@@ -134,7 +138,12 @@ mod tests {
         let mut q = EventQueue::new();
         let t = SimTime::from_nanos(5);
         for i in 0..4 {
-            q.push(t, EventKind::WakeUp { pid: Pid::from_raw(i) });
+            q.push(
+                t,
+                EventKind::WakeUp {
+                    pid: Pid::from_raw(i),
+                },
+            );
         }
         let pids: Vec<u32> = std::iter::from_fn(|| q.pop())
             .map(|(_, k)| match k {

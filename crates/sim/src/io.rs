@@ -23,20 +23,15 @@ pub const MIB: u64 = 1024 * 1024;
 /// `IOSchedulingClass=` knob, set via `ioprio_set`, §2.5).
 ///
 /// Lower values are served first; within a class, FIFO.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum IoPriority {
     /// Preferential service (`realtime`).
     Realtime,
     /// Kernel default (`best-effort`).
+    #[default]
     BestEffort,
     /// Served only when nothing else is queued (`idle`).
     Idle,
-}
-
-impl Default for IoPriority {
-    fn default() -> Self {
-        IoPriority::BestEffort
-    }
 }
 
 /// Static performance parameters of a storage device.
@@ -285,7 +280,9 @@ mod tests {
         let t0 = SimTime::ZERO;
         // Best-effort request in flight, another queued, then a realtime
         // arrival: the realtime one is served next, the idle one last.
-        let c1 = dev.submit(req(1, MIB, AccessPattern::Sequential, t0), t0).unwrap();
+        let c1 = dev
+            .submit(req(1, MIB, AccessPattern::Sequential, t0), t0)
+            .unwrap();
         dev.submit(req(2, MIB, AccessPattern::Sequential, t0), t0);
         dev.submit(
             req_prio(3, MIB, AccessPattern::Sequential, IoPriority::Idle, t0),
@@ -318,7 +315,9 @@ mod tests {
         let prof = DeviceProfile::from_mibs(1, 1, SimDuration::ZERO);
         let mut dev = Device::new(DeviceId::from_raw(0), "emmc", prof);
         let t0 = SimTime::ZERO;
-        let c1 = dev.submit(req(1, MIB, AccessPattern::Sequential, t0), t0).unwrap();
+        let c1 = dev
+            .submit(req(1, MIB, AccessPattern::Sequential, t0), t0)
+            .unwrap();
         dev.submit(req(2, MIB, AccessPattern::Sequential, t0), t0);
         dev.complete_head(c1);
         // Second request waited a full second.

@@ -252,8 +252,13 @@ impl Machine {
     /// Spawns a process, ready at the current time. Returns its pid.
     pub fn spawn(&mut self, spec: ProcessSpec) -> Pid {
         let pid = Pid::from_raw(self.procs.len() as u32);
-        self.trace
-            .push(self.now, pid, TraceKind::Spawned { name: spec.name.clone() });
+        self.trace.push(
+            self.now,
+            pid,
+            TraceKind::Spawned {
+                name: spec.name.clone(),
+            },
+        );
         self.procs.push(Process::from_spec(pid, spec, self.now));
         self.work.push(pid);
         self.drain_work();
@@ -269,7 +274,8 @@ impl Machine {
         assert!(at >= self.now, "spawn_at in the past");
         let slot = self.pending_spawns.len() as u32;
         self.pending_spawns.push(Some(spec));
-        self.events.push(at, EventKind::ExternalSpawn { spawn_slot: slot });
+        self.events
+            .push(at, EventKind::ExternalSpawn { spawn_slot: slot });
     }
 
     /// Sets a flag from outside the simulation (e.g. a kernel phase model
@@ -357,8 +363,13 @@ impl Machine {
                     .take()
                     .expect("spawn slot fired twice");
                 let pid = Pid::from_raw(self.procs.len() as u32);
-                self.trace
-                    .push(self.now, pid, TraceKind::Spawned { name: spec.name.clone() });
+                self.trace.push(
+                    self.now,
+                    pid,
+                    TraceKind::Spawned {
+                        name: spec.name.clone(),
+                    },
+                );
                 self.procs.push(Process::from_spec(pid, spec, self.now));
                 self.work.push(pid);
             }
@@ -430,8 +441,7 @@ impl Machine {
                     // The waiter burned its core the whole time; charge
                     // and free it.
                     let run = self.running[&waiter.pid];
-                    self.procs[waiter.pid.index()].cpu_time +=
-                        self.now.saturating_since(run.since);
+                    self.procs[waiter.pid.index()].cpu_time += self.now.saturating_since(run.since);
                     self.release_core(waiter.pid, run.core);
                     self.work.push(waiter.pid);
                 }
@@ -511,7 +521,11 @@ impl Machine {
                     self.make_ready(pid);
                     return;
                 }
-                Some(Op::IoRead { device, bytes, pattern }) => {
+                Some(Op::IoRead {
+                    device,
+                    bytes,
+                    pattern,
+                }) => {
                     let req = IoRequest {
                         pid,
                         bytes,
@@ -536,8 +550,7 @@ impl Machine {
                         self.procs[pid.index()].ops.pop_front();
                         continue;
                     }
-                    self.procs[pid.index()].state =
-                        ProcState::Blocked(BlockReason::Flag(flag));
+                    self.procs[pid.index()].state = ProcState::Blocked(BlockReason::Flag(flag));
                     self.flags[flag.index()].waiters.push(pid);
                     return;
                 }
@@ -572,8 +585,13 @@ impl Machine {
                 Some(Op::Spawn(spec)) => {
                     self.procs[pid.index()].ops.pop_front();
                     let child = Pid::from_raw(self.procs.len() as u32);
-                    self.trace
-                        .push(self.now, child, TraceKind::Spawned { name: spec.name.clone() });
+                    self.trace.push(
+                        self.now,
+                        child,
+                        TraceKind::Spawned {
+                            name: spec.name.clone(),
+                        },
+                    );
                     self.procs.push(Process::from_spec(child, spec, self.now));
                     self.work.push(child);
                 }
@@ -596,7 +614,8 @@ impl Machine {
             return;
         }
         f.set_at = Some(self.now);
-        self.trace.push(self.now, setter, TraceKind::FlagSet { flag });
+        self.trace
+            .push(self.now, setter, TraceKind::FlagSet { flag });
         for waiter in std::mem::take(&mut f.waiters) {
             self.sched_stats.flag_wakeups += 1;
             let p = &mut self.procs[waiter.index()];
@@ -635,7 +654,13 @@ impl Machine {
         debug_assert!(self.cores[core.index()].is_none());
         self.sched_stats.dispatches += 1;
         self.cores[core.index()] = Some(pid);
-        self.running.insert(pid, Running { core, since: self.now });
+        self.running.insert(
+            pid,
+            Running {
+                core,
+                since: self.now,
+            },
+        );
         let speed = self.cfg.core_speed;
         let p = &mut self.procs[pid.index()];
         p.state = ProcState::Running;
@@ -686,8 +711,7 @@ impl Machine {
                     crate::rcu::WaitKind::SleepingClassic
                     | crate::rcu::WaitKind::SleepingBoosted => {
                         self.release_core(pid, core);
-                        self.procs[pid.index()].state =
-                            ProcState::Blocked(BlockReason::RcuBlocked);
+                        self.procs[pid.index()].state = ProcState::Blocked(BlockReason::RcuBlocked);
                     }
                 }
             }
@@ -740,8 +764,14 @@ mod tests {
     #[test]
     fn two_processes_share_one_core() {
         let mut m = machine(1);
-        m.spawn(ProcessSpec::new("a", OpsBuilder::new().compute_ms(3).build()));
-        m.spawn(ProcessSpec::new("b", OpsBuilder::new().compute_ms(3).build()));
+        m.spawn(ProcessSpec::new(
+            "a",
+            OpsBuilder::new().compute_ms(3).build(),
+        ));
+        m.spawn(ProcessSpec::new(
+            "b",
+            OpsBuilder::new().compute_ms(3).build(),
+        ));
         let out = m.run();
         // Serialized on one core: 6 ms total.
         assert_eq!(out.end_time.as_millis(), 6);
@@ -750,8 +780,14 @@ mod tests {
     #[test]
     fn two_processes_run_in_parallel_on_two_cores() {
         let mut m = machine(2);
-        m.spawn(ProcessSpec::new("a", OpsBuilder::new().compute_ms(3).build()));
-        m.spawn(ProcessSpec::new("b", OpsBuilder::new().compute_ms(3).build()));
+        m.spawn(ProcessSpec::new(
+            "a",
+            OpsBuilder::new().compute_ms(3).build(),
+        ));
+        m.spawn(ProcessSpec::new(
+            "b",
+            OpsBuilder::new().compute_ms(3).build(),
+        ));
         let out = m.run();
         assert_eq!(out.end_time.as_millis(), 3);
     }
@@ -763,9 +799,7 @@ mod tests {
             "low",
             OpsBuilder::new().compute_ms(10).build(),
         ));
-        m.spawn(
-            ProcessSpec::new("high", OpsBuilder::new().compute_ms(2).build()).with_nice(-20),
-        );
+        m.spawn(ProcessSpec::new("high", OpsBuilder::new().compute_ms(2).build()).with_nice(-20));
         m.run();
         let tl = m.trace().process_timeline();
         let high_done = tl
@@ -785,7 +819,10 @@ mod tests {
             core_speed: 2.0,
             ..MachineConfig::default()
         });
-        m.spawn(ProcessSpec::new("a", OpsBuilder::new().compute_ms(10).build()));
+        m.spawn(ProcessSpec::new(
+            "a",
+            OpsBuilder::new().compute_ms(10).build(),
+        ));
         let out = m.run();
         assert_eq!(out.end_time.as_millis(), 5);
     }
@@ -857,7 +894,10 @@ mod tests {
     fn assert_flag_passes_when_set() {
         let mut m = machine(1);
         let f = m.flag("prereq");
-        m.spawn(ProcessSpec::new("setter", OpsBuilder::new().set_flag(f).build()));
+        m.spawn(ProcessSpec::new(
+            "setter",
+            OpsBuilder::new().set_flag(f).build(),
+        ));
         m.spawn(ProcessSpec::new(
             "fragile",
             OpsBuilder::new().assert_flag(f).compute_ms(1).build(),
@@ -872,7 +912,11 @@ mod tests {
         let child = ProcessSpec::new("child", OpsBuilder::new().compute_ms(2).build());
         m.spawn(ProcessSpec::new(
             "parent",
-            OpsBuilder::new().compute_ms(1).spawn(child).compute_ms(1).build(),
+            OpsBuilder::new()
+                .compute_ms(1)
+                .spawn(child)
+                .compute_ms(1)
+                .build(),
         ));
         let out = m.run();
         assert_eq!(m.process_count(), 2);
@@ -890,7 +934,10 @@ mod tests {
                 .compute_ms(1)
                 .build(),
         ));
-        m.spawn(ProcessSpec::new("worker", OpsBuilder::new().compute_ms(8).build()));
+        m.spawn(ProcessSpec::new(
+            "worker",
+            OpsBuilder::new().compute_ms(8).build(),
+        ));
         let out = m.run();
         // Sleeper wakes at 10 and computes 1 ms; worker overlapped fully.
         assert_eq!(out.end_time.as_millis(), 11);
@@ -917,7 +964,10 @@ mod tests {
         // it sleeps, the worker overlaps.
         let mut m = rcu_machine(1, RcuMode::ClassicSpin);
         m.spawn(ProcessSpec::new("syncer", vec![Op::RcuSync]));
-        m.spawn(ProcessSpec::new("worker", OpsBuilder::new().compute_ms(5).build()));
+        m.spawn(ProcessSpec::new(
+            "worker",
+            OpsBuilder::new().compute_ms(5).build(),
+        ));
         let out = m.run();
         assert_eq!(out.end_time.as_millis(), 10);
         assert!(m.process(Pid::from_raw(0)).cpu_time.as_millis() < 1);
@@ -930,7 +980,10 @@ mod tests {
         let mut m = rcu_machine(1, RcuMode::ClassicSpin);
         m.spawn(ProcessSpec::new("syncer-a", vec![Op::RcuSync]));
         m.spawn(ProcessSpec::new("syncer-b", vec![Op::RcuSync]));
-        m.spawn(ProcessSpec::new("worker", OpsBuilder::new().compute_ms(15).build()));
+        m.spawn(ProcessSpec::new(
+            "worker",
+            OpsBuilder::new().compute_ms(15).build(),
+        ));
         let out = m.run();
         // a parks uncontended (gp 0..10); b finds a pending and spins on
         // the core for the rest of a's grace period plus its own
@@ -945,7 +998,10 @@ mod tests {
         let mut m = rcu_machine(1, RcuMode::Boosted);
         m.spawn(ProcessSpec::new("syncer-a", vec![Op::RcuSync]));
         m.spawn(ProcessSpec::new("syncer-b", vec![Op::RcuSync]));
-        m.spawn(ProcessSpec::new("worker", OpsBuilder::new().compute_ms(15).build()));
+        m.spawn(ProcessSpec::new(
+            "worker",
+            OpsBuilder::new().compute_ms(15).build(),
+        ));
         let out = m.run();
         // Worker runs 0..15 in parallel with both sleeping waiters.
         assert_eq!(out.end_time.as_millis(), 20);
@@ -970,7 +1026,9 @@ mod tests {
         // starts inside it and is extended.
         m.spawn(ProcessSpec::new(
             "reader",
-            OpsBuilder::new().rcu_read(SimDuration::from_millis(10)).build(),
+            OpsBuilder::new()
+                .rcu_read(SimDuration::from_millis(10))
+                .build(),
         ));
         m.spawn(ProcessSpec::new("syncer", vec![Op::RcuSync]));
         let out = m.run();
@@ -992,7 +1050,11 @@ mod tests {
         m.spawn(ProcessSpec::new(
             "poller",
             OpsBuilder::new()
-                .poll_flag(f, SimDuration::from_millis(10), SimDuration::from_micros(100))
+                .poll_flag(
+                    f,
+                    SimDuration::from_millis(10),
+                    SimDuration::from_micros(100),
+                )
                 .compute_ms(1)
                 .build(),
         ));
@@ -1004,7 +1066,11 @@ mod tests {
         assert!(out.blocked.is_empty());
         // Poller checked at ~0, ~10, ~20, then saw the flag at ~30.
         let poller = m.process(Pid::from_raw(0));
-        assert!(poller.cpu_time.as_micros() >= 1300, "cpu {}", poller.cpu_time);
+        assert!(
+            poller.cpu_time.as_micros() >= 1300,
+            "cpu {}",
+            poller.cpu_time
+        );
         assert!(out.end_time.as_millis() >= 30);
     }
 
@@ -1086,7 +1152,10 @@ mod tests {
         let mut m = machine(1);
         m.advance_time(SimDuration::from_millis(100));
         assert_eq!(m.now().as_millis(), 100);
-        m.spawn(ProcessSpec::new("p", OpsBuilder::new().compute_ms(1).build()));
+        m.spawn(ProcessSpec::new(
+            "p",
+            OpsBuilder::new().compute_ms(1).build(),
+        ));
         let out = m.run();
         assert_eq!(out.end_time.as_millis(), 101);
     }
@@ -1094,7 +1163,10 @@ mod tests {
     #[test]
     fn run_until_stops_at_boundary() {
         let mut m = machine(1);
-        m.spawn(ProcessSpec::new("p", OpsBuilder::new().compute_ms(10).build()));
+        m.spawn(ProcessSpec::new(
+            "p",
+            OpsBuilder::new().compute_ms(10).build(),
+        ));
         let t = m.run_until(SimTime::from_nanos(4_000_000));
         assert_eq!(t.as_millis(), 4);
         let out = m.run();
@@ -1118,12 +1190,21 @@ mod tests {
         let gate = m.flag("boot-complete");
         m.spawn(ProcessSpec::new(
             "booster-control",
-            OpsBuilder::new().wait_flag(gate).build().into_iter()
+            OpsBuilder::new()
+                .wait_flag(gate)
+                .build()
+                .into_iter()
                 .chain([Op::SetRcuMode(RcuMode::ClassicSpin)])
                 .collect(),
         ));
-        m.spawn(ProcessSpec::new("early-sync", vec![Op::RcuSync, Op::SetFlag(gate)]));
-        m.spawn(ProcessSpec::new("late-sync", vec![Op::WaitFlag(gate), Op::RcuSync]));
+        m.spawn(ProcessSpec::new(
+            "early-sync",
+            vec![Op::RcuSync, Op::SetFlag(gate)],
+        ));
+        m.spawn(ProcessSpec::new(
+            "late-sync",
+            vec![Op::WaitFlag(gate), Op::RcuSync],
+        ));
         m.run();
         let stats = m.rcu_stats();
         assert_eq!(stats.boosted_syncs, 1);
@@ -1154,7 +1235,10 @@ mod tests {
     fn cond_skip_runs_body_when_flag_set() {
         let mut m = machine(1);
         let cond = m.flag("path-exists");
-        m.spawn(ProcessSpec::new("creator", OpsBuilder::new().set_flag(cond).build()));
+        m.spawn(ProcessSpec::new(
+            "creator",
+            OpsBuilder::new().set_flag(cond).build(),
+        ));
         m.spawn(ProcessSpec::new(
             "conditional",
             OpsBuilder::new().cond_skip(cond, 1).compute_ms(50).build(),
@@ -1168,9 +1252,16 @@ mod tests {
         let mut m = machine(1);
         m.spawn(ProcessSpec::new(
             "yielder",
-            OpsBuilder::new().compute_ms(1).yield_now().compute_ms(1).build(),
+            OpsBuilder::new()
+                .compute_ms(1)
+                .yield_now()
+                .compute_ms(1)
+                .build(),
         ));
-        m.spawn(ProcessSpec::new("other", OpsBuilder::new().compute_ms(1).build()));
+        m.spawn(ProcessSpec::new(
+            "other",
+            OpsBuilder::new().compute_ms(1).build(),
+        ));
         let out = m.run();
         assert_eq!(out.end_time.as_millis(), 3);
     }

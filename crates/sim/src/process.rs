@@ -314,7 +314,12 @@ impl OpsBuilder {
     }
 
     /// Appends a path-check style polling wait.
-    pub fn poll_flag(mut self, flag: FlagId, interval: SimDuration, poll_cost: SimDuration) -> Self {
+    pub fn poll_flag(
+        mut self,
+        flag: FlagId,
+        interval: SimDuration,
+        poll_cost: SimDuration,
+    ) -> Self {
         self.ops.push(Op::PollFlag {
             flag,
             interval,

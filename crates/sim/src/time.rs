@@ -229,11 +229,7 @@ impl Sub for SimDuration {
     type Output = SimDuration;
 
     fn sub(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(
-            self.0
-                .checked_sub(rhs.0)
-                .expect("negative duration"),
-        )
+        SimDuration(self.0.checked_sub(rhs.0).expect("negative duration"))
     }
 }
 
@@ -302,8 +298,14 @@ mod tests {
             SimDuration::from_millis(10) - SimDuration::from_millis(4),
             SimDuration::from_millis(6)
         );
-        assert_eq!(SimDuration::from_millis(3) * 4, SimDuration::from_millis(12));
-        assert_eq!(SimDuration::from_millis(12) / 4, SimDuration::from_millis(3));
+        assert_eq!(
+            SimDuration::from_millis(3) * 4,
+            SimDuration::from_millis(12)
+        );
+        assert_eq!(
+            SimDuration::from_millis(12) / 4,
+            SimDuration::from_millis(3)
+        );
     }
 
     #[test]

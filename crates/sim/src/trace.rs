@@ -153,8 +153,7 @@ impl Trace {
         if window.is_zero() || cores == 0 {
             return 0.0;
         }
-        self.busy_time_in(start, end).as_nanos() as f64
-            / (window.as_nanos() as f64 * cores as f64)
+        self.busy_time_in(start, end).as_nanos() as f64 / (window.as_nanos() as f64 * cores as f64)
     }
 }
 
@@ -181,7 +180,11 @@ mod tests {
     fn flag_set_time_finds_first() {
         let mut t = Trace::new();
         let f = FlagId::from_raw(2);
-        t.push(SimTime::from_nanos(5), Pid::from_raw(0), TraceKind::FlagSet { flag: f });
+        t.push(
+            SimTime::from_nanos(5),
+            Pid::from_raw(0),
+            TraceKind::FlagSet { flag: f },
+        );
         assert_eq!(t.flag_set_time(f), Some(SimTime::from_nanos(5)));
         assert_eq!(t.flag_set_time(FlagId::from_raw(9)), None);
     }
@@ -190,7 +193,11 @@ mod tests {
     fn process_timeline_assembles_lifecycle() {
         let mut t = Trace::new();
         let p = Pid::from_raw(3);
-        t.push(SimTime::from_nanos(1), p, TraceKind::Spawned { name: "svc".into() });
+        t.push(
+            SimTime::from_nanos(1),
+            p,
+            TraceKind::Spawned { name: "svc".into() },
+        );
         t.push(SimTime::from_nanos(4), p, TraceKind::FirstRun);
         t.push(SimTime::from_nanos(9), p, TraceKind::Finished);
         let tl = &t.process_timeline()[&p];

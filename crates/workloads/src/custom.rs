@@ -161,10 +161,7 @@ mod tests {
         assert_eq!(a.pre_ready.len(), b.pre_ready.len());
         // Different names, (very likely) different sizes.
         let c = default_body(&Unit::new(UnitName::new("other.service")), device);
-        assert_ne!(
-            format!("{:?}", a.pre_ready),
-            format!("{:?}", c.pre_ready)
-        );
+        assert_ne!(format!("{:?}", a.pre_ready), format!("{:?}", c.pre_ready));
     }
 
     #[test]

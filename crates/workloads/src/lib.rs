@@ -14,5 +14,7 @@ pub mod tizen;
 
 pub use custom::{custom_scenario, custom_scenario_with_modules, default_body};
 pub use profiles::MachineProfile;
-pub use scenario::{camera_scenario, tv_kernel_plan, tv_scenario, tv_scenario_open_source, tv_scenario_with};
+pub use scenario::{
+    camera_scenario, tv_kernel_plan, tv_scenario, tv_scenario_open_source, tv_scenario_with,
+};
 pub use tizen::{tizen_tv, TizenParams, TizenWorkload};

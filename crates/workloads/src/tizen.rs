@@ -103,15 +103,13 @@ pub fn tizen_tv(params: &TizenParams, device: DeviceId) -> TizenWorkload {
     );
 
     // --- Backbone: the strong chain whose closure is the BB Group. ---
-    let add = |units: &mut Vec<Unit>,
-                   workloads: &mut WorkloadMap,
-                   unit: Unit,
-                   body: ServiceBody| {
-        let exec = format!("wl:{}", unit.name);
-        let unit = unit.with_exec(exec.clone()).wanted_by("tv-boot.target");
-        workloads.insert(exec, body);
-        units.push(unit);
-    };
+    let add =
+        |units: &mut Vec<Unit>, workloads: &mut WorkloadMap, unit: Unit, body: ServiceBody| {
+            let exec = format!("wl:{}", unit.name);
+            let unit = unit.with_exec(exec.clone()).wanted_by("tv-boot.target");
+            workloads.insert(exec, body);
+            units.push(unit);
+        };
 
     let cpu = |rng: &mut SmallRng, lo: u64, hi: u64, scale: f64| {
         SimDuration::from_millis(rng.gen_range(lo..=hi)).scale(scale)
@@ -183,7 +181,12 @@ pub fn tizen_tv(params: &TizenParams, device: DeviceId) -> TizenWorkload {
             ServiceBody {
                 pre_ready: OpsBuilder::new()
                     .read_rand(device, (io_kib as f64 * 1024.0 * params.io_scale) as u64)
-                    .compute(cpu(&mut backbone_rng, cpu_range.0, cpu_range.1, params.work_scale))
+                    .compute(cpu(
+                        &mut backbone_rng,
+                        cpu_range.0,
+                        cpu_range.1,
+                        params.work_scale,
+                    ))
                     .sleep(SimDuration::from_millis(settle_ms))
                     .rcu_syncs(syncs, SimDuration::from_micros(150))
                     .build(),
@@ -278,7 +281,10 @@ pub fn tizen_tv(params: &TizenParams, device: DeviceId) -> TizenWorkload {
             .with_description("Platform middleware service");
         // Intra-group ordering chains (teams order their own services).
         if i > 0 && bulk_rng.gen_bool(0.3) {
-            unit = unit.after(&format!("middleware-{:02}.service", bulk_rng.gen_range(0..i)));
+            unit = unit.after(&format!(
+                "middleware-{:02}.service",
+                bulk_rng.gen_range(0..i)
+            ));
         }
         let body = ServiceBody {
             pre_ready: OpsBuilder::new()

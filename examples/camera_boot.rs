@@ -24,12 +24,23 @@ fn main() {
         "  conventional: {:.3} s",
         conventional.boot_time().as_secs_f64()
     );
-    println!("  with BB:      {:.3} s\n", boosted.boot_time().as_secs_f64());
+    println!(
+        "  with BB:      {:.3} s\n",
+        boosted.boot_time().as_secs_f64()
+    );
 
     println!("snapshot-boot alternative (restore a DRAM image from flash):");
     for (label, image_mib, storage) in [
-        ("camera, 256 MiB image, eMMC", 256u64, DeviceProfile::tv_emmc()),
-        ("phone, 3 GiB image, UFS 2.0", 3 * 1024, DeviceProfile::ufs20()),
+        (
+            "camera, 256 MiB image, eMMC",
+            256u64,
+            DeviceProfile::tv_emmc(),
+        ),
+        (
+            "phone, 3 GiB image, UFS 2.0",
+            3 * 1024,
+            DeviceProfile::ufs20(),
+        ),
     ] {
         let model = SnapshotModel {
             image_mib,

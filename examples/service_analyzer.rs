@@ -12,8 +12,8 @@
 
 use std::collections::BTreeSet;
 
-use booting_booster::bb::service_engine::{analyze, identify_bb_group};
-use booting_booster::init::{parse_unit, parse_unit_dir, Unit, UnitGraph, UnitName};
+use booting_booster::bb::service_engine::{analyze, analyze_directives, identify_bb_group};
+use booting_booster::init::{parse_unit, parse_unit_dir_with_warnings, Unit, UnitGraph, UnitName};
 
 /// A demo unit set exhibiting the pathologies the analyzer reports.
 fn demo_units() -> Vec<(String, String)> {
@@ -21,8 +21,9 @@ fn demo_units() -> Vec<(String, String)> {
         ("var.mount", "[Unit]\nDescription=Mount /var\n[Service]\nType=oneshot\nExecStart=mount /var\n"),
         ("dbus.service", "[Unit]\nDescription=D-Bus\nRequires=var.mount\nAfter=var.mount\n[Service]\nType=notify\nExecStart=dbus-daemon\n"),
         ("fasttv.service", "[Unit]\nRequires=dbus.service\nAfter=dbus.service\n[Service]\nExecStart=fasttv\n"),
-        // A §4.2 abuser: wants to launch before the mount.
-        ("messenger.service", "[Unit]\nBefore=var.mount\n[Service]\nExecStart=messenger\n"),
+        // A §4.2 abuser: wants to launch before the mount. Also carries
+        // a real-systemd directive this model drops (lint demo).
+        ("messenger.service", "[Unit]\nBefore=var.mount\n[Service]\nExecStart=messenger\nRestart=always\n"),
         // A contradiction: both before and after dbus.
         ("confused.service", "[Unit]\nBefore=dbus.service\nAfter=dbus.service\n[Service]\nExecStart=confused\n"),
         // A cycle pair.
@@ -38,20 +39,24 @@ fn demo_units() -> Vec<(String, String)> {
 }
 
 fn main() {
+    let mut warnings = Vec::new();
     let units: Vec<Unit> = match std::env::args().nth(1) {
-        Some(dir) => parse_unit_dir(std::path::Path::new(&dir)).unwrap_or_else(|e| {
-            eprintln!("error: {e}");
-            std::process::exit(1);
-        }),
+        Some(dir) => {
+            let (units, dir_warnings) = parse_unit_dir_with_warnings(std::path::Path::new(&dir))
+                .unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                });
+            warnings = dir_warnings;
+            units
+        }
         None => {
             println!("(no directory given; analyzing the built-in demo set)\n");
             demo_units()
                 .into_iter()
                 .map(|(name, text)| {
                     let parsed = parse_unit(&name, &text).expect("demo set parses");
-                    for (line, key) in &parsed.warnings {
-                        println!("warning: {name}:{line}: unknown directive {key}");
-                    }
+                    warnings.extend(parsed.warnings.into_iter().map(|w| (name.clone(), w)));
                     parsed.unit
                 })
                 .collect()
@@ -66,7 +71,8 @@ fn main() {
         stats.ordering_edges, stats.strong_edges, stats.weak_edges, stats.dangling_refs
     );
 
-    let findings = analyze(&graph);
+    let mut findings = analyze(&graph);
+    findings.extend(analyze_directives(&warnings));
     if findings.is_empty() {
         println!("no incorrect relations found");
     } else {

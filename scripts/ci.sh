@@ -1,0 +1,18 @@
+#!/bin/sh
+# Local CI gate: everything .github/workflows/ci.yml runs, in order.
+# Usage: scripts/ci.sh   (from anywhere inside the repo)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release --workspace
+run cargo test -q --workspace
+run cargo fmt --all --check
+run cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI gate passed."

@@ -2,29 +2,39 @@
 //!
 //! Boots a scenario under a chosen Booting Booster configuration and
 //! prints the timeline; optionally writes a bootchart SVG and the
-//! dependency graph.
+//! dependency graph. The `sweep` subcommand runs a parallel seed sweep
+//! on the bb-fleet work-stealing pool instead of a single boot.
 //!
 //! ```text
 //! bbsim [--scenario tv|tv136|camera] [--units DIR --target T --completion U]
-//!       [--features all|none|LIST] [--services N] [--cores N] [--compare]
-//!       [--chart FILE.svg] [--dot FILE.dot] [--trace FILE.json] [--blame N]
+//!       [--features all|none|LIST] [--services N] [--cores N] [--seed N]
+//!       [--compare] [--json] [--chart FILE.svg] [--dot FILE.dot]
+//!       [--trace FILE.json] [--blame N]
+//!
+//! bbsim sweep [--profiles NAMES|all] [--services N] [--seeds N] [--seed N]
+//!             [--features all|none|LIST] [--workers N] [--deadline-ms N]
+//!             [--json FILE|-] [--baseline FILE] [--tolerance PCT]
 //! ```
 //!
 //! With `--units DIR`, your own systemd unit files are parsed and booted
 //! with synthesized workload bodies (structure exploration, not absolute
 //! timing); `--target` defaults to `boot.target` and `--completion` to
-//! the target's first strong requirement.
+//! the target's first strong requirement. Parsed-but-unsupported
+//! directives (e.g. `Restart=`) are reported on stderr.
 //!
 //! `LIST` is a comma-separated subset of: rcu-booster, defer-memory,
 //! modularizer, defer-journal, deferred-executor, preparser, bb-group.
 
 use std::process::exit;
 
-use booting_booster::bb::{boost_with_machine, BbConfig, Comparison};
-use booting_booster::init::{blame, parse_unit_dir, time_summary, Bootchart, UnitGraph, UnitName};
+use booting_booster::bb::{analyze_directives, boost_with_machine, BbConfig, Comparison};
+use booting_booster::fleet::{json, run_sweep, CellSpec, DiffVerdict, PoolConfig, SweepSpec};
+use booting_booster::init::{
+    blame, parse_unit_dir_with_warnings, time_summary, Bootchart, UnitGraph, UnitName,
+};
 use booting_booster::workloads::{
     camera_scenario, custom_scenario, profiles, tv_scenario, tv_scenario_open_source,
-    tv_scenario_with, TizenParams,
+    tv_scenario_with, MachineProfile, TizenParams,
 };
 
 struct Args {
@@ -35,7 +45,9 @@ struct Args {
     features: String,
     services: Option<usize>,
     cores: Option<usize>,
+    seed: Option<u64>,
     compare: bool,
+    json: bool,
     chart: Option<String>,
     dot: Option<String>,
     trace: Option<String>,
@@ -45,15 +57,18 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: bbsim [--scenario tv|tv136|camera] [--features all|none|LIST]\n\
-         \u{20}            [--services N] [--cores N] [--compare]\n\
+         \u{20}            [--services N] [--cores N] [--seed N] [--compare] [--json]\n\
          \u{20}            [--chart FILE.svg] [--dot FILE.dot] [--blame N]\n\
+         \u{20}      bbsim sweep [--profiles NAMES|all] [--services N] [--seeds N]\n\
+         \u{20}            [--seed N] [--features LIST] [--workers N] [--deadline-ms N]\n\
+         \u{20}            [--json FILE|-] [--baseline FILE] [--tolerance PCT]\n\
          LIST: comma-separated of rcu-booster,defer-memory,modularizer,\n\
          \u{20}     defer-journal,deferred-executor,preparser,bb-group"
     );
     exit(2)
 }
 
-fn parse_args() -> Args {
+fn parse_args(mut it: impl Iterator<Item = String>) -> Args {
     let mut args = Args {
         scenario: "tv".into(),
         units_dir: None,
@@ -62,13 +77,14 @@ fn parse_args() -> Args {
         features: "all".into(),
         services: None,
         cores: None,
+        seed: None,
         compare: false,
+        json: false,
         chart: None,
         dot: None,
         trace: None,
         blame: 0,
     };
-    let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
             it.next().unwrap_or_else(|| {
@@ -86,7 +102,9 @@ fn parse_args() -> Args {
                 args.services = Some(value("--services").parse().unwrap_or_else(|_| usage()))
             }
             "--cores" => args.cores = Some(value("--cores").parse().unwrap_or_else(|_| usage())),
+            "--seed" => args.seed = Some(value("--seed").parse().unwrap_or_else(|_| usage())),
             "--compare" => args.compare = true,
+            "--json" => args.json = true,
             "--chart" => args.chart = Some(value("--chart")),
             "--dot" => args.dot = Some(value("--dot")),
             "--trace" => args.trace = Some(value("--trace")),
@@ -128,10 +146,20 @@ fn parse_features(spec: &str) -> BbConfig {
 
 fn build_scenario(args: &Args) -> booting_booster::bb::Scenario {
     if let Some(dir) = &args.units_dir {
-        let units = parse_unit_dir(std::path::Path::new(dir)).unwrap_or_else(|e| {
-            eprintln!("error: {e}");
-            exit(1);
-        });
+        if args.seed.is_some() {
+            eprintln!("error: --seed only applies to generated tv scenarios, not --units");
+            exit(2);
+        }
+        let (units, warnings) = parse_unit_dir_with_warnings(std::path::Path::new(dir))
+            .unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                exit(1);
+            });
+        // ServiceAnalyzer lint: surface directives the parser accepted
+        // but the simulation drops, instead of swallowing them.
+        for finding in analyze_directives(&warnings) {
+            eprintln!("warning: {finding}");
+        }
         let graph = UnitGraph::build(units.clone()).unwrap_or_else(|e| {
             eprintln!("error: {e}");
             exit(1);
@@ -145,20 +173,29 @@ fn build_scenario(args: &Args) -> booting_booster::bb::Scenario {
             }),
             None => {
                 let Some(target_idx) = graph.idx(&UnitName::new(&args.target)) else {
-                    eprintln!("error: target {} not found in the unit directory", args.target);
+                    eprintln!(
+                        "error: target {} not found in the unit directory",
+                        args.target
+                    );
                     exit(1);
                 };
                 // Prefer the target's own strong requirement; fall back
                 // to anything it pulls in.
                 let mut edges: Vec<_> = graph.requirement_edges(target_idx).collect();
                 edges.sort_by_key(|e| {
-                    (e.kind != booting_booster::init::EdgeKind::RequiresStrong, e.src)
+                    (
+                        e.kind != booting_booster::init::EdgeKind::RequiresStrong,
+                        e.src,
+                    )
                 });
                 edges
                     .first()
                     .map(|e| graph.unit(e.src).name.clone())
                     .unwrap_or_else(|| {
-                        eprintln!("error: {} has no requirements; pass --completion", args.target);
+                        eprintln!(
+                            "error: {} has no requirements; pass --completion",
+                            args.target
+                        );
                         exit(1);
                     })
             }
@@ -169,49 +206,143 @@ fn build_scenario(args: &Args) -> booting_booster::bb::Scenario {
         }
         return custom_scenario(profile, units, &args.target, vec![completion]);
     }
-    let mut scenario = match args.scenario.as_str() {
-        "tv" => tv_scenario(),
-        "tv136" => tv_scenario_open_source(),
-        "camera" => camera_scenario(),
+    let base_params = match args.scenario.as_str() {
+        "tv" => TizenParams::commercial(),
+        "tv136" => TizenParams::open_source(),
+        "camera" => {
+            if args.seed.is_some() || args.services.is_some() {
+                eprintln!("error: --seed/--services only apply to tv scenarios");
+                exit(2);
+            }
+            let mut scenario = camera_scenario();
+            if let Some(cores) = args.cores {
+                scenario.machine.cores = cores;
+            }
+            return scenario;
+        }
         other => {
             eprintln!("unknown scenario {other:?}");
             usage()
         }
     };
-    if let Some(services) = args.services {
-        if services < 24 {
-            eprintln!("error: --services must be at least 24 (the TV backbone alone needs that)");
-            exit(2);
-        }
-        let mut profile = profiles::ue48h6200();
+    if args.services.is_none() && args.seed.is_none() {
+        let mut scenario = match args.scenario.as_str() {
+            "tv" => tv_scenario(),
+            _ => tv_scenario_open_source(),
+        };
         if let Some(cores) = args.cores {
-            profile.machine.cores = cores;
+            scenario.machine.cores = cores;
         }
-        scenario = tv_scenario_with(
-            profile,
-            TizenParams {
-                services,
-                ..TizenParams::default()
-            },
-        );
-    } else if let Some(cores) = args.cores {
-        scenario.machine.cores = cores;
+        return scenario;
     }
-    scenario
+    let services = args.services.unwrap_or(base_params.services);
+    if services < 24 {
+        eprintln!("error: --services must be at least 24 (the TV backbone alone needs that)");
+        exit(2);
+    }
+    let mut profile = profiles::ue48h6200();
+    if let Some(cores) = args.cores {
+        profile.machine.cores = cores;
+    }
+    tv_scenario_with(
+        profile,
+        TizenParams {
+            services,
+            seed: args.seed.unwrap_or(base_params.seed),
+            ..base_params
+        },
+    )
 }
 
-fn main() {
-    let args = parse_args();
-    let scenario = build_scenario(&args);
-    let cfg = parse_features(&args.features);
-
-    println!(
-        "scenario {} | {} units | {} cores | features: {}/7",
-        scenario.name,
+fn boot_json(
+    scenario: &booting_booster::bb::Scenario,
+    cfg: &BbConfig,
+    report: &booting_booster::bb::FullBootReport,
+    conventional: Option<&booting_booster::bb::FullBootReport>,
+    seed: Option<u64>,
+) -> String {
+    // Same auditable-codec policy and `{:.3}` ms formatting as the
+    // fleet sweep JSON, so single boots diff cleanly against cells.
+    let mut out = String::from("{\n  \"schema\": \"bbsim-boot-v1\",\n");
+    out.push_str(&format!(
+        "  \"scenario\": \"{}\",\n",
+        json::escape(&scenario.name)
+    ));
+    if let Some(seed) = seed {
+        out.push_str(&format!("  \"seed\": {seed},\n"));
+    }
+    out.push_str(&format!(
+        "  \"units\": {}, \"cores\": {}, \"features\": {},\n",
         scenario.units.len(),
         scenario.machine.cores,
         cfg.active_features()
-    );
+    ));
+    let completed = report.boot.completion_time.is_some();
+    out.push_str(&format!("  \"completed\": {completed},\n"));
+    if completed {
+        out.push_str(&format!(
+            "  \"boot_ms\": {},\n",
+            json::ms(report.boot_time().as_nanos() as f64)
+        ));
+    }
+    out.push_str(&format!(
+        "  \"kernel_ms\": {}, \"init_ms\": {}, \"load_ms\": {}, \"quiesce_ms\": {}",
+        json::ms(report.kernel.kernel_total().as_nanos() as f64),
+        json::ms(
+            report
+                .boot
+                .init_done
+                .since(report.boot.userspace_start)
+                .as_nanos() as f64
+        ),
+        json::ms(
+            report
+                .boot
+                .load_done
+                .since(report.boot.init_done)
+                .as_nanos() as f64
+        ),
+        json::ms(report.quiesce_time.as_nanos() as f64),
+    ));
+    if !report.bb_group.is_empty() {
+        out.push_str(",\n  \"bb_group\": [");
+        for (i, name) in report.bb_group.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\"", json::escape(name.as_str())));
+        }
+        out.push(']');
+    }
+    if let Some(conv) = conventional {
+        if let (Some(c), Some(b)) = (conv.boot.completion_time, report.boot.completion_time) {
+            let conv_ns = c.as_nanos() as f64;
+            let boosted_ns = b.as_nanos() as f64;
+            out.push_str(&format!(
+                ",\n  \"conventional_ms\": {}, \"saving_ms\": {}, \"saving_pct\": {:.3}",
+                json::ms(conv_ns),
+                json::ms(conv_ns - boosted_ns),
+                100.0 * (1.0 - boosted_ns / conv_ns)
+            ));
+        }
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+fn run_boot(args: Args) {
+    let scenario = build_scenario(&args);
+    let cfg = parse_features(&args.features);
+
+    if !args.json {
+        println!(
+            "scenario {} | {} units | {} cores | features: {}/7",
+            scenario.name,
+            scenario.units.len(),
+            scenario.machine.cores,
+            cfg.active_features()
+        );
+    }
 
     let (report, machine) = match boost_with_machine(&scenario, &cfg) {
         Ok(r) => r,
@@ -220,28 +351,48 @@ fn main() {
             exit(1);
         }
     };
-    match report.boot.completion_time {
-        Some(t) => println!("boot completed at {:.3} s", t.as_secs_f64()),
-        None => println!("boot did NOT complete (blocked: {})", report.boot.outcome.blocked.len()),
-    }
-    println!("{}", time_summary(&report.boot));
-    println!(
-        "kernel {} | init {} | load {} | quiesce {:.3} s",
-        report.kernel.kernel_total(),
-        report.boot.init_done.since(report.boot.userspace_start),
-        report.boot.load_done.since(report.boot.init_done),
-        report.quiesce_time.as_secs_f64()
-    );
-    if !report.bb_group.is_empty() {
-        let names: Vec<&str> = report.bb_group.iter().map(|n| n.as_str()).collect();
-        println!("BB group: {}", names.join(", "));
+    let conventional = if args.compare || args.json {
+        Some(
+            boost_with_machine(&scenario, &BbConfig::conventional())
+                .expect("conventional boots")
+                .0,
+        )
+    } else {
+        None
+    };
+
+    if args.json {
+        print!(
+            "{}",
+            boot_json(&scenario, &cfg, &report, conventional.as_ref(), args.seed)
+        );
+    } else {
+        match report.boot.completion_time {
+            Some(t) => println!("boot completed at {:.3} s", t.as_secs_f64()),
+            None => {
+                println!(
+                    "boot did NOT complete (blocked: {})",
+                    report.boot.outcome.blocked.len()
+                )
+            }
+        }
+        println!("{}", time_summary(&report.boot));
+        println!(
+            "kernel {} | init {} | load {} | quiesce {:.3} s",
+            report.kernel.kernel_total(),
+            report.boot.init_done.since(report.boot.userspace_start),
+            report.boot.load_done.since(report.boot.init_done),
+            report.quiesce_time.as_secs_f64()
+        );
+        if !report.bb_group.is_empty() {
+            let names: Vec<&str> = report.bb_group.iter().map(|n| n.as_str()).collect();
+            println!("BB group: {}", names.join(", "));
+        }
+        if let Some(conv) = &conventional {
+            println!("\n{}", Comparison::build(conv, &report).to_table());
+        }
     }
 
-    if args.compare {
-        let (conv, _) = boost_with_machine(&scenario, &BbConfig::conventional())
-            .expect("conventional boots");
-        println!("\n{}", Comparison::build(&conv, &report).to_table());
-    }
     if args.blame > 0 {
         println!("\nslowest services by activation time:");
         for (name, d) in blame(&report.boot).into_iter().take(args.blame) {
@@ -262,5 +413,194 @@ fn main() {
         let group = booting_booster::bb::identify_bb_group(&graph, &scenario.completion);
         std::fs::write(path, graph.to_dot(Some(&group))).expect("write dot");
         println!("dependency graph written to {path}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// sweep subcommand
+// ---------------------------------------------------------------------
+
+struct SweepArgs {
+    profiles: String,
+    services: usize,
+    seeds: u64,
+    seed_base: u64,
+    features: String,
+    workers: Option<usize>,
+    deadline_ms: Option<u64>,
+    json: Option<String>,
+    baseline: Option<String>,
+    tolerance: f64,
+}
+
+fn parse_sweep_args(mut it: impl Iterator<Item = String>) -> SweepArgs {
+    let mut args = SweepArgs {
+        profiles: "ue48h6200".into(),
+        services: 136,
+        seeds: 20,
+        seed_base: 0,
+        features: "all".into(),
+        workers: None,
+        deadline_ms: None,
+        json: None,
+        baseline: None,
+        tolerance: 2.0,
+    };
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--profiles" => args.profiles = value("--profiles"),
+            "--services" => args.services = value("--services").parse().unwrap_or_else(|_| usage()),
+            "--seeds" => args.seeds = value("--seeds").parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed_base = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--features" => args.features = value("--features"),
+            "--workers" => {
+                args.workers = Some(value("--workers").parse().unwrap_or_else(|_| usage()))
+            }
+            "--deadline-ms" => {
+                args.deadline_ms = Some(value("--deadline-ms").parse().unwrap_or_else(|_| usage()))
+            }
+            "--json" => args.json = Some(value("--json")),
+            "--baseline" => args.baseline = Some(value("--baseline")),
+            "--tolerance" => {
+                args.tolerance = value("--tolerance").parse().unwrap_or_else(|_| usage())
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown sweep flag {other}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn resolve_profiles(spec: &str) -> Vec<MachineProfile> {
+    if spec == "all" {
+        return profiles::all_profiles();
+    }
+    // Accept any dash/underscore/case spelling: "galaxy-s6" == "GalaxyS6".
+    fn fold(name: &str) -> String {
+        name.chars()
+            .filter(char::is_ascii_alphanumeric)
+            .map(|c| c.to_ascii_lowercase())
+            .collect()
+    }
+    spec.split(',')
+        .map(|name| {
+            let all = profiles::all_profiles();
+            let known: Vec<&str> = all.iter().map(|p| p.name).collect();
+            all.iter()
+                .find(|p| fold(p.name) == fold(name.trim()))
+                .cloned()
+                .unwrap_or_else(|| {
+                    eprintln!("unknown profile {name:?} (try: {} or all)", known.join(","));
+                    exit(2);
+                })
+        })
+        .collect()
+}
+
+fn run_sweep_cmd(args: SweepArgs) {
+    if args.services < 24 {
+        eprintln!("error: --services must be at least 24 (the TV backbone alone needs that)");
+        exit(2);
+    }
+    let boosted = parse_features(&args.features);
+    let boosted_label = if args.features == "all" || args.features == "full" {
+        "bb".to_string()
+    } else {
+        args.features.clone()
+    };
+    let mut spec = SweepSpec::new();
+    if let Some(ms) = args.deadline_ms {
+        spec = spec.deadline(std::time::Duration::from_millis(ms));
+    }
+    for profile in resolve_profiles(&args.profiles) {
+        let label = format!("{}-s{}", profile.name, args.services);
+        spec = spec.cell(
+            CellSpec::tizen(
+                label,
+                profile,
+                TizenParams {
+                    services: args.services,
+                    ..TizenParams::default()
+                },
+            )
+            .seeds(args.seed_base..args.seed_base + args.seeds)
+            .config("conventional", BbConfig::conventional())
+            .config(boosted_label.clone(), boosted),
+        );
+    }
+
+    let pool = match args.workers {
+        Some(n) => PoolConfig::with_workers(n),
+        None => PoolConfig::default(),
+    };
+    eprintln!(
+        "sweep: {} cells, {} boots, {} workers",
+        spec.cells.len(),
+        spec.total_boots(),
+        pool.workers
+    );
+    let outcome = run_sweep(&spec, &pool);
+
+    print!("{}", outcome.report.summary());
+    eprintln!("{}", outcome.stats.summary());
+
+    if let Some(path) = &args.json {
+        let doc = outcome.report.to_json();
+        if path == "-" {
+            print!("{doc}");
+        } else {
+            std::fs::write(path, doc).expect("write sweep json");
+            eprintln!("sweep report written to {path}");
+        }
+    }
+    if let Some(path) = &args.baseline {
+        let baseline = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read baseline {path}: {e}");
+            exit(1);
+        });
+        let diffs = outcome
+            .report
+            .diff_baseline(&baseline, args.tolerance)
+            .unwrap_or_else(|e| {
+                eprintln!("error: bad baseline JSON: {e}");
+                exit(1);
+            });
+        let mut regressions = 0;
+        for d in &diffs {
+            if d.verdict != DiffVerdict::Unchanged {
+                println!("{d}");
+            }
+            if d.verdict == DiffVerdict::Regression {
+                regressions += 1;
+            }
+        }
+        if regressions > 0 {
+            eprintln!("{regressions} regression(s) beyond {}%", args.tolerance);
+            exit(1);
+        }
+        println!(
+            "baseline check passed ({} entries, tolerance {}%)",
+            diffs.len(),
+            args.tolerance
+        );
+    }
+}
+
+fn main() {
+    let mut argv = std::env::args().skip(1).peekable();
+    if argv.peek().map(String::as_str) == Some("sweep") {
+        argv.next();
+        run_sweep_cmd(parse_sweep_args(argv));
+    } else {
+        run_boot(parse_args(argv));
     }
 }

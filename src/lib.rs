@@ -15,6 +15,11 @@
 //!   Service Engine, and the [`bb::boost`] facade.
 //! * [`workloads`] — machine profiles, the synthetic Tizen TV service
 //!   graph, and calibrated scenarios.
+//! * [`fleet`] — work-stealing parallel sweep engine: expands a
+//!   {seed × params × profile × config} grid into jobs, executes them
+//!   with panic/deadline isolation, and streams results into a
+//!   deterministic aggregated report (byte-identical for any worker
+//!   count).
 //!
 //! # Quickstart
 //!
@@ -32,6 +37,7 @@
 //! `EXPERIMENTS.md` for the experiment map.
 
 pub use bb_core as bb;
+pub use bb_fleet as fleet;
 pub use bb_init as init;
 pub use bb_kernel as kernel;
 pub use bb_rcu as rcu;

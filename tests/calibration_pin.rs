@@ -17,8 +17,11 @@ fn headline_numbers_are_pinned() {
     let conv_ms = conv.boot_time().as_millis();
     let bb_ms = bb.boot_time().as_millis();
     // Paper: 8100 ms -> 3500 ms. Pinned measured values:
-    assert_eq!(conv_ms, 8765, "conventional drifted (update EXPERIMENTS.md)");
-    assert_eq!(bb_ms, 3218, "bb drifted (update EXPERIMENTS.md)");
+    assert_eq!(
+        conv_ms, 8614,
+        "conventional drifted (update EXPERIMENTS.md)"
+    );
+    assert_eq!(bb_ms, 3200, "bb drifted (update EXPERIMENTS.md)");
 }
 
 #[test]
@@ -30,7 +33,10 @@ fn kernel_and_init_phases_are_pinned() {
     assert_eq!(conv.kernel.kernel_total().as_millis(), 696);
     assert_eq!(bb.kernel.kernel_total().as_millis(), 401);
     assert_eq!(
-        conv.boot.init_done.since(conv.boot.userspace_start).as_millis(),
+        conv.boot
+            .init_done
+            .since(conv.boot.userspace_start)
+            .as_millis(),
         195
     );
     assert_eq!(

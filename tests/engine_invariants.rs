@@ -23,10 +23,7 @@ struct RandomWorkload {
 
 fn workload_strategy() -> impl Strategy<Value = RandomWorkload> {
     (2usize..12, any::<u64>()).prop_flat_map(|(n, seed)| {
-        let deps = prop::collection::vec(
-            prop::collection::vec(0usize..n.max(1), 0..3),
-            n,
-        );
+        let deps = prop::collection::vec(prop::collection::vec(0usize..n.max(1), 0..3), n);
         let costs = prop::collection::vec(1u64..40, n);
         (Just(n), Just(seed), deps, costs).prop_map(|(n, _seed, deps, costs)| {
             let mut units = vec![Unit::new(UnitName::new("boot.target"))];

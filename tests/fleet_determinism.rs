@@ -1,0 +1,183 @@
+//! Fleet acceptance tests: the aggregated sweep output must be
+//! byte-identical for any worker count, and one poisoned job must never
+//! take the sweep down with it.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use booting_booster::bb::BbConfig;
+use booting_booster::fleet::{
+    parse_json, run_sweep, CellSpec, PoolConfig, ScenarioSource, SweepSpec,
+};
+use booting_booster::init::UnitName;
+use booting_booster::workloads::{profiles, tv_scenario_with, TizenParams};
+
+fn small_params(seed: u64) -> TizenParams {
+    TizenParams {
+        services: 24,
+        seed,
+        ..TizenParams::open_source()
+    }
+}
+
+fn two_cell_spec() -> SweepSpec {
+    SweepSpec::new()
+        .cell(
+            CellSpec::tizen("tv-small", profiles::ue48h6200(), small_params(0))
+                .seeds(0..6)
+                .conventional_vs_bb(),
+        )
+        .cell(
+            CellSpec::tizen("phone-small", profiles::galaxy_s6(), small_params(0))
+                .seeds([40, 41, 42])
+                .config("bb", BbConfig::full())
+                .config("preparser-only", {
+                    let mut cfg = BbConfig::conventional();
+                    cfg.preparser = true;
+                    cfg
+                }),
+        )
+}
+
+#[test]
+fn aggregated_json_is_byte_identical_across_worker_counts() {
+    let spec = two_cell_spec();
+    let serial = run_sweep(&spec, &PoolConfig::with_workers(1));
+    let json_serial = serial.report.to_json();
+    assert_eq!(serial.report.total_boots, spec.total_boots());
+    assert!(serial.report.failures.is_empty());
+
+    for workers in [2, 3, 5] {
+        let parallel = run_sweep(&spec, &PoolConfig::with_workers(workers));
+        assert_eq!(parallel.report, serial.report, "{workers} workers");
+        assert_eq!(
+            parallel.report.to_json(),
+            json_serial,
+            "JSON must be byte-identical with {workers} workers"
+        );
+    }
+    // And the artifact is well-formed.
+    parse_json(&json_serial).expect("sweep JSON parses");
+}
+
+#[test]
+fn panicking_job_is_reported_and_sweep_completes() {
+    // A scenario whose completion unit does not exist panics inside the
+    // booster (identify_bb_group) when bb-group is enabled — the kind of
+    // poisoned cell a big sweep must survive.
+    let mut poisoned = tv_scenario_with(profiles::ue48h6200(), small_params(0));
+    poisoned.completion = vec![UnitName::new("no-such-unit.service")];
+
+    let spec = SweepSpec::new()
+        .cell(
+            CellSpec::tizen("healthy", profiles::ue48h6200(), small_params(0))
+                .seeds([1, 2])
+                .conventional_vs_bb(),
+        )
+        .cell(CellSpec::fixed("poisoned", poisoned).config("bb", BbConfig::full()));
+
+    let outcome = run_sweep(&spec, &PoolConfig::with_workers(2));
+    // The healthy cell aggregated fully...
+    assert_eq!(outcome.report.cells[0].completed, 2);
+    assert_eq!(outcome.report.total_boots, 4);
+    // ...and the poisoned job is a reported failure, not a crash.
+    assert_eq!(outcome.report.failures.len(), 1);
+    let failure = &outcome.report.failures[0];
+    assert_eq!(failure.cell, "poisoned");
+    assert!(
+        failure.reason.starts_with("panic:") && failure.reason.contains("no-such-unit"),
+        "unexpected reason: {}",
+        failure.reason
+    );
+}
+
+#[test]
+fn deadline_exceeded_jobs_are_isolated_failures() {
+    let spec = SweepSpec::new()
+        .cell(
+            CellSpec::tizen("doomed", profiles::ue48h6200(), small_params(0))
+                .seeds([7, 8])
+                .conventional_vs_bb(),
+        )
+        .deadline(Duration::ZERO);
+    let outcome = run_sweep(&spec, &PoolConfig::with_workers(2));
+    assert_eq!(outcome.report.total_boots, 0);
+    assert_eq!(outcome.report.failures.len(), 2);
+    assert!(outcome
+        .report
+        .failures
+        .iter()
+        .all(|f| f.reason == "deadline exceeded"));
+    // Failure order is (cell, seed) — not scheduling order.
+    assert_eq!(outcome.report.failures[0].seed, 7);
+    assert_eq!(outcome.report.failures[1].seed, 8);
+}
+
+#[test]
+fn fixed_cells_reuse_one_template() {
+    let scenario = tv_scenario_with(profiles::ue48h6200(), small_params(3));
+    let spec = SweepSpec::new().cell(
+        CellSpec::fixed("pinned", scenario)
+            .seeds(0..4)
+            .config("bb", BbConfig::full()),
+    );
+    match &spec.cells[0].source {
+        ScenarioSource::Fixed(s) => assert!(Arc::strong_count(s) >= 1),
+        other => panic!("expected fixed source, got {other:?}"),
+    }
+    let outcome = run_sweep(&spec, &PoolConfig::with_workers(2));
+    // Identical template => identical boot time in every slot.
+    let stats = &outcome.report.cells[0].configs[0];
+    assert_eq!(stats.count, 4);
+    assert_eq!(stats.min_ns, stats.max_ns);
+    assert_eq!(stats.stddev_ns, 0.0);
+}
+
+/// The ISSUE acceptance target: a ≥200-boot sweep on ≥4 cores should run
+/// ≥3× faster than the 1-worker loop. The CI container for this repo is
+/// single-core (`available_parallelism` == 1), where a parallel speedup
+/// is physically impossible — so this runs only when explicitly asked
+/// for on real multicore hardware:
+///
+/// ```text
+/// cargo test --release --test fleet_determinism -- --ignored
+/// ```
+#[test]
+#[ignore = "needs >=4 physical cores; run with -- --ignored on multicore hardware"]
+fn multicore_sweep_speedup_is_at_least_3x() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    assert!(
+        cores >= 4,
+        "this measurement needs >=4 cores, found {cores}"
+    );
+
+    // 50 seeds x 2 cells x 2 configs = 200 boots.
+    let spec = SweepSpec::new()
+        .cell(
+            CellSpec::tizen("tv", profiles::ue48h6200(), small_params(0))
+                .seeds(0..50)
+                .conventional_vs_bb(),
+        )
+        .cell(
+            CellSpec::tizen("phone", profiles::galaxy_s6(), small_params(0))
+                .seeds(0..50)
+                .conventional_vs_bb(),
+        );
+    assert_eq!(spec.total_boots(), 200);
+
+    let start = Instant::now();
+    let serial = run_sweep(&spec, &PoolConfig::with_workers(1));
+    let serial_wall = start.elapsed();
+
+    let start = Instant::now();
+    let parallel = run_sweep(&spec, &PoolConfig::with_workers(cores));
+    let parallel_wall = start.elapsed();
+
+    assert_eq!(serial.report.to_json(), parallel.report.to_json());
+    let speedup = serial_wall.as_secs_f64() / parallel_wall.as_secs_f64();
+    assert!(
+        speedup >= 3.0,
+        "expected >=3x speedup on {cores} cores, measured {speedup:.2}x \
+         (serial {serial_wall:?}, parallel {parallel_wall:?})"
+    );
+}

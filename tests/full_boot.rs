@@ -16,7 +16,10 @@ fn headline_reproduction_bands() {
     assert!((7.0..9.2).contains(&conv_s), "conventional {conv_s:.3} s");
     assert!((3.0..4.0).contains(&bb_s), "bb {bb_s:.3} s");
     let reduction = 100.0 * (conv_s - bb_s) / conv_s;
-    assert!((45.0..70.0).contains(&reduction), "reduction {reduction:.1}%");
+    assert!(
+        (45.0..70.0).contains(&reduction),
+        "reduction {reduction:.1}%"
+    );
 }
 
 #[test]
@@ -78,11 +81,17 @@ fn kernel_phase_breakdown_matches_figure6a() {
     let bb = boost(&scenario, &BbConfig::full()).expect("valid");
     let conv_kernel = conv.kernel.kernel_total().as_millis();
     let bb_kernel = bb.kernel.kernel_total().as_millis();
-    assert!((660..=740).contains(&conv_kernel), "conv kernel {conv_kernel}");
+    assert!(
+        (660..=740).contains(&conv_kernel),
+        "conv kernel {conv_kernel}"
+    );
     assert!((370..=440).contains(&bb_kernel), "bb kernel {bb_kernel}");
     // Init-phase timings are the paper's exact task table.
     assert_eq!(
-        conv.boot.init_done.since(conv.boot.userspace_start).as_millis(),
+        conv.boot
+            .init_done
+            .since(conv.boot.userspace_start)
+            .as_millis(),
         195
     );
     assert_eq!(
@@ -139,7 +148,10 @@ fn bootchart_and_analysis_tools_work_on_real_runs() {
 fn rcu_booster_control_reverts_after_boot() {
     let scenario = tv_scenario();
     let (report, machine) = boost_with_machine(&scenario, &BbConfig::full()).expect("valid");
-    assert_eq!(machine.rcu_mode(), booting_booster::sim::RcuMode::ClassicSpin);
+    assert_eq!(
+        machine.rcu_mode(),
+        booting_booster::sim::RcuMode::ClassicSpin
+    );
     assert!(report.rcu.boosted_syncs > 0, "boot-time syncs were boosted");
     assert!(
         report.rcu.grace_periods < report.rcu.syncs_completed,

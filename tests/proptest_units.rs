@@ -12,7 +12,15 @@ use booting_booster::init::{
 /// Strategy: a valid unit name over a closed universe (so references
 /// can resolve).
 fn name_strategy() -> impl Strategy<Value = UnitName> {
-    (0usize..12, prop_oneof![Just("service"), Just("mount"), Just("socket"), Just("target")])
+    (
+        0usize..12,
+        prop_oneof![
+            Just("service"),
+            Just("mount"),
+            Just("socket"),
+            Just("target")
+        ],
+    )
         .prop_map(|(i, suffix)| UnitName::new(format!("u{i:02}.{suffix}")))
 }
 

@@ -6,8 +6,8 @@ use std::collections::BTreeSet;
 use booting_booster::bb::service_engine::{analyze, identify_bb_group, Finding};
 use booting_booster::init::{
     decode_units, encode_units, parse_unit, run_boot, BootPlan, EngineConfig, EngineMode,
-    IoSchedulingClass, LoadModel, ManagerCosts, PlanOverrides, ServiceType, Transaction,
-    UnitGraph, UnitName, WorkloadMap,
+    IoSchedulingClass, LoadModel, ManagerCosts, PlanOverrides, ServiceType, Transaction, UnitGraph,
+    UnitName, WorkloadMap,
 };
 use booting_booster::sim::{AccessPattern, DeviceProfile, Machine, MachineConfig, SimDuration};
 
@@ -29,8 +29,8 @@ fn parse_corpus() -> Vec<booting_booster::init::Unit> {
     corpus()
         .iter()
         .map(|(name, text)| {
-            let parsed = parse_unit(name, text)
-                .unwrap_or_else(|e| panic!("{name} failed to parse: {e}"));
+            let parsed =
+                parse_unit(name, text).unwrap_or_else(|e| panic!("{name} failed to parse: {e}"));
             assert!(
                 parsed.warnings.is_empty(),
                 "{name} produced warnings: {:?}",
@@ -76,7 +76,9 @@ fn corpus_graph_is_clean_and_bb_group_matches() {
     // The corpus is intentionally clean apart from the §4.2 abuser
     // (which is not a cycle/contradiction, just an early-bird ordering).
     assert!(
-        findings.iter().all(|f| !matches!(f, Finding::OrderingCycle(_))),
+        findings
+            .iter()
+            .all(|f| !matches!(f, Finding::OrderingCycle(_))),
         "unexpected cycle: {findings:?}"
     );
     let group = identify_bb_group(&graph, &[UnitName::new("fasttv.service")]);
@@ -133,7 +135,9 @@ fn corpus_boots_on_the_simulator() {
     assert!(record.outcome.failed.is_empty());
     // The Listing-1 ordering held: myapp before socket.service... those
     // are under multi-user.target, not pulled in by tv-boot.target.
-    assert!(!record.services.contains_key(&UnitName::new("myapp.service")));
+    assert!(!record
+        .services
+        .contains_key(&UnitName::new("myapp.service")));
     // The §4.2 abuser delayed var.mount behind itself.
     let var = record.service("var.mount").ready.expect("mounted");
     let messenger = record.service("messenger.service").ready.expect("ran");

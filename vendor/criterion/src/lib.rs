@@ -1,0 +1,243 @@
+//! Offline stand-in for [criterion.rs](https://github.com/bheisler/criterion.rs).
+//!
+//! The container build has no registry access, so this crate provides
+//! just enough of criterion's surface for the workspace benches to
+//! compile and produce readable wall-clock numbers. There is no
+//! statistical analysis, outlier rejection, or HTML report — each
+//! benchmark body is warmed up once and then timed over a fixed number
+//! of iterations, and the mean is printed to stdout.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Number of timed iterations per benchmark (after one warm-up batch).
+/// Override with the `BB_BENCH_ITERS` environment variable.
+fn timed_iters(sample_size: usize) -> u64 {
+    std::env::var("BB_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(sample_size as u64)
+}
+
+/// Top-level benchmark context, handed to each `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Throughput annotation; printed alongside the mean time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterised benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new<S: Into<String>, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Records a throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark with no external input.
+    pub fn bench_function<ID: fmt::Display, F>(&mut self, id: ID, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(&id.to_string(), |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark with a borrowed input value.
+    pub fn bench_with_input<ID: fmt::Display, I: ?Sized, F>(
+        &mut self,
+        id: ID,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op beyond matching criterion's API).
+    pub fn finish(self) {}
+
+    fn run_one(&self, id: &str, mut body: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            iters: timed_iters(self.sample_size),
+            elapsed: Duration::ZERO,
+        };
+        body(&mut bencher);
+        let mean = if bencher.iters == 0 {
+            Duration::ZERO
+        } else {
+            bencher.elapsed / bencher.iters as u32
+        };
+        let mut line = format!(
+            "{}/{id}: mean {mean:?} over {} iters",
+            self.name, bencher.iters
+        );
+        if let Some(tp) = self.throughput {
+            let per_sec = |count: u64| {
+                let secs = mean.as_secs_f64();
+                if secs > 0.0 {
+                    count as f64 / secs
+                } else {
+                    f64::INFINITY
+                }
+            };
+            match tp {
+                Throughput::Elements(n) => {
+                    line.push_str(&format!(" ({:.0} elem/s)", per_sec(n)));
+                }
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!(" ({:.0} B/s)", per_sec(n)));
+                }
+            }
+        }
+        println!("{line}");
+    }
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations,
+    /// after one untimed warm-up call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Re-export so `criterion::black_box` callers work; benches here use
+/// `std::hint::black_box` directly but upstream exposes its own.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function like upstream criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_bodies_and_finishes() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(3);
+        let mut calls = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        // warm-up + 3 timed iterations
+        assert_eq!(calls, 4);
+        group.finish();
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(1);
+        group.throughput(Throughput::Elements(7));
+        group.bench_with_input(BenchmarkId::new("double", 21), &21u32, |b, &n| {
+            b.iter(|| assert_eq!(n * 2, 42))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

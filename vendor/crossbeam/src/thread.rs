@@ -1,0 +1,55 @@
+//! Scoped threads over `std::thread::scope`, with crossbeam's API:
+//! the closure receives a [`Scope`] handle, spawned closures receive
+//! the scope again (so they can spawn), and panics in any spawned
+//! thread surface as an `Err` from [`scope`] instead of unwinding.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Payload of a panicked scope.
+pub type ScopeResult<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+/// Handle for spawning threads tied to the enclosing [`scope`] call.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Join handle for a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a thread; the closure receives the scope so it can spawn
+    /// further threads (crossbeam's signature).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread and returns its result, or the panic
+    /// payload if it panicked.
+    pub fn join(self) -> ScopeResult<T> {
+        self.inner.join()
+    }
+}
+
+/// Runs `f` with a thread scope. All spawned threads are joined before
+/// this returns; if any panicked (or `f` itself did), the first panic
+/// payload is returned as `Err`.
+pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}

@@ -1,0 +1,506 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of proptest this workspace's property tests
+//! use: the [`proptest!`] macro with `#![proptest_config]`, strategies
+//! over integer ranges / tuples / `Just` / unions (`prop_oneof!`) /
+//! vectors / options / simple `[class]{m,n}` regex strings,
+//! `any::<T>()` for primitives and [`sample::Index`], `prop_map` /
+//! `prop_flat_map`, and `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case reports the generated values and
+//!   the case number; cases are deterministic (seeded from the test
+//!   name and case index), so failures reproduce exactly on rerun.
+//! * **No persistence.** `*.proptest-regressions` files are ignored.
+//! * The default case count is 64 (override with `PROPTEST_CASES`).
+
+pub mod strategy;
+
+pub mod test_runner {
+    //! Deterministic case runner.
+
+    use rand::rngs::SmallRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Runner configuration (`#![proptest_config(...)]`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(64);
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Deterministic per-case random source.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(SmallRng);
+
+    impl TestRng {
+        /// Seeded from the test name and case index, so every case is
+        /// reproducible without any persisted state.
+        pub fn for_case(test_name: &str, case: u32) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng(SmallRng::seed_from_u64(
+                h ^ ((case as u64) << 32) ^ case as u64,
+            ))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// A failed property (from `prop_assert!`).
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Builds a failure with a message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError(message.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Case outcome delivered to [`run`]: the rendered inputs plus the
+    /// body result (`Err` string for `prop_assert!`, panic payload for
+    /// plain panics).
+    pub type CaseOutcome = (
+        String,
+        Result<Result<(), TestCaseError>, Box<dyn std::any::Any + Send + 'static>>,
+    );
+
+    /// Drives `body` for `config.cases` deterministic cases, panicking
+    /// with full context on the first failure.
+    pub fn run(
+        config: &ProptestConfig,
+        test_name: &str,
+        mut body: impl FnMut(&mut TestRng) -> CaseOutcome,
+    ) {
+        for case in 0..config.cases {
+            let mut rng = TestRng::for_case(test_name, case);
+            let (inputs, outcome) = body(&mut rng);
+            let failure = match outcome {
+                Ok(Ok(())) => continue,
+                Ok(Err(e)) => e.to_string(),
+                Err(payload) => payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "non-string panic payload".to_owned()),
+            };
+            panic!(
+                "proptest: {test_name} failed at case {case}/{}\n  inputs: {inputs}\n  failure: {failure}\n  (cases are deterministic; rerun reproduces this)",
+                config.cases
+            );
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Length bounds for [`vec`]. Built from `usize`, `Range<usize>`,
+    /// or `RangeInclusive<usize>`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s of `element` values with a length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling helpers.
+
+    use crate::arbitrary::{any_fn, Arbitrary, FnStrategy};
+    use rand::Rng;
+
+    /// An index into a collection of not-yet-known size: holds raw
+    /// randomness, scaled by [`Index::index`] at use.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Maps onto `0..size`.
+        ///
+        /// # Panics
+        ///
+        /// Panics when `size` is zero, as upstream does.
+        pub fn index(&self, size: usize) -> usize {
+            assert!(size > 0, "Index::index on empty collection");
+            (((self.0 as u128) * (size as u128)) >> 64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        type Strategy = FnStrategy<Index>;
+        fn arbitrary() -> Self::Strategy {
+            any_fn(|rng| Index(rng.gen_range(0..u64::MAX)))
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy for `Option<S::Value>`, `Some` three times out of four.
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy { element }
+    }
+
+    /// Strategy returned by [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        element: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_bool(0.75) {
+                Some(self.element.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized + std::fmt::Debug {
+        /// That strategy's type.
+        type Strategy: Strategy<Value = Self>;
+        /// Builds the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// The canonical strategy for `A`.
+    pub fn any<A: Arbitrary>() -> A::Strategy {
+        A::arbitrary()
+    }
+
+    /// A strategy backed by a plain function.
+    #[derive(Debug, Clone, Copy)]
+    pub struct FnStrategy<T> {
+        f: fn(&mut TestRng) -> T,
+    }
+
+    /// Wraps a generation function as a strategy.
+    pub fn any_fn<T: std::fmt::Debug>(f: fn(&mut TestRng) -> T) -> FnStrategy<T> {
+        FnStrategy { f }
+    }
+
+    impl<T: std::fmt::Debug> Strategy for FnStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(rng)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                type Strategy = FnStrategy<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    any_fn(|rng| {
+                        let v: u64 = rng.gen_range(0..u64::MAX);
+                        v as $t
+                    })
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        type Strategy = FnStrategy<bool>;
+        fn arbitrary() -> Self::Strategy {
+            any_fn(|rng| rng.gen_bool(0.5))
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// Module-path aliases (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::sample;
+    }
+}
+
+/// The property-test macro. Parses an optional
+/// `#![proptest_config(...)]` header followed by `fn name(arg in
+/// strategy, ...) { body }` items (attributes, including `#[test]` and
+/// doc comments, are forwarded).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`] items.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) $( $(#[$attr:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::test_runner::run(&config, stringify!($name), |rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), rng);)+
+                    let inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}  "),+),
+                        $(&$arg),+
+                    );
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(move || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            ::core::result::Result::Ok(())
+                        }),
+                    );
+                    (inputs, outcome)
+                });
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_maps_generate() {
+        let s = (0usize..10, -5i8..=5).prop_map(|(a, b)| (a, b));
+        let mut rng = crate::test_runner::TestRng::for_case("t", 0);
+        for _ in 0..200 {
+            let (a, b) = s.generate(&mut rng);
+            assert!(a < 10 && (-5..=5).contains(&b));
+        }
+    }
+
+    #[test]
+    fn regex_class_strategy_matches_shape() {
+        let s = "[a-z/:-]{1,24}";
+        let mut rng = crate::test_runner::TestRng::for_case("r", 1);
+        for _ in 0..100 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!((1..=24).contains(&v.len()), "{v:?}");
+            assert!(v
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == '/' || c == ':' || c == '-'));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_arms() {
+        let s = prop_oneof![Just(1u8), Just(2), Just(3)];
+        let mut rng = crate::test_runner::TestRng::for_case("o", 2);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn vec_and_option_strategies() {
+        let s = prop::collection::vec(prop::option::of(0u32..5), 2..6);
+        let mut rng = crate::test_runner::TestRng::for_case("v", 3);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn index_scales_without_overflow() {
+        let strat = any::<prop::sample::Index>();
+        let mut rng = crate::test_runner::TestRng::for_case("i", 4);
+        for _ in 0..100 {
+            let idx = strat.generate(&mut rng);
+            assert!(idx.index(7) < 7);
+            assert!(idx.index(1) == 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn the_macro_itself_works(a in 0u64..100, b in prop::collection::vec(0u8..10, 0..4)) {
+            prop_assert!(a < 100);
+            prop_assert_eq!(b.len(), b.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_reports_case() {
+        crate::test_runner::run(&ProptestConfig::with_cases(4), "always_fails", |_rng| {
+            ("x = 1".to_owned(), Ok(Err(TestCaseError::fail("nope"))))
+        });
+    }
+
+    #[test]
+    fn flat_map_composes() {
+        let s = (2usize..5).prop_flat_map(|n| prop::collection::vec(Just(n), n..n + 1));
+        let mut rng = crate::test_runner::TestRng::for_case("f", 5);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert_eq!(v.len(), v[0]);
+        }
+    }
+}
