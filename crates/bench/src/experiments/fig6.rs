@@ -1,23 +1,24 @@
 //! E5 — Figure 6: the headline result.
 //!
 //! Conventional vs full-BB boot of the calibrated UE48H6200 scenario,
-//! with the paper's per-step breakdown and a per-feature attribution
-//! computed two ways: single-feature (conventional + one mechanism) and
-//! leave-one-out (full BB minus one mechanism).
+//! with the paper's per-step breakdown and per-pass attribution read
+//! directly from the full-BB boot's [`PassDelta`] provenance — two
+//! boots total, where the pre-pipeline version re-ran 14 per-feature
+//! ablation boots to recover the same table. The delta estimates are
+//! cross-checked against a real ablation sweep in the workspace
+//! integration test `tests/pipeline_attribution.rs`.
 
-use bb_core::{boost, BbConfig, Comparison, FullBootReport};
-use bb_sim::{SimDuration, SimTime};
+use bb_core::pipeline::PassDelta;
+use bb_core::{attribution_table, boost, BbConfig, Comparison, FullBootReport};
 use bb_workloads::tv_scenario;
 
-/// Per-feature attribution row.
+/// Per-pass attribution row, derived from the single full-BB boot.
 #[derive(Debug, Clone)]
 pub struct Attribution {
-    /// Feature name.
-    pub feature: &'static str,
-    /// Boot-time saving when added alone to the conventional boot.
-    pub single_saving: SimDuration,
-    /// Boot-time cost when removed from the full BB.
-    pub leave_one_out_cost: SimDuration,
+    /// Pipeline pass name.
+    pub pass: &'static str,
+    /// What the pass changed in the plan (counts + estimated saving).
+    pub delta: PassDelta,
     /// The paper's reported saving for the closest step, if stated.
     pub paper_ms: Option<u64>,
 }
@@ -31,50 +32,44 @@ pub struct Fig6 {
     pub bb: FullBootReport,
     /// Phase comparison.
     pub comparison: Comparison,
-    /// Per-feature attribution.
+    /// Per-pass attribution from the full-BB boot's deltas.
     pub attribution: Vec<Attribution>,
 }
 
-/// Paper-reported per-feature savings (milliseconds), for side-by-side
-/// reporting: RCU Booster 1828 (2289→461), BB Group 1101, Deferred
-/// Executor 496, On-demand Modularizer 428, Pre-parser 381 (150+231),
-/// memory init 260 (370→110), journal deferral 35 (110→75), init tasks
-/// 124 (195→71).
-pub fn paper_savings(feature: &str) -> Option<u64> {
-    Some(match feature {
-        "rcu_booster" => 1828,
-        "bb_group" => 1101,
-        "deferred_executor" => 496 + 124,
-        "ondemand_modularizer" => 428,
-        "preparser" => 381,
-        "defer_memory" => 260,
-        "defer_journal" => 35,
+/// Paper-reported savings (milliseconds) for the closest pipeline pass:
+/// RCU Booster 1828 (2289→461), BB Group 1101 (attributed to the
+/// isolator row; the paper does not split isolation from manager
+/// prioritization), Deferred Executor 496 + 124 init tasks + 35
+/// journal deferral, On-demand Modularizer 428, Pre-parser 381
+/// (150+231), memory init 260 (370→110).
+pub fn paper_savings(pass: &str) -> Option<u64> {
+    Some(match pass {
+        "rcu-booster" => 1828,
+        "group-isolator" => 1101,
+        "deferred-executor" => 496 + 124 + 35,
+        "ondemand-modularizer" => 428,
+        "pre-parser" => 381,
+        "defer-memory-init" => 260,
         _ => return None,
     })
 }
 
-/// Runs the experiment.
+/// Runs the experiment: exactly two boots (conventional + full BB); the
+/// per-pass table comes from the BB boot's deltas.
 pub fn run() -> Fig6 {
     let scenario = tv_scenario();
     let conventional = boost(&scenario, &BbConfig::conventional()).expect("valid");
     let bb = boost(&scenario, &BbConfig::full()).expect("valid");
-    let conv_t = conventional.boot_time();
-    let bb_t = bb.boot_time();
 
-    let mut attribution = Vec::new();
-    let singles = BbConfig::single_feature_configs();
-    let loos = BbConfig::leave_one_out_configs();
-    for ((feature, single_cfg), (feature2, loo_cfg)) in singles.into_iter().zip(loos) {
-        assert_eq!(feature, feature2);
-        let single_t = boost(&scenario, &single_cfg).expect("valid").boot_time();
-        let loo_t = boost(&scenario, &loo_cfg).expect("valid").boot_time();
-        attribution.push(Attribution {
-            feature,
-            single_saving: SimTime::saturating_since(conv_t, single_t),
-            leave_one_out_cost: SimTime::saturating_since(loo_t, bb_t),
-            paper_ms: paper_savings(feature),
-        });
-    }
+    let attribution = bb
+        .deltas
+        .iter()
+        .map(|d| Attribution {
+            pass: d.pass,
+            delta: d.clone(),
+            paper_ms: paper_savings(d.pass),
+        })
+        .collect();
     let comparison = Comparison::build(&conventional, &bb);
     Fig6 {
         conventional,
@@ -103,25 +98,18 @@ impl Fig6 {
                 .map(|n| n.as_str())
                 .collect::<Vec<_>>()
         );
-        let _ = writeln!(s, "\nPer-feature attribution (ablations):");
         let _ = writeln!(
             s,
-            "  {:<22} {:>14} {:>16} {:>12}",
-            "feature", "single-saving", "leave-one-out", "paper"
+            "\nPer-feature attribution (from the full-BB boot's pass deltas):"
         );
+        s.push_str(&attribution_table(&self.bb.deltas));
+        let _ = writeln!(s, "\n  {:<22} {:>12}", "pass", "paper");
         for a in &self.attribution {
             let paper = a
                 .paper_ms
                 .map(|ms| format!("{ms}ms"))
                 .unwrap_or_else(|| "-".into());
-            let _ = writeln!(
-                s,
-                "  {:<22} {:>14} {:>16} {:>12}",
-                a.feature,
-                a.single_saving.to_string(),
-                a.leave_one_out_cost.to_string(),
-                paper
-            );
+            let _ = writeln!(s, "  {:<22} {:>12}", a.pass, paper);
         }
         s
     }
@@ -130,6 +118,7 @@ impl Fig6 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bb_core::STANDARD_PASSES;
 
     #[test]
     fn headline_bands_hold() {
@@ -139,25 +128,28 @@ mod tests {
         assert!((7.0..9.2).contains(&conv), "conv {conv}");
         assert!((3.0..4.0).contains(&bb), "bb {bb}");
         assert_eq!(f.attribution.len(), 7);
+        let passes: Vec<&str> = f.attribution.iter().map(|a| a.pass).collect();
+        assert_eq!(passes, STANDARD_PASSES);
         assert!(f.render().contains("Per-feature attribution"));
     }
 
     #[test]
     fn rcu_and_group_dominate_attribution() {
         // The paper's two largest levers are the RCU Booster (1828 ms)
-        // and BB Group isolation (1101 ms); they should dominate the
-        // single-feature savings here as well.
+        // and BB Group handling (1101 ms); their delta estimates should
+        // dominate the small serial passes here as well.
         let f = run();
         let get = |name: &str| {
             f.attribution
                 .iter()
-                .find(|a| a.feature == name)
+                .find(|a| a.pass == name)
                 .unwrap()
-                .single_saving
+                .delta
+                .estimated_saving
         };
-        let rcu = get("rcu_booster");
-        let group = get("bb_group");
-        for other in ["defer_memory", "defer_journal", "preparser"] {
+        let rcu = get("rcu-booster");
+        let group = get("group-isolator") + get("bb-manager-priority");
+        for other in ["defer-memory-init", "pre-parser"] {
             assert!(rcu > get(other), "rcu {} <= {other} {}", rcu, get(other));
             assert!(group > get(other), "group {} <= {other}", group);
         }

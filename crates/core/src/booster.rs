@@ -3,26 +3,24 @@
 //!
 //! A [`Scenario`] bundles the hardware profile, the kernel plan, the
 //! unit set, the service workload bodies, and the boot-completion
-//! definition. [`boost`] wires all three BB engines around the substrate
-//! crates and executes the boot end to end:
+//! definition. Every entry point here is a thin wrapper over the pass
+//! pipeline ([`crate::pipeline::Pipeline`]): the scenario is lowered to
+//! a [`crate::pipeline::BootPlanIr`], the enabled [`PlanPass`]es
+//! transform it (recording a [`PassDelta`] each), and
+//! [`crate::pipeline::execute`] runs the boot end to end.
 //!
-//! 1. kernel boot (Core Engine knobs applied to the kernel plan),
-//! 2. RCU Booster Control installation,
-//! 3. kernel-module handling (On-demand Modularizer vs `.ko` loading),
-//! 4. the init scheme (Boot-up Engine task tables, Pre-parser load
-//!    model, Service Engine group isolation) via `bb_init::run_boot`.
+//! [`PlanPass`]: crate::pipeline::PlanPass
+//! [`PassDelta`]: crate::pipeline::PassDelta
 
 use bb_init::{
-    run_boot, BootPlan, BootRecord, EngineConfig, EngineMode, ManagerCosts, Transaction,
-    TransactionError, Unit, UnitGraph, UnitName, WorkloadMap,
+    BootRecord, ManagerCosts, Transaction, TransactionError, Unit, UnitGraph, UnitName, WorkloadMap,
 };
-use bb_kernel::{execute_kernel_boot, KernelPlan, KernelReport, ModuleCatalog};
+use bb_kernel::{KernelPlan, KernelReport, ModuleCatalog};
 use bb_sim::{DeviceProfile, Machine, MachineConfig, RcuStats, SimTime};
 
-use crate::bootup_engine;
 use crate::config::BbConfig;
-use crate::core_engine;
-use crate::service_engine::{self, ParseCostParams, PreParser};
+use crate::pipeline::{PassDelta, Pipeline};
+use crate::service_engine::{ParseCostParams, PreParser};
 
 /// A complete boot scenario (hardware + software + completion policy).
 ///
@@ -72,6 +70,9 @@ pub struct FullBootReport {
     pub bb_group: Vec<UnitName>,
     /// Time the machine went fully quiescent (deferred work included).
     pub quiesce_time: SimTime,
+    /// Per-pass provenance: what each enabled [`crate::pipeline::PlanPass`]
+    /// changed in the plan (empty for a conventional boot).
+    pub deltas: Vec<PassDelta>,
 }
 
 impl FullBootReport {
@@ -82,6 +83,12 @@ impl FullBootReport {
     /// Panics if the boot never completed.
     pub fn boot_time(&self) -> SimTime {
         self.boot.boot_time()
+    }
+
+    /// Boot time, or `None` if the completion definition was never met
+    /// (a hung boot). The non-panicking form for sweep workers.
+    pub fn try_boot_time(&self) -> Option<SimTime> {
+        self.boot.try_boot_time()
     }
 }
 
@@ -117,7 +124,7 @@ pub fn boost_with_machine(
     scenario: &Scenario,
     cfg: &BbConfig,
 ) -> Result<(FullBootReport, Machine), BoostError> {
-    boost_custom(scenario, cfg, |_, _, _| {})
+    Pipeline::standard().run_with_machine(scenario, cfg)
 }
 
 /// Runs `scenario` under `cfg` with the unit set's [`PreParser`]
@@ -134,7 +141,7 @@ pub fn boost_prepared(
     cfg: &BbConfig,
     pre: &PreParser,
 ) -> Result<FullBootReport, BoostError> {
-    boost_inner(scenario, cfg, Some(pre), |_, _, _| {}).map(|(r, _)| r)
+    Pipeline::standard().run_prepared(scenario, cfg, pre)
 }
 
 /// Like [`boost_with_machine`], but lets the caller adjust the plan
@@ -146,85 +153,7 @@ pub fn boost_custom(
     cfg: &BbConfig,
     tweak: impl FnOnce(&UnitGraph, &Transaction, &mut bb_init::PlanOverrides),
 ) -> Result<(FullBootReport, Machine), BoostError> {
-    boost_inner(scenario, cfg, None, tweak)
-}
-
-fn boost_inner(
-    scenario: &Scenario,
-    cfg: &BbConfig,
-    pre: Option<&PreParser>,
-    tweak: impl FnOnce(&UnitGraph, &Transaction, &mut bb_init::PlanOverrides),
-) -> Result<(FullBootReport, Machine), BoostError> {
-    let graph = UnitGraph::build(scenario.units.clone()).map_err(BoostError::Graph)?;
-    let transaction =
-        Transaction::build(&graph, &scenario.target).map_err(BoostError::Transaction)?;
-
-    let mut machine = Machine::new(scenario.machine);
-    let device = machine.add_device("boot-storage", scenario.storage);
-    let boot_complete = machine.flag("boot-complete");
-
-    // Core Engine: kernel plan knobs + kernel boot.
-    let mut kernel_plan = scenario.kernel.clone();
-    core_engine::apply_to_kernel_plan(&mut kernel_plan, cfg);
-    let kernel = execute_kernel_boot(&mut machine, device, &kernel_plan, boot_complete);
-
-    // Boot-up Engine: RCU Booster Control.
-    bootup_engine::install_rcu_booster_control(&mut machine, cfg, boot_complete);
-
-    // Core Engine: kernel-module handling during the service phase.
-    core_engine::install_module_loading(
-        &mut machine,
-        &scenario.modules,
-        device,
-        cfg,
-        boot_complete,
-    );
-
-    // Service Engine: group isolation + Pre-parser load model.
-    let mut overrides =
-        service_engine::plan_overrides(&graph, &transaction, &scenario.completion, cfg);
-    tweak(&graph, &transaction, &mut overrides);
-    let bb_group: Vec<UnitName> = overrides
-        .isolate
-        .iter()
-        .map(|&i| graph.unit(i).name.clone())
-        .collect();
-    let load = match pre {
-        Some(p) => p.load_model(&scenario.parse_params, cfg.preparser),
-        None => service_engine::load_model(&scenario.units, &scenario.parse_params, cfg.preparser),
-    };
-
-    let mut init_tasks = scenario.extra_init_tasks.clone();
-    init_tasks.extend(bootup_engine::init_tasks(cfg));
-    let plan = BootPlan {
-        graph: &graph,
-        transaction,
-        completion: scenario.completion.clone(),
-        overrides,
-        init_tasks,
-        service_phase_tasks: bootup_engine::service_phase_tasks(cfg),
-    };
-    let engine_cfg = EngineConfig {
-        mode: EngineMode::InOrder,
-        load,
-        costs: scenario.manager_costs,
-        device,
-    };
-    let boot = run_boot(&mut machine, &plan, &scenario.workloads, &engine_cfg);
-    let quiesce_time = boot.outcome.end_time;
-    let rcu = machine.rcu_stats();
-
-    Ok((
-        FullBootReport {
-            config: *cfg,
-            kernel,
-            boot,
-            rcu,
-            bb_group,
-            quiesce_time,
-        },
-        machine,
-    ))
+    Pipeline::standard().run_custom(scenario, cfg, tweak)
 }
 
 #[cfg(test)]

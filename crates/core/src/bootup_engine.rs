@@ -13,20 +13,30 @@ use bb_sim::{FlagId, Machine, Op, ProcessSpec, RcuMode, SimDuration};
 
 use crate::config::BbConfig;
 
+/// The six Figure 6(b) setup tasks the Deferred Executor may postpone,
+/// with their costs in milliseconds.
+const DEFERRABLE_INIT_TASKS: [(&str, u64); 6] = [
+    ("enable-logging-scheme", 28),
+    ("setup-kernel-module", 28),
+    ("setup-hostname", 13),
+    ("setup-machine-id", 9),
+    ("setup-loopback-device", 17),
+    ("test-directory", 29),
+];
+
+/// Whether `name` is one of the init-phase tasks the Deferred Executor
+/// is allowed to postpone (the paper's six; the `init-core` residual
+/// and scenario extras are not).
+pub fn is_deferrable_init_task(name: &str) -> bool {
+    DEFERRABLE_INIT_TASKS.iter().any(|&(n, _)| n == name)
+}
+
 /// The Figure 6(b) init-phase tasks. With the Deferred Executor active,
 /// the six named setup tasks are deferred past boot completion; the
 /// residual (71 ms of work systemd must do either way) always runs.
 pub fn init_tasks(cfg: &BbConfig) -> Vec<ManagerTask> {
-    let deferrable = [
-        ("enable-logging-scheme", 28u64),
-        ("setup-kernel-module", 28),
-        ("setup-hostname", 13),
-        ("setup-machine-id", 9),
-        ("setup-loopback-device", 17),
-        ("test-directory", 29),
-    ];
     let mut tasks = vec![ManagerTask::new("init-core", SimDuration::from_millis(71))];
-    for (name, ms) in deferrable {
+    for (name, ms) in DEFERRABLE_INIT_TASKS {
         let t = ManagerTask::new(name, SimDuration::from_millis(ms));
         tasks.push(if cfg.deferred_executor {
             t.deferred()
@@ -72,13 +82,14 @@ pub fn service_phase_tasks(cfg: &BbConfig) -> Vec<ManagerTask> {
         .collect()
 }
 
-/// Installs RCU Booster Control: if the booster is enabled, switch the
+/// Installs RCU Booster Control: with `boost` (the
+/// [`crate::pipeline::RcuBoosterInstall`] pass's knob), switch the
 /// machine to the boosted mode now (systemd's first task) and spawn the
 /// control process that reverts to the classic mode at boot completion —
 /// after boot there are rarely concurrent synchronizers, where the spin
 /// path is cheaper (§4.3).
-pub fn install_rcu_booster_control(machine: &mut Machine, cfg: &BbConfig, boot_complete: FlagId) {
-    if !cfg.rcu_booster {
+pub fn install_rcu_booster_control(machine: &mut Machine, boost: bool, boot_complete: FlagId) {
+    if !boost {
         machine.set_rcu_mode(RcuMode::ClassicSpin);
         return;
     }
@@ -141,7 +152,7 @@ mod tests {
     fn booster_control_toggles_mode() {
         let mut m = Machine::new(MachineConfig::default());
         let gate = m.flag("boot-complete");
-        install_rcu_booster_control(&mut m, &BbConfig::full(), gate);
+        install_rcu_booster_control(&mut m, true, gate);
         assert_eq!(m.rcu_mode(), RcuMode::Boosted);
         m.set_flag_external(gate);
         m.run();
@@ -152,7 +163,7 @@ mod tests {
     fn no_booster_means_classic_mode() {
         let mut m = Machine::new(MachineConfig::default());
         let gate = m.flag("boot-complete");
-        install_rcu_booster_control(&mut m, &BbConfig::conventional(), gate);
+        install_rcu_booster_control(&mut m, false, gate);
         assert_eq!(m.rcu_mode(), RcuMode::ClassicSpin);
         assert_eq!(m.process_count(), 0);
     }

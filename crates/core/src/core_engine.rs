@@ -3,52 +3,54 @@
 //! * *On-demand Modularizer* — partitions kernel components so
 //!   non-boot-critical built-ins initialize after boot completion, and
 //!   replaces the conventional external-`.ko` loading of the service
-//!   phase with deferred built-in initialization.
-//! * Deferred memory initialization and deferred journal enabling are
-//!   applied to the kernel plan.
+//!   phase with deferred built-in initialization. Plan-level knobs
+//!   (defer flags, the [`ModuleStrategy`]) are flipped by the
+//!   [`crate::pipeline`] passes; this module provides the machine-side
+//!   installation.
 //! * *RCU Booster* installation is a machine-level mode switch; its
 //!   user-space control half lives in
 //!   [`crate::bootup_engine::install_rcu_booster_control`].
 
-use bb_kernel::{KernelPlan, ModuleCatalog};
+use bb_kernel::ModuleCatalog;
 use bb_sim::{DeviceId, FlagId, Machine, Op, ProcessSpec};
-
-use crate::config::BbConfig;
-
-/// Applies the Core Engine's kernel-plan knobs for `cfg`.
-pub fn apply_to_kernel_plan(plan: &mut KernelPlan, cfg: &BbConfig) {
-    plan.defer_memory = cfg.defer_memory;
-    plan.defer_initcalls = cfg.ondemand_modularizer;
-    plan.defer_journal = cfg.defer_journal;
-}
 
 /// How many parallel loader workers handle kernel modules in the
 /// conventional path (udev forks several workers).
 pub const MODULE_LOADER_WORKERS: usize = 4;
 
-/// Installs kernel-module handling for the service phase.
-///
-/// Conventional: spawns [`MODULE_LOADER_WORKERS`] loader processes that
-/// load every module as an external `.ko` (syscalls + flash I/O + init),
-/// competing with services for CPU and storage during boot.
-///
-/// With the On-demand Modularizer: deferrable components become built-in
-/// initializations gated on boot completion; only boot-critical modules
-/// load eagerly (built-in, no `.ko` overhead).
+/// How the service phase handles kernel modules — the plan-level knob
+/// the [`crate::pipeline::OnDemandModularizer`] pass flips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModuleStrategy {
+    /// Conventional: every module loads as an external `.ko` during
+    /// boot, spread over udev-style loader workers.
+    ExternalKo {
+        /// Number of parallel loader workers.
+        workers: usize,
+    },
+    /// On-demand Modularizer: deferrable components become built-in
+    /// initializations gated on boot completion; only boot-critical
+    /// modules initialize eagerly (built-in, no `.ko` overhead).
+    DeferredBuiltin,
+}
+
+/// Installs kernel-module handling for the service phase according to
+/// `strategy` (see [`ModuleStrategy`]). Both paths compete with
+/// services for CPU — and, conventionally, for storage too.
 ///
 /// Returns the number of processes spawned.
 pub fn install_module_loading(
     machine: &mut Machine,
     catalog: &ModuleCatalog,
     device: DeviceId,
-    cfg: &BbConfig,
+    strategy: ModuleStrategy,
     boot_complete: FlagId,
 ) -> usize {
     if catalog.is_empty() {
         return 0;
     }
     let mut spawned = 0;
-    if cfg.ondemand_modularizer {
+    if strategy == ModuleStrategy::DeferredBuiltin {
         // Boot-critical components initialize eagerly as built-ins (one
         // worker; the set is small), deferrable ones after completion.
         let eager: Vec<Op> = catalog
@@ -71,9 +73,13 @@ pub fn install_module_loading(
     } else {
         // Conventional: everything loads as external `.ko` during boot,
         // spread over a few udev-style workers.
-        let mut worker_ops: Vec<Vec<Op>> = vec![Vec::new(); MODULE_LOADER_WORKERS];
+        let workers = match strategy {
+            ModuleStrategy::ExternalKo { workers } => workers.max(1),
+            ModuleStrategy::DeferredBuiltin => unreachable!(),
+        };
+        let mut worker_ops: Vec<Vec<Op>> = vec![Vec::new(); workers];
         for (i, m) in catalog.modules.iter().enumerate() {
-            worker_ops[i % MODULE_LOADER_WORKERS].extend(catalog.external_load_ops(m, device));
+            worker_ops[i % workers].extend(catalog.external_load_ops(m, device));
         }
         for (i, ops) in worker_ops.into_iter().enumerate() {
             if ops.is_empty() {
@@ -99,30 +105,17 @@ mod tests {
         (m, dev, gate)
     }
 
-    #[test]
-    fn kernel_plan_knobs_follow_config() {
-        let mut plan = bb_kernel::KernelPlan {
-            bootloader: bb_sim::SimDuration::from_millis(1),
-            image_bytes: 0,
-            memory: bb_kernel::MemoryPlan::tv_1gib(),
-            initcalls: bb_kernel::InitcallRegistry::new(),
-            rootfs: bb_kernel::RootfsPlan::tv_emmc(),
-            misc: bb_sim::SimDuration::ZERO,
-            defer_memory: false,
-            defer_initcalls: false,
-            defer_journal: false,
-        };
-        apply_to_kernel_plan(&mut plan, &BbConfig::full());
-        assert!(plan.defer_memory && plan.defer_initcalls && plan.defer_journal);
-        apply_to_kernel_plan(&mut plan, &BbConfig::conventional());
-        assert!(!plan.defer_memory && !plan.defer_initcalls && !plan.defer_journal);
+    fn external() -> ModuleStrategy {
+        ModuleStrategy::ExternalKo {
+            workers: MODULE_LOADER_WORKERS,
+        }
     }
 
     #[test]
     fn conventional_module_loading_happens_at_boot() {
         let (mut m, dev, gate) = machine();
         let cat = synthetic_catalog(40);
-        let n = install_module_loading(&mut m, &cat, dev, &BbConfig::conventional(), gate);
+        let n = install_module_loading(&mut m, &cat, dev, external(), gate);
         assert_eq!(n, MODULE_LOADER_WORKERS);
         let out = m.run();
         // All loads done without the gate ever being set.
@@ -135,7 +128,7 @@ mod tests {
     fn modularizer_defers_most_work_past_completion() {
         let (mut m, dev, gate) = machine();
         let cat = synthetic_catalog(40);
-        let n = install_module_loading(&mut m, &cat, dev, &BbConfig::full(), gate);
+        let n = install_module_loading(&mut m, &cat, dev, ModuleStrategy::DeferredBuiltin, gate);
         assert_eq!(n, 2);
         let before_gate = m.run();
         // Only the eager built-in worker ran; the deferred one blocks.
@@ -151,10 +144,10 @@ mod tests {
     fn modularizer_pre_completion_work_is_much_smaller() {
         let cat = synthetic_catalog(408);
         let (mut m1, dev1, g1) = machine();
-        install_module_loading(&mut m1, &cat, dev1, &BbConfig::conventional(), g1);
+        install_module_loading(&mut m1, &cat, dev1, external(), g1);
         let conv = m1.run().end_time;
         let (mut m2, dev2, g2) = machine();
-        install_module_loading(&mut m2, &cat, dev2, &BbConfig::full(), g2);
+        install_module_loading(&mut m2, &cat, dev2, ModuleStrategy::DeferredBuiltin, g2);
         let bb = m2.run().end_time;
         assert!(
             bb.as_nanos() * 5 < conv.as_nanos(),
@@ -165,13 +158,7 @@ mod tests {
     #[test]
     fn empty_catalog_spawns_nothing() {
         let (mut m, dev, gate) = machine();
-        let n = install_module_loading(
-            &mut m,
-            &ModuleCatalog::default(),
-            dev,
-            &BbConfig::conventional(),
-            gate,
-        );
+        let n = install_module_loading(&mut m, &ModuleCatalog::default(), dev, external(), gate);
         assert_eq!(n, 0);
     }
 }

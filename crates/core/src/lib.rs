@@ -9,6 +9,9 @@
 //!   Executor's task tables and RCU Booster Control.
 //! * [`service_engine`] — BB Group Isolator, Booting Booster Manager
 //!   (priorities + dispatch order), Pre-parser, Service Analyzer.
+//! * [`pipeline`] — the spine: every mechanism as a [`pipeline::PlanPass`]
+//!   over one [`pipeline::BootPlanIr`], with a [`pipeline::PassDelta`]
+//!   provenance record per pass.
 //! * [`booster`] — the one-call facade: run a [`booster::Scenario`]
 //!   under any [`BbConfig`] and get a [`booster::FullBootReport`].
 //! * [`report`] — Figure-6-style comparison tables.
@@ -23,6 +26,7 @@ pub mod bootup_engine;
 pub mod config;
 pub mod core_engine;
 pub mod miner;
+pub mod pipeline;
 pub mod report;
 pub mod service_engine;
 
@@ -31,7 +35,8 @@ pub use booster::{
 };
 pub use config::BbConfig;
 pub use miner::{mine, EdgeSlack, MiningReport};
-pub use report::{Comparison, Row};
+pub use pipeline::{BootPlanIr, PassDelta, Pipeline, PlanPass, STANDARD_PASSES};
+pub use report::{attribution_table, Comparison, Row};
 pub use service_engine::{
     analyze, analyze_directives, identify_bb_group, load_model, Finding, ParseCostParams, PreParser,
 };

@@ -1,9 +1,11 @@
 //! Figure-6-style reporting: per-step comparison of a conventional and a
-//! boosted boot.
+//! boosted boot, plus per-pass attribution from a single boot's
+//! [`PassDelta`] provenance.
 
 use bb_sim::{SimDuration, SimTime};
 
 use crate::booster::FullBootReport;
+use crate::pipeline::PassDelta;
 
 /// One comparison row.
 #[derive(Debug, Clone)]
@@ -124,6 +126,30 @@ impl Comparison {
     }
 }
 
+/// Renders per-pass attribution from one boot's [`PassDelta`] records
+/// as an aligned text table — the single-boot replacement for deriving
+/// Figure 6's per-feature savings from whole ablation sweeps.
+pub fn attribution_table(deltas: &[PassDelta]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "{:<22} {:>14}  what moved", "pass", "est. saving");
+    let _ = writeln!(s, "{}", "-".repeat(72));
+    let mut total = SimDuration::ZERO;
+    for d in deltas {
+        total += d.estimated_saving;
+        let _ = writeln!(
+            s,
+            "{:<22} {:>14}  {}",
+            d.pass,
+            d.estimated_saving.to_string(),
+            d.summary()
+        );
+    }
+    let _ = writeln!(s, "{}", "-".repeat(72));
+    let _ = writeln!(s, "{:<22} {:>14}", "TOTAL (estimated)", total.to_string());
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,6 +169,17 @@ mod tests {
         assert!(table.contains("memory-init"));
         assert!(table.contains("services & applications"));
         assert!(table.contains("TOTAL"));
+    }
+
+    #[test]
+    fn attribution_table_renders_every_pass() {
+        let s = mini_tv();
+        let bb = boost(&s, &BbConfig::full()).unwrap();
+        let table = attribution_table(&bb.deltas);
+        for pass in crate::pipeline::STANDARD_PASSES {
+            assert!(table.contains(pass), "missing {pass} in:\n{table}");
+        }
+        assert!(table.contains("TOTAL (estimated)"));
     }
 
     #[test]

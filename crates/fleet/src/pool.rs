@@ -82,6 +82,13 @@ pub enum FailureKind {
     Panic(String),
     /// The scenario failed to assemble (graph/transaction error).
     Boost(String),
+    /// A boot ran to machine quiescence without ever meeting the
+    /// completion definition (a hung boot). Carries the config label
+    /// that hung.
+    Incomplete {
+        /// Label of the config whose boot never completed.
+        config: String,
+    },
     /// The job finished but blew its wall-clock deadline.
     DeadlineExceeded {
         /// How long the job actually took.
@@ -96,6 +103,7 @@ impl FailureKind {
         match self {
             FailureKind::Panic(msg) => format!("panic: {msg}"),
             FailureKind::Boost(msg) => format!("boost: {msg}"),
+            FailureKind::Incomplete { config } => format!("incomplete boot: {config}"),
             FailureKind::DeadlineExceeded { .. } => "deadline exceeded".to_owned(),
         }
     }
@@ -324,22 +332,30 @@ fn run_job(
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         let (scenario, pre) = job_scenario(cell, seed, &shared[job.cell]);
         let mut samples = Vec::with_capacity(cell.configs.len());
-        for (config, (_, cfg)) in cell.configs.iter().enumerate() {
-            let report = boost_prepared(&scenario, cfg, &pre).map_err(|e| e.to_string())?;
+        for (config, (label, cfg)) in cell.configs.iter().enumerate() {
+            let report = boost_prepared(&scenario, cfg, &pre)
+                .map_err(|e| FailureKind::Boost(e.to_string()))?;
+            // A boot that never met its completion definition is a
+            // reported failure, not a worker panic (`try_boot_time`).
+            let boot_time = report
+                .try_boot_time()
+                .ok_or_else(|| FailureKind::Incomplete {
+                    config: label.clone(),
+                })?;
             samples.push(BootSample {
                 config,
-                boot_ns: report.boot_time().as_nanos(),
+                boot_ns: boot_time.as_nanos(),
                 quiesce_ns: report.quiesce_time.as_nanos(),
             });
         }
-        Ok::<_, String>(samples)
+        Ok::<_, FailureKind>(samples)
     }));
     let elapsed = started.elapsed();
 
     let fail = |kind| Err(JobFailure { job, seed, kind });
     match outcome {
         Err(payload) => fail(FailureKind::Panic(panic_message(payload))),
-        Ok(Err(msg)) => fail(FailureKind::Boost(msg)),
+        Ok(Err(kind)) => fail(kind),
         Ok(Ok(samples)) => {
             if let Some(deadline) = spec.deadline {
                 if elapsed > deadline {
@@ -411,6 +427,53 @@ mod tests {
             .failures
             .iter()
             .all(|f| f.reason == "deadline exceeded"));
+    }
+
+    #[test]
+    fn incomplete_boot_is_a_reported_failure_not_a_panic() {
+        use bb_init::ServiceBody;
+        use bb_sim::{FlagId, Op};
+        use bb_workloads::tv_scenario_with;
+
+        let mut scenario = tv_scenario_with(
+            profiles::ue48h6200(),
+            TizenParams {
+                services: 24,
+                ..TizenParams::open_source()
+            },
+        );
+        // Deadlock the completion unit: its body waits on the
+        // boot-complete gate (flag 0, the first flag the executor
+        // creates), which in turn waits on this unit's readiness. With
+        // no start timeout the boot can never complete.
+        let name = scenario.completion[0].clone();
+        let exec = scenario
+            .units
+            .iter()
+            .find(|u| u.name == name)
+            .and_then(|u| u.exec.exec_start.clone())
+            .expect("completion unit has an ExecStart");
+        scenario.workloads.insert(
+            exec,
+            ServiceBody {
+                pre_ready: vec![Op::WaitFlag(FlagId::from_raw(0))],
+                post_ready: Vec::new(),
+            },
+        );
+
+        let spec = SweepSpec::new().cell(
+            CellSpec::fixed("hung", scenario)
+                .seeds([0, 1])
+                .conventional_vs_bb(),
+        );
+        let outcome = run_sweep(&spec, &PoolConfig::with_workers(2));
+        assert_eq!(outcome.report.total_boots, 0);
+        assert_eq!(outcome.report.failures.len(), 2);
+        assert!(outcome
+            .report
+            .failures
+            .iter()
+            .all(|f| f.reason == "incomplete boot: conventional"));
     }
 
     #[test]

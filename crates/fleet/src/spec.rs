@@ -84,10 +84,26 @@ impl CellSpec {
         self
     }
 
-    /// Adds the standard pair: `"conventional"` and full-`"bb"`.
+    /// Adds one config selected by pipeline pass names (see
+    /// [`bb_core::STANDARD_PASSES`]): the boot enables exactly those
+    /// passes. Ablation cells are pass-set selections — `&[]` is the
+    /// conventional boot, the full list is the full Booting Booster.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a pass name the standard pipeline does not know.
+    pub fn pass_selection(self, label: impl Into<String>, passes: &[&str]) -> Self {
+        let cfg = bb_core::Pipeline::standard()
+            .config_for(passes)
+            .unwrap_or_else(|| panic!("unknown pass in selection {passes:?}"));
+        self.config(label, cfg)
+    }
+
+    /// Adds the standard pair of pass selections: `"conventional"` (no
+    /// passes) and `"bb"` (every pass).
     pub fn conventional_vs_bb(self) -> Self {
-        self.config("conventional", BbConfig::conventional())
-            .config("bb", BbConfig::full())
+        self.pass_selection("conventional", &[])
+            .pass_selection("bb", &bb_core::STANDARD_PASSES)
     }
 
     /// Boots this cell contributes to the sweep.

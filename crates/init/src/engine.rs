@@ -110,9 +110,9 @@ pub enum EngineMode {
 #[derive(Debug, Clone, Default)]
 pub struct PlanOverrides {
     /// Per-unit nice overrides (BB Manager prioritization).
-    pub nice: HashMap<usize, i8>,
+    pub nice: BTreeMap<usize, i8>,
     /// Per-unit I/O class overrides (BB Manager prioritization).
-    pub io_class: HashMap<usize, IoSchedulingClass>,
+    pub io_class: BTreeMap<usize, IoSchedulingClass>,
     /// The isolated BB Group: members ignore ordering edges declared by
     /// units outside the group and never wait on non-group services.
     pub isolate: BTreeSet<usize>,
@@ -125,7 +125,7 @@ pub struct PlanOverrides {
     pub drop_edges: BTreeSet<(usize, usize)>,
     /// Per-job fork+exec cost overrides (static linking of BB Group
     /// binaries removes the dynamic-linking share, §5).
-    pub fork_cost: HashMap<usize, SimDuration>,
+    pub fork_cost: BTreeMap<usize, SimDuration>,
 }
 
 /// A service's simulated workload body.
@@ -218,6 +218,11 @@ impl BootRecord {
     /// experiment; check `outcome.blocked` instead).
     pub fn boot_time(&self) -> SimTime {
         self.completion_time.expect("boot did not complete")
+    }
+
+    /// Boot time, or `None` if the completion definition was never met.
+    pub fn try_boot_time(&self) -> Option<SimTime> {
+        self.completion_time
     }
 
     /// Services that failed (out-of-order hazard).

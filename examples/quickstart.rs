@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use booting_booster::bb::{boost, BbConfig, Comparison};
+use booting_booster::bb::{attribution_table, boost, BbConfig, Comparison};
 use booting_booster::workloads::camera_scenario;
 
 fn main() {
@@ -33,4 +33,9 @@ fn main() {
             .join(", ")
     );
     println!("{}", Comparison::build(&conventional, &boosted).to_table());
+
+    // Every BB mechanism ran as a pass over the boot plan; the deltas
+    // recorded by each pass attribute the saving without re-booting
+    // once per feature (also available as `bbsim --explain`).
+    println!("\n{}", attribution_table(&boosted.deltas));
 }

@@ -14,5 +14,7 @@ run cargo build --release --workspace
 run cargo test -q --workspace
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
+echo "==> RUSTDOCFLAGS=-Dwarnings cargo doc --no-deps --workspace"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
 echo "CI gate passed."

@@ -8,7 +8,7 @@
 //! ```text
 //! bbsim [--scenario tv|tv136|camera] [--units DIR --target T --completion U]
 //!       [--features all|none|LIST] [--services N] [--cores N] [--seed N]
-//!       [--compare] [--json] [--chart FILE.svg] [--dot FILE.dot]
+//!       [--compare] [--explain] [--json] [--chart FILE.svg] [--dot FILE.dot]
 //!       [--trace FILE.json] [--blame N]
 //!
 //! bbsim sweep [--profiles NAMES|all] [--services N] [--seeds N] [--seed N]
@@ -22,12 +22,18 @@
 //! the target's first strong requirement. Parsed-but-unsupported
 //! directives (e.g. `Restart=`) are reported on stderr.
 //!
+//! `--explain` prints the resolved pass pipeline (which passes ran and
+//! which were skipped) plus the per-pass `PassDelta` attribution
+//! table; with `--json` the same deltas appear under `"passes"`.
+//!
 //! `LIST` is a comma-separated subset of: rcu-booster, defer-memory,
 //! modularizer, defer-journal, deferred-executor, preparser, bb-group.
 
 use std::process::exit;
 
-use booting_booster::bb::{analyze_directives, boost_with_machine, BbConfig, Comparison};
+use booting_booster::bb::{
+    analyze_directives, attribution_table, boost_with_machine, BbConfig, Comparison, Pipeline,
+};
 use booting_booster::fleet::{json, run_sweep, CellSpec, DiffVerdict, PoolConfig, SweepSpec};
 use booting_booster::init::{
     blame, parse_unit_dir_with_warnings, time_summary, Bootchart, UnitGraph, UnitName,
@@ -47,6 +53,7 @@ struct Args {
     cores: Option<usize>,
     seed: Option<u64>,
     compare: bool,
+    explain: bool,
     json: bool,
     chart: Option<String>,
     dot: Option<String>,
@@ -57,8 +64,8 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: bbsim [--scenario tv|tv136|camera] [--features all|none|LIST]\n\
-         \u{20}            [--services N] [--cores N] [--seed N] [--compare] [--json]\n\
-         \u{20}            [--chart FILE.svg] [--dot FILE.dot] [--blame N]\n\
+         \u{20}            [--services N] [--cores N] [--seed N] [--compare] [--explain]\n\
+         \u{20}            [--json] [--chart FILE.svg] [--dot FILE.dot] [--blame N]\n\
          \u{20}      bbsim sweep [--profiles NAMES|all] [--services N] [--seeds N]\n\
          \u{20}            [--seed N] [--features LIST] [--workers N] [--deadline-ms N]\n\
          \u{20}            [--json FILE|-] [--baseline FILE] [--tolerance PCT]\n\
@@ -79,6 +86,7 @@ fn parse_args(mut it: impl Iterator<Item = String>) -> Args {
         cores: None,
         seed: None,
         compare: false,
+        explain: false,
         json: false,
         chart: None,
         dot: None,
@@ -104,6 +112,7 @@ fn parse_args(mut it: impl Iterator<Item = String>) -> Args {
             "--cores" => args.cores = Some(value("--cores").parse().unwrap_or_else(|_| usage())),
             "--seed" => args.seed = Some(value("--seed").parse().unwrap_or_else(|_| usage())),
             "--compare" => args.compare = true,
+            "--explain" => args.explain = true,
             "--json" => args.json = true,
             "--chart" => args.chart = Some(value("--chart")),
             "--dot" => args.dot = Some(value("--dot")),
@@ -304,6 +313,31 @@ fn boot_json(
         ),
         json::ms(report.quiesce_time.as_nanos() as f64),
     ));
+    out.push_str(",\n  \"passes\": [");
+    for (i, d) in report.deltas.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"pass\": \"{}\", \"estimated_saving_ms\": {}, \
+             \"initcalls_deferred\": {}, \"modules_deferred\": {}, \
+             \"tasks_deferred\": {}, \"edges_stripped\": {}, \
+             \"units_touched\": {}, \"io_bytes_shifted\": {}}}",
+            json::escape(d.pass),
+            json::ms(d.estimated_saving.as_nanos() as f64),
+            d.initcalls_deferred,
+            d.modules_deferred,
+            d.tasks_deferred,
+            d.edges_stripped,
+            d.units_touched,
+            d.io_bytes_shifted,
+        ));
+    }
+    if report.deltas.is_empty() {
+        out.push(']');
+    } else {
+        out.push_str("\n  ]");
+    }
     if !report.bb_group.is_empty() {
         out.push_str(",\n  \"bb_group\": [");
         for (i, name) in report.bb_group.iter().enumerate() {
@@ -390,6 +424,16 @@ fn run_boot(args: Args) {
         }
         if let Some(conv) = &conventional {
             println!("\n{}", Comparison::build(conv, &report).to_table());
+        }
+        if args.explain {
+            println!("\npass pipeline (features: {}/7):", cfg.active_features());
+            for pass in Pipeline::standard().passes() {
+                let state = if pass.enabled(&cfg) { "run " } else { "skip" };
+                println!("  [{state}] {}", pass.name());
+            }
+            if !report.deltas.is_empty() {
+                println!("\n{}", attribution_table(&report.deltas));
+            }
         }
     }
 

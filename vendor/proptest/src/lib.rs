@@ -131,7 +131,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use rand::Rng;
 
-    /// Length bounds for [`vec`]. Built from `usize`, `Range<usize>`,
+    /// Length bounds for [`vec()`]. Built from `usize`, `Range<usize>`,
     /// or `RangeInclusive<usize>`.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
@@ -176,7 +176,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
