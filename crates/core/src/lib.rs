@@ -14,6 +14,10 @@
 //!   provenance record per pass.
 //! * [`booster`] — the one-call facade: run a [`booster::Scenario`]
 //!   under any [`BbConfig`] and get a [`booster::FullBootReport`].
+//! * [`fallback`] — the boot supervisor: run the BB shape under an
+//!   injected [`bb_sim::FaultPlan`] and fall back to the conventional
+//!   shape when the deadline or a start limit trips (§3.4 deployment
+//!   safety).
 //! * [`report`] — Figure-6-style comparison tables.
 //!
 //! # Examples
@@ -25,6 +29,7 @@ pub mod booster;
 pub mod bootup_engine;
 pub mod config;
 pub mod core_engine;
+pub mod fallback;
 pub mod miner;
 pub mod pipeline;
 pub mod report;
@@ -34,8 +39,14 @@ pub use booster::{
     boost, boost_custom, boost_prepared, boost_with_machine, BoostError, FullBootReport, Scenario,
 };
 pub use config::BbConfig;
+pub use fallback::{
+    fault_targets, run_with_fallback, with_supervision, BootOutcome, DegradedBoot, FallbackPolicy,
+    FallbackReason,
+};
 pub use miner::{mine, EdgeSlack, MiningReport};
-pub use pipeline::{BootPlanIr, PassDelta, Pipeline, PlanPass, STANDARD_PASSES};
+pub use pipeline::{
+    execute_with_faults, BootPlanIr, PassDelta, Pipeline, PlanPass, STANDARD_PASSES,
+};
 pub use report::{attribution_table, Comparison, Row};
 pub use service_engine::{
     analyze, analyze_directives, identify_bb_group, load_model, Finding, ParseCostParams, PreParser,

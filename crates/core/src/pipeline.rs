@@ -713,8 +713,21 @@ impl Pipeline {
 /// Booster Control, module handling, then the init scheme via
 /// [`bb_init::run_boot`].
 pub fn execute(ir: &BootPlanIr<'_>, deltas: Vec<PassDelta>) -> (FullBootReport, Machine) {
+    execute_with_faults(ir, deltas, &bb_sim::FaultPlan::none())
+}
+
+/// [`execute`] with a [`bb_sim::FaultPlan`] installed before the kernel
+/// boots, so device faults afflict kernel-phase reads too. Installing
+/// the empty plan is a strict no-op: the fault-free path is
+/// bit-identical to [`execute`].
+pub fn execute_with_faults(
+    ir: &BootPlanIr<'_>,
+    deltas: Vec<PassDelta>,
+    faults: &bb_sim::FaultPlan,
+) -> (FullBootReport, Machine) {
     let mut machine = Machine::new(ir.machine);
     let device = machine.add_device("boot-storage", ir.storage);
+    machine.install_fault_plan(faults);
     let boot_complete = machine.flag("boot-complete");
 
     let kernel = execute_kernel_boot(&mut machine, device, &ir.kernel, boot_complete);

@@ -1,0 +1,816 @@
+//! Chaos sweeps: the `{seed × fault-plan × config}` grid.
+//!
+//! A chaos sweep measures the *failure envelope* the paper's deployment
+//! story depends on: with faults injected into every boot, how often
+//! does supervision (`Restart=`, start limits) recover the fast path,
+//! how often does the BB→conventional fallback fire, and what does boot
+//! time under fault look like? Each cell extends the plain sweep grid
+//! with a **fault-plan axis**: plan slot `None` is the fault-free
+//! control, plan slot `Some(seed)` derives a [`FaultPlan`] from that
+//! seed and the scenario's own fault targets (see
+//! [`bb_core::fault_targets`]), so the same plan seed means the same
+//! faults for every config — the ablation comparison stays paired.
+//!
+//! Determinism matches [`crate::pool::run_sweep`]: results land in
+//! slots addressed by `(cell, plan, seed)`, statistics and notable
+//! events are derived in slot order at finalize, and the JSON report
+//! (schema `bb-fleet-chaos-v1`) is byte-identical for any worker
+//! count.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+use crossbeam::channel;
+use crossbeam::deque::{Injector, Stealer, Worker};
+
+use crate::json;
+use crate::pool::{next_job, panic_message, FailureKind, PoolConfig, PoolStats, WorkerStats};
+use crate::spec::ScenarioSource;
+use bb_core::booster::Scenario;
+use bb_core::{
+    fault_targets, run_with_fallback, with_supervision, BbConfig, BootOutcome, FallbackPolicy,
+    PreParser,
+};
+use bb_init::RestartPolicy;
+use bb_sim::{FaultPlan, SimDuration};
+use bb_workloads::{tv_scenario_with, TizenParams};
+
+/// Supervision overlay a chaos cell arms on every service unit.
+#[derive(Debug, Clone, Copy)]
+pub struct Supervision {
+    /// Restart policy to apply.
+    pub restart: RestartPolicy,
+    /// `RestartSec=` backoff, milliseconds.
+    pub restart_sec_ms: u64,
+    /// `StartLimitBurst=` respawn bound.
+    pub start_limit_burst: u32,
+}
+
+impl Default for Supervision {
+    fn default() -> Self {
+        Supervision {
+            restart: RestartPolicy::OnFailure,
+            restart_sec_ms: 100,
+            start_limit_burst: 3,
+        }
+    }
+}
+
+/// One cell of the chaos grid.
+#[derive(Debug, Clone)]
+pub struct ChaosCellSpec {
+    /// Cell label; appears in reports and JSON.
+    pub label: String,
+    /// Scenario source (shared with the plain sweep grid).
+    pub source: ScenarioSource,
+    /// Scenario seeds; one result slot per `(plan, seed)`.
+    pub seeds: Vec<u64>,
+    /// Fault-plan axis: `None` is the fault-free control, `Some(seed)`
+    /// a seeded plan over the scenario's fault targets.
+    pub plan_seeds: Vec<Option<u64>>,
+    /// Supervision overlay; `None` boots the units as authored.
+    pub supervision: Option<Supervision>,
+    /// `(label, config)` pairs each instance boots under.
+    pub configs: Vec<(String, BbConfig)>,
+    /// Boot-supervisor deadline, milliseconds.
+    pub deadline_ms: u64,
+}
+
+impl ChaosCellSpec {
+    /// A chaos cell generating Tizen TV workloads, with the default
+    /// supervision overlay, the fault-free control plan, and the
+    /// default fallback deadline.
+    pub fn tizen(
+        label: impl Into<String>,
+        profile: bb_workloads::MachineProfile,
+        params: TizenParams,
+    ) -> Self {
+        let seed = params.seed;
+        ChaosCellSpec {
+            label: label.into(),
+            source: ScenarioSource::Tizen { profile, params },
+            seeds: vec![seed],
+            plan_seeds: vec![None],
+            supervision: Some(Supervision::default()),
+            configs: Vec::new(),
+            deadline_ms: FallbackPolicy::default().deadline.as_millis(),
+        }
+    }
+
+    /// A chaos cell booting one fixed scenario.
+    pub fn fixed(label: impl Into<String>, scenario: Scenario) -> Self {
+        ChaosCellSpec {
+            label: label.into(),
+            source: ScenarioSource::Fixed(std::sync::Arc::new(scenario)),
+            seeds: vec![0],
+            plan_seeds: vec![None],
+            supervision: Some(Supervision::default()),
+            configs: Vec::new(),
+            deadline_ms: FallbackPolicy::default().deadline.as_millis(),
+        }
+    }
+
+    /// Replaces the scenario seed list.
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Sets the fault-plan axis to the control plan plus `n` seeded
+    /// plans starting at `base`.
+    pub fn fault_plans(mut self, n: u64, base: u64) -> Self {
+        self.plan_seeds = std::iter::once(None)
+            .chain((0..n).map(|i| Some(base + i)))
+            .collect();
+        self
+    }
+
+    /// Replaces the supervision overlay.
+    pub fn supervision(mut self, s: Option<Supervision>) -> Self {
+        self.supervision = s;
+        self
+    }
+
+    /// Sets the boot-supervisor deadline.
+    pub fn deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = ms;
+        self
+    }
+
+    /// Adds one config to boot under.
+    pub fn config(mut self, label: impl Into<String>, cfg: BbConfig) -> Self {
+        self.configs.push((label.into(), cfg));
+        self
+    }
+
+    /// Adds the standard `"conventional"` and `"bb"` configs.
+    pub fn conventional_vs_bb(self) -> Self {
+        self.config("conventional", BbConfig::conventional())
+            .config("bb", BbConfig::full())
+    }
+
+    /// Boots this cell contributes.
+    pub fn boots(&self) -> usize {
+        self.seeds.len() * self.plan_seeds.len() * self.configs.len()
+    }
+
+    fn plan_label(plan_seed: Option<u64>) -> String {
+        match plan_seed {
+            None => "none".to_owned(),
+            Some(s) => format!("plan-{s}"),
+        }
+    }
+}
+
+/// The chaos grid.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosSpec {
+    /// The cells.
+    pub cells: Vec<ChaosCellSpec>,
+}
+
+impl ChaosSpec {
+    /// An empty chaos sweep.
+    pub fn new() -> Self {
+        ChaosSpec::default()
+    }
+
+    /// Adds a cell.
+    pub fn cell(mut self, cell: ChaosCellSpec) -> Self {
+        self.cells.push(cell);
+        self
+    }
+
+    /// Total boots across the grid.
+    pub fn total_boots(&self) -> usize {
+        self.cells.iter().map(ChaosCellSpec::boots).sum()
+    }
+
+    /// Expands the grid into jobs in deterministic (cell, plan, seed)
+    /// order.
+    pub fn jobs(&self) -> Vec<ChaosJob> {
+        let mut jobs = Vec::new();
+        for (cell, c) in self.cells.iter().enumerate() {
+            for plan_idx in 0..c.plan_seeds.len() {
+                for seed_idx in 0..c.seeds.len() {
+                    jobs.push(ChaosJob {
+                        cell,
+                        plan_idx,
+                        seed_idx,
+                    });
+                }
+            }
+        }
+        jobs
+    }
+}
+
+/// One unit of chaos work: all configs of one `(cell, plan, seed)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosJob {
+    /// Index into [`ChaosSpec::cells`].
+    pub cell: usize,
+    /// Index into that cell's plan list.
+    pub plan_idx: usize,
+    /// Index into that cell's seed list.
+    pub seed_idx: usize,
+}
+
+/// One boot measurement under fault.
+#[derive(Debug, Clone, Copy)]
+struct ChaosSample {
+    /// User-visible boot time (fallback detection + reboot included for
+    /// degraded boots), simulated nanoseconds.
+    boot_ns: u64,
+    /// Supervised respawns the boot took.
+    restarts: u32,
+    /// True if the BB→conventional fallback fired.
+    degraded: bool,
+}
+
+struct ChaosJobOutput {
+    job: ChaosJob,
+    samples: Vec<ChaosSample>, // one per config, in config order
+}
+
+struct ChaosJobFailure {
+    job: ChaosJob,
+    seed: u64,
+    kind: FailureKind,
+}
+
+/// Aggregated statistics for one `(cell, plan, config)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosConfigStats {
+    /// Config label.
+    pub label: String,
+    /// Completed boots (degraded ones included — they completed via the
+    /// fallback).
+    pub count: usize,
+    /// Mean user-visible boot time, simulated ns.
+    pub mean_ns: f64,
+    /// Median (nearest-rank), simulated ns.
+    pub p50_ns: u64,
+    /// 95th percentile, simulated ns.
+    pub p95_ns: u64,
+    /// 99th percentile, simulated ns.
+    pub p99_ns: u64,
+    /// Boots that fell back to the conventional shape.
+    pub degraded: usize,
+    /// Boots that crashed but recovered on the fast path (restarts > 0,
+    /// no fallback).
+    pub recovered: usize,
+    /// Total supervised respawns.
+    pub restarts: u64,
+}
+
+impl ChaosConfigStats {
+    /// Degraded-boot rate over completed boots.
+    pub fn degraded_rate(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.degraded as f64 / self.count as f64
+        }
+    }
+
+    /// Of the boots a fault actually hit (recovered or degraded), the
+    /// fraction supervision rescued without a fallback.
+    pub fn recovery_rate(&self) -> f64 {
+        let hit = self.recovered + self.degraded;
+        if hit == 0 {
+            1.0
+        } else {
+            self.recovered as f64 / hit as f64
+        }
+    }
+}
+
+/// Aggregated results for one fault plan within one cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosPlanReport {
+    /// Plan label (`none` or `plan-<seed>`).
+    pub label: String,
+    /// Per-config statistics, in config order.
+    pub configs: Vec<ChaosConfigStats>,
+}
+
+/// Aggregated results for one chaos cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosCellReport {
+    /// Cell label.
+    pub label: String,
+    /// Per-plan results, in plan order.
+    pub plans: Vec<ChaosPlanReport>,
+}
+
+/// One notable per-boot event (degraded or recovered), in slot order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosEvent {
+    /// Cell label.
+    pub cell: String,
+    /// Plan label.
+    pub plan: String,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Stable reason line (a [`FailureKind`] rendering).
+    pub reason: String,
+}
+
+/// One failed chaos job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosFailure {
+    /// Cell label.
+    pub cell: String,
+    /// Plan label.
+    pub plan: String,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Stable reason line.
+    pub reason: String,
+}
+
+/// The deterministic output of a chaos sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosReport {
+    /// Per-cell results, in spec order.
+    pub cells: Vec<ChaosCellReport>,
+    /// Notable events (degraded / recovered boots), in slot order.
+    pub events: Vec<ChaosEvent>,
+    /// Failed jobs, sorted by (cell, plan, seed).
+    pub failures: Vec<ChaosFailure>,
+    /// Completed boots across all cells.
+    pub total_boots: usize,
+}
+
+impl ChaosReport {
+    /// Deterministic JSON: fixed key order, `{:.3}` ms floats, no
+    /// host-time fields. Byte-identical for any worker count.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"bb-fleet-chaos-v1\",\n  \"cells\": [");
+        for (i, cell) in self.cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"label\": \"");
+            out.push_str(&json::escape(&cell.label));
+            out.push_str("\", \"plans\": [");
+            for (j, plan) in cell.plans.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n      {\"label\": \"");
+                out.push_str(&json::escape(&plan.label));
+                out.push_str("\", \"configs\": [");
+                for (k, c) in plan.configs.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!(
+                        "\n        {{\"label\": \"{}\", \"count\": {}, \"mean_ms\": {}, \"p50_ms\": {}, \"p95_ms\": {}, \"p99_ms\": {}, \"degraded\": {}, \"degraded_pct\": {:.3}, \"recovered\": {}, \"recovery_pct\": {:.3}, \"restarts\": {}}}",
+                        json::escape(&c.label),
+                        c.count,
+                        json::ms(c.mean_ns),
+                        json::ms(c.p50_ns as f64),
+                        json::ms(c.p95_ns as f64),
+                        json::ms(c.p99_ns as f64),
+                        c.degraded,
+                        100.0 * c.degraded_rate(),
+                        c.recovered,
+                        100.0 * c.recovery_rate(),
+                        c.restarts,
+                    ));
+                }
+                if !plan.configs.is_empty() {
+                    out.push_str("\n      ");
+                }
+                out.push_str("]}");
+            }
+            if !cell.plans.is_empty() {
+                out.push_str("\n    ");
+            }
+            out.push_str("]}");
+        }
+        if !self.cells.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"events\": [");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"cell\": \"{}\", \"plan\": \"{}\", \"seed\": {}, \"reason\": \"{}\"}}",
+                json::escape(&e.cell),
+                json::escape(&e.plan),
+                e.seed,
+                json::escape(&e.reason)
+            ));
+        }
+        if !self.events.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"failures\": [");
+        for (i, f) in self.failures.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"cell\": \"{}\", \"plan\": \"{}\", \"seed\": {}, \"reason\": \"{}\"}}",
+                json::escape(&f.cell),
+                json::escape(&f.plan),
+                f.seed,
+                json::escape(&f.reason)
+            ));
+        }
+        if !self.failures.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str(&format!(
+            "],\n  \"total_boots\": {}\n}}\n",
+            self.total_boots
+        ));
+        out
+    }
+
+    /// Human-readable table for terminals.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for cell in &self.cells {
+            let _ = writeln!(out, "{}", cell.label);
+            for plan in &cell.plans {
+                let _ = writeln!(out, "  plan {}", plan.label);
+                let _ = writeln!(
+                    out,
+                    "    {:<16} {:>6} {:>10} {:>10} {:>10} {:>9} {:>9} {:>9}",
+                    "config", "boots", "mean", "p95", "p99", "degraded", "recovered", "restarts"
+                );
+                for c in &plan.configs {
+                    let _ = writeln!(
+                        out,
+                        "    {:<16} {:>6} {:>8.0}ms {:>8.0}ms {:>8.0}ms {:>8.1}% {:>8.1}% {:>9}",
+                        c.label,
+                        c.count,
+                        c.mean_ns / 1e6,
+                        c.p95_ns as f64 / 1e6,
+                        c.p99_ns as f64 / 1e6,
+                        100.0 * c.degraded_rate(),
+                        100.0 * c.recovery_rate(),
+                        c.restarts,
+                    );
+                }
+            }
+        }
+        if !self.failures.is_empty() {
+            let _ = writeln!(out, "failures ({}):", self.failures.len());
+            for f in &self.failures {
+                let _ = writeln!(out, "  {} {} seed {}: {}", f.cell, f.plan, f.seed, f.reason);
+            }
+        }
+        let _ = writeln!(out, "total boots aggregated: {}", self.total_boots);
+        out
+    }
+}
+
+/// Everything a chaos sweep returns.
+#[derive(Debug)]
+pub struct ChaosOutcome {
+    /// Aggregated, deterministic results (JSON-stable).
+    pub report: ChaosReport,
+    /// Pool observability (host-time, nondeterministic) — plus the
+    /// deterministic total restart count.
+    pub stats: PoolStats,
+}
+
+/// Runs the chaos grid on a work-stealing pool of `pool.workers`
+/// threads. Output is byte-identical for any worker count.
+pub fn run_chaos(spec: &ChaosSpec, pool: &PoolConfig) -> ChaosOutcome {
+    let jobs = spec.jobs();
+    let n_workers = pool.workers.max(1);
+
+    let injector: Injector<ChaosJob> = Injector::new();
+    for &job in &jobs {
+        injector.push(job);
+    }
+    let locals: Vec<Worker<ChaosJob>> = (0..n_workers).map(|_| Worker::new_fifo()).collect();
+    let stealers: Vec<Stealer<ChaosJob>> = locals.iter().map(Worker::stealer).collect();
+
+    let (tx, rx) = channel::unbounded::<Result<ChaosJobOutput, ChaosJobFailure>>();
+    let started = Instant::now();
+    let mut max_queue_depth = jobs.len();
+    let mut per_worker: Vec<WorkerStats> = Vec::new();
+
+    // Slots addressed by (cell, plan, seed); filled in arrival order,
+    // read in slot order.
+    let mut slots: Vec<Vec<Vec<Option<Vec<ChaosSample>>>>> = spec
+        .cells
+        .iter()
+        .map(|c| vec![vec![None; c.seeds.len()]; c.plan_seeds.len()])
+        .collect();
+    let mut raw_failures: Vec<(usize, usize, usize, u64, String)> = Vec::new();
+
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (w, local) in locals.into_iter().enumerate() {
+            let tx = tx.clone();
+            let injector = &injector;
+            let stealers = &stealers;
+            handles.push(scope.spawn(move |_| {
+                let mut stats = WorkerStats::default();
+                while let Some(job) = next_job(&local, injector, stealers, w, &mut stats) {
+                    let job_started = Instant::now();
+                    let result = run_chaos_job(spec, job);
+                    stats.busy += job_started.elapsed();
+                    stats.jobs += 1;
+                    if tx.send(result).is_err() {
+                        break;
+                    }
+                }
+                stats
+            }));
+        }
+        drop(tx);
+
+        while let Ok(msg) = rx.recv() {
+            max_queue_depth = max_queue_depth.max(injector.len());
+            match msg {
+                Ok(out) => {
+                    let slot = &mut slots[out.job.cell][out.job.plan_idx][out.job.seed_idx];
+                    debug_assert!(slot.is_none(), "chaos slot filled twice");
+                    *slot = Some(out.samples);
+                }
+                Err(fail) => raw_failures.push((
+                    fail.job.cell,
+                    fail.job.plan_idx,
+                    fail.job.seed_idx,
+                    fail.seed,
+                    fail.kind.reason(),
+                )),
+            }
+        }
+
+        per_worker = handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panics are caught per job"))
+            .collect();
+    })
+    .expect("chaos scope");
+
+    let wall = started.elapsed();
+    let (report, total_restarts) = finalize(spec, &slots, raw_failures);
+    ChaosOutcome {
+        report,
+        stats: PoolStats {
+            workers: n_workers,
+            wall,
+            jobs: jobs.len(),
+            max_queue_depth,
+            restarts: total_restarts,
+            per_worker,
+        },
+    }
+}
+
+/// Walks the slots in deterministic order, deriving stats and events.
+fn finalize(
+    spec: &ChaosSpec,
+    slots: &[Vec<Vec<Option<Vec<ChaosSample>>>>],
+    mut raw_failures: Vec<(usize, usize, usize, u64, String)>,
+) -> (ChaosReport, usize) {
+    let mut total_boots = 0;
+    let mut total_restarts = 0usize;
+    let mut events = Vec::new();
+    let mut cells = Vec::new();
+    for (ci, cell) in spec.cells.iter().enumerate() {
+        let mut plans = Vec::new();
+        for (pi, &plan_seed) in cell.plan_seeds.iter().enumerate() {
+            let plan_label = ChaosCellSpec::plan_label(plan_seed);
+            let mut configs = Vec::new();
+            for (ki, (label, _)) in cell.configs.iter().enumerate() {
+                let samples: Vec<ChaosSample> = slots[ci][pi]
+                    .iter()
+                    .flatten()
+                    .map(|by_config| by_config[ki])
+                    .collect();
+                let mut sorted: Vec<u64> = samples.iter().map(|s| s.boot_ns).collect();
+                sorted.sort_unstable();
+                let count = samples.len();
+                total_boots += count;
+                let restarts: u64 = samples.iter().map(|s| u64::from(s.restarts)).sum();
+                total_restarts += restarts as usize;
+                configs.push(ChaosConfigStats {
+                    label: label.clone(),
+                    count,
+                    mean_ns: if count == 0 {
+                        0.0
+                    } else {
+                        sorted.iter().map(|&n| n as f64).sum::<f64>() / count as f64
+                    },
+                    p50_ns: pct(&sorted, 50),
+                    p95_ns: pct(&sorted, 95),
+                    p99_ns: pct(&sorted, 99),
+                    degraded: samples.iter().filter(|s| s.degraded).count(),
+                    recovered: samples
+                        .iter()
+                        .filter(|s| !s.degraded && s.restarts > 0)
+                        .count(),
+                    restarts,
+                });
+            }
+            // Notable per-boot events, in (seed, config) slot order.
+            for (si, slot) in slots[ci][pi].iter().enumerate() {
+                let Some(by_config) = slot else { continue };
+                for (ki, s) in by_config.iter().enumerate() {
+                    let kind = if s.degraded {
+                        Some(FailureKind::Degraded {
+                            config: cell.configs[ki].0.clone(),
+                        })
+                    } else if s.restarts > 0 {
+                        Some(FailureKind::FaultRecovered {
+                            config: cell.configs[ki].0.clone(),
+                            restarts: s.restarts,
+                        })
+                    } else {
+                        None
+                    };
+                    if let Some(kind) = kind {
+                        events.push(ChaosEvent {
+                            cell: cell.label.clone(),
+                            plan: plan_label.clone(),
+                            seed: cell.seeds[si],
+                            reason: kind.reason(),
+                        });
+                    }
+                }
+            }
+            plans.push(ChaosPlanReport {
+                label: plan_label,
+                configs,
+            });
+        }
+        cells.push(ChaosCellReport {
+            label: cell.label.clone(),
+            plans,
+        });
+    }
+    raw_failures.sort();
+    let failures = raw_failures
+        .into_iter()
+        .map(|(ci, pi, _, seed, reason)| ChaosFailure {
+            cell: spec.cells[ci].label.clone(),
+            plan: ChaosCellSpec::plan_label(spec.cells[ci].plan_seeds[pi]),
+            seed,
+            reason,
+        })
+        .collect();
+    (
+        ChaosReport {
+            cells,
+            events,
+            failures,
+            total_boots,
+        },
+        total_restarts,
+    )
+}
+
+fn pct(sorted: &[u64], p: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p * sorted.len()).div_ceil(100);
+    sorted[rank.max(1) - 1]
+}
+
+/// Executes one chaos job with panic isolation.
+fn run_chaos_job(spec: &ChaosSpec, job: ChaosJob) -> Result<ChaosJobOutput, ChaosJobFailure> {
+    let cell = &spec.cells[job.cell];
+    let seed = cell.seeds[job.seed_idx];
+    let plan_seed = cell.plan_seeds[job.plan_idx];
+
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let scenario = match &cell.source {
+            ScenarioSource::Fixed(s) => (**s).clone(),
+            ScenarioSource::Tizen { profile, params } => {
+                tv_scenario_with(*profile, TizenParams { seed, ..*params })
+            }
+        };
+        let scenario = match cell.supervision {
+            Some(s) => {
+                with_supervision(&scenario, s.restart, s.restart_sec_ms, s.start_limit_burst)
+            }
+            None => scenario,
+        };
+        let pre = PreParser::build(&scenario.units);
+        let plan = match plan_seed {
+            None => FaultPlan::none(),
+            Some(ps) => FaultPlan::seeded(ps, &fault_targets(&scenario)),
+        };
+        let policy = FallbackPolicy {
+            deadline: SimDuration::from_millis(cell.deadline_ms),
+        };
+        let mut samples = Vec::with_capacity(cell.configs.len());
+        for (_, cfg) in &cell.configs {
+            let boot = run_with_fallback(&scenario, cfg, Some(&pre), &plan, &policy)
+                .map_err(|e| FailureKind::Boost(e.to_string()))?;
+            samples.push(ChaosSample {
+                boot_ns: boot.user_boot_time().as_nanos(),
+                restarts: boot.restarts(),
+                degraded: matches!(boot, BootOutcome::Degraded(_)),
+            });
+        }
+        Ok::<_, FailureKind>(samples)
+    }));
+
+    let fail = |kind| Err(ChaosJobFailure { job, seed, kind });
+    match outcome {
+        Err(payload) => fail(FailureKind::Panic(panic_message(payload))),
+        Ok(Err(kind)) => fail(kind),
+        Ok(Ok(samples)) => Ok(ChaosJobOutput { job, samples }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bb_workloads::profiles;
+
+    fn tiny_chaos(plans: u64) -> ChaosSpec {
+        ChaosSpec::new().cell(
+            ChaosCellSpec::tizen(
+                "tiny",
+                profiles::ue48h6200(),
+                TizenParams {
+                    services: 24,
+                    ..TizenParams::open_source()
+                },
+            )
+            .seeds([1, 2])
+            .fault_plans(plans, 100)
+            .conventional_vs_bb(),
+        )
+    }
+
+    #[test]
+    fn chaos_sweep_completes_the_grid() {
+        let spec = tiny_chaos(2);
+        assert_eq!(spec.total_boots(), 2 * 3 * 2);
+        let outcome = run_chaos(&spec, &PoolConfig::with_workers(2));
+        assert!(outcome.report.failures.is_empty(), "no job should fail");
+        assert_eq!(outcome.report.total_boots, 12);
+        let cell = &outcome.report.cells[0];
+        assert_eq!(cell.plans.len(), 3);
+        assert_eq!(cell.plans[0].label, "none");
+        // The control plan is fault-free: nothing degrades or restarts.
+        for c in &cell.plans[0].configs {
+            assert_eq!(c.degraded, 0);
+            assert_eq!(c.restarts, 0);
+            assert_eq!(c.recovery_rate(), 1.0);
+        }
+    }
+
+    #[test]
+    fn chaos_json_is_identical_across_worker_counts() {
+        let spec = tiny_chaos(2);
+        let one = run_chaos(&spec, &PoolConfig::with_workers(1));
+        let three = run_chaos(&spec, &PoolConfig::with_workers(3));
+        assert_eq!(one.report, three.report);
+        assert_eq!(one.report.to_json(), three.report.to_json());
+        assert_eq!(one.stats.restarts, three.stats.restarts);
+    }
+
+    #[test]
+    fn chaos_json_parses_and_carries_the_schema() {
+        let spec = tiny_chaos(1);
+        let outcome = run_chaos(&spec, &PoolConfig::with_workers(2));
+        let parsed = crate::json::parse(&outcome.report.to_json()).expect("chaos JSON parses");
+        assert_eq!(
+            parsed.get("schema").and_then(crate::json::Json::as_str),
+            Some("bb-fleet-chaos-v1")
+        );
+        assert_eq!(
+            parsed
+                .get("total_boots")
+                .and_then(crate::json::Json::as_f64),
+            Some(8.0)
+        );
+    }
+
+    #[test]
+    fn seeded_plans_inject_observable_faults() {
+        // Across a handful of plan seeds, at least one boot must show a
+        // fault symptom (a restart, a degraded boot, or a slower boot
+        // than the control) — otherwise the injection axis is dead.
+        let spec = tiny_chaos(4);
+        let outcome = run_chaos(&spec, &PoolConfig::with_workers(2));
+        let cell = &outcome.report.cells[0];
+        let control_mean: f64 = cell.plans[0].configs.iter().map(|c| c.mean_ns).sum();
+        let symptom = cell.plans[1..].iter().any(|p| {
+            p.configs
+                .iter()
+                .any(|c| c.restarts > 0 || c.degraded > 0 || c.mean_ns > control_mean)
+        });
+        assert!(symptom, "no fault plan produced any observable symptom");
+    }
+}

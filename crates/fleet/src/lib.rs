@@ -23,6 +23,11 @@
 //!   and baseline-comparison mode against a saved report.
 //! * [`json`] — the hand-rolled JSON codec (same auditable-codec policy
 //!   as `bb-init::preparse`; DESIGN.md §4 keeps serde out).
+//! * [`chaos`] — [`run_chaos`]: the fault-injection sweep, gridding
+//!   `{seed × fault-plan × config}` through the supervised
+//!   [`bb_core::run_with_fallback`] boot and aggregating recovery
+//!   rate, restart counts, degraded-boot rate, and
+//!   boot-time-under-fault percentiles (schema `bb-fleet-chaos-v1`).
 //!
 //! The aggregated report — including its JSON serialization — is
 //! byte-identical for any worker count: results land in slots addressed
@@ -51,12 +56,17 @@
 //! ```
 
 pub mod aggregate;
+pub mod chaos;
 pub mod json;
 pub mod pool;
 pub mod spec;
 
 pub use aggregate::{
     Aggregator, CellReport, ConfigStats, DiffEntry, DiffVerdict, FailureReport, SweepReport,
+};
+pub use chaos::{
+    run_chaos, ChaosCellSpec, ChaosConfigStats, ChaosEvent, ChaosFailure, ChaosJob, ChaosOutcome,
+    ChaosReport, ChaosSpec, Supervision,
 };
 pub use json::{parse as parse_json, Json, JsonError};
 pub use pool::{

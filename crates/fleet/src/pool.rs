@@ -94,6 +94,21 @@ pub enum FailureKind {
         /// How long the job actually took.
         elapsed: Duration,
     },
+    /// A chaos boot fell back to the conventional shape (the boot
+    /// supervisor tripped). Reported as a notable event, not a lost
+    /// sample: the degraded boot time still aggregates.
+    Degraded {
+        /// Label of the config whose boot degraded.
+        config: String,
+    },
+    /// A chaos boot crashed but supervision respawned the unit(s) and
+    /// the fast path still completed. Also a notable event.
+    FaultRecovered {
+        /// Label of the config that recovered.
+        config: String,
+        /// Supervised respawns the recovery took.
+        restarts: u32,
+    },
 }
 
 impl FailureKind {
@@ -105,6 +120,10 @@ impl FailureKind {
             FailureKind::Boost(msg) => format!("boost: {msg}"),
             FailureKind::Incomplete { config } => format!("incomplete boot: {config}"),
             FailureKind::DeadlineExceeded { .. } => "deadline exceeded".to_owned(),
+            FailureKind::Degraded { config } => format!("degraded boot: {config}"),
+            FailureKind::FaultRecovered { config, restarts } => {
+                format!("recovered after {restarts} restart(s): {config}")
+            }
         }
     }
 }
@@ -143,6 +162,9 @@ pub struct PoolStats {
     pub jobs: usize,
     /// Maximum injector queue depth observed by the aggregator.
     pub max_queue_depth: usize,
+    /// Supervised respawns observed across all boots. Always 0 for
+    /// fault-free sweeps; chaos sweeps count every `Restart=` respawn.
+    pub restarts: usize,
     /// Per-worker counters.
     pub per_worker: Vec<WorkerStats>,
 }
@@ -274,20 +296,22 @@ pub fn run_sweep(spec: &SweepSpec, pool: &PoolConfig) -> SweepOutcome {
             wall,
             jobs: jobs.len(),
             max_queue_depth,
+            restarts: 0,
             per_worker,
         },
     }
 }
 
 /// Acquires the next job: local deque, then the global injector, then
-/// sibling deques (work stealing).
-fn next_job(
-    local: &Worker<Job>,
-    injector: &Injector<Job>,
-    stealers: &[Stealer<Job>],
+/// sibling deques (work stealing). Generic so the chaos runner can
+/// drive the same pool shape with its own job type.
+pub(crate) fn next_job<T>(
+    local: &Worker<T>,
+    injector: &Injector<T>,
+    stealers: &[Stealer<T>],
     me: usize,
     stats: &mut WorkerStats,
-) -> Option<Job> {
+) -> Option<T> {
     if let Some(job) = local.pop() {
         return Some(job);
     }
@@ -372,7 +396,7 @@ fn run_job(
     }
 }
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -190,6 +190,51 @@ pub struct ServiceRecord {
     /// True if its readiness was forced by `TimeoutStartSec=` expiry
     /// rather than signalled by the service itself.
     pub timed_out: bool,
+    /// How many times supervision respawned the unit after a crash
+    /// (`Restart=` incarnations `name#1`, `name#2`, …).
+    pub restarts: u32,
+    /// True if the unit exhausted `StartLimitBurst=` respawns without a
+    /// successful start.
+    pub start_limit_hit: bool,
+    /// True if hitting the start limit activated the unit's
+    /// `OnFailure=` units.
+    pub escalated: bool,
+}
+
+/// Summary outcome of one unit's boot, derived from its record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnitOutcome {
+    /// Started and signalled readiness with no intervention.
+    Clean,
+    /// Crashed and was respawned this many times before succeeding.
+    Restarted(u32),
+    /// Exhausted `StartLimitBurst=` respawns without a successful start.
+    StartLimitHit,
+    /// Hit the start limit and activated its `OnFailure=` units.
+    Escalated,
+    /// Readiness was forced by `TimeoutStartSec=` expiry.
+    TimedOut,
+    /// Aborted (missing dependency or injected crash) with no respawn.
+    Failed,
+}
+
+impl ServiceRecord {
+    /// Attributes the unit's boot outcome.
+    pub fn outcome(&self) -> UnitOutcome {
+        if self.escalated {
+            UnitOutcome::Escalated
+        } else if self.start_limit_hit {
+            UnitOutcome::StartLimitHit
+        } else if self.timed_out {
+            UnitOutcome::TimedOut
+        } else if self.restarts > 0 {
+            UnitOutcome::Restarted(self.restarts)
+        } else if self.failed {
+            UnitOutcome::Failed
+        } else {
+            UnitOutcome::Clean
+        }
+    }
 }
 
 /// Result of one boot run.
@@ -343,6 +388,8 @@ pub fn run_boot(
     // Dispatch every job (services self-gate), then spawn service-phase
     // housekeeping.
     let mut prev_ready: Option<FlagId> = None;
+    // Per supervised job: (start-limit flag, escalation flag if any).
+    let mut supervised: HashMap<usize, (FlagId, Option<FlagId>)> = HashMap::new();
     for &j in &order {
         let spec = service_spec(
             graph,
@@ -360,15 +407,86 @@ pub fn run_boot(
         // TimeoutStartSec=: a watchdog forces the readiness flag when the
         // timeout expires, so dependents are released even if the service
         // hangs (recorded as `timed_out` when the watchdog fired first).
+        // Built on `TimedWaitFlag` so a watchdog whose service becomes
+        // ready exits immediately and never outlives the boot.
         let timeout_ms = graph.unit(j).exec.timeout_ms;
         if timeout_ms > 0 {
             manager_ops.push(Op::Spawn(ProcessSpec::new(
                 format!("timeout:{}", graph.unit(j).name),
                 vec![
-                    Op::Sleep(SimDuration::from_millis(timeout_ms)),
+                    Op::TimedWaitFlag {
+                        flag: ready_flags[&j],
+                        timeout: SimDuration::from_millis(timeout_ms),
+                    },
                     Op::SetFlag(ready_flags[&j]),
                 ],
             )));
+        }
+        // Restart=/OnFailure= supervision: a crashed incarnation sets
+        // `fault:crashed:<name>` (see bb-sim fault injection); a chain of
+        // watchers respawns the unit — attempt k named `<unit>#k`, after
+        // a `RestartSec=` backoff — up to `StartLimitBurst=` times, then
+        // marks the start limit hit and activates the `OnFailure=`
+        // units. Watchers whose crash never happens stay blocked and do
+        // not extend the run. `StartLimitIntervalSec=` is parsed but a
+        // single boot always falls inside one interval, so the burst
+        // alone bounds respawns here.
+        let exec = &graph.unit(j).exec;
+        if exec.restart.restarts_on_crash() {
+            let unit_name = graph.unit(j).name.clone();
+            let burst = exec.start_limit_burst.max(1);
+            let mut prev_attempt = unit_name.as_str().to_string();
+            for k in 1..=burst {
+                let attempt = format!("{unit_name}#{k}");
+                let crashed_prev = machine.flag(format!("fault:crashed:{prev_attempt}"));
+                let mut respawn = service_spec(
+                    graph,
+                    plan,
+                    workloads,
+                    cfg,
+                    j,
+                    &ready_flags,
+                    &cond_flags,
+                    boot_complete,
+                    None,
+                );
+                respawn.name = attempt.clone();
+                let mut w_ops = vec![Op::WaitFlag(crashed_prev)];
+                if exec.restart_sec_ms > 0 {
+                    w_ops.push(Op::Sleep(SimDuration::from_millis(exec.restart_sec_ms)));
+                }
+                w_ops.push(Op::Spawn(respawn));
+                machine.spawn(
+                    ProcessSpec::new(format!("restart:{attempt}"), w_ops)
+                        .with_nice(cfg.costs.manager_nice),
+                );
+                prev_attempt = attempt;
+            }
+            let crashed_last = machine.flag(format!("fault:crashed:{prev_attempt}"));
+            let limit_flag = machine.flag(format!("start-limit:{unit_name}"));
+            let mut w_ops = vec![Op::WaitFlag(crashed_last), Op::SetFlag(limit_flag)];
+            let escalate_flag = if graph.unit(j).on_failure.is_empty() {
+                None
+            } else {
+                for target in &graph.unit(j).on_failure {
+                    let target_ready = machine.flag(format!("ready:{target}"));
+                    w_ops.push(Op::Spawn(escalation_spec(
+                        graph,
+                        workloads,
+                        cfg,
+                        target,
+                        target_ready,
+                    )));
+                }
+                let flag = machine.flag(format!("escalated:{unit_name}"));
+                w_ops.push(Op::SetFlag(flag));
+                Some(flag)
+            };
+            machine.spawn(
+                ProcessSpec::new(format!("restart-limit:{unit_name}"), w_ops)
+                    .with_nice(cfg.costs.manager_nice),
+            );
+            supervised.insert(j, (limit_flag, escalate_flag));
         }
         if cfg.mode == EngineMode::Serial {
             prev_ready = Some(ready_flags[&j]);
@@ -438,6 +556,20 @@ pub fn run_boot(
             rec.started = t.first_run;
             rec.finished = t.finished;
             rec.failed = t.failed;
+        }
+        // Respawned incarnations are named `<unit>#<k>`.
+        let restart_prefix = format!("{name}#");
+        rec.restarts = timelines
+            .values()
+            .filter(|t| {
+                t.name
+                    .strip_prefix(&restart_prefix)
+                    .is_some_and(|s| !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit()))
+            })
+            .count() as u32;
+        if let Some(&(limit_flag, escalate_flag)) = supervised.get(&j) {
+            rec.start_limit_hit = machine.flag_set_at(limit_flag).is_some();
+            rec.escalated = escalate_flag.is_some_and(|f| machine.flag_set_at(f).is_some());
         }
         services.insert(name.clone(), rec);
     }
@@ -594,6 +726,33 @@ fn service_spec(
     ProcessSpec::new(unit.name.as_str(), ops)
         .with_nice(nice)
         .with_io_priority(io_priority)
+}
+
+/// Builds the process activating one `OnFailure=` unit. The target need
+/// not be part of the transaction: if it is unknown (a rescue shell, a
+/// reboot helper) it gets the default small body. Its readiness flag is
+/// set so escalation is observable in the record and the trace.
+fn escalation_spec(
+    graph: &UnitGraph,
+    workloads: &WorkloadMap,
+    cfg: &EngineConfig,
+    target: &UnitName,
+    target_ready: FlagId,
+) -> ProcessSpec {
+    let body = graph
+        .idx(target)
+        .and_then(|i| graph.unit(i).exec.exec_start.as_deref())
+        .and_then(|e| workloads.get(e))
+        .cloned()
+        .unwrap_or_else(|| ServiceBody {
+            pre_ready: vec![Op::Compute(SimDuration::from_millis(2))],
+            post_ready: Vec::new(),
+        });
+    let mut ops = vec![Op::Compute(cfg.costs.fork_exec_cost)];
+    ops.extend(body.pre_ready);
+    ops.push(Op::SetFlag(target_ready));
+    ops.extend(body.post_ready);
+    ProcessSpec::new(target.as_str(), ops)
 }
 
 /// Appends `body`, wrapped in a conditional skip when `cond` is present.
@@ -906,6 +1065,113 @@ mod tests {
         let hi = record.service("hi.service").ready.unwrap();
         let lo = record.service("lo.service").ready.unwrap();
         assert!(hi < lo, "priority override ineffective: {hi} vs {lo}");
+    }
+
+    #[test]
+    fn crashed_service_is_restarted_and_boot_completes() {
+        let mut units = chain_units();
+        units[2] = svc("b.service")
+            .needs("a.service")
+            .with_type(ServiceType::Forking)
+            .with_restart(crate::unit::RestartPolicy::OnFailure)
+            .with_restart_sec_ms(50);
+        let graph = UnitGraph::build(units).unwrap();
+        let mut s = setup(4);
+        s.machine.install_fault_plan(&bb_sim::FaultPlan {
+            faults: vec![bb_sim::Fault::CrashAtReadiness {
+                process: "b.service".into(),
+                hits: 1,
+            }],
+            seed: 0,
+        });
+        let p = plan(&graph, &["c.service"]);
+        let record = run_boot(&mut s.machine, &p, &workloads(10), &s.cfg);
+        let b = record.service("b.service");
+        assert_eq!(b.restarts, 1);
+        assert_eq!(b.outcome(), UnitOutcome::Restarted(1));
+        assert!(!b.start_limit_hit);
+        assert!(b.ready.is_some(), "respawned b never became ready");
+        let c = record.service("c.service");
+        assert_eq!(c.outcome(), UnitOutcome::Clean);
+        assert!(
+            c.ready.unwrap() > b.ready.unwrap(),
+            "c must wait for the respawned b"
+        );
+        assert!(record.completion_time.is_some());
+    }
+
+    #[test]
+    fn start_limit_breaks_restart_loop_and_escalates() {
+        let mut units = chain_units();
+        units[2] = svc("b.service")
+            .needs("a.service")
+            .with_type(ServiceType::Forking)
+            .with_restart(crate::unit::RestartPolicy::Always)
+            .with_restart_sec_ms(10)
+            .with_start_limit_burst(2)
+            .on_failure("rescue.service");
+        let graph = UnitGraph::build(units).unwrap();
+        let mut s = setup(4);
+        s.machine.install_fault_plan(&bb_sim::FaultPlan {
+            faults: vec![bb_sim::Fault::CrashAtReadiness {
+                process: "b.service".into(),
+                hits: 10,
+            }],
+            seed: 0,
+        });
+        let p = plan(&graph, &["c.service"]);
+        let record = run_boot(&mut s.machine, &p, &workloads(10), &s.cfg);
+        let b = record.service("b.service");
+        // Original + 2 respawns all crash; the chain stops at the burst.
+        assert_eq!(b.restarts, 2);
+        assert!(b.start_limit_hit);
+        assert!(b.escalated);
+        assert_eq!(b.outcome(), UnitOutcome::Escalated);
+        assert!(b.ready.is_none());
+        // c depends on b: the boot never completes (fallback territory).
+        assert!(record.completion_time.is_none());
+        // The escalation unit ran: its readiness flag was set.
+        let rescue = s.machine.flag("ready:rescue.service");
+        assert!(s.machine.flag_set_at(rescue).is_some());
+    }
+
+    #[test]
+    fn unsupervised_crash_is_attributed_as_failed() {
+        let graph = UnitGraph::build(chain_units()).unwrap();
+        let mut s = setup(4);
+        s.machine.install_fault_plan(&bb_sim::FaultPlan {
+            faults: vec![bb_sim::Fault::CrashAtReadiness {
+                process: "d.service".into(),
+                hits: 1,
+            }],
+            seed: 0,
+        });
+        let p = plan(&graph, &["c.service"]);
+        let record = run_boot(&mut s.machine, &p, &workloads(10), &s.cfg);
+        let d = record.service("d.service");
+        assert_eq!(d.outcome(), UnitOutcome::Failed);
+        assert_eq!(d.restarts, 0);
+        assert!(d.ready.is_none());
+    }
+
+    #[test]
+    fn timeout_watchdog_does_not_outlive_a_ready_service() {
+        let mut unit = svc("t.service").with_type(ServiceType::Forking);
+        unit.exec.timeout_ms = 60_000;
+        let units = vec![
+            Unit::new(UnitName::new("boot.target")).requires("t.service"),
+            unit,
+        ];
+        let graph = UnitGraph::build(units).unwrap();
+        let mut s = setup(2);
+        let mut wl = WorkloadMap::new();
+        wl.insert("bin:t.service".into(), body_ms(10));
+        let p = plan(&graph, &["t.service"]);
+        let record = run_boot(&mut s.machine, &p, &wl, &s.cfg);
+        assert!(!record.service("t.service").timed_out);
+        // The watchdog exits when readiness appears: quiescence arrives
+        // long before the 60 s timeout would.
+        assert!(record.outcome.end_time.as_millis() < 1_000);
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod unit;
 pub use chart::{blame, critical_chain, render_critical_chain, time_summary, Bootchart, ChartRow};
 pub use engine::{
     run_boot, BootPlan, BootRecord, EngineConfig, EngineMode, LoadModel, ManagerCosts, ManagerTask,
-    PlanOverrides, ServiceBody, ServiceRecord, WorkloadMap,
+    PlanOverrides, ServiceBody, ServiceRecord, UnitOutcome, WorkloadMap,
 };
 pub use graph::{Edge, EdgeKind, GraphError, GraphStats, UnitGraph};
 pub use parser::{
@@ -39,4 +39,6 @@ pub use parser::{
 };
 pub use preparse::{decode_units, encode_units, CodecError};
 pub use transaction::{Transaction, TransactionError};
-pub use unit::{ExecConfig, IoSchedulingClass, ServiceType, Unit, UnitKind, UnitName};
+pub use unit::{
+    ExecConfig, IoSchedulingClass, RestartPolicy, ServiceType, Unit, UnitKind, UnitName,
+};

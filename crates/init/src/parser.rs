@@ -13,7 +13,7 @@
 
 use std::fmt;
 
-use crate::unit::{IoSchedulingClass, ServiceType, Unit, UnitName};
+use crate::unit::{IoSchedulingClass, RestartPolicy, ServiceType, Unit, UnitName};
 
 /// A parse failure with its location.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,11 +71,8 @@ impl std::error::Error for ParseError {}
 /// behavior that exists on the device, so the Service Analyzer surfaces
 /// them as lint findings instead.
 const UNSUPPORTED_DIRECTIVES: &[(&str, &str)] = &[
-    ("Unit", "OnFailure"),
     ("Unit", "PartOf"),
     ("Unit", "BindsTo"),
-    ("Service", "Restart"),
-    ("Service", "RestartSec"),
     ("Service", "Environment"),
     ("Service", "EnvironmentFile"),
     ("Service", "ExecStartPre"),
@@ -269,6 +266,7 @@ fn apply_directive(
         ("Unit", "Requires") => parse_name_list(value, line, &mut unit.requires)?,
         ("Unit", "Wants") => parse_name_list(value, line, &mut unit.wants)?,
         ("Unit", "Conflicts") => parse_name_list(value, line, &mut unit.conflicts)?,
+        ("Unit", "OnFailure") => parse_name_list(value, line, &mut unit.on_failure)?,
         ("Unit", "ConditionPathExists") => {
             unit.condition_path_exists = if value.is_empty() {
                 None
@@ -299,6 +297,22 @@ fn apply_directive(
         }
         ("Service" | "Mount" | "Socket", "TimeoutStartSec") => {
             unit.exec.timeout_ms =
+                parse_timeout_ms(value).ok_or_else(|| bad_value(key, value, line))?;
+        }
+        ("Service" | "Mount" | "Socket", "Restart") => {
+            unit.exec.restart =
+                RestartPolicy::parse(value).ok_or_else(|| bad_value(key, value, line))?;
+        }
+        ("Service" | "Mount" | "Socket", "RestartSec") => {
+            unit.exec.restart_sec_ms =
+                parse_timeout_ms(value).ok_or_else(|| bad_value(key, value, line))?;
+        }
+        // In systemd v208 the start-limit knobs live in [Service].
+        ("Service" | "Mount" | "Socket", "StartLimitBurst") => {
+            unit.exec.start_limit_burst = value.parse().map_err(|_| bad_value(key, value, line))?;
+        }
+        ("Service" | "Mount" | "Socket", "StartLimitIntervalSec") => {
+            unit.exec.start_limit_interval_ms =
                 parse_timeout_ms(value).ok_or_else(|| bad_value(key, value, line))?;
         }
         ("Install", "WantedBy") => parse_name_list(value, line, &mut unit.wanted_by)?,
@@ -473,16 +487,72 @@ WantedBy=multi-user.target
 
     #[test]
     fn unknown_keys_warn_not_fail() {
-        let text = "[Unit]\nFancyNewDirective=zap\n[Service]\nRestart=always\n";
+        let text = "[Unit]\nFancyNewDirective=zap\n[Service]\nEnvironment=FOO=1\n";
         let p = parse_unit("x.service", text).unwrap();
         assert_eq!(p.warnings.len(), 2);
         assert_eq!(p.warnings[0].directive, "Unit::FancyNewDirective");
         assert_eq!(p.warnings[0].kind, DirectiveWarningKind::Unknown);
-        // `Restart=` is real systemd, just not modeled here: flagged as
-        // unsupported rather than unknown.
-        assert_eq!(p.warnings[1].directive, "Service::Restart");
+        // `Environment=` is real systemd, just not modeled here: flagged
+        // as unsupported rather than unknown.
+        assert_eq!(p.warnings[1].directive, "Service::Environment");
         assert_eq!(p.warnings[1].kind, DirectiveWarningKind::Unsupported);
         assert!(p.warnings[1].to_string().contains("not supported"));
+    }
+
+    #[test]
+    fn supervision_directives_parse_into_typed_fields_not_warnings() {
+        // Regression: these used to sit in UNSUPPORTED_DIRECTIVES and
+        // produce lint warnings; they are modeled now.
+        let text = "\
+[Unit]
+OnFailure=rescue.service watchdog-reboot.service
+[Service]
+Restart=on-failure
+RestartSec=500ms
+StartLimitBurst=3
+StartLimitIntervalSec=30s
+";
+        let p = parse_unit("x.service", text).unwrap();
+        assert!(p.warnings.is_empty(), "warnings: {:?}", p.warnings);
+        assert_eq!(p.unit.exec.restart, RestartPolicy::OnFailure);
+        assert_eq!(p.unit.exec.restart_sec_ms, 500);
+        assert_eq!(p.unit.exec.start_limit_burst, 3);
+        assert_eq!(p.unit.exec.start_limit_interval_ms, 30_000);
+        assert_eq!(
+            p.unit.on_failure,
+            vec![
+                UnitName::new("rescue.service"),
+                UnitName::new("watchdog-reboot.service"),
+            ]
+        );
+    }
+
+    #[test]
+    fn restart_policy_values() {
+        for (text, policy) in [
+            ("no", RestartPolicy::No),
+            ("on-failure", RestartPolicy::OnFailure),
+            ("always", RestartPolicy::Always),
+        ] {
+            let p = parse_unit("x.service", &format!("[Service]\nRestart={text}\n")).unwrap();
+            assert_eq!(p.unit.exec.restart, policy);
+        }
+        let err = parse_unit("x.service", "[Service]\nRestart=sometimes\n").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::BadValue { .. }));
+    }
+
+    #[test]
+    fn supervision_roundtrip_render_then_parse() {
+        let u = Unit::new(UnitName::new("flaky.service"))
+            .with_exec("flaky-daemon")
+            .with_restart(RestartPolicy::Always)
+            .with_restart_sec_ms(250)
+            .with_start_limit_burst(2)
+            .on_failure("rescue.service");
+        let text = u.to_unit_file();
+        let p = parse_unit("flaky.service", &text).unwrap();
+        assert_eq!(p.unit, u);
+        assert!(p.warnings.is_empty());
     }
 
     #[test]

@@ -13,10 +13,27 @@
 //! exactly; the `preparser` Criterion bench measures real text-parse vs
 //! cache-load time on this code.
 
-use crate::unit::{ExecConfig, IoSchedulingClass, ServiceType, Unit, UnitName};
+use crate::unit::{ExecConfig, IoSchedulingClass, RestartPolicy, ServiceType, Unit, UnitName};
 
-/// Magic + version header of a cache blob.
-pub const MAGIC: &[u8; 6] = b"BBPP\x01\x00";
+/// Magic + version header of a cache blob. Version 2 added the
+/// supervision fields (`Restart=`, `RestartSec=`, start limits,
+/// `OnFailure=`); v1 blobs are rejected with [`CodecError::BadMagic`].
+///
+/// Supervision data is flagged in the service-type byte
+/// (`FLAG_SUPERVISION`, `FLAG_ON_FAILURE`) and encoded only for
+/// units that actually carry it, so a unit set without `Restart=` or
+/// `OnFailure=` encodes to exactly as many bytes as it did under v1 —
+/// the simulated cache-load I/O (and with it the calibration pins) is
+/// unchanged for unsupervised boots.
+pub const MAGIC: &[u8; 6] = b"BBPP\x02\x00";
+
+/// Service-type flag bit: a supervision tail (`Restart=`,
+/// `RestartSec=`, `StartLimitBurst=`, `StartLimitIntervalSec=`)
+/// follows the fixed exec fields.
+const FLAG_SUPERVISION: u8 = 0x80;
+
+/// Service-type flag bit: an `OnFailure=` name list follows.
+const FLAG_ON_FAILURE: u8 = 0x40;
 
 /// Decode failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -88,12 +105,24 @@ pub fn encode_units(units: &[Unit]) -> Vec<u8> {
             None => out.push(0),
         }
         out.push(u.default_dependencies as u8);
-        out.push(match u.exec.service_type {
+        let defaults = ExecConfig::default();
+        let supervised = u.exec.restart != defaults.restart
+            || u.exec.restart_sec_ms != defaults.restart_sec_ms
+            || u.exec.start_limit_burst != defaults.start_limit_burst
+            || u.exec.start_limit_interval_ms != defaults.start_limit_interval_ms;
+        let mut type_byte = match u.exec.service_type {
             ServiceType::Simple => 0,
             ServiceType::Forking => 1,
             ServiceType::Oneshot => 2,
             ServiceType::Notify => 3,
-        });
+        };
+        if supervised {
+            type_byte |= FLAG_SUPERVISION;
+        }
+        if !u.on_failure.is_empty() {
+            type_byte |= FLAG_ON_FAILURE;
+        }
+        out.push(type_byte);
         match &u.exec.exec_start {
             Some(e) => {
                 out.push(1);
@@ -108,6 +137,19 @@ pub fn encode_units(units: &[Unit]) -> Vec<u8> {
             IoSchedulingClass::Realtime => 2,
         });
         put_u64(&mut out, u.exec.timeout_ms);
+        if supervised {
+            out.push(match u.exec.restart {
+                RestartPolicy::No => 0,
+                RestartPolicy::OnFailure => 1,
+                RestartPolicy::Always => 2,
+            });
+            put_u64(&mut out, u.exec.restart_sec_ms);
+            put_u32(&mut out, u.exec.start_limit_burst);
+            put_u64(&mut out, u.exec.start_limit_interval_ms);
+        }
+        if !u.on_failure.is_empty() {
+            put_name_list(&mut out, &u.on_failure);
+        }
     }
     out
 }
@@ -142,8 +184,12 @@ pub fn decode_units(blob: &[u8]) -> Result<Vec<Unit>, CodecError> {
         u.required_by = r.name_list()?;
         u.condition_path_exists = if r.u8()? == 1 { Some(r.str()?) } else { None };
         u.default_dependencies = r.u8()? == 1;
-        u.exec = ExecConfig {
-            service_type: match r.u8()? {
+        let type_byte = r.u8()?;
+        let supervised = type_byte & FLAG_SUPERVISION != 0;
+        let has_on_failure = type_byte & FLAG_ON_FAILURE != 0;
+        let defaults = ExecConfig::default();
+        let mut exec = ExecConfig {
+            service_type: match type_byte & !(FLAG_SUPERVISION | FLAG_ON_FAILURE) {
                 0 => ServiceType::Simple,
                 1 => ServiceType::Forking,
                 2 => ServiceType::Oneshot,
@@ -159,7 +205,23 @@ pub fn decode_units(blob: &[u8]) -> Result<Vec<Unit>, CodecError> {
                 d => return Err(CodecError::BadEnum(d)),
             },
             timeout_ms: r.u64()?,
+            ..defaults
         };
+        if supervised {
+            exec.restart = match r.u8()? {
+                0 => RestartPolicy::No,
+                1 => RestartPolicy::OnFailure,
+                2 => RestartPolicy::Always,
+                d => return Err(CodecError::BadEnum(d)),
+            };
+            exec.restart_sec_ms = r.u64()?;
+            exec.start_limit_burst = r.u32()?;
+            exec.start_limit_interval_ms = r.u64()?;
+        }
+        u.exec = exec;
+        if has_on_failure {
+            u.on_failure = r.name_list()?;
+        }
         units.push(u);
     }
     if r.pos != blob.len() {
@@ -275,6 +337,12 @@ mod tests {
                 u.documentation.push("man:mount(8)".into());
                 u
             },
+            Unit::new(UnitName::new("flaky.service"))
+                .with_exec("flaky-daemon")
+                .with_restart(RestartPolicy::OnFailure)
+                .with_restart_sec_ms(250)
+                .with_start_limit_burst(3)
+                .on_failure("rescue.service"),
         ]
     }
 
@@ -322,13 +390,33 @@ mod tests {
     fn bad_enum_rejected() {
         let one = vec![Unit::new(UnitName::new("a.service"))];
         let blob = encode_units(&one);
-        // Corrupt the service-type byte: locate it from the end
-        // (type is 11 bytes from the end: type(1) exec(1) nice(1)
-        // io(1) timeout(8) = 12, so index len-12).
+        // Corrupt the service-type byte: locate it from the end of an
+        // unsupervised unit (type(1) exec(1) nice(1) io(1) timeout(8)
+        // = 12, so index len-12).
         let mut bad = blob.clone();
         let idx = bad.len() - 12;
         bad[idx] = 9;
         assert_eq!(decode_units(&bad), Err(CodecError::BadEnum(9)));
+    }
+
+    #[test]
+    fn default_supervision_adds_no_bytes() {
+        // The calibration pins ride on this: a unit set with no
+        // Restart=/OnFailure= must encode to the same number of bytes
+        // it did before the supervision fields existed, so the
+        // simulated cache-load I/O of unsupervised boots is unchanged.
+        let plain = Unit::new(UnitName::new("a.service")).with_exec("daemon");
+        let plain_len = encode_units(std::slice::from_ref(&plain)).len();
+
+        let supervised = plain
+            .clone()
+            .with_restart(RestartPolicy::OnFailure)
+            .with_start_limit_burst(2)
+            .on_failure("rescue.service");
+        let supervised_len = encode_units(&[supervised]).len();
+        // restart(1) + restart_sec(8) + burst(4) + interval(8)
+        // + list len(4) + name len(4) + "rescue.service"(14) = 43.
+        assert_eq!(supervised_len, plain_len + 43);
     }
 
     #[test]

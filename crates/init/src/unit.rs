@@ -160,8 +160,46 @@ impl IoSchedulingClass {
     }
 }
 
+/// `Restart=` policy: when a dead service is respawned (v208 subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RestartPolicy {
+    /// Never respawn (systemd's default).
+    #[default]
+    No,
+    /// Respawn only after an unclean exit (crash).
+    OnFailure,
+    /// Respawn after any exit.
+    Always,
+}
+
+impl RestartPolicy {
+    /// Parses the `Restart=` value.
+    pub fn parse(s: &str) -> Option<RestartPolicy> {
+        Some(match s {
+            "no" => RestartPolicy::No,
+            "on-failure" => RestartPolicy::OnFailure,
+            "always" => RestartPolicy::Always,
+            _ => return None,
+        })
+    }
+
+    /// The canonical `Restart=` spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RestartPolicy::No => "no",
+            RestartPolicy::OnFailure => "on-failure",
+            RestartPolicy::Always => "always",
+        }
+    }
+
+    /// True if a crashed service with this policy is respawned.
+    pub fn restarts_on_crash(self) -> bool {
+        !matches!(self, RestartPolicy::No)
+    }
+}
+
 /// Execution settings from `[Service]`/`[Mount]`/`[Socket]`.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExecConfig {
     /// Start-up semantics.
     pub service_type: ServiceType,
@@ -173,6 +211,33 @@ pub struct ExecConfig {
     pub io_class: IoSchedulingClass,
     /// Start timeout in milliseconds (0 = none).
     pub timeout_ms: u64,
+    /// `Restart=` supervision policy.
+    pub restart: RestartPolicy,
+    /// `RestartSec=` backoff before each respawn, in milliseconds
+    /// (systemd's default is 100 ms).
+    pub restart_sec_ms: u64,
+    /// `StartLimitBurst=` — respawns allowed within the interval before
+    /// the unit is marked start-limit-hit (systemd's default is 5).
+    pub start_limit_burst: u32,
+    /// `StartLimitIntervalSec=` window for the burst counter, in
+    /// milliseconds (systemd's default is 10 s).
+    pub start_limit_interval_ms: u64,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            service_type: ServiceType::default(),
+            exec_start: None,
+            nice: 0,
+            io_class: IoSchedulingClass::default(),
+            timeout_ms: 0,
+            restart: RestartPolicy::No,
+            restart_sec_ms: 100,
+            start_limit_burst: 5,
+            start_limit_interval_ms: 10_000,
+        }
+    }
 }
 
 /// One parsed unit.
@@ -198,6 +263,9 @@ pub struct Unit {
     pub wanted_by: Vec<UnitName>,
     /// `RequiredBy=` (from `[Install]`): reverse hard dependency.
     pub required_by: Vec<UnitName>,
+    /// `OnFailure=`: units activated when this unit enters a failed
+    /// state (start-limit hit or unrecoverable crash).
+    pub on_failure: Vec<UnitName>,
     /// `ConditionPathExists=`: run the body only if this path exists.
     pub condition_path_exists: Option<String>,
     /// `DefaultDependencies=` (affects implicit target ordering).
@@ -220,6 +288,7 @@ impl Unit {
             conflicts: Vec::new(),
             wanted_by: Vec::new(),
             required_by: Vec::new(),
+            on_failure: Vec::new(),
             condition_path_exists: None,
             default_dependencies: true,
             exec: ExecConfig::default(),
@@ -280,6 +349,30 @@ impl Unit {
         self
     }
 
+    /// Builder: sets the `Restart=` policy.
+    pub fn with_restart(mut self, policy: RestartPolicy) -> Self {
+        self.exec.restart = policy;
+        self
+    }
+
+    /// Builder: sets `RestartSec=` in milliseconds.
+    pub fn with_restart_sec_ms(mut self, ms: u64) -> Self {
+        self.exec.restart_sec_ms = ms;
+        self
+    }
+
+    /// Builder: sets `StartLimitBurst=`.
+    pub fn with_start_limit_burst(mut self, burst: u32) -> Self {
+        self.exec.start_limit_burst = burst;
+        self
+    }
+
+    /// Builder: adds an `OnFailure=` escalation unit.
+    pub fn on_failure(mut self, unit: &str) -> Self {
+        self.on_failure.push(UnitName::new(unit));
+        self
+    }
+
     /// Renders the unit back to systemd unit-file syntax. Parsing the
     /// output reproduces the unit (round-trip property tested).
     pub fn to_unit_file(&self) -> String {
@@ -303,6 +396,7 @@ impl Unit {
         list(&mut s, "Requires", &self.requires);
         list(&mut s, "Wants", &self.wants);
         list(&mut s, "Conflicts", &self.conflicts);
+        list(&mut s, "OnFailure", &self.on_failure);
         if let Some(p) = &self.condition_path_exists {
             let _ = writeln!(s, "ConditionPathExists={p}");
         }
@@ -323,6 +417,23 @@ impl Unit {
             }
             if self.exec.timeout_ms != 0 {
                 let _ = writeln!(s, "TimeoutStartSec={}ms", self.exec.timeout_ms);
+            }
+            let defaults = ExecConfig::default();
+            if self.exec.restart != defaults.restart {
+                let _ = writeln!(s, "Restart={}", self.exec.restart.as_str());
+            }
+            if self.exec.restart_sec_ms != defaults.restart_sec_ms {
+                let _ = writeln!(s, "RestartSec={}ms", self.exec.restart_sec_ms);
+            }
+            if self.exec.start_limit_burst != defaults.start_limit_burst {
+                let _ = writeln!(s, "StartLimitBurst={}", self.exec.start_limit_burst);
+            }
+            if self.exec.start_limit_interval_ms != defaults.start_limit_interval_ms {
+                let _ = writeln!(
+                    s,
+                    "StartLimitIntervalSec={}ms",
+                    self.exec.start_limit_interval_ms
+                );
             }
         }
         if !self.wanted_by.is_empty() || !self.required_by.is_empty() {

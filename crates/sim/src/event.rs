@@ -45,6 +45,15 @@ pub enum EventKind {
         /// Index into the machine's pending-spawn table.
         spawn_slot: u32,
     },
+    /// A [`crate::process::Op::TimedWaitFlag`] wait expired. Stale if the
+    /// process's wait generation no longer matches `seq` (the flag woke
+    /// it first); stale events are dropped without advancing time.
+    FlagWaitTimeout {
+        /// Waiting process.
+        pid: Pid,
+        /// Wait generation this timeout was armed for.
+        seq: u64,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,0 +1,206 @@
+//! Deterministic fault injection: seeded plans of crashes, hangs, and
+//! device degradation applied to a [`crate::machine::Machine`] run.
+//!
+//! The paper's deployment constraint is that a misbehaving service must
+//! never brick the boot: the Service Engine has to detect the failure
+//! and degrade rather than hang (§3.4 discussion of deployment risks).
+//! To measure that failure envelope the simulator can carry a
+//! [`FaultPlan`] — a fixed list of faults resolved before the run starts
+//! — so a chaos sweep over `{seed × plan × config}` is exactly as
+//! reproducible as a fault-free run. Every injected fault is recorded in
+//! the trace as [`crate::trace::TraceKind::FaultInjected`].
+//!
+//! Fault vocabulary (matched to observed CE failure modes):
+//!
+//! - [`Fault::CrashAtReadiness`]: the process aborts at its readiness
+//!   boundary (first `SetFlag`), before signalling — the classic
+//!   "service died during start-up" case supervision must catch.
+//! - [`Fault::HangBeforeReady`]: the process blocks forever at the same
+//!   boundary — only timeouts or a boot deadline can detect this.
+//! - [`Fault::TransientIoError`]: a bounded number of storage reads fail
+//!   and are retried after a delay (flaky flash/eMMC link).
+//! - [`Fault::SlowDevice`]: the device's bandwidth is divided and its
+//!   request latency multiplied by a factor for the whole run (the
+//!   degraded-flash tail behaviour device profiling studies report).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::time::SimDuration;
+
+/// One fault to inject during a run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// Crash the named process at its readiness boundary (the first
+    /// `SetFlag` it executes). Injected into the first `hits` matching
+    /// process incarnations — respawned attempts named `name#k` also
+    /// match, so `hits: 2` crashes the original and its first respawn.
+    ///
+    /// The crash additionally sets the flag `fault:crashed:<process>`
+    /// (using the incarnation's full name), which supervision watchers
+    /// wait on to trigger a respawn.
+    CrashAtReadiness {
+        /// Process (unit) name to afflict.
+        process: String,
+        /// Number of incarnations to crash.
+        hits: u32,
+    },
+    /// Hang the named process indefinitely at its readiness boundary:
+    /// its remaining ops are replaced by a wait on a flag nobody sets.
+    HangBeforeReady {
+        /// Process (unit) name to afflict.
+        process: String,
+        /// Number of incarnations to hang.
+        hits: u32,
+    },
+    /// Fail the next `failures` read requests on the named device; each
+    /// failure costs the issuing process a `retry_delay` sleep before
+    /// the read is retried.
+    TransientIoError {
+        /// Device name (as given to `Machine::add_device`).
+        device: String,
+        /// Number of reads that fail before the device heals.
+        failures: u32,
+        /// Off-CPU retry backoff per failure.
+        retry_delay: SimDuration,
+    },
+    /// Degrade the named device for the whole run: sequential and random
+    /// bandwidth divided by `factor`, request latency multiplied by it.
+    SlowDevice {
+        /// Device name (as given to `Machine::add_device`).
+        device: String,
+        /// Degradation factor (> 1.0 slows the device down).
+        factor: f64,
+    },
+}
+
+impl Fault {
+    /// Short human-readable description, used for trace records.
+    pub fn describe(&self) -> String {
+        match self {
+            Fault::CrashAtReadiness { process, .. } => {
+                format!("crash at readiness: {process}")
+            }
+            Fault::HangBeforeReady { process, .. } => {
+                format!("hang before ready: {process}")
+            }
+            Fault::TransientIoError { device, .. } => {
+                format!("transient I/O error: {device}")
+            }
+            Fault::SlowDevice { device, factor } => {
+                format!("slow device ×{factor}: {device}")
+            }
+        }
+    }
+}
+
+/// Candidate targets for seeded plan generation.
+#[derive(Debug, Clone, Default)]
+pub struct FaultTargets {
+    /// Process (unit) names eligible for crash/hang faults.
+    pub processes: Vec<String>,
+    /// Device names eligible for I/O faults.
+    pub devices: Vec<String>,
+}
+
+/// A fixed, reproducible set of faults for one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Faults to install, applied in order.
+    pub faults: Vec<Fault>,
+    /// Seed the plan was generated from (0 for hand-built plans).
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// The empty plan: installing it is a strict no-op.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True if the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Generates a plan from a seed: 1–3 faults drawn over the given
+    /// targets. The same `(seed, targets)` always yields the same plan.
+    pub fn seeded(seed: u64, targets: &FaultTargets) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut faults = Vec::new();
+        let n = rng.gen_range(1u32..=3);
+        for _ in 0..n {
+            // Device faults need devices, process faults need processes;
+            // fall through to whichever target set is populated.
+            let want_device = rng.gen_range(0u32..4) == 0;
+            if want_device && !targets.devices.is_empty() {
+                let device = targets.devices[rng.gen_range(0..targets.devices.len())].clone();
+                if rng.gen_range(0u32..2) == 0 {
+                    faults.push(Fault::TransientIoError {
+                        device,
+                        failures: rng.gen_range(1u32..=3),
+                        retry_delay: SimDuration::from_millis(rng.gen_range(5u64..=40)),
+                    });
+                } else {
+                    faults.push(Fault::SlowDevice {
+                        device,
+                        factor: rng.gen_range(2u64..=6) as f64,
+                    });
+                }
+            } else if !targets.processes.is_empty() {
+                let process = targets.processes[rng.gen_range(0..targets.processes.len())].clone();
+                if rng.gen_range(0u32..3) == 0 {
+                    faults.push(Fault::HangBeforeReady { process, hits: 1 });
+                } else {
+                    faults.push(Fault::CrashAtReadiness {
+                        process,
+                        hits: rng.gen_range(1u32..=3),
+                    });
+                }
+            }
+        }
+        FaultPlan { faults, seed }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn targets() -> FaultTargets {
+        FaultTargets {
+            processes: vec!["a.service".into(), "b.service".into()],
+            devices: vec!["boot-storage".into()],
+        }
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        let t = targets();
+        assert_eq!(FaultPlan::seeded(7, &t), FaultPlan::seeded(7, &t));
+        assert!(!FaultPlan::seeded(7, &t).is_empty());
+    }
+
+    #[test]
+    fn different_seeds_eventually_differ() {
+        let t = targets();
+        let base = FaultPlan::seeded(0, &t);
+        assert!((1..32).any(|s| FaultPlan::seeded(s, &t) != base));
+    }
+
+    #[test]
+    fn empty_targets_yield_empty_plan() {
+        let plan = FaultPlan::seeded(3, &FaultTargets::default());
+        assert!(plan.is_empty());
+        assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn descriptions_name_the_target() {
+        let f = Fault::CrashAtReadiness {
+            process: "x.service".into(),
+            hits: 1,
+        };
+        assert!(f.describe().contains("x.service"));
+    }
+}

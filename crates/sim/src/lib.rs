@@ -33,6 +33,7 @@
 
 pub mod chrome;
 pub mod event;
+pub mod fault;
 pub mod ids;
 pub mod io;
 pub mod machine;
@@ -42,6 +43,7 @@ pub mod time;
 pub mod trace;
 
 pub use chrome::chrome_trace;
+pub use fault::{Fault, FaultPlan, FaultTargets};
 pub use ids::{CoreId, DeviceId, FlagId, Pid};
 pub use io::{Device, DeviceProfile, IoPriority, MIB};
 pub use machine::{Machine, MachineConfig, RunOutcome, SchedStats};

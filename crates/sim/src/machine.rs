@@ -24,6 +24,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 use crate::event::{EventKind, EventQueue};
+use crate::fault::{Fault, FaultPlan};
 use crate::ids::{CoreId, DeviceId, FlagId, Pid};
 use crate::io::{Device, DeviceProfile, IoRequest};
 use crate::process::{BlockReason, Op, ProcState, Process, ProcessSpec};
@@ -97,6 +98,33 @@ struct Running {
     since: SimTime,
 }
 
+/// An armed crash/hang fault against a process name.
+#[derive(Debug)]
+struct ProcFaultArm {
+    process: String,
+    hits_left: u32,
+    hang: bool,
+}
+
+/// An armed transient-I/O fault against a device.
+#[derive(Debug)]
+struct IoFaultArm {
+    device: DeviceId,
+    failures_left: u32,
+    retry_delay: SimDuration,
+}
+
+/// Live fault-injection state built from an installed [`FaultPlan`].
+/// Absent (`None` on the machine) unless a non-empty plan was installed,
+/// so the fault-free path stays bit-identical.
+#[derive(Debug, Default)]
+struct FaultState {
+    proc_arms: Vec<ProcFaultArm>,
+    io_arms: Vec<IoFaultArm>,
+    /// Flag nobody ever sets, parked on by hung processes (lazily made).
+    hang_flag: Option<FlagId>,
+}
+
 /// The simulated machine.
 #[derive(Debug)]
 pub struct Machine {
@@ -119,6 +147,7 @@ pub struct Machine {
     work: Vec<Pid>,
     failed: Vec<Pid>,
     sched_stats: SchedStats,
+    faults: Option<FaultState>,
 }
 
 impl Machine {
@@ -153,6 +182,7 @@ impl Machine {
             work: Vec::new(),
             failed: Vec::new(),
             sched_stats: SchedStats::default(),
+            faults: None,
         }
     }
 
@@ -286,6 +316,163 @@ impl Machine {
         self.dispatch();
     }
 
+    /// Installs a fault plan. Call after the targeted devices have been
+    /// added; device-level faults resolve names against existing devices
+    /// (unknown names are ignored, so generic plans work across
+    /// scenarios). Installing an empty plan is a strict no-op — the run
+    /// stays bit-identical to an uninstrumented one.
+    ///
+    /// [`Fault::SlowDevice`] takes effect immediately (the device's
+    /// profile is degraded for the rest of the run); the other faults
+    /// arm triggers that fire during execution. Every injection is
+    /// recorded as [`TraceKind::FaultInjected`].
+    pub fn install_fault_plan(&mut self, plan: &FaultPlan) {
+        if plan.is_empty() {
+            return;
+        }
+        let mut state = self.faults.take().unwrap_or_default();
+        for fault in &plan.faults {
+            match fault {
+                Fault::CrashAtReadiness { process, hits } => {
+                    state.proc_arms.push(ProcFaultArm {
+                        process: process.clone(),
+                        hits_left: *hits,
+                        hang: false,
+                    });
+                }
+                Fault::HangBeforeReady { process, hits } => {
+                    state.proc_arms.push(ProcFaultArm {
+                        process: process.clone(),
+                        hits_left: *hits,
+                        hang: true,
+                    });
+                }
+                Fault::TransientIoError {
+                    device,
+                    failures,
+                    retry_delay,
+                } => {
+                    if let Some(d) = self.devices.iter().find(|d| d.name == *device) {
+                        state.io_arms.push(IoFaultArm {
+                            device: d.id,
+                            failures_left: *failures,
+                            retry_delay: *retry_delay,
+                        });
+                    }
+                }
+                Fault::SlowDevice { device, factor } => {
+                    assert!(
+                        factor.is_finite() && *factor >= 1.0,
+                        "slow-device factor must be >= 1.0"
+                    );
+                    if let Some(d) = self.devices.iter_mut().find(|d| d.name == *device) {
+                        let p = &mut d.profile;
+                        p.seq_read_bps = ((p.seq_read_bps as f64 / factor) as u64).max(1);
+                        p.rand_read_bps = ((p.rand_read_bps as f64 / factor) as u64).max(1);
+                        p.request_latency = p.request_latency.scale(*factor);
+                        self.trace.push(
+                            self.now,
+                            Pid::from_raw(u32::MAX),
+                            TraceKind::FaultInjected {
+                                description: fault.describe(),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        self.faults = Some(state);
+    }
+
+    /// True if `name` is the faulted process or a respawned incarnation
+    /// of it (`name#k`).
+    fn fault_matches(target: &str, name: &str) -> bool {
+        name == target
+            || (name.len() > target.len() + 1
+                && name.as_bytes()[target.len()] == b'#'
+                && name.starts_with(target))
+    }
+
+    /// Injects a crash/hang if one is armed for this process. Returns
+    /// true if the process was afflicted (its SetFlag must not execute).
+    fn try_inject_readiness_fault(&mut self, pid: Pid, ready_flag: FlagId) -> bool {
+        let Some(state) = self.faults.as_mut() else {
+            return false;
+        };
+        let name = self.procs[pid.index()].name.clone();
+        let Some(arm) = state
+            .proc_arms
+            .iter_mut()
+            .find(|a| a.hits_left > 0 && Self::fault_matches(&a.process, &name))
+        else {
+            return false;
+        };
+        arm.hits_left -= 1;
+        let hang = arm.hang;
+        if hang {
+            let flag = match state.hang_flag {
+                Some(f) => f,
+                None => {
+                    let f = self.flag("fault:hang");
+                    self.faults.as_mut().expect("fault state exists").hang_flag = Some(f);
+                    f
+                }
+            };
+            self.trace.push(
+                self.now,
+                pid,
+                TraceKind::FaultInjected {
+                    description: format!("hang before ready: {name}"),
+                },
+            );
+            let p = &mut self.procs[pid.index()];
+            p.ops.clear();
+            p.ops.push_back(Op::WaitFlag(flag));
+            // The caller's step loop re-reads the front op and blocks.
+        } else {
+            self.trace.push(
+                self.now,
+                pid,
+                TraceKind::FaultInjected {
+                    description: format!("crash at readiness: {name}"),
+                },
+            );
+            let p = &mut self.procs[pid.index()];
+            p.ops.clear();
+            p.state = ProcState::Done;
+            p.finished_at = Some(self.now);
+            self.failed.push(pid);
+            self.trace
+                .push(self.now, pid, TraceKind::Failed { flag: ready_flag });
+            // Signal supervision watchers (if any) that this incarnation
+            // crashed. The flag is per-incarnation: `fault:crashed:<name>`.
+            let crashed = self.flag(format!("fault:crashed:{name}"));
+            self.do_set_flag(crashed, pid);
+        }
+        true
+    }
+
+    /// Consumes one armed transient-I/O failure for `device`, if any.
+    /// Returns the retry delay the caller must impose before re-issuing.
+    fn try_inject_io_fault(&mut self, pid: Pid, device: DeviceId) -> Option<SimDuration> {
+        let state = self.faults.as_mut()?;
+        let arm = state
+            .io_arms
+            .iter_mut()
+            .find(|a| a.failures_left > 0 && a.device == device)?;
+        arm.failures_left -= 1;
+        let delay = arm.retry_delay;
+        let name = self.devices[device.index()].name.clone();
+        self.trace.push(
+            self.now,
+            pid,
+            TraceKind::FaultInjected {
+                description: format!("transient I/O error: {name}"),
+            },
+        );
+        Some(delay)
+    }
+
     /// Advances simulated time without running anything (used by phase
     /// models for costs that happen before/outside process execution).
     ///
@@ -313,6 +500,11 @@ impl Machine {
         self.dispatch();
         while let Some((time, kind)) = self.events.pop() {
             debug_assert!(time >= self.now, "event queue went backwards");
+            // Stale timed-wait timeouts are dropped *before* the clock
+            // advances, so they never extend the run's end time.
+            if self.event_is_stale(kind) {
+                continue;
+            }
             self.now = time;
             self.handle(kind);
             self.drain_work();
@@ -340,6 +532,9 @@ impl Machine {
                 break;
             }
             let (time, kind) = self.events.pop().expect("peeked event exists");
+            if self.event_is_stale(kind) {
+                continue;
+            }
             self.now = time;
             self.handle(kind);
             self.drain_work();
@@ -347,6 +542,17 @@ impl Machine {
         }
         self.now = self.now.max(until);
         self.now
+    }
+
+    /// True for events that were invalidated after scheduling (a timed
+    /// flag wait whose flag arrived first).
+    fn event_is_stale(&self, kind: EventKind) -> bool {
+        match kind {
+            EventKind::FlagWaitTimeout { pid, seq } => {
+                self.procs[pid.index()].timed_wait_seq != seq
+            }
+            _ => false,
+        }
     }
 
     // ---- internal: event handling -------------------------------------
@@ -358,6 +564,7 @@ impl Machine {
             EventKind::IoDone { device } => self.on_io_done(device),
             EventKind::RcuGraceDone => self.on_grace_done(),
             EventKind::WakeUp { pid } => self.on_wake(pid),
+            EventKind::FlagWaitTimeout { pid, seq } => self.on_flag_wait_timeout(pid, seq),
             EventKind::ExternalSpawn { spawn_slot } => {
                 let spec = self.pending_spawns[spawn_slot as usize]
                     .take()
@@ -464,6 +671,21 @@ impl Machine {
         }
     }
 
+    fn on_flag_wait_timeout(&mut self, pid: Pid, seq: u64) {
+        // Stale timeouts are filtered before time advances (see `run`),
+        // so a firing here is for the currently parked wait.
+        let p = &mut self.procs[pid.index()];
+        debug_assert_eq!(p.timed_wait_seq, seq);
+        let Some(Op::TimedWaitFlag { flag, .. }) = p.ops.front().cloned() else {
+            unreachable!("timed-wait timeout with unexpected front op");
+        };
+        debug_assert_eq!(p.state, ProcState::Blocked(BlockReason::Flag(flag)));
+        p.timed_wait_seq += 1;
+        p.ops.pop_front();
+        self.flags[flag.index()].waiters.retain(|&w| w != pid);
+        self.work.push(pid);
+    }
+
     fn on_wake(&mut self, pid: Pid) {
         let p = &mut self.procs[pid.index()];
         debug_assert_eq!(p.state, ProcState::Blocked(BlockReason::Sleep));
@@ -526,6 +748,11 @@ impl Machine {
                     bytes,
                     pattern,
                 }) => {
+                    if let Some(delay) = self.try_inject_io_fault(pid, device) {
+                        // Failed read: back off, then retry the same op.
+                        self.procs[pid.index()].ops.push_front(Op::Sleep(delay));
+                        continue;
+                    }
                     let req = IoRequest {
                         pid,
                         bytes,
@@ -554,6 +781,19 @@ impl Machine {
                     self.flags[flag.index()].waiters.push(pid);
                     return;
                 }
+                Some(Op::TimedWaitFlag { flag, timeout }) => {
+                    if self.flags[flag.index()].set_at.is_some() {
+                        self.procs[pid.index()].ops.pop_front();
+                        continue;
+                    }
+                    let p = &mut self.procs[pid.index()];
+                    p.state = ProcState::Blocked(BlockReason::Flag(flag));
+                    let seq = p.timed_wait_seq;
+                    self.flags[flag.index()].waiters.push(pid);
+                    self.events
+                        .push(self.now + timeout, EventKind::FlagWaitTimeout { pid, seq });
+                    return;
+                }
                 Some(Op::AssertFlag(flag)) => {
                     if self.flags[flag.index()].set_at.is_some() {
                         self.procs[pid.index()].ops.pop_front();
@@ -579,6 +819,14 @@ impl Machine {
                     }
                 }
                 Some(Op::SetFlag(flag)) => {
+                    if self.try_inject_readiness_fault(pid, flag) {
+                        // Crashed processes are done; hung ones now have a
+                        // fresh front op to park on.
+                        if self.procs[pid.index()].state == ProcState::Done {
+                            return;
+                        }
+                        continue;
+                    }
                     self.procs[pid.index()].ops.pop_front();
                     self.do_set_flag(flag, pid);
                 }
@@ -620,8 +868,17 @@ impl Machine {
             self.sched_stats.flag_wakeups += 1;
             let p = &mut self.procs[waiter.index()];
             debug_assert_eq!(p.state, ProcState::Blocked(BlockReason::Flag(flag)));
-            debug_assert!(matches!(p.ops.front(), Some(Op::WaitFlag(_))));
-            p.ops.pop_front();
+            match p.ops.front() {
+                Some(Op::WaitFlag(_)) => {
+                    p.ops.pop_front();
+                }
+                Some(Op::TimedWaitFlag { .. }) => {
+                    // Invalidate the pending timeout event for this wait.
+                    p.timed_wait_seq += 1;
+                    p.ops.pop_front();
+                }
+                other => unreachable!("flag waiter with unexpected front op {other:?}"),
+            }
             self.work.push(waiter);
         }
     }
@@ -1245,6 +1502,208 @@ mod tests {
         ));
         let out = m.run();
         assert_eq!(out.end_time.as_millis(), 50);
+    }
+
+    #[test]
+    fn timed_wait_flag_released_by_flag_does_not_extend_run() {
+        let mut m = machine(2);
+        let f = m.flag("ready");
+        m.spawn(ProcessSpec::new(
+            "watchdog",
+            OpsBuilder::new()
+                .timed_wait_flag(f, SimDuration::from_millis(2000))
+                .set_flag(f)
+                .build(),
+        ));
+        m.spawn(ProcessSpec::new(
+            "service",
+            OpsBuilder::new().compute_ms(3).set_flag(f).build(),
+        ));
+        let out = m.run();
+        // The watchdog exits as soon as the service signals; its stale
+        // 2000 ms timeout event is dropped without moving the clock.
+        assert_eq!(out.end_time.as_millis(), 3);
+        let tl = m.trace().process_timeline();
+        let wd = tl.values().find(|t| t.name == "watchdog").unwrap();
+        assert_eq!(wd.finished.unwrap().as_millis(), 3);
+    }
+
+    #[test]
+    fn timed_wait_flag_times_out_and_continues() {
+        let mut m = machine(1);
+        let f = m.flag("never-set");
+        m.spawn(ProcessSpec::new(
+            "watchdog",
+            OpsBuilder::new()
+                .timed_wait_flag(f, SimDuration::from_millis(50))
+                .compute_ms(1)
+                .build(),
+        ));
+        let out = m.run();
+        assert_eq!(out.end_time.as_millis(), 51);
+        assert!(out.blocked.is_empty());
+    }
+
+    #[test]
+    fn timed_wait_flag_with_preset_flag_is_free() {
+        let mut m = machine(1);
+        let f = m.flag("already");
+        m.set_flag_external(f);
+        m.spawn(ProcessSpec::new(
+            "w",
+            OpsBuilder::new()
+                .timed_wait_flag(f, SimDuration::from_millis(100))
+                .build(),
+        ));
+        let out = m.run();
+        assert_eq!(out.end_time.as_millis(), 0);
+    }
+
+    #[test]
+    fn crash_fault_fails_process_and_sets_crash_flag() {
+        let mut m = machine(1);
+        let ready = m.flag("ready:svc");
+        let pid = m.spawn(ProcessSpec::new(
+            "svc.service",
+            OpsBuilder::new().compute_ms(2).set_flag(ready).build(),
+        ));
+        m.install_fault_plan(&FaultPlan {
+            faults: vec![Fault::CrashAtReadiness {
+                process: "svc.service".into(),
+                hits: 1,
+            }],
+            seed: 0,
+        });
+        let out = m.run();
+        assert_eq!(out.failed, vec![pid]);
+        assert!(m.flag_set_at(ready).is_none(), "readiness must not be set");
+        let crashed = m.flag("fault:crashed:svc.service");
+        assert_eq!(m.flag_set_at(crashed).unwrap().as_millis(), 2);
+        assert!(m.trace().events().iter().any(
+            |e| matches!(&e.kind, TraceKind::FaultInjected { description }
+                if description.contains("crash"))
+        ));
+    }
+
+    #[test]
+    fn crash_fault_hits_are_bounded_and_respawns_match() {
+        let mut m = machine(1);
+        let ready = m.flag("ready:svc");
+        m.install_fault_plan(&FaultPlan {
+            faults: vec![Fault::CrashAtReadiness {
+                process: "svc.service".into(),
+                hits: 2,
+            }],
+            seed: 0,
+        });
+        m.spawn(ProcessSpec::new(
+            "svc.service",
+            OpsBuilder::new().set_flag(ready).build(),
+        ));
+        m.spawn(ProcessSpec::new(
+            "svc.service#1",
+            OpsBuilder::new().set_flag(ready).build(),
+        ));
+        m.spawn(ProcessSpec::new(
+            "svc.service#2",
+            OpsBuilder::new().set_flag(ready).build(),
+        ));
+        let out = m.run();
+        // First two incarnations crash; the third succeeds.
+        assert_eq!(out.failed.len(), 2);
+        assert!(m.flag_set_at(ready).is_some());
+    }
+
+    #[test]
+    fn hang_fault_blocks_forever() {
+        let mut m = machine(1);
+        let ready = m.flag("ready:svc");
+        let pid = m.spawn(ProcessSpec::new(
+            "svc.service",
+            OpsBuilder::new().compute_ms(1).set_flag(ready).build(),
+        ));
+        m.install_fault_plan(&FaultPlan {
+            faults: vec![Fault::HangBeforeReady {
+                process: "svc.service".into(),
+                hits: 1,
+            }],
+            seed: 0,
+        });
+        let out = m.run();
+        assert_eq!(out.blocked, vec![pid]);
+        assert!(out.failed.is_empty());
+        assert!(m.flag_set_at(ready).is_none());
+    }
+
+    #[test]
+    fn transient_io_fault_delays_but_completes() {
+        let run = |faults: Vec<Fault>| {
+            let mut m = machine(1);
+            let dev = m.add_device("emmc", DeviceProfile::from_mibs(1, 1, SimDuration::ZERO));
+            m.install_fault_plan(&FaultPlan { faults, seed: 0 });
+            m.spawn(ProcessSpec::new(
+                "reader",
+                OpsBuilder::new().read_seq(dev, crate::io::MIB).build(),
+            ));
+            let out = m.run();
+            (out.end_time, m.device(dev).bytes_read)
+        };
+        let (clean, read) = run(vec![]);
+        assert_eq!(clean.as_millis(), 1000);
+        assert_eq!(read, crate::io::MIB);
+        let (faulted, read) = run(vec![Fault::TransientIoError {
+            device: "emmc".into(),
+            failures: 2,
+            retry_delay: SimDuration::from_millis(25),
+        }]);
+        // Two 25 ms backoffs before the read goes through.
+        assert_eq!(faulted.as_millis(), 1050);
+        assert_eq!(read, crate::io::MIB);
+    }
+
+    #[test]
+    fn slow_device_fault_scales_service_time() {
+        let mut m = machine(1);
+        let dev = m.add_device("emmc", DeviceProfile::from_mibs(4, 4, SimDuration::ZERO));
+        m.install_fault_plan(&FaultPlan {
+            faults: vec![Fault::SlowDevice {
+                device: "emmc".into(),
+                factor: 4.0,
+            }],
+            seed: 0,
+        });
+        m.spawn(ProcessSpec::new(
+            "reader",
+            OpsBuilder::new().read_seq(dev, crate::io::MIB).build(),
+        ));
+        let out = m.run();
+        // 4 MiB/s degraded to 1 MiB/s: 1 MiB takes a full second.
+        assert_eq!(out.end_time.as_millis(), 1000);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_a_strict_noop() {
+        let run = |install: bool| {
+            let mut m = machine(2);
+            let dev = m.add_device("emmc", DeviceProfile::tv_emmc());
+            if install {
+                m.install_fault_plan(&FaultPlan::none());
+            }
+            let f = m.flag("x");
+            for i in 0..6 {
+                m.spawn(ProcessSpec::new(
+                    format!("svc{i}"),
+                    OpsBuilder::new()
+                        .compute_ms(1 + i % 3)
+                        .read_rand(dev, 4096 * (i + 1))
+                        .set_flag(f)
+                        .build(),
+                ));
+            }
+            let out = m.run();
+            (out.end_time, m.trace().events().len())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -54,6 +54,18 @@ pub enum Op {
     RcuReadHold(SimDuration),
     /// Block until the given flag has been set.
     WaitFlag(FlagId),
+    /// Block until the given flag has been set *or* `timeout` elapses,
+    /// whichever comes first.
+    ///
+    /// This is the primitive under start-timeout watchdogs: unlike a
+    /// `Sleep`, a watcher built on `TimedWaitFlag` exits as soon as the
+    /// flag appears and therefore never outlives the work it guards.
+    TimedWaitFlag {
+        /// Flag to wait for.
+        flag: FlagId,
+        /// Give up after this long.
+        timeout: SimDuration,
+    },
     /// Poll for a flag: check it on-CPU (costing `poll_cost` per check),
     /// and if unset, sleep `interval` and check again.
     ///
@@ -208,6 +220,10 @@ pub struct Process {
     pub first_dispatched: bool,
     /// Accumulated on-CPU time (including spin-waiting), for reports.
     pub cpu_time: SimDuration,
+    /// Generation counter for [`Op::TimedWaitFlag`]: incremented on every
+    /// wake (flag or timeout) so stale timeout events can be recognized
+    /// and dropped.
+    pub timed_wait_seq: u64,
 }
 
 impl Process {
@@ -226,6 +242,7 @@ impl Process {
             ready_seq: 0,
             first_dispatched: false,
             cpu_time: SimDuration::ZERO,
+            timed_wait_seq: 0,
         }
     }
 
@@ -310,6 +327,12 @@ impl OpsBuilder {
     /// Appends a flag wait.
     pub fn wait_flag(mut self, flag: FlagId) -> Self {
         self.ops.push(Op::WaitFlag(flag));
+        self
+    }
+
+    /// Appends a flag wait bounded by a timeout.
+    pub fn timed_wait_flag(mut self, flag: FlagId, timeout: SimDuration) -> Self {
+        self.ops.push(Op::TimedWaitFlag { flag, timeout });
         self
     }
 

@@ -39,6 +39,12 @@ pub enum TraceKind {
         /// Wall time from submission to grace-period end.
         waited: SimDuration,
     },
+    /// An installed [`crate::fault::FaultPlan`] injected a fault. The pid
+    /// is the afflicted process (or `u32::MAX` for device-level faults).
+    FaultInjected {
+        /// Human-readable description of the injected fault.
+        description: String,
+    },
 }
 
 /// One timestamped trace entry.

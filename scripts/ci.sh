@@ -17,4 +17,14 @@ run cargo clippy --workspace --all-targets -- -D warnings
 echo "==> RUSTDOCFLAGS=-Dwarnings cargo doc --no-deps --workspace"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
+# Deterministic chaos smoke: the fault-injection sweep must emit
+# byte-identical JSON regardless of worker count.
+chaos_tmp="$(mktemp -d)"
+trap 'rm -rf "$chaos_tmp"' EXIT
+run ./target/release/bbsim chaos --services 24 --seeds 2 --plans 2 \
+    --workers 1 --json "$chaos_tmp/w1.json"
+run ./target/release/bbsim chaos --services 24 --seeds 2 --plans 2 \
+    --workers 3 --json "$chaos_tmp/w3.json"
+run cmp "$chaos_tmp/w1.json" "$chaos_tmp/w3.json"
+
 echo "CI gate passed."

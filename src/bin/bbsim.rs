@@ -14,6 +14,11 @@
 //! bbsim sweep [--profiles NAMES|all] [--services N] [--seeds N] [--seed N]
 //!             [--features all|none|LIST] [--workers N] [--deadline-ms N]
 //!             [--json FILE|-] [--baseline FILE] [--tolerance PCT]
+//!
+//! bbsim chaos [--profiles NAMES|all] [--services N] [--seeds N] [--seed N]
+//!             [--plans N] [--plan-seed N] [--workers N] [--deadline-ms N]
+//!             [--restart no|on-failure|always] [--restart-sec-ms N]
+//!             [--burst N] [--json FILE|-]
 //! ```
 //!
 //! With `--units DIR`, your own systemd unit files are parsed and booted
@@ -28,15 +33,28 @@
 //!
 //! `LIST` is a comma-separated subset of: rcu-booster, defer-memory,
 //! modularizer, defer-journal, deferred-executor, preparser, bb-group.
+//!
+//! `chaos` grids `{seed × fault-plan × config}`: every boot runs under
+//! the supervised BB→conventional fallback with `--plans` seeded fault
+//! plans (plus the fault-free control plan), `Restart=` armed on every
+//! service, and the aggregate reports recovery rate, restart counts,
+//! degraded-boot rate, and boot-time-under-fault percentiles. Output is
+//! deterministic: the same seeds give byte-identical `--json` for any
+//! `--workers` value.
 
 use std::process::exit;
 
+use booting_booster::bb::FallbackPolicy;
 use booting_booster::bb::{
     analyze_directives, attribution_table, boost_with_machine, BbConfig, Comparison, Pipeline,
 };
-use booting_booster::fleet::{json, run_sweep, CellSpec, DiffVerdict, PoolConfig, SweepSpec};
+use booting_booster::fleet::{
+    json, run_chaos, run_sweep, CellSpec, ChaosCellSpec, ChaosSpec, DiffVerdict, PoolConfig,
+    Supervision, SweepSpec,
+};
 use booting_booster::init::{
-    blame, parse_unit_dir_with_warnings, time_summary, Bootchart, UnitGraph, UnitName,
+    blame, parse_unit_dir_with_warnings, time_summary, Bootchart, RestartPolicy, UnitGraph,
+    UnitName,
 };
 use booting_booster::workloads::{
     camera_scenario, custom_scenario, profiles, tv_scenario, tv_scenario_open_source,
@@ -69,6 +87,10 @@ fn usage() -> ! {
          \u{20}      bbsim sweep [--profiles NAMES|all] [--services N] [--seeds N]\n\
          \u{20}            [--seed N] [--features LIST] [--workers N] [--deadline-ms N]\n\
          \u{20}            [--json FILE|-] [--baseline FILE] [--tolerance PCT]\n\
+         \u{20}      bbsim chaos [--profiles NAMES|all] [--services N] [--seeds N]\n\
+         \u{20}            [--seed N] [--plans N] [--plan-seed N] [--workers N]\n\
+         \u{20}            [--deadline-ms N] [--restart no|on-failure|always]\n\
+         \u{20}            [--restart-sec-ms N] [--burst N] [--json FILE|-]\n\
          LIST: comma-separated of rcu-booster,defer-memory,modularizer,\n\
          \u{20}     defer-journal,deferred-executor,preparser,bb-group"
     );
@@ -639,12 +661,164 @@ fn run_sweep_cmd(args: SweepArgs) {
     }
 }
 
+// ---------------------------------------------------------------------
+// chaos subcommand
+// ---------------------------------------------------------------------
+
+struct ChaosArgs {
+    profiles: String,
+    services: usize,
+    seeds: u64,
+    seed_base: u64,
+    plans: u64,
+    plan_seed: u64,
+    workers: Option<usize>,
+    deadline_ms: u64,
+    restart: String,
+    restart_sec_ms: u64,
+    burst: u32,
+    json: Option<String>,
+}
+
+fn parse_chaos_args(mut it: impl Iterator<Item = String>) -> ChaosArgs {
+    let mut args = ChaosArgs {
+        profiles: "ue48h6200".into(),
+        services: 136,
+        seeds: 10,
+        seed_base: 0,
+        plans: 4,
+        plan_seed: 1000,
+        workers: None,
+        deadline_ms: FallbackPolicy::default().deadline.as_millis(),
+        restart: "on-failure".into(),
+        restart_sec_ms: 100,
+        burst: 3,
+        json: None,
+    };
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--profiles" => args.profiles = value("--profiles"),
+            "--services" => args.services = value("--services").parse().unwrap_or_else(|_| usage()),
+            "--seeds" => args.seeds = value("--seeds").parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed_base = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--plans" => args.plans = value("--plans").parse().unwrap_or_else(|_| usage()),
+            "--plan-seed" => {
+                args.plan_seed = value("--plan-seed").parse().unwrap_or_else(|_| usage())
+            }
+            "--workers" => {
+                args.workers = Some(value("--workers").parse().unwrap_or_else(|_| usage()))
+            }
+            "--deadline-ms" => {
+                args.deadline_ms = value("--deadline-ms").parse().unwrap_or_else(|_| usage())
+            }
+            "--restart" => args.restart = value("--restart"),
+            "--restart-sec-ms" => {
+                args.restart_sec_ms = value("--restart-sec-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--burst" => args.burst = value("--burst").parse().unwrap_or_else(|_| usage()),
+            "--json" => args.json = Some(value("--json")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown chaos flag {other}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn run_chaos_cmd(args: ChaosArgs) {
+    if args.services < 24 {
+        eprintln!("error: --services must be at least 24 (the TV backbone alone needs that)");
+        exit(2);
+    }
+    let restart = match args.restart.as_str() {
+        "no" | "none" => RestartPolicy::No,
+        "on-failure" => RestartPolicy::OnFailure,
+        "always" => RestartPolicy::Always,
+        other => {
+            eprintln!("unknown --restart policy {other:?} (no|on-failure|always)");
+            usage()
+        }
+    };
+    let supervision = if restart == RestartPolicy::No {
+        None
+    } else {
+        Some(Supervision {
+            restart,
+            restart_sec_ms: args.restart_sec_ms,
+            start_limit_burst: args.burst,
+        })
+    };
+    let mut spec = ChaosSpec::new();
+    for profile in resolve_profiles(&args.profiles) {
+        let label = format!("{}-s{}", profile.name, args.services);
+        spec = spec.cell(
+            ChaosCellSpec::tizen(
+                label,
+                profile,
+                TizenParams {
+                    services: args.services,
+                    ..TizenParams::default()
+                },
+            )
+            .seeds(args.seed_base..args.seed_base + args.seeds)
+            .fault_plans(args.plans, args.plan_seed)
+            .supervision(supervision)
+            .deadline_ms(args.deadline_ms)
+            .conventional_vs_bb(),
+        );
+    }
+
+    let pool = match args.workers {
+        Some(n) => PoolConfig::with_workers(n),
+        None => PoolConfig::default(),
+    };
+    eprintln!(
+        "chaos: {} cells, {} boots ({} fault plans + control), {} workers",
+        spec.cells.len(),
+        spec.total_boots(),
+        args.plans,
+        pool.workers
+    );
+    let outcome = run_chaos(&spec, &pool);
+
+    print!("{}", outcome.report.summary());
+    eprintln!("{}", outcome.stats.summary());
+
+    if let Some(path) = &args.json {
+        let doc = outcome.report.to_json();
+        if path == "-" {
+            print!("{doc}");
+        } else {
+            std::fs::write(path, doc).expect("write chaos json");
+            eprintln!("chaos report written to {path}");
+        }
+    }
+    if !outcome.report.failures.is_empty() {
+        exit(1);
+    }
+}
+
 fn main() {
     let mut argv = std::env::args().skip(1).peekable();
-    if argv.peek().map(String::as_str) == Some("sweep") {
-        argv.next();
-        run_sweep_cmd(parse_sweep_args(argv));
-    } else {
-        run_boot(parse_args(argv));
+    match argv.peek().map(String::as_str) {
+        Some("sweep") => {
+            argv.next();
+            run_sweep_cmd(parse_sweep_args(argv));
+        }
+        Some("chaos") => {
+            argv.next();
+            run_chaos_cmd(parse_chaos_args(argv));
+        }
+        _ => run_boot(parse_args(argv)),
     }
 }

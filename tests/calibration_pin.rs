@@ -5,7 +5,8 @@
 //! calibration drift — if you change a cost model on purpose, update
 //! the pins and the tables in EXPERIMENTS.md together.
 
-use booting_booster::bb::{boost, BbConfig};
+use booting_booster::bb::{boost, run_with_fallback, BbConfig, BootOutcome, FallbackPolicy};
+use booting_booster::sim::FaultPlan;
 use booting_booster::workloads::tv_scenario;
 
 #[test]
@@ -22,6 +23,39 @@ fn headline_numbers_are_pinned() {
         "conventional drifted (update EXPERIMENTS.md)"
     );
     assert_eq!(bb_ms, 3200, "bb drifted (update EXPERIMENTS.md)");
+    // Sub-millisecond pins, in the `{:.3}` ms formatting every JSON
+    // report uses: the fault-injection machinery sits on the hot path
+    // (timed waits, fault hooks), so even nanosecond-level drift on the
+    // no-fault boot is a regression.
+    let ms3 = |t: booting_booster::sim::SimTime| format!("{:.3}", t.as_nanos() as f64 / 1e6);
+    assert_eq!(ms3(conv.boot_time()), "8614.474");
+    assert_eq!(ms3(bb.boot_time()), "3200.077");
+}
+
+#[test]
+fn fault_free_supervised_boot_matches_plain_boost_exactly() {
+    // The supervised entry point with an empty fault plan must be
+    // byte-for-byte the plain boost: installing the supervisor may not
+    // perturb the calibrated timeline.
+    let scenario = tv_scenario();
+    for cfg in [BbConfig::conventional(), BbConfig::full()] {
+        let plain = boost(&scenario, &cfg).expect("valid");
+        let supervised = run_with_fallback(
+            &scenario,
+            &cfg,
+            None,
+            &FaultPlan::none(),
+            &FallbackPolicy::default(),
+        )
+        .expect("valid");
+        let BootOutcome::Completed(report) = supervised else {
+            panic!("fault-free boot must not degrade");
+        };
+        assert_eq!(report.boot_time(), plain.boot_time());
+        assert_eq!(report.quiesce_time, plain.quiesce_time);
+        assert_eq!(report.boot.init_done, plain.boot.init_done);
+        assert_eq!(report.boot.load_done, plain.boot.load_done);
+    }
 }
 
 #[test]
