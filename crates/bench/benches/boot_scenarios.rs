@@ -7,8 +7,16 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use bb_core::{boost, BbConfig};
+use bb_core::{BbConfig, BootRequest, FullBootReport, Scenario};
 use bb_workloads::{camera_scenario, tv_scenario, tv_scenario_open_source};
+
+fn boot(scenario: &Scenario, cfg: &BbConfig) -> FullBootReport {
+    BootRequest::new(scenario)
+        .config(*cfg)
+        .run()
+        .expect("scenario valid")
+        .report
+}
 
 fn bench_boots(c: &mut Criterion) {
     let mut group = c.benchmark_group("boot");
@@ -30,7 +38,7 @@ fn bench_boots(c: &mut Criterion) {
         ("camera-full-bb", camera_scenario(), BbConfig::full()),
     ];
     for (name, scenario, cfg) in &cases {
-        let report = boost(scenario, cfg).expect("scenario valid");
+        let report = boot(scenario, cfg);
         println!(
             "[simulated] {name}: boot {:.3} s (quiesce {:.3} s)",
             report.boot_time().as_secs_f64(),
@@ -38,7 +46,7 @@ fn bench_boots(c: &mut Criterion) {
         );
         group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
             b.iter(|| {
-                let r = boost(black_box(scenario), black_box(cfg)).expect("valid");
+                let r = boot(black_box(scenario), black_box(cfg));
                 black_box(r.boot_time())
             })
         });
@@ -51,13 +59,13 @@ fn bench_single_features(c: &mut Criterion) {
     group.sample_size(10);
     let scenario = tv_scenario();
     for (name, cfg) in BbConfig::single_feature_configs() {
-        let report = boost(&scenario, &cfg).expect("valid");
+        let report = boot(&scenario, &cfg);
         println!(
             "[simulated] tv+{name}: boot {:.3} s",
             report.boot_time().as_secs_f64()
         );
         group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
-            b.iter(|| black_box(boost(&scenario, cfg).expect("valid").boot_time()))
+            b.iter(|| black_box(boot(&scenario, cfg).boot_time()))
         });
     }
     group.finish();

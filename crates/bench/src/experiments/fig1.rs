@@ -5,7 +5,7 @@
 //! BB. This experiment runs the calibrated UE48H6200 scenario
 //! conventionally and reports the same phase sequence.
 
-use bb_core::{boost, BbConfig};
+use bb_core::{BbConfig, BootRequest};
 use bb_sim::SimDuration;
 use bb_workloads::tv_scenario;
 
@@ -30,7 +30,11 @@ pub struct Fig1 {
 /// Runs the experiment.
 pub fn run() -> Fig1 {
     let scenario = tv_scenario();
-    let report = boost(&scenario, &BbConfig::conventional()).expect("scenario is valid");
+    let report = BootRequest::new(&scenario)
+        .config(BbConfig::conventional())
+        .run()
+        .expect("scenario is valid")
+        .report;
     let mut phases = Vec::new();
     for p in &report.kernel.phases {
         phases.push(Phase {

@@ -8,7 +8,7 @@
 //! ready within a fixed window of user-space start, and (c) the mean
 //! service start time.
 
-use bb_core::{boost_with_machine, BbConfig};
+use bb_core::{BbConfig, BootRequest};
 use bb_init::Bootchart;
 use bb_sim::{RcuStats, SimDuration, SimTime};
 use bb_workloads::tv_scenario;
@@ -48,7 +48,11 @@ fn side(name: &'static str, rcu_booster: bool) -> Side {
         rcu_booster,
         ..BbConfig::conventional()
     };
-    let (report, machine) = boost_with_machine(&scenario, &cfg).expect("scenario valid");
+    let boot = BootRequest::new(&scenario)
+        .config(cfg)
+        .run()
+        .expect("scenario valid");
+    let (report, machine) = (boot.report, boot.machine);
     let chart = Bootchart::build(&report.boot, &machine);
     let us = report.boot.userspace_start;
     let window = us + SimDuration::from_secs(3);

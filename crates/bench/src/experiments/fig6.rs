@@ -9,7 +9,7 @@
 //! integration test `tests/pipeline_attribution.rs`.
 
 use bb_core::pipeline::PassDelta;
-use bb_core::{attribution_table, boost, BbConfig, Comparison, FullBootReport};
+use bb_core::{attribution_table, BbConfig, BootRequest, Comparison, FullBootReport};
 use bb_workloads::tv_scenario;
 
 /// Per-pass attribution row, derived from the single full-BB boot.
@@ -58,8 +58,12 @@ pub fn paper_savings(pass: &str) -> Option<u64> {
 /// per-pass table comes from the BB boot's deltas.
 pub fn run() -> Fig6 {
     let scenario = tv_scenario();
-    let conventional = boost(&scenario, &BbConfig::conventional()).expect("valid");
-    let bb = boost(&scenario, &BbConfig::full()).expect("valid");
+    let conventional = BootRequest::new(&scenario)
+        .config(BbConfig::conventional())
+        .run()
+        .expect("valid")
+        .report;
+    let bb = BootRequest::new(&scenario).run().expect("valid").report;
 
     let attribution = bb
         .deltas

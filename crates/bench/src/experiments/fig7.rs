@@ -6,10 +6,11 @@
 //! `var.mount` to the BB Group (everything else conventional, the full
 //! isolator disabled) advanced the dbus launch from 450 ms to 195 ms.
 //!
-//! We run the same manipulation via `boost_custom` and report dbus's
-//! launch time measured from user-space start, plus both bootcharts.
+//! We run the same manipulation via a [`BootRequest`] plan tweak and
+//! report dbus's launch time measured from user-space start, plus both
+//! bootcharts.
 
-use bb_core::{boost_custom, boost_with_machine, BbConfig};
+use bb_core::{BbConfig, BootRequest};
 use bb_init::Bootchart;
 use bb_sim::{SimDuration, SimTime};
 use bb_workloads::tv_scenario;
@@ -43,18 +44,18 @@ pub struct Fig7 {
 fn measure(name: &'static str, isolate_var_mount: bool) -> Side {
     let scenario = tv_scenario();
     let cfg = BbConfig::conventional();
-    let (report, machine) = if isolate_var_mount {
-        boost_custom(&scenario, &cfg, |graph, transaction, overrides| {
+    let mut request = BootRequest::new(&scenario).config(cfg);
+    if isolate_var_mount {
+        request = request.tweak(|graph, transaction, overrides| {
             let var = graph.idx_of("var.mount");
             assert!(transaction.jobs.contains(&var));
             overrides.isolate.insert(var);
             overrides.dispatch_first.push(var);
             overrides.nice.insert(var, -15);
-        })
-        .expect("valid")
-    } else {
-        boost_with_machine(&scenario, &cfg).expect("valid")
-    };
+        });
+    }
+    let boot = request.run().expect("valid");
+    let (report, machine) = (boot.report, boot.machine);
     let us = report.boot.userspace_start;
     let since_us = |t: Option<SimTime>| t.expect("service ran").saturating_since(us);
     let var = report.boot.service("var.mount");

@@ -13,7 +13,7 @@
 //! (fork + execve + dynamic linking) and running the full-BB TV boot
 //! under each strategy applied to the group.
 
-use bb_core::{boost_custom, BbConfig, Scenario};
+use bb_core::{BootRequest, Scenario};
 use bb_init::{ManagerTask, ServiceBody, ServiceType, Unit, UnitName, WorkloadMap};
 use bb_sim::{DeviceId, OpsBuilder, SimDuration, SimTime};
 use bb_workloads::{profiles, tv_kernel_plan};
@@ -178,14 +178,17 @@ fn run_strategy(
             costs::prefork_setup() * 7,
         ));
     }
-    let (report, _) = boost_custom(&scenario, &BbConfig::full(), |_, _, overrides| {
-        if let Some(cost) = group_fork_cost {
-            for &j in overrides.isolate.clone().iter() {
-                overrides.fork_cost.insert(j, cost);
+    let report = BootRequest::new(&scenario)
+        .tweak(|_, _, overrides| {
+            if let Some(cost) = group_fork_cost {
+                for &j in overrides.isolate.clone().iter() {
+                    overrides.fork_cost.insert(j, cost);
+                }
             }
-        }
-    })
-    .expect("scenario valid");
+        })
+        .run()
+        .expect("scenario valid")
+        .report;
     StrategyResult {
         name,
         boot_time: report.boot_time(),

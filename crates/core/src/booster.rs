@@ -3,23 +3,26 @@
 //!
 //! A [`Scenario`] bundles the hardware profile, the kernel plan, the
 //! unit set, the service workload bodies, and the boot-completion
-//! definition. Every entry point here is a thin wrapper over the pass
-//! pipeline ([`crate::pipeline::Pipeline`]): the scenario is lowered to
-//! a [`crate::pipeline::BootPlanIr`], the enabled [`PlanPass`]es
-//! transform it (recording a [`PassDelta`] each), and
-//! [`crate::pipeline::execute`] runs the boot end to end.
+//! definition. The single entry point is the [`BootRequest`] builder:
+//! the scenario is lowered to a [`crate::pipeline::BootPlanIr`], the
+//! enabled [`PlanPass`]es transform it (recording a [`PassDelta`]
+//! each), and [`crate::pipeline::execute_instrumented`] runs the boot
+//! end to end. The pre-redesign entry points (`boost`,
+//! `boost_with_machine`, `boost_prepared`, `boost_custom`) survive as
+//! thin deprecated wrappers over the builder.
 //!
 //! [`PlanPass`]: crate::pipeline::PlanPass
 //! [`PassDelta`]: crate::pipeline::PassDelta
 
 use bb_init::{
-    BootRecord, ManagerCosts, Transaction, TransactionError, Unit, UnitGraph, UnitName, WorkloadMap,
+    BootRecord, ManagerCosts, PlanOverrides, Transaction, Unit, UnitGraph, UnitName, WorkloadMap,
 };
 use bb_kernel::{KernelPlan, KernelReport, ModuleCatalog};
-use bb_sim::{DeviceProfile, Machine, MachineConfig, RcuStats, SimTime};
+use bb_sim::{DeviceProfile, FaultPlan, Machine, MachineConfig, RcuStats, SimTime};
 
 use crate::config::BbConfig;
-use crate::pipeline::{PassDelta, Pipeline};
+use crate::error::Error;
+use crate::pipeline::{execute_instrumented, BootPlanIr, PassDelta, Pipeline};
 use crate::service_engine::{ParseCostParams, PreParser};
 
 /// A complete boot scenario (hardware + software + completion policy).
@@ -92,74 +95,201 @@ impl FullBootReport {
     }
 }
 
-/// Errors assembling a scenario run.
+/// Deprecated name for the workspace error type; assembly failures are
+/// now the `Graph`/`Transaction` variants of [`crate::Error`].
+#[deprecated(since = "0.5.0", note = "use bb_core::Error")]
+pub type BoostError = Error;
+
+/// One boot of a [`Scenario`], as returned by [`BootRequest::run`]: the
+/// measured report plus the machine whose trace produced it (for
+/// bootcharts, chrome traces, and pass spans).
 #[derive(Debug)]
-pub enum BoostError {
-    /// The unit set is malformed.
-    Graph(bb_init::GraphError),
-    /// The transaction could not be built.
-    Transaction(TransactionError),
+pub struct Boot {
+    /// Everything measured from the boot.
+    pub report: FullBootReport,
+    /// The simulated machine, run to quiescence.
+    pub machine: Machine,
 }
 
-impl std::fmt::Display for BoostError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            BoostError::Graph(e) => write!(f, "unit graph error: {e}"),
-            BoostError::Transaction(e) => write!(f, "transaction error: {e}"),
+/// The single entry point for booting a scenario: a builder over every
+/// knob the old `boost_*` family spread across four functions.
+///
+/// Defaults: the full BB configuration, no pre-built parser
+/// measurements, no faults, telemetry off, no plan tweak.
+///
+/// # Examples
+///
+/// ```no_run
+/// use bb_core::{BbConfig, BootRequest};
+/// # fn scenario() -> bb_core::Scenario { unimplemented!() }
+/// let s = scenario();
+/// let boot = BootRequest::new(&s)
+///     .config(BbConfig::full())
+///     .telemetry(true)
+///     .run()?;
+/// println!("boot time: {}", boot.report.boot_time());
+/// # Ok::<(), bb_core::Error>(())
+/// ```
+pub struct BootRequest<'s> {
+    scenario: &'s Scenario,
+    cfg: BbConfig,
+    pre: Option<&'s PreParser>,
+    faults: Option<&'s FaultPlan>,
+    telemetry: bool,
+    #[allow(clippy::type_complexity)]
+    tweak: Option<Box<dyn FnOnce(&UnitGraph, &Transaction, &mut PlanOverrides) + 's>>,
+}
+
+impl<'s> BootRequest<'s> {
+    /// Starts a request for one boot of `scenario` (full BB config).
+    pub fn new(scenario: &'s Scenario) -> Self {
+        BootRequest {
+            scenario,
+            cfg: BbConfig::full(),
+            pre: None,
+            faults: None,
+            telemetry: false,
+            tweak: None,
         }
+    }
+
+    /// Boots under `cfg` instead of the default full BB configuration.
+    pub fn config(mut self, cfg: BbConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Reuses pre-built [`PreParser`] measurements — the sweep-friendly
+    /// path: a fleet runs thousands of boots of the same scenario, and
+    /// building the Pre-parser blob (rendering every unit file and
+    /// encoding the binary cache) once instead of per boot removes the
+    /// dominant per-boot setup cost.
+    ///
+    /// `pre` must describe the scenario's units; it is the caller's job
+    /// to keep them in sync (use [`PreParser::build`] on the same set).
+    pub fn prepared(mut self, pre: &'s PreParser) -> Self {
+        self.pre = Some(pre);
+        self
+    }
+
+    /// Installs a fault plan before the kernel boots, so device faults
+    /// afflict kernel-phase reads too. The empty plan is a strict
+    /// no-op.
+    pub fn faults(mut self, faults: &'s FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Arms the machine's metrics sink (RCU waits, run-queue depth, I/O
+    /// latency histograms; see [`bb_sim::telemetry`]). Off by default —
+    /// and guaranteed not to perturb the timeline when on.
+    pub fn telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = enabled;
+        self
+    }
+
+    /// Adjusts the plan overrides after the passes ran — e.g. the
+    /// paper's §4.2 experiment that manually adds *only* `var.mount` to
+    /// the BB Group without enabling the full isolator.
+    pub fn tweak(
+        mut self,
+        tweak: impl FnOnce(&UnitGraph, &Transaction, &mut PlanOverrides) + 's,
+    ) -> Self {
+        self.tweak = Some(Box::new(tweak));
+        self
+    }
+
+    /// Plans and executes the boot.
+    pub fn run(self) -> Result<Boot, Error> {
+        let pipeline = Pipeline::standard();
+        let (mut ir, deltas) = pipeline.plan(self.scenario, &self.cfg, self.pre)?;
+        if let Some(tweak) = self.tweak {
+            let BootPlanIr {
+                ref graph,
+                ref transaction,
+                ref mut overrides,
+                ..
+            } = ir;
+            tweak(graph, transaction, overrides);
+        }
+        let no_faults = FaultPlan::none();
+        let faults = self.faults.unwrap_or(&no_faults);
+        let (report, machine) = execute_instrumented(&ir, deltas, faults, self.telemetry);
+        Ok(Boot { report, machine })
     }
 }
 
-impl std::error::Error for BoostError {}
-
-/// Runs `scenario` under `cfg`. See [`boost_with_machine`] to also get
-/// the machine (for bootcharts).
-pub fn boost(scenario: &Scenario, cfg: &BbConfig) -> Result<FullBootReport, BoostError> {
-    boost_with_machine(scenario, cfg).map(|(r, _)| r)
+/// Runs `scenario` under `cfg`.
+#[deprecated(
+    since = "0.5.0",
+    note = "use BootRequest::new(scenario).config(cfg).run()"
+)]
+pub fn boost(scenario: &Scenario, cfg: &BbConfig) -> Result<FullBootReport, Error> {
+    BootRequest::new(scenario)
+        .config(*cfg)
+        .run()
+        .map(|b| b.report)
 }
 
 /// Runs `scenario` under `cfg`, returning the report and the machine
 /// whose trace produced it.
+#[deprecated(
+    since = "0.5.0",
+    note = "use BootRequest::new(scenario).config(cfg).run()"
+)]
 pub fn boost_with_machine(
     scenario: &Scenario,
     cfg: &BbConfig,
-) -> Result<(FullBootReport, Machine), BoostError> {
-    Pipeline::standard().run_with_machine(scenario, cfg)
+) -> Result<(FullBootReport, Machine), Error> {
+    BootRequest::new(scenario)
+        .config(*cfg)
+        .run()
+        .map(|b| (b.report, b.machine))
 }
 
-/// Runs `scenario` under `cfg` with the unit set's [`PreParser`]
-/// measurements already built. This is the sweep-friendly entry point:
-/// a fleet runs thousands of boots of the same scenario, and building
-/// the Pre-parser blob (rendering every unit file and encoding the
-/// binary cache) once instead of per boot removes the dominant
-/// per-boot setup cost.
-///
-/// `pre` must describe `scenario.units`; it is the caller's job to keep
-/// them in sync (use [`PreParser::build`] on the same unit set).
+/// Runs `scenario` under `cfg` with pre-built [`PreParser`]
+/// measurements.
+#[deprecated(
+    since = "0.5.0",
+    note = "use BootRequest::new(scenario).config(cfg).prepared(pre).run()"
+)]
 pub fn boost_prepared(
     scenario: &Scenario,
     cfg: &BbConfig,
     pre: &PreParser,
-) -> Result<FullBootReport, BoostError> {
-    Pipeline::standard().run_prepared(scenario, cfg, pre)
+) -> Result<FullBootReport, Error> {
+    BootRequest::new(scenario)
+        .config(*cfg)
+        .prepared(pre)
+        .run()
+        .map(|b| b.report)
 }
 
-/// Like [`boost_with_machine`], but lets the caller adjust the plan
-/// overrides after the Service Engine computed them — e.g. the paper's
-/// §4.2 experiment that manually adds *only* `var.mount` to the BB
-/// Group without enabling the full isolator.
+/// Runs `scenario` under `cfg`, letting the caller adjust the plan
+/// overrides after the Service Engine computed them.
+#[deprecated(
+    since = "0.5.0",
+    note = "use BootRequest::new(scenario).config(cfg).tweak(..).run()"
+)]
 pub fn boost_custom(
     scenario: &Scenario,
     cfg: &BbConfig,
-    tweak: impl FnOnce(&UnitGraph, &Transaction, &mut bb_init::PlanOverrides),
-) -> Result<(FullBootReport, Machine), BoostError> {
-    Pipeline::standard().run_custom(scenario, cfg, tweak)
+    tweak: impl FnOnce(&UnitGraph, &Transaction, &mut PlanOverrides),
+) -> Result<(FullBootReport, Machine), Error> {
+    BootRequest::new(scenario)
+        .config(*cfg)
+        .tweak(tweak)
+        .run()
+        .map(|b| (b.report, b.machine))
 }
 
 #[cfg(test)]
 pub(crate) mod tests {
+    // The legacy `boost_*` wrappers are exercised on purpose: they must
+    // keep passing until they are removed.
+    #![allow(deprecated)]
     use super::*;
-    use bb_init::{ServiceBody, ServiceType};
+    use bb_init::{ServiceBody, ServiceType, TransactionError};
     use bb_kernel::{
         synthetic_catalog, Criticality, Initcall, InitcallLevel, InitcallRegistry, MemoryPlan,
         RootfsPlan,
@@ -365,6 +495,53 @@ pub(crate) mod tests {
             r.quiesce_time > r.boot_time(),
             "deferred work should continue after completion"
         );
+    }
+
+    #[test]
+    fn builder_matches_legacy_event_for_event() {
+        let s = mini_tv();
+        for cfg in [BbConfig::conventional(), BbConfig::full()] {
+            let (legacy, legacy_machine) = boost_with_machine(&s, &cfg).unwrap();
+            let boot = BootRequest::new(&s).config(cfg).run().unwrap();
+            assert_eq!(
+                legacy.boot.completion_time,
+                boot.report.boot.completion_time
+            );
+            assert_eq!(legacy.quiesce_time, boot.report.quiesce_time);
+            // Event-for-event: the redesigned entry point replays the
+            // exact machine timeline of the legacy facade.
+            let a = legacy_machine.trace().events();
+            let b = boot.machine.trace().events();
+            assert_eq!(a.len(), b.len(), "event counts diverge");
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x, y, "trace event diverges");
+            }
+        }
+    }
+
+    #[test]
+    fn builder_prepared_matches_unprepared() {
+        let s = mini_tv();
+        let pre = PreParser::build(&s.units);
+        let plain = BootRequest::new(&s).run().unwrap();
+        let prepared = BootRequest::new(&s).prepared(&pre).run().unwrap();
+        assert_eq!(
+            plain.report.boot.completion_time,
+            prepared.report.boot.completion_time
+        );
+    }
+
+    #[test]
+    fn builder_tweak_adjusts_overrides() {
+        let s = mini_tv();
+        let boot = BootRequest::new(&s)
+            .config(BbConfig::conventional())
+            .tweak(|graph, _tx, overrides| {
+                overrides.isolate.insert(graph.idx_of("var.mount"));
+            })
+            .run()
+            .unwrap();
+        assert_eq!(boot.report.bb_group, [UnitName::new("var.mount")]);
     }
 
     #[test]

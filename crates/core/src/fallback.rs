@@ -22,8 +22,9 @@
 
 use bb_sim::{FaultPlan, FaultTargets, SimDuration, SimTime};
 
-use crate::booster::{BoostError, FullBootReport, Scenario};
+use crate::booster::{FullBootReport, Scenario};
 use crate::config::BbConfig;
+use crate::error::Error;
 use crate::pipeline::{execute_with_faults, Pipeline};
 use crate::service_engine::PreParser;
 
@@ -78,6 +79,8 @@ impl std::fmt::Display for FallbackReason {
     }
 }
 
+impl std::error::Error for FallbackReason {}
+
 /// A boot that needed the conventional fallback, with both timelines.
 #[derive(Debug)]
 pub struct DegradedBoot {
@@ -129,15 +132,16 @@ impl BootOutcome {
 /// Runs `scenario` under `cfg` with `faults` installed, falling back to
 /// a fault-free conventional boot when `policy` is violated.
 ///
-/// `pre` follows the [`crate::booster::boost_prepared`] contract: pass
-/// pre-built [`PreParser`] measurements when sweeping, `None` otherwise.
+/// `pre` follows the [`crate::booster::BootRequest::prepared`]
+/// contract: pass pre-built [`PreParser`] measurements when sweeping,
+/// `None` otherwise.
 pub fn run_with_fallback(
     scenario: &Scenario,
     cfg: &BbConfig,
     pre: Option<&PreParser>,
     faults: &FaultPlan,
     policy: &FallbackPolicy,
-) -> Result<BootOutcome, BoostError> {
+) -> Result<BootOutcome, Error> {
     let pipeline = Pipeline::standard();
     let (ir, deltas) = pipeline.plan(scenario, cfg, pre)?;
     let (bb, _) = execute_with_faults(&ir, deltas, faults);

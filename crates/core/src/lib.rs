@@ -12,12 +12,16 @@
 //! * [`pipeline`] — the spine: every mechanism as a [`pipeline::PlanPass`]
 //!   over one [`pipeline::BootPlanIr`], with a [`pipeline::PassDelta`]
 //!   provenance record per pass.
-//! * [`booster`] — the one-call facade: run a [`booster::Scenario`]
-//!   under any [`BbConfig`] and get a [`booster::FullBootReport`].
+//! * [`booster`] — the single-entry facade: boot a
+//!   [`booster::Scenario`] through a [`booster::BootRequest`] and get a
+//!   [`booster::Boot`] (report + machine).
 //! * [`fallback`] — the boot supervisor: run the BB shape under an
 //!   injected [`bb_sim::FaultPlan`] and fall back to the conventional
 //!   shape when the deadline or a start limit trips (§3.4 deployment
 //!   safety).
+//! * [`telemetry`] — spans, the metrics snapshot, and the critical-path
+//!   profiler over a finished boot.
+//! * [`error`] — the workspace [`Error`] hierarchy.
 //! * [`report`] — Figure-6-style comparison tables.
 //!
 //! # Examples
@@ -29,25 +33,33 @@ pub mod booster;
 pub mod bootup_engine;
 pub mod config;
 pub mod core_engine;
+pub mod error;
 pub mod fallback;
 pub mod miner;
 pub mod pipeline;
 pub mod report;
 pub mod service_engine;
+pub mod telemetry;
 
-pub use booster::{
-    boost, boost_custom, boost_prepared, boost_with_machine, BoostError, FullBootReport, Scenario,
-};
+#[allow(deprecated)]
+pub use booster::{boost, boost_custom, boost_prepared, boost_with_machine, BoostError};
+pub use booster::{Boot, BootRequest, FullBootReport, Scenario};
 pub use config::BbConfig;
+pub use error::{Error, JobError};
 pub use fallback::{
     fault_targets, run_with_fallback, with_supervision, BootOutcome, DegradedBoot, FallbackPolicy,
     FallbackReason,
 };
 pub use miner::{mine, EdgeSlack, MiningReport};
 pub use pipeline::{
-    execute_with_faults, BootPlanIr, PassDelta, Pipeline, PlanPass, STANDARD_PASSES,
+    execute_instrumented, execute_with_faults, BootPlanIr, PassDelta, Pipeline, PlanPass,
+    STANDARD_PASSES,
 };
 pub use report::{attribution_table, Comparison, Row};
 pub use service_engine::{
     analyze, analyze_directives, identify_bb_group, load_model, Finding, ParseCostParams, PreParser,
+};
+pub use telemetry::{
+    boot_spans, critical_path, metrics_snapshot, ordering_edge_slacks, pass_spans, profile,
+    BootProfile, CriticalPath, CriticalStep, HistogramSummary, MetricsSnapshot,
 };

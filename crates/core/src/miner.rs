@@ -23,26 +23,13 @@
 
 use std::collections::BTreeSet;
 
-use bb_init::{EdgeKind, UnitName};
 use bb_sim::{SimDuration, SimTime};
 
-use crate::booster::{boost_custom, BoostError, Scenario};
+use crate::booster::{BootRequest, Scenario};
 use crate::config::BbConfig;
-
-/// One ordering edge with its observed slack.
-#[derive(Debug, Clone)]
-pub struct EdgeSlack {
-    /// Prerequisite unit.
-    pub src: UnitName,
-    /// Dependent unit.
-    pub dst: UnitName,
-    /// Graph indices (for re-running with the edge dropped).
-    pub idx: (usize, usize),
-    /// How long `src` had been ready when `dst` started. `None` when the
-    /// edge was *binding* (src became ready at or after dst's start —
-    /// i.e. the edge actually gated the dependent).
-    pub slack: Option<SimDuration>,
-}
+use crate::error::Error;
+use crate::telemetry::ordering_edge_slacks;
+pub use crate::telemetry::EdgeSlack;
 
 /// The mining result.
 #[derive(Debug)]
@@ -69,36 +56,12 @@ pub fn mine(
     scenario: &Scenario,
     cfg: &BbConfig,
     max_candidates: usize,
-) -> Result<MiningReport, BoostError> {
-    // 1. Observe.
-    let (baseline, _machine) = boost_custom(scenario, cfg, |_, _, _| {})?;
-    let graph = bb_init::UnitGraph::build(scenario.units.clone()).map_err(BoostError::Graph)?;
-    let mut edges: Vec<EdgeSlack> = Vec::new();
-    let mut seen = BTreeSet::new();
-    for e in graph.edges() {
-        if e.kind != EdgeKind::Ordering || !seen.insert((e.src, e.dst)) {
-            continue;
-        }
-        let src_name = &graph.unit(e.src).name;
-        let dst_name = &graph.unit(e.dst).name;
-        let (Some(src_rec), Some(dst_rec)) = (
-            baseline.boot.services.get(src_name),
-            baseline.boot.services.get(dst_name),
-        ) else {
-            continue;
-        };
-        let (Some(src_ready), Some(dst_started)) = (src_rec.ready, dst_rec.started) else {
-            continue;
-        };
-        let slack = (src_ready < dst_started).then(|| dst_started.since(src_ready));
-        edges.push(EdgeSlack {
-            src: src_name.clone(),
-            dst: dst_name.clone(),
-            idx: (e.src, e.dst),
-            slack,
-        });
-    }
-    edges.sort_by(|a, b| b.slack.cmp(&a.slack).then_with(|| a.dst.cmp(&b.dst)));
+) -> Result<MiningReport, Error> {
+    // 1. Observe: the critical-path profiler's shared slack computation
+    // classifies every ordering edge from one instrumented boot.
+    let baseline = BootRequest::new(scenario).config(*cfg).run()?.report;
+    let graph = bb_init::UnitGraph::build(scenario.units.clone()).map_err(Error::Graph)?;
+    let edges = ordering_edge_slacks(&graph, &baseline.boot);
 
     // 2. Verify candidates one at a time (conservative: each edge is
     // tested against the otherwise-unmodified boot).
@@ -109,9 +72,13 @@ pub fn mine(
         .take(max_candidates)
     {
         let pair = cand.idx;
-        let (run, _) = boost_custom(scenario, cfg, |_, _, overrides| {
-            overrides.drop_edges.insert(pair);
-        })?;
+        let run = BootRequest::new(scenario)
+            .config(*cfg)
+            .tweak(move |_, _, overrides| {
+                overrides.drop_edges.insert(pair);
+            })
+            .run()?
+            .report;
         let safe = run.boot.completion_time.is_some()
             && run.boot.outcome.failed.is_empty()
             && run.boot.services.values().all(|r| r.ready.is_some());
@@ -122,9 +89,13 @@ pub fn mine(
 
     // 3. Measure the pruned boot with all verified removals applied.
     let pairs: BTreeSet<(usize, usize)> = verified.iter().map(|e| e.idx).collect();
-    let (pruned, _) = boost_custom(scenario, cfg, |_, _, overrides| {
-        overrides.drop_edges.extend(pairs.iter().copied());
-    })?;
+    let pruned = BootRequest::new(scenario)
+        .config(*cfg)
+        .tweak(|_, _, overrides| {
+            overrides.drop_edges.extend(pairs.iter().copied());
+        })
+        .run()?
+        .report;
 
     Ok(MiningReport {
         edges,

@@ -28,10 +28,11 @@ use bb_init::{
 use bb_kernel::{execute_kernel_boot, Criticality, KernelPlan, ModuleCatalog};
 use bb_sim::{AccessPattern, DeviceProfile, Machine, MachineConfig, Op, SimDuration};
 
-use crate::booster::{BoostError, FullBootReport, Scenario};
+use crate::booster::{FullBootReport, Scenario};
 use crate::bootup_engine;
 use crate::config::BbConfig;
 use crate::core_engine::{self, ModuleStrategy};
+use crate::error::Error;
 use crate::service_engine::{self, ParseCostParams, PreParser};
 
 // ---------------------------------------------------------------------
@@ -95,10 +96,10 @@ impl<'s> BootPlanIr<'s> {
         scenario: &'s Scenario,
         cfg: &BbConfig,
         pre: Option<&PreParser>,
-    ) -> Result<Self, BoostError> {
-        let graph = UnitGraph::build(scenario.units.clone()).map_err(BoostError::Graph)?;
+    ) -> Result<Self, Error> {
+        let graph = UnitGraph::build(scenario.units.clone()).map_err(Error::Graph)?;
         let transaction =
-            Transaction::build(&graph, &scenario.target).map_err(BoostError::Transaction)?;
+            Transaction::build(&graph, &scenario.target).map_err(Error::Transaction)?;
         let pre = pre
             .copied()
             .unwrap_or_else(|| PreParser::build(&scenario.units));
@@ -649,7 +650,7 @@ impl Pipeline {
         scenario: &'s Scenario,
         cfg: &BbConfig,
         pre: Option<&PreParser>,
-    ) -> Result<(BootPlanIr<'s>, Vec<PassDelta>), BoostError> {
+    ) -> Result<(BootPlanIr<'s>, Vec<PassDelta>), Error> {
         let mut ir = BootPlanIr::from_scenario(scenario, cfg, pre)?;
         let mut deltas = Vec::new();
         for pass in self.enabled(cfg) {
@@ -659,7 +660,7 @@ impl Pipeline {
     }
 
     /// Plans and executes `scenario` under `cfg`.
-    pub fn run(&self, scenario: &Scenario, cfg: &BbConfig) -> Result<FullBootReport, BoostError> {
+    pub fn run(&self, scenario: &Scenario, cfg: &BbConfig) -> Result<FullBootReport, Error> {
         self.run_with_machine(scenario, cfg).map(|(r, _)| r)
     }
 
@@ -668,7 +669,7 @@ impl Pipeline {
         &self,
         scenario: &Scenario,
         cfg: &BbConfig,
-    ) -> Result<(FullBootReport, Machine), BoostError> {
+    ) -> Result<(FullBootReport, Machine), Error> {
         let (ir, deltas) = self.plan(scenario, cfg, None)?;
         Ok(execute(&ir, deltas))
     }
@@ -680,7 +681,7 @@ impl Pipeline {
         scenario: &Scenario,
         cfg: &BbConfig,
         pre: &PreParser,
-    ) -> Result<FullBootReport, BoostError> {
+    ) -> Result<FullBootReport, Error> {
         let (ir, deltas) = self.plan(scenario, cfg, Some(pre))?;
         Ok(execute(&ir, deltas).0)
     }
@@ -693,7 +694,7 @@ impl Pipeline {
         scenario: &Scenario,
         cfg: &BbConfig,
         tweak: impl FnOnce(&UnitGraph, &Transaction, &mut PlanOverrides),
-    ) -> Result<(FullBootReport, Machine), BoostError> {
+    ) -> Result<(FullBootReport, Machine), Error> {
         let (mut ir, deltas) = self.plan(scenario, cfg, None)?;
         {
             let BootPlanIr {
@@ -725,7 +726,26 @@ pub fn execute_with_faults(
     deltas: Vec<PassDelta>,
     faults: &bb_sim::FaultPlan,
 ) -> (FullBootReport, Machine) {
+    execute_instrumented(ir, deltas, faults, false)
+}
+
+/// [`execute_with_faults`] with the machine's telemetry sink optionally
+/// armed before any work runs, so every RCU wait, dispatch, and I/O
+/// completion of the boot lands in the metrics registry. With
+/// `telemetry` false this is exactly [`execute_with_faults`]: the sink
+/// stays absent and the hot paths reduce to an `is_some()` check, so
+/// timelines are bit-identical either way (the proptest in
+/// `tests/full_boot.rs` pins this).
+pub fn execute_instrumented(
+    ir: &BootPlanIr<'_>,
+    deltas: Vec<PassDelta>,
+    faults: &bb_sim::FaultPlan,
+    telemetry: bool,
+) -> (FullBootReport, Machine) {
     let mut machine = Machine::new(ir.machine);
+    if telemetry {
+        machine.enable_telemetry();
+    }
     let device = machine.add_device("boot-storage", ir.storage);
     machine.install_fault_plan(faults);
     let boot_complete = machine.flag("boot-complete");
@@ -780,6 +800,9 @@ pub fn execute_with_faults(
 
 #[cfg(test)]
 mod tests {
+    // `boost` is exercised on purpose: the pipeline must keep matching
+    // the legacy facade until the deprecated wrappers are removed.
+    #![allow(deprecated)]
     use super::*;
     use crate::booster::boost;
     use crate::booster::tests::mini_tv;

@@ -153,14 +153,22 @@ pub fn attribution_table(deltas: &[PassDelta]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::booster::{boost, tests::mini_tv};
+    use crate::booster::{tests::mini_tv, BootRequest};
     use crate::config::BbConfig;
 
     #[test]
     fn comparison_rows_cover_all_steps() {
         let s = mini_tv();
-        let conv = boost(&s, &BbConfig::conventional()).unwrap();
-        let bb = boost(&s, &BbConfig::full()).unwrap();
+        let conv = BootRequest::new(&s)
+            .config(BbConfig::conventional())
+            .run()
+            .unwrap()
+            .report;
+        let bb = BootRequest::new(&s)
+            .config(BbConfig::full())
+            .run()
+            .unwrap()
+            .report;
         let cmp = Comparison::build(&conv, &bb);
         assert_eq!(cmp.rows.len(), 8);
         assert!(cmp.total_saving() > SimDuration::ZERO);
@@ -174,7 +182,11 @@ mod tests {
     #[test]
     fn attribution_table_renders_every_pass() {
         let s = mini_tv();
-        let bb = boost(&s, &BbConfig::full()).unwrap();
+        let bb = BootRequest::new(&s)
+            .config(BbConfig::full())
+            .run()
+            .unwrap()
+            .report;
         let table = attribution_table(&bb.deltas);
         for pass in crate::pipeline::STANDARD_PASSES {
             assert!(table.contains(pass), "missing {pass} in:\n{table}");
@@ -185,8 +197,16 @@ mod tests {
     #[test]
     fn step_savings_sum_close_to_total() {
         let s = mini_tv();
-        let conv = boost(&s, &BbConfig::conventional()).unwrap();
-        let bb = boost(&s, &BbConfig::full()).unwrap();
+        let conv = BootRequest::new(&s)
+            .config(BbConfig::conventional())
+            .run()
+            .unwrap()
+            .report;
+        let bb = BootRequest::new(&s)
+            .config(BbConfig::full())
+            .run()
+            .unwrap()
+            .report;
         let cmp = Comparison::build(&conv, &bb);
         let step_sum: u64 = cmp.rows.iter().map(|r| r.saving().as_nanos()).sum();
         let total = cmp.total_saving().as_nanos();

@@ -7,6 +7,8 @@
 //! resulting [`SweepReport`] (and its JSON form) is byte-identical for
 //! any worker count.
 
+use std::collections::BTreeMap;
+
 use crate::json::{self, Json};
 use crate::pool::{JobFailure, JobOutput};
 use crate::spec::SweepSpec;
@@ -18,6 +20,9 @@ pub struct Aggregator {
     failures: Vec<(usize, usize, u64, String)>, // (cell, seed_idx, seed, reason)
 }
 
+/// One boot's `(span name, duration ns)` lists, one list per config.
+type ConfigSpans = Vec<Vec<(String, u64)>>;
+
 #[derive(Debug)]
 struct CellSlots {
     label: String,
@@ -25,6 +30,9 @@ struct CellSlots {
     seeds: Vec<u64>,
     /// Per seed slot: boot nanoseconds per config, once the job lands.
     boots: Vec<Option<Vec<u64>>>,
+    /// Per seed slot: `(span name, duration ns)` per config. Stays
+    /// `None` unless the sweep collects metrics.
+    spans: Vec<Option<ConfigSpans>>,
 }
 
 impl Aggregator {
@@ -39,6 +47,7 @@ impl Aggregator {
                     config_labels: c.configs.iter().map(|(l, _)| l.clone()).collect(),
                     seeds: c.seeds.clone(),
                     boots: vec![None; c.seeds.len()],
+                    spans: vec![None; c.seeds.len()],
                 })
                 .collect(),
             failures: Vec::new(),
@@ -56,6 +65,9 @@ impl Aggregator {
                     by_config[s.config] = s.boot_ns;
                 }
                 cell.boots[out.job.seed_idx] = Some(by_config);
+                if !out.spans.is_empty() {
+                    cell.spans[out.job.seed_idx] = Some(out.spans);
+                }
             }
             Err(fail) => {
                 self.failures.push((
@@ -121,12 +133,65 @@ impl Aggregator {
             })
             .collect();
 
+        let metrics = metrics_of(&cell_slots);
+
         SweepReport {
             cells,
             failures,
             total_boots,
+            metrics,
         }
     }
+}
+
+/// Aggregates span durations across all filled slots, walking cells,
+/// configs, and seed slots in deterministic order. `None` when no slot
+/// carries span data (metrics collection off).
+fn metrics_of(cell_slots: &[CellSlots]) -> Option<MetricsReport> {
+    if cell_slots
+        .iter()
+        .all(|c| c.spans.iter().all(Option::is_none))
+    {
+        return None;
+    }
+    let cells = cell_slots
+        .iter()
+        .map(|cell| CellMetrics {
+            label: cell.label.clone(),
+            configs: cell
+                .config_labels
+                .iter()
+                .enumerate()
+                .map(|(ci, label)| {
+                    // Span durations keyed by name, accumulated in seed
+                    // (slot) order so arrival order cannot leak in.
+                    let mut by_span: BTreeMap<&str, Vec<u64>> = BTreeMap::new();
+                    for per_config in cell.spans.iter().flatten() {
+                        for (name, dur) in &per_config[ci] {
+                            by_span.entry(name).or_default().push(*dur);
+                        }
+                    }
+                    ConfigMetrics {
+                        label: label.clone(),
+                        spans: by_span
+                            .into_iter()
+                            .map(|(name, mut durs)| {
+                                durs.sort_unstable();
+                                SpanStats {
+                                    name: name.to_owned(),
+                                    count: durs.len(),
+                                    p50_ns: percentile(&durs, 50),
+                                    p95_ns: percentile(&durs, 95),
+                                    p99_ns: percentile(&durs, 99),
+                                }
+                            })
+                            .collect(),
+                    }
+                })
+                .collect(),
+        })
+        .collect();
+    Some(MetricsReport { cells })
 }
 
 fn mean_of(cell: &CellSlots, config: usize) -> Option<f64> {
@@ -257,6 +322,100 @@ pub struct FailureReport {
     pub reason: String,
 }
 
+/// Aggregated span statistics for one config within one cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Span name (e.g. `unit/dbus.service`, `kernel/driver-probe`).
+    pub name: String,
+    /// Samples aggregated (one per completed boot emitting the span).
+    pub count: usize,
+    /// Median duration (nearest-rank), simulated ns.
+    pub p50_ns: u64,
+    /// 95th percentile duration, simulated ns.
+    pub p95_ns: u64,
+    /// 99th percentile duration, simulated ns.
+    pub p99_ns: u64,
+}
+
+/// Span statistics for one config of one cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigMetrics {
+    /// Config label.
+    pub label: String,
+    /// Per-span statistics, sorted by span name.
+    pub spans: Vec<SpanStats>,
+}
+
+/// Span statistics for one cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellMetrics {
+    /// Cell label.
+    pub label: String,
+    /// Per-config statistics, in config order.
+    pub configs: Vec<ConfigMetrics>,
+}
+
+/// Aggregated telemetry spans across a sweep (`bb-metrics-v1`).
+///
+/// Built in slot order by [`Aggregator::finalize`], so — like the
+/// [`SweepReport`] itself — its JSON form is byte-identical for any
+/// worker count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsReport {
+    /// Per-cell span statistics, in spec order.
+    pub cells: Vec<CellMetrics>,
+}
+
+impl MetricsReport {
+    /// Serializes as deterministic JSON stamped `bb-metrics-v1`.
+    pub fn to_json(&self) -> String {
+        let mut out = json::open_document(json::SCHEMA_METRICS);
+        out.push_str("  \"cells\": [");
+        for (i, cell) in self.cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"label\": \"");
+            out.push_str(&json::escape(&cell.label));
+            out.push_str("\", \"configs\": [");
+            for (j, c) in cell.configs.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n      {\"label\": \"");
+                out.push_str(&json::escape(&c.label));
+                out.push_str("\", \"spans\": [");
+                for (k, s) in c.spans.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!(
+                        "\n        {{\"name\": \"{}\", \"count\": {}, \"p50_ms\": {}, \"p95_ms\": {}, \"p99_ms\": {}}}",
+                        json::escape(&s.name),
+                        s.count,
+                        json::ms(s.p50_ns as f64),
+                        json::ms(s.p95_ns as f64),
+                        json::ms(s.p99_ns as f64),
+                    ));
+                }
+                if !c.spans.is_empty() {
+                    out.push_str("\n      ");
+                }
+                out.push_str("]}");
+            }
+            if !cell.configs.is_empty() {
+                out.push_str("\n    ");
+            }
+            out.push_str("]}");
+        }
+        if !self.cells.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
 /// The deterministic output of a sweep.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepReport {
@@ -266,6 +425,9 @@ pub struct SweepReport {
     pub failures: Vec<FailureReport>,
     /// Completed boots across all cells.
     pub total_boots: usize,
+    /// Aggregated span telemetry; `Some` only when the sweep ran with
+    /// [`SweepSpec::with_metrics`](crate::SweepSpec::with_metrics).
+    pub metrics: Option<MetricsReport>,
 }
 
 impl SweepReport {
@@ -273,7 +435,8 @@ impl SweepReport {
     /// fixed `{:.3}` ms floats, no host-time fields. Byte-identical for
     /// any worker count.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"schema\": \"bb-fleet-sweep-v1\",\n  \"cells\": [");
+        let mut out = json::open_document(json::SCHEMA_FLEET);
+        out.push_str("  \"cells\": [");
         for (i, cell) in self.cells.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -526,6 +689,7 @@ mod tests {
                     quiesce_ns: boot_ns,
                 })
                 .collect(),
+            spans: Vec::new(),
             elapsed: std::time::Duration::ZERO,
         }
     }
@@ -596,7 +760,7 @@ mod tests {
         let parsed = json::parse(&report.to_json()).expect("sweep JSON parses");
         assert_eq!(
             parsed.get("schema").and_then(Json::as_str),
-            Some("bb-fleet-sweep-v1")
+            Some("bb-fleet-v1")
         );
         assert_eq!(parsed.get("total_boots").and_then(Json::as_f64), Some(4.0));
         let cells = parsed.get("cells").and_then(Json::as_arr).unwrap();
@@ -633,6 +797,59 @@ mod tests {
 
         // Garbage baseline → error.
         assert!(report.diff_baseline("not json", 1.0).is_err());
+    }
+
+    #[test]
+    fn span_metrics_aggregate_in_slot_order() {
+        let spec = two_seed_spec();
+        let with_spans = |mut out: JobOutput, ns: u64| {
+            out.spans = vec![
+                vec![("unit/a.service".to_owned(), ns)],
+                vec![("unit/a.service".to_owned(), ns / 2)],
+            ];
+            out
+        };
+        let mut a = Aggregator::new(&spec);
+        a.accept(Ok(with_spans(
+            output(0, 0, 5, &[8e9 as u64, 3e9 as u64]),
+            100,
+        )));
+        a.accept(Ok(with_spans(
+            output(0, 1, 6, &[9e9 as u64, 4e9 as u64]),
+            200,
+        )));
+        let mut b = Aggregator::new(&spec);
+        b.accept(Ok(with_spans(
+            output(0, 1, 6, &[9e9 as u64, 4e9 as u64]),
+            200,
+        )));
+        b.accept(Ok(with_spans(
+            output(0, 0, 5, &[8e9 as u64, 3e9 as u64]),
+            100,
+        )));
+        let (ra, rb) = (a.finalize(), b.finalize());
+
+        // Same metrics (and bytes) regardless of arrival order.
+        assert_eq!(ra.metrics, rb.metrics);
+        let m = ra.metrics.as_ref().expect("span data present");
+        assert_eq!(m.to_json(), rb.metrics.as_ref().unwrap().to_json());
+        let conv = &m.cells[0].configs[0].spans[0];
+        assert_eq!(
+            (conv.name.as_str(), conv.count, conv.p50_ns, conv.p99_ns),
+            ("unit/a.service", 2, 100, 200)
+        );
+
+        // The metrics document is stamped and parses back.
+        let parsed = json::parse(&m.to_json()).expect("metrics JSON parses");
+        assert_eq!(
+            parsed.get("schema").and_then(Json::as_str),
+            Some("bb-metrics-v1")
+        );
+
+        // No span data → no metrics report.
+        let mut plain = Aggregator::new(&spec);
+        plain.accept(Ok(output(0, 0, 5, &[8e9 as u64, 3e9 as u64])));
+        assert!(plain.finalize().metrics.is_none());
     }
 
     #[test]

@@ -347,7 +347,8 @@ impl ChaosReport {
     /// Deterministic JSON: fixed key order, `{:.3}` ms floats, no
     /// host-time fields. Byte-identical for any worker count.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"schema\": \"bb-fleet-chaos-v1\",\n  \"cells\": [");
+        let mut out = json::open_document(json::SCHEMA_CHAOS);
+        out.push_str("  \"cells\": [");
         for (i, cell) in self.cells.iter().enumerate() {
             if i > 0 {
                 out.push(',');

@@ -12,6 +12,30 @@
 use std::fmt::Write as _;
 
 // ---------------------------------------------------------------------
+// Schemas
+// ---------------------------------------------------------------------
+
+/// Schema stamp of the sweep report ([`crate::SweepReport::to_json`]).
+pub const SCHEMA_FLEET: &str = "bb-fleet-v1";
+/// Schema stamp of the chaos report ([`crate::ChaosReport::to_json`]).
+pub const SCHEMA_CHAOS: &str = "bb-fleet-chaos-v1";
+/// Schema stamp of the sweep metrics document
+/// ([`crate::MetricsReport::to_json`]).
+pub const SCHEMA_METRICS: &str = "bb-metrics-v1";
+/// Schema stamp of `bbsim boot --profile --json` output.
+pub const SCHEMA_PROFILE: &str = "bb-profile-v1";
+/// Schema stamp of `bbsim boot --json` output.
+pub const SCHEMA_BOOT: &str = "bbsim-boot-v1";
+
+/// Opens a top-level JSON document with its version stamp. Every
+/// emitter in the workspace goes through this helper, so the `"schema"`
+/// field is always present, always first, and always spelled the same
+/// way.
+pub fn open_document(schema: &str) -> String {
+    format!("{{\n  \"schema\": \"{}\",\n", escape(schema))
+}
+
+// ---------------------------------------------------------------------
 // Writer
 // ---------------------------------------------------------------------
 
@@ -296,6 +320,15 @@ fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn open_document_stamps_the_schema_first() {
+        let doc = format!("{}  \"x\": 1\n}}\n", open_document(SCHEMA_FLEET));
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("schema").and_then(Json::as_str), Some("bb-fleet-v1"));
+        let Json::Obj(fields) = &v else { panic!() };
+        assert_eq!(fields[0].0, "schema", "schema must be the first key");
+    }
 
     #[test]
     fn escapes_special_characters() {

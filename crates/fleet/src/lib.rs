@@ -20,9 +20,14 @@
 //!   arrival order into seed-addressed slots, finalizes in slot order.
 //!   Count/mean/stddev/min/max and nearest-rank p50/p95/p99 per
 //!   (cell, config), savings vs the cell's `"conventional"` config,
-//!   and baseline-comparison mode against a saved report.
+//!   baseline-comparison mode against a saved report (schema
+//!   `bb-fleet-v1`), and — when [`SweepSpec::with_metrics`] is on —
+//!   per-span telemetry percentiles as a [`MetricsReport`]
+//!   (`bb-metrics-v1`).
 //! * [`json`] — the hand-rolled JSON codec (same auditable-codec policy
-//!   as `bb-init::preparse`; DESIGN.md §4 keeps serde out).
+//!   as `bb-init::preparse`; DESIGN.md §4 keeps serde out) plus the
+//!   schema constants every emitter stamps its document with via
+//!   [`json::open_document`].
 //! * [`chaos`] — [`run_chaos`]: the fault-injection sweep, gridding
 //!   `{seed × fault-plan × config}` through the supervised
 //!   [`bb_core::run_with_fallback`] boot and aggregating recovery
@@ -62,7 +67,8 @@ pub mod pool;
 pub mod spec;
 
 pub use aggregate::{
-    Aggregator, CellReport, ConfigStats, DiffEntry, DiffVerdict, FailureReport, SweepReport,
+    Aggregator, CellMetrics, CellReport, ConfigMetrics, ConfigStats, DiffEntry, DiffVerdict,
+    FailureReport, MetricsReport, SpanStats, SweepReport,
 };
 pub use chaos::{
     run_chaos, ChaosCellSpec, ChaosConfigStats, ChaosEvent, ChaosFailure, ChaosJob, ChaosOutcome,

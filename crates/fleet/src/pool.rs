@@ -23,7 +23,7 @@ use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 
 use crate::aggregate::{Aggregator, SweepReport};
 use crate::spec::{job_scenario, Job, SweepSpec};
-use bb_core::boost_prepared;
+use bb_core::BootRequest;
 
 /// Pool sizing and policy.
 #[derive(Debug, Clone)]
@@ -71,62 +71,16 @@ pub struct JobOutput {
     pub seed: u64,
     /// One sample per config, in config order.
     pub samples: Vec<BootSample>,
+    /// Per-config `(span name, duration ns)` lists, in config order.
+    /// Empty unless [`SweepSpec::metrics`] is set.
+    pub spans: Vec<Vec<(String, u64)>>,
     /// Wall-clock time the job took (host time; not in JSON output).
     pub elapsed: Duration,
 }
 
-/// Why a job produced no samples.
-#[derive(Debug, Clone)]
-pub enum FailureKind {
-    /// The job panicked; the payload message is attached.
-    Panic(String),
-    /// The scenario failed to assemble (graph/transaction error).
-    Boost(String),
-    /// A boot ran to machine quiescence without ever meeting the
-    /// completion definition (a hung boot). Carries the config label
-    /// that hung.
-    Incomplete {
-        /// Label of the config whose boot never completed.
-        config: String,
-    },
-    /// The job finished but blew its wall-clock deadline.
-    DeadlineExceeded {
-        /// How long the job actually took.
-        elapsed: Duration,
-    },
-    /// A chaos boot fell back to the conventional shape (the boot
-    /// supervisor tripped). Reported as a notable event, not a lost
-    /// sample: the degraded boot time still aggregates.
-    Degraded {
-        /// Label of the config whose boot degraded.
-        config: String,
-    },
-    /// A chaos boot crashed but supervision respawned the unit(s) and
-    /// the fast path still completed. Also a notable event.
-    FaultRecovered {
-        /// Label of the config that recovered.
-        config: String,
-        /// Supervised respawns the recovery took.
-        restarts: u32,
-    },
-}
-
-impl FailureKind {
-    /// Stable one-line form for reports. Deliberately excludes
-    /// wall-clock durations so failure output stays deterministic.
-    pub fn reason(&self) -> String {
-        match self {
-            FailureKind::Panic(msg) => format!("panic: {msg}"),
-            FailureKind::Boost(msg) => format!("boost: {msg}"),
-            FailureKind::Incomplete { config } => format!("incomplete boot: {config}"),
-            FailureKind::DeadlineExceeded { .. } => "deadline exceeded".to_owned(),
-            FailureKind::Degraded { config } => format!("degraded boot: {config}"),
-            FailureKind::FaultRecovered { config, restarts } => {
-                format!("recovered after {restarts} restart(s): {config}")
-            }
-        }
-    }
-}
+/// Why a job produced no samples. The workspace-level
+/// [`bb_core::JobError`], re-exported under the historical fleet name.
+pub use bb_core::JobError as FailureKind;
 
 /// A failed job, reported on the failure path instead of aggregated.
 #[derive(Debug, Clone)]
@@ -356,9 +310,14 @@ fn run_job(
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         let (scenario, pre) = job_scenario(cell, seed, &shared[job.cell]);
         let mut samples = Vec::with_capacity(cell.configs.len());
+        let mut spans = Vec::new();
         for (config, (label, cfg)) in cell.configs.iter().enumerate() {
-            let report = boost_prepared(&scenario, cfg, &pre)
-                .map_err(|e| FailureKind::Boost(e.to_string()))?;
+            let report = BootRequest::new(&scenario)
+                .config(*cfg)
+                .prepared(&pre)
+                .run()
+                .map_err(|e| FailureKind::Boost(e.to_string()))?
+                .report;
             // A boot that never met its completion definition is a
             // reported failure, not a worker panic (`try_boot_time`).
             let boot_time = report
@@ -371,8 +330,16 @@ fn run_job(
                 boot_ns: boot_time.as_nanos(),
                 quiesce_ns: report.quiesce_time.as_nanos(),
             });
+            if spec.metrics {
+                spans.push(
+                    bb_core::boot_spans(&report)
+                        .into_iter()
+                        .map(|s| (s.name, s.end.since(s.start).as_nanos()))
+                        .collect(),
+                );
+            }
         }
-        Ok::<_, FailureKind>(samples)
+        Ok::<_, FailureKind>((samples, spans))
     }));
     let elapsed = started.elapsed();
 
@@ -380,7 +347,7 @@ fn run_job(
     match outcome {
         Err(payload) => fail(FailureKind::Panic(panic_message(payload))),
         Ok(Err(kind)) => fail(kind),
-        Ok(Ok(samples)) => {
+        Ok(Ok((samples, spans))) => {
             if let Some(deadline) = spec.deadline {
                 if elapsed > deadline {
                     return fail(FailureKind::DeadlineExceeded { elapsed });
@@ -390,6 +357,7 @@ fn run_job(
                 job,
                 seed,
                 samples,
+                spans,
                 elapsed,
             })
         }

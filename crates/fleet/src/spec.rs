@@ -122,6 +122,9 @@ pub struct SweepSpec {
     /// reported as failed and excluded from aggregation. `None` = no
     /// deadline.
     pub deadline: Option<Duration>,
+    /// Collect per-boot telemetry spans ([`bb_core::boot_spans`]) and
+    /// aggregate them into a [`crate::MetricsReport`] (`bb-metrics-v1`).
+    pub metrics: bool,
 }
 
 impl SweepSpec {
@@ -139,6 +142,12 @@ impl SweepSpec {
     /// Sets the per-job deadline.
     pub fn deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Enables span metrics collection (see [`SweepSpec::metrics`]).
+    pub fn with_metrics(mut self, metrics: bool) -> Self {
+        self.metrics = metrics;
         self
     }
 

@@ -29,6 +29,7 @@ use crate::ids::{CoreId, DeviceId, FlagId, Pid};
 use crate::io::{Device, DeviceProfile, IoRequest};
 use crate::process::{BlockReason, Op, ProcState, Process, ProcessSpec};
 use crate::rcu::{RcuEngine, RcuMode, RcuParams, RcuStats};
+use crate::telemetry::{self, Telemetry};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{CoreSpan, Trace, TraceKind};
 
@@ -148,6 +149,10 @@ pub struct Machine {
     failed: Vec<Pid>,
     sched_stats: SchedStats,
     faults: Option<FaultState>,
+    /// Metrics sink; absent unless telemetry was enabled, so the
+    /// uninstrumented path stays bit-identical (same pattern as
+    /// `faults`).
+    telemetry: Option<Telemetry>,
 }
 
 impl Machine {
@@ -183,6 +188,7 @@ impl Machine {
             failed: Vec::new(),
             sched_stats: SchedStats::default(),
             faults: None,
+            telemetry: None,
         }
     }
 
@@ -214,6 +220,21 @@ impl Machine {
     /// Scheduler counters so far.
     pub fn sched_stats(&self) -> SchedStats {
         self.sched_stats
+    }
+
+    /// Installs a telemetry sink. Subsequent execution records counters
+    /// and histograms (RCU sync waits, run-queue depth, I/O latency)
+    /// without perturbing the timeline; the instrumentation only reads
+    /// state the scheduler already computes.
+    pub fn enable_telemetry(&mut self) {
+        if self.telemetry.is_none() {
+            self.telemetry = Some(Telemetry::new());
+        }
+    }
+
+    /// The telemetry sink, if enabled.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref()
     }
 
     /// Switches the RCU waiter mode (the Booster Control knob).
@@ -627,6 +648,11 @@ impl Machine {
         if let Some(next_done) = next {
             self.events.push(next_done, EventKind::IoDone { device });
         }
+        if let Some(t) = self.telemetry.as_mut() {
+            let latency = self.now.saturating_since(done.submitted_at);
+            t.metrics
+                .record(telemetry::IO_REQUEST_LATENCY_NS, latency.as_nanos());
+        }
         let p = &mut self.procs[done.pid.index()];
         debug_assert_eq!(p.state, ProcState::Blocked(BlockReason::Io));
         debug_assert!(matches!(p.ops.front(), Some(Op::IoRead { .. })));
@@ -641,6 +667,11 @@ impl Machine {
         }
         for waiter in released {
             let waited = self.now.saturating_since(waiter.submitted_at);
+            if let Some(t) = self.telemetry.as_mut() {
+                t.metrics.add(telemetry::RCU_SYNCS, 1);
+                t.metrics
+                    .record(telemetry::RCU_SYNC_WAIT_NS, waited.as_nanos());
+            }
             self.trace
                 .push(self.now, waiter.pid, TraceKind::RcuSyncDone { waited });
             match waiter.kind {
@@ -910,6 +941,11 @@ impl Machine {
     fn start_on_core(&mut self, pid: Pid, core: CoreId) {
         debug_assert!(self.cores[core.index()].is_none());
         self.sched_stats.dispatches += 1;
+        if let Some(t) = self.telemetry.as_mut() {
+            // Depth left behind after this dispatch took a process.
+            t.metrics
+                .record(telemetry::RUN_QUEUE_DEPTH, self.ready.len() as u64);
+        }
         self.cores[core.index()] = Some(pid);
         self.running.insert(
             pid,
@@ -1704,6 +1740,61 @@ mod tests {
             (out.end_time, m.trace().events().len())
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn telemetry_records_without_perturbing_the_timeline() {
+        let run = |enable: bool| {
+            let mut m = Machine::new(MachineConfig {
+                cores: 2,
+                rcu_params: RcuParams {
+                    base_grace_period: SimDuration::from_millis(5),
+                    per_reader_extension: SimDuration::ZERO,
+                    ctx_switch_cost: SimDuration::ZERO,
+                    boosted_overhead: SimDuration::ZERO,
+                    classic_overhead: SimDuration::ZERO,
+                },
+                ..MachineConfig::default()
+            });
+            if enable {
+                m.enable_telemetry();
+            }
+            let dev = m.add_device("emmc", DeviceProfile::tv_emmc());
+            let f = m.flag("x");
+            m.spawn(ProcessSpec::new("syncer", vec![Op::RcuSync]));
+            for i in 0..4 {
+                m.spawn(ProcessSpec::new(
+                    format!("svc{i}"),
+                    OpsBuilder::new()
+                        .compute_ms(1 + i % 2)
+                        .read_rand(dev, 4096 * (i + 1))
+                        .set_flag(f)
+                        .build(),
+                ));
+            }
+            let out = m.run();
+            (out.end_time, m.trace().events().len(), m)
+        };
+        let (t_off, ev_off, m_off) = run(false);
+        let (t_on, ev_on, m_on) = run(true);
+        assert_eq!((t_off, ev_off), (t_on, ev_on));
+        assert!(m_off.telemetry().is_none());
+        let metrics = &m_on.telemetry().expect("enabled").metrics;
+        assert_eq!(metrics.counter(telemetry::RCU_SYNCS), 1);
+        assert_eq!(
+            metrics
+                .histogram(telemetry::IO_REQUEST_LATENCY_NS)
+                .expect("io recorded")
+                .count() as u64,
+            m_on.sched_stats().io_requests
+        );
+        assert_eq!(
+            metrics
+                .histogram(telemetry::RUN_QUEUE_DEPTH)
+                .expect("dispatches recorded")
+                .count() as u64,
+            m_on.sched_stats().dispatches
+        );
     }
 
     #[test]

@@ -118,7 +118,11 @@ pub fn custom_scenario_with_modules(
 mod tests {
     use super::*;
     use crate::profiles;
-    use bb_core::{boost, BbConfig};
+    use bb_core::{BbConfig, BootRequest, FullBootReport};
+
+    fn boost(s: &Scenario, cfg: &BbConfig) -> Result<FullBootReport, bb_core::Error> {
+        Ok(BootRequest::new(s).config(*cfg).run()?.report)
+    }
     use bb_init::ServiceType;
 
     fn units() -> Vec<Unit> {

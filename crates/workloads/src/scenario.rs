@@ -120,7 +120,11 @@ pub fn camera_scenario() -> Scenario {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bb_core::{boost, BbConfig};
+    use bb_core::{BbConfig, BootRequest, FullBootReport};
+
+    fn boost(s: &Scenario, cfg: &BbConfig) -> Result<FullBootReport, bb_core::Error> {
+        Ok(BootRequest::new(s).config(*cfg).run()?.report)
+    }
 
     #[test]
     fn tv_kernel_phases_match_figure6a() {

@@ -5,7 +5,7 @@
 //! cargo run --release --example bootchart [conventional|bb]
 //! ```
 
-use booting_booster::bb::{boost_with_machine, BbConfig};
+use booting_booster::bb::{BbConfig, BootRequest};
 use booting_booster::init::Bootchart;
 use booting_booster::workloads::tv_scenario_open_source;
 
@@ -21,7 +21,11 @@ fn main() {
     };
     // The 136-service open-source graph keeps the chart readable.
     let scenario = tv_scenario_open_source();
-    let (report, machine) = boost_with_machine(&scenario, &cfg).expect("valid scenario");
+    let boot = BootRequest::new(&scenario)
+        .config(cfg)
+        .run()
+        .expect("valid scenario");
+    let (report, machine) = (boot.report, boot.machine);
     let chart = Bootchart::build(&report.boot, &machine);
 
     println!(

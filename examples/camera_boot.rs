@@ -9,15 +9,22 @@
 //! cargo run --release --example camera_boot
 //! ```
 
-use booting_booster::bb::{boost, BbConfig};
+use booting_booster::bb::{BbConfig, BootRequest};
 use booting_booster::kernel::SnapshotModel;
 use booting_booster::sim::{DeviceProfile, SimDuration};
 use booting_booster::workloads::camera_scenario;
 
 fn main() {
     let scenario = camera_scenario();
-    let conventional = boost(&scenario, &BbConfig::conventional()).expect("valid scenario");
-    let boosted = boost(&scenario, &BbConfig::full()).expect("valid scenario");
+    let conventional = BootRequest::new(&scenario)
+        .config(BbConfig::conventional())
+        .run()
+        .expect("valid scenario")
+        .report;
+    let boosted = BootRequest::new(&scenario)
+        .run()
+        .expect("valid scenario")
+        .report;
 
     println!("NX300-class camera cold boot:");
     println!(

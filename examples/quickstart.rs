@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use booting_booster::bb::{attribution_table, boost, BbConfig, Comparison};
+use booting_booster::bb::{attribution_table, BbConfig, BootRequest, Comparison};
 use booting_booster::workloads::camera_scenario;
 
 fn main() {
@@ -14,9 +14,15 @@ fn main() {
     let scenario = camera_scenario();
     println!("scenario: {}\n", scenario.name);
 
-    let conventional =
-        boost(&scenario, &BbConfig::conventional()).expect("scenario is well-formed");
-    let boosted = boost(&scenario, &BbConfig::full()).expect("scenario is well-formed");
+    let conventional = BootRequest::new(&scenario)
+        .config(BbConfig::conventional())
+        .run()
+        .expect("scenario is well-formed")
+        .report;
+    let boosted = BootRequest::new(&scenario)
+        .run()
+        .expect("scenario is well-formed")
+        .report;
 
     println!(
         "conventional boot: {:.3} s",

@@ -5,7 +5,7 @@
 //! cargo run --release --example tv_boot
 //! ```
 
-use booting_booster::bb::{boost, BbConfig, Comparison};
+use booting_booster::bb::{BbConfig, BootRequest, Comparison};
 use booting_booster::init::blame;
 use booting_booster::workloads::tv_scenario;
 
@@ -18,8 +18,15 @@ fn main() {
         scenario.modules.len()
     );
 
-    let conventional = boost(&scenario, &BbConfig::conventional()).expect("valid scenario");
-    let boosted = boost(&scenario, &BbConfig::full()).expect("valid scenario");
+    let conventional = BootRequest::new(&scenario)
+        .config(BbConfig::conventional())
+        .run()
+        .expect("valid scenario")
+        .report;
+    let boosted = BootRequest::new(&scenario)
+        .run()
+        .expect("valid scenario")
+        .report;
 
     println!("{}", Comparison::build(&conventional, &boosted).to_table());
     println!("paper reference: 8.1 s conventional -> 3.5 s with BB (-57%)\n");

@@ -1,0 +1,48 @@
+#!/bin/sh
+# Public-API surface gate.
+#
+# Snapshots every `pub` item declared in the workspace's library crates
+# (one line per item: `path: declaration`) and diffs the result against
+# the checked-in snapshot, so accidental API changes fail CI while
+# intentional ones show up as a reviewable diff.
+#
+# Usage:
+#   scripts/api_surface.sh            # diff against tests/api_surface.txt
+#   scripts/api_surface.sh --bless    # regenerate the snapshot
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SNAPSHOT=tests/api_surface.txt
+
+# Library sources only: bins, examples, benches, integration tests, and
+# vendored crates are not API surface. `pub(crate)`/`pub(super)` items
+# are excluded by requiring a space after `pub`. Line numbers are
+# dropped and `{`-bodies trimmed so moves and formatting don't read as
+# API changes; multi-line signatures contribute their first line, which
+# is enough for a drift detector.
+surface() {
+    grep -rnE '^[[:space:]]*pub (fn|struct|enum|trait|type|const|static|mod|use|union) ' \
+        src crates/*/src --include='*.rs' |
+        grep -v '^src/bin/' |
+        sed -e 's/:[0-9]*:[[:space:]]*/: /' -e 's/[[:space:]]*{[[:space:]]*$//' |
+        LC_ALL=C sort
+}
+
+if [ "${1:-}" = "--bless" ]; then
+    surface >"$SNAPSHOT"
+    echo "blessed: $(wc -l <"$SNAPSHOT") public items -> $SNAPSHOT"
+    exit 0
+fi
+
+current="$(mktemp)"
+trap 'rm -f "$current"' EXIT
+surface >"$current"
+
+if ! diff -u "$SNAPSHOT" "$current"; then
+    echo ""
+    echo "public API surface changed. If intentional, regenerate with:"
+    echo "    scripts/api_surface.sh --bless"
+    exit 1
+fi
+echo "API surface unchanged ($(wc -l <"$SNAPSHOT") public items)."

@@ -8,12 +8,13 @@
 //! ```text
 //! bbsim [--scenario tv|tv136|camera] [--units DIR --target T --completion U]
 //!       [--features all|none|LIST] [--services N] [--cores N] [--seed N]
-//!       [--compare] [--explain] [--json] [--chart FILE.svg] [--dot FILE.dot]
-//!       [--trace FILE.json] [--blame N]
+//!       [--compare] [--explain] [--json] [--profile] [--metrics]
+//!       [--chart FILE.svg] [--dot FILE.dot] [--trace FILE.json] [--blame N]
 //!
 //! bbsim sweep [--profiles NAMES|all] [--services N] [--seeds N] [--seed N]
 //!             [--features all|none|LIST] [--workers N] [--deadline-ms N]
-//!             [--json FILE|-] [--baseline FILE] [--tolerance PCT]
+//!             [--json FILE|-] [--metrics FILE|-] [--baseline FILE]
+//!             [--tolerance PCT]
 //!
 //! bbsim chaos [--profiles NAMES|all] [--services N] [--seeds N] [--seed N]
 //!             [--plans N] [--plan-seed N] [--workers N] [--deadline-ms N]
@@ -31,6 +32,15 @@
 //! which were skipped) plus the per-pass `PassDelta` attribution
 //! table; with `--json` the same deltas appear under `"passes"`.
 //!
+//! `--profile` prints the critical-path table (the longest blocking
+//! chain from power-on to the completion unit, with per-edge slack);
+//! combined with `--json` it emits a `bb-profile-v1` document instead
+//! of the boot report. `--metrics` boots with machine telemetry enabled
+//! and prints the counter/histogram snapshot (`bb-metrics-v1` with
+//! `--json`). On `sweep`, `--metrics FILE|-` aggregates per-span
+//! durations across the whole sweep into a `bb-metrics-v1` document
+//! (byte-identical for any `--workers` value).
+//!
 //! `LIST` is a comma-separated subset of: rcu-booster, defer-memory,
 //! modularizer, defer-journal, deferred-executor, preparser, bb-group.
 //!
@@ -46,7 +56,8 @@ use std::process::exit;
 
 use booting_booster::bb::FallbackPolicy;
 use booting_booster::bb::{
-    analyze_directives, attribution_table, boost_with_machine, BbConfig, Comparison, Pipeline,
+    analyze_directives, attribution_table, metrics_snapshot, profile, BbConfig, BootRequest,
+    Comparison, Pipeline,
 };
 use booting_booster::fleet::{
     json, run_chaos, run_sweep, CellSpec, ChaosCellSpec, ChaosSpec, DiffVerdict, PoolConfig,
@@ -73,6 +84,8 @@ struct Args {
     compare: bool,
     explain: bool,
     json: bool,
+    profile: bool,
+    metrics: bool,
     chart: Option<String>,
     dot: Option<String>,
     trace: Option<String>,
@@ -83,10 +96,12 @@ fn usage() -> ! {
     eprintln!(
         "usage: bbsim [--scenario tv|tv136|camera] [--features all|none|LIST]\n\
          \u{20}            [--services N] [--cores N] [--seed N] [--compare] [--explain]\n\
-         \u{20}            [--json] [--chart FILE.svg] [--dot FILE.dot] [--blame N]\n\
+         \u{20}            [--json] [--profile] [--metrics] [--chart FILE.svg]\n\
+         \u{20}            [--dot FILE.dot] [--blame N]\n\
          \u{20}      bbsim sweep [--profiles NAMES|all] [--services N] [--seeds N]\n\
          \u{20}            [--seed N] [--features LIST] [--workers N] [--deadline-ms N]\n\
-         \u{20}            [--json FILE|-] [--baseline FILE] [--tolerance PCT]\n\
+         \u{20}            [--json FILE|-] [--metrics FILE|-] [--baseline FILE]\n\
+         \u{20}            [--tolerance PCT]\n\
          \u{20}      bbsim chaos [--profiles NAMES|all] [--services N] [--seeds N]\n\
          \u{20}            [--seed N] [--plans N] [--plan-seed N] [--workers N]\n\
          \u{20}            [--deadline-ms N] [--restart no|on-failure|always]\n\
@@ -110,6 +125,8 @@ fn parse_args(mut it: impl Iterator<Item = String>) -> Args {
         compare: false,
         explain: false,
         json: false,
+        profile: false,
+        metrics: false,
         chart: None,
         dot: None,
         trace: None,
@@ -136,6 +153,8 @@ fn parse_args(mut it: impl Iterator<Item = String>) -> Args {
             "--compare" => args.compare = true,
             "--explain" => args.explain = true,
             "--json" => args.json = true,
+            "--profile" => args.profile = true,
+            "--metrics" => args.metrics = true,
             "--chart" => args.chart = Some(value("--chart")),
             "--dot" => args.dot = Some(value("--dot")),
             "--trace" => args.trace = Some(value("--trace")),
@@ -294,7 +313,7 @@ fn boot_json(
 ) -> String {
     // Same auditable-codec policy and `{:.3}` ms formatting as the
     // fleet sweep JSON, so single boots diff cleanly against cells.
-    let mut out = String::from("{\n  \"schema\": \"bbsim-boot-v1\",\n");
+    let mut out = json::open_document(json::SCHEMA_BOOT);
     out.push_str(&format!(
         "  \"scenario\": \"{}\",\n",
         json::escape(&scenario.name)
@@ -386,6 +405,115 @@ fn boot_json(
     out
 }
 
+fn profile_json(
+    scenario: &booting_booster::bb::Scenario,
+    report: &booting_booster::bb::FullBootReport,
+    prof: &booting_booster::bb::BootProfile,
+) -> String {
+    let mut out = json::open_document(json::SCHEMA_PROFILE);
+    out.push_str(&format!(
+        "  \"scenario\": \"{}\",\n",
+        json::escape(&scenario.name)
+    ));
+    out.push_str(&format!(
+        "  \"boot_ms\": {},\n",
+        json::ms(report.boot_time().as_nanos() as f64)
+    ));
+    out.push_str("  \"critical_path\": ");
+    match &prof.critical_path {
+        None => out.push_str("null"),
+        Some(cp) => {
+            out.push_str(&format!(
+                "{{\n    \"total_ms\": {},\n    \"steps\": [",
+                json::ms(cp.total.as_nanos() as f64)
+            ));
+            for (i, step) in cp.steps.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let slack = match step.slack {
+                    None => "null".to_string(),
+                    Some(d) => json::ms(d.as_nanos() as f64),
+                };
+                out.push_str(&format!(
+                    "\n      {{\"span\": \"{}\", \"start_ms\": {}, \"end_ms\": {}, \
+                     \"duration_ms\": {}, \"slack_ms\": {}}}",
+                    json::escape(&step.name),
+                    json::ms(step.start.as_nanos() as f64),
+                    json::ms(step.end.as_nanos() as f64),
+                    json::ms(step.duration().as_nanos() as f64),
+                    slack,
+                ));
+            }
+            if !cp.steps.is_empty() {
+                out.push_str("\n    ");
+            }
+            out.push_str("]\n  }");
+        }
+    }
+    out.push_str(",\n  \"spans\": [");
+    for (i, s) in prof.spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"name\": \"{}\", \"start_ms\": {}, \"end_ms\": {}}}",
+            json::escape(&s.name),
+            json::ms(s.start.as_nanos() as f64),
+            json::ms(s.end.as_nanos() as f64),
+        ));
+    }
+    if !prof.spans.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn metrics_json(
+    scenario: &booting_booster::bb::Scenario,
+    snap: &booting_booster::bb::MetricsSnapshot,
+) -> String {
+    let mut out = json::open_document(json::SCHEMA_METRICS);
+    out.push_str(&format!(
+        "  \"scenario\": \"{}\",\n",
+        json::escape(&scenario.name)
+    ));
+    out.push_str("  \"counters\": {");
+    for (i, (name, value)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n    \"{}\": {}", json::escape(name), value));
+    }
+    if !snap.counters.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("},\n  \"histograms\": {");
+    for (i, (name, h)) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    \"{}\": {{\"count\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \
+             \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+            json::escape(name),
+            h.count,
+            h.min,
+            h.max,
+            h.mean,
+            h.p50,
+            h.p95,
+            h.p99,
+        ));
+    }
+    if !snap.histograms.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
 fn run_boot(args: Args) {
     let scenario = build_scenario(&args);
     let cfg = parse_features(&args.features);
@@ -400,28 +528,57 @@ fn run_boot(args: Args) {
         );
     }
 
-    let (report, machine) = match boost_with_machine(&scenario, &cfg) {
-        Ok(r) => r,
+    let boot = match BootRequest::new(&scenario)
+        .config(cfg)
+        .telemetry(args.metrics)
+        .run()
+    {
+        Ok(b) => b,
         Err(e) => {
             eprintln!("boot failed: {e}");
             exit(1);
         }
     };
+    let (report, machine) = (boot.report, boot.machine);
     let conventional = if args.compare || args.json {
         Some(
-            boost_with_machine(&scenario, &BbConfig::conventional())
+            BootRequest::new(&scenario)
+                .config(BbConfig::conventional())
+                .run()
                 .expect("conventional boots")
-                .0,
+                .report,
         )
+    } else {
+        None
+    };
+    let prof = if args.profile {
+        match profile(&scenario, &report, Some(&machine)) {
+            Ok(p) => Some(p),
+            Err(e) => {
+                eprintln!("profile failed: {e}");
+                exit(1);
+            }
+        }
     } else {
         None
     };
 
     if args.json {
-        print!(
-            "{}",
-            boot_json(&scenario, &cfg, &report, conventional.as_ref(), args.seed)
-        );
+        // --profile/--metrics switch the document; a plain --json boot
+        // report stays byte-identical to what it always was.
+        if let Some(prof) = &prof {
+            print!("{}", profile_json(&scenario, &report, prof));
+        } else if args.metrics {
+            print!(
+                "{}",
+                metrics_json(&scenario, &metrics_snapshot(&report, &machine))
+            );
+        } else {
+            print!(
+                "{}",
+                boot_json(&scenario, &cfg, &report, conventional.as_ref(), args.seed)
+            );
+        }
     } else {
         match report.boot.completion_time {
             Some(t) => println!("boot completed at {:.3} s", t.as_secs_f64()),
@@ -455,6 +612,32 @@ fn run_boot(args: Args) {
             }
             if !report.deltas.is_empty() {
                 println!("\n{}", attribution_table(&report.deltas));
+            }
+        }
+        if let Some(prof) = &prof {
+            match &prof.critical_path {
+                Some(cp) => println!("\n{}", cp.render()),
+                None => println!("\n(no critical path: boot never completed)"),
+            }
+        }
+        if args.metrics {
+            let snap = metrics_snapshot(&report, &machine);
+            println!("\ntelemetry counters:");
+            for (name, value) in &snap.counters {
+                println!("  {name:<26} {value}");
+            }
+            if !snap.histograms.is_empty() {
+                println!("telemetry histograms (ns):");
+                println!(
+                    "  {:<26} {:>8} {:>12} {:>12} {:>12}",
+                    "name", "count", "p50", "p95", "p99"
+                );
+                for (name, h) in &snap.histograms {
+                    println!(
+                        "  {:<26} {:>8} {:>12} {:>12} {:>12}",
+                        name, h.count, h.p50, h.p95, h.p99
+                    );
+                }
             }
         }
     }
@@ -495,6 +678,7 @@ struct SweepArgs {
     workers: Option<usize>,
     deadline_ms: Option<u64>,
     json: Option<String>,
+    metrics: Option<String>,
     baseline: Option<String>,
     tolerance: f64,
 }
@@ -509,6 +693,7 @@ fn parse_sweep_args(mut it: impl Iterator<Item = String>) -> SweepArgs {
         workers: None,
         deadline_ms: None,
         json: None,
+        metrics: None,
         baseline: None,
         tolerance: 2.0,
     };
@@ -532,6 +717,7 @@ fn parse_sweep_args(mut it: impl Iterator<Item = String>) -> SweepArgs {
                 args.deadline_ms = Some(value("--deadline-ms").parse().unwrap_or_else(|_| usage()))
             }
             "--json" => args.json = Some(value("--json")),
+            "--metrics" => args.metrics = Some(value("--metrics")),
             "--baseline" => args.baseline = Some(value("--baseline")),
             "--tolerance" => {
                 args.tolerance = value("--tolerance").parse().unwrap_or_else(|_| usage())
@@ -583,7 +769,7 @@ fn run_sweep_cmd(args: SweepArgs) {
     } else {
         args.features.clone()
     };
-    let mut spec = SweepSpec::new();
+    let mut spec = SweepSpec::new().with_metrics(args.metrics.is_some());
     if let Some(ms) = args.deadline_ms {
         spec = spec.deadline(std::time::Duration::from_millis(ms));
     }
@@ -626,6 +812,20 @@ fn run_sweep_cmd(args: SweepArgs) {
         } else {
             std::fs::write(path, doc).expect("write sweep json");
             eprintln!("sweep report written to {path}");
+        }
+    }
+    if let Some(path) = &args.metrics {
+        match &outcome.report.metrics {
+            None => eprintln!("no span metrics collected (every job failed)"),
+            Some(metrics) => {
+                let doc = metrics.to_json();
+                if path == "-" {
+                    print!("{doc}");
+                } else {
+                    std::fs::write(path, doc).expect("write metrics json");
+                    eprintln!("span metrics written to {path}");
+                }
+            }
         }
     }
     if let Some(path) = &args.baseline {

@@ -12,7 +12,8 @@
 //! * [`init`] — a systemd-like init scheme: unit files, dependency
 //!   graph, transactions, three job engines, bootchart rendering.
 //! * [`bb`] — the Booting Booster itself: Core Engine, Boot-up Engine,
-//!   Service Engine, and the [`bb::boost`] facade.
+//!   Service Engine, and the single-entry [`bb::BootRequest`] boot API
+//!   with telemetry and the critical-path profiler.
 //! * [`workloads`] — machine profiles, the synthetic Tizen TV service
 //!   graph, and calibrated scenarios.
 //! * [`fleet`] — work-stealing parallel sweep engine: expands a
@@ -24,13 +25,16 @@
 //! # Quickstart
 //!
 //! ```
-//! use booting_booster::bb::{boost, BbConfig};
+//! use booting_booster::bb::{BbConfig, BootRequest};
 //! use booting_booster::workloads::camera_scenario;
 //!
 //! let scenario = camera_scenario();
-//! let conventional = boost(&scenario, &BbConfig::conventional()).unwrap();
-//! let boosted = boost(&scenario, &BbConfig::full()).unwrap();
-//! assert!(boosted.boot_time() < conventional.boot_time());
+//! let conventional = BootRequest::new(&scenario)
+//!     .config(BbConfig::conventional())
+//!     .run()
+//!     .unwrap();
+//! let boosted = BootRequest::new(&scenario).run().unwrap();
+//! assert!(boosted.report.boot_time() < conventional.report.boot_time());
 //! ```
 //!
 //! See `examples/` for runnable end-to-end scenarios and `DESIGN.md` /

@@ -4,6 +4,10 @@
 //! can be pinned exactly. These tests exist to catch *accidental*
 //! calibration drift — if you change a cost model on purpose, update
 //! the pins and the tables in EXPERIMENTS.md together.
+//!
+//! Deliberately boots through the deprecated `boost` wrapper: the legacy
+//! entry points must keep producing the pinned timeline until removed.
+#![allow(deprecated)]
 
 use booting_booster::bb::{boost, run_with_fallback, BbConfig, BootOutcome, FallbackPolicy};
 use booting_booster::sim::FaultPlan;

@@ -61,6 +61,37 @@ fn aggregated_json_is_byte_identical_across_worker_counts() {
 }
 
 #[test]
+fn span_metrics_json_is_byte_identical_across_worker_counts() {
+    let spec = two_cell_spec().with_metrics(true);
+    let serial = run_sweep(&spec, &PoolConfig::with_workers(1));
+    let metrics = serial
+        .report
+        .metrics
+        .as_ref()
+        .expect("metrics collection was requested");
+    let json_serial = metrics.to_json();
+    parse_json(&json_serial).expect("metrics JSON parses");
+    // Spans cover every layer: kernel phases, init, and units.
+    let spans = &metrics.cells[0].configs[0].spans;
+    for prefix in ["kernel/", "init/", "unit/"] {
+        assert!(
+            spans.iter().any(|s| s.name.starts_with(prefix)),
+            "no {prefix} span in {:?}",
+            spans.iter().map(|s| &s.name).collect::<Vec<_>>()
+        );
+    }
+
+    for workers in [2, 4] {
+        let parallel = run_sweep(&spec, &PoolConfig::with_workers(workers));
+        assert_eq!(
+            parallel.report.metrics.as_ref().unwrap().to_json(),
+            json_serial,
+            "metrics JSON must be byte-identical with {workers} workers"
+        );
+    }
+}
+
+#[test]
 fn panicking_job_is_reported_and_sweep_completes() {
     // A scenario whose completion unit does not exist panics inside the
     // booster (identify_bb_group) when bb-group is enabled — the kind of

@@ -1,9 +1,13 @@
 //! End-to-end integration tests across all crates: the calibrated TV
 //! scenario booted conventionally and with the full Booting Booster.
 
-use booting_booster::bb::{boost, boost_with_machine, BbConfig, Comparison};
+use booting_booster::bb::{BbConfig, BootRequest, Comparison, FullBootReport, Scenario};
 use booting_booster::init::{blame, critical_chain, Bootchart, UnitGraph, UnitName};
 use booting_booster::workloads::{tv_scenario, tv_scenario_open_source};
+
+fn boost(s: &Scenario, cfg: &BbConfig) -> Result<FullBootReport, booting_booster::bb::Error> {
+    Ok(BootRequest::new(s).config(*cfg).run()?.report)
+}
 
 #[test]
 fn headline_reproduction_bands() {
@@ -126,7 +130,8 @@ fn deferred_work_runs_after_completion_without_breaking_it() {
 #[test]
 fn bootchart_and_analysis_tools_work_on_real_runs() {
     let scenario = tv_scenario_open_source();
-    let (report, machine) = boost_with_machine(&scenario, &BbConfig::full()).expect("valid");
+    let boot = BootRequest::new(&scenario).run().expect("valid");
+    let (report, machine) = (boot.report, boot.machine);
     let chart = Bootchart::build(&report.boot, &machine);
     assert!(chart.rows.len() > 100, "chart rows {}", chart.rows.len());
     assert!(chart.to_ascii(80).contains("var.mount"));
@@ -147,7 +152,8 @@ fn bootchart_and_analysis_tools_work_on_real_runs() {
 #[test]
 fn rcu_booster_control_reverts_after_boot() {
     let scenario = tv_scenario();
-    let (report, machine) = boost_with_machine(&scenario, &BbConfig::full()).expect("valid");
+    let boot = BootRequest::new(&scenario).run().expect("valid");
+    let (report, machine) = (boot.report, boot.machine);
     assert_eq!(
         machine.rcu_mode(),
         booting_booster::sim::RcuMode::ClassicSpin

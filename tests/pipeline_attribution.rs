@@ -10,9 +10,13 @@
 //! Executor pass (which owns both task deferral and journal deferral)
 //! against a boot with both flags on.
 
-use bb_core::{boost, BbConfig, Pipeline};
+use bb_core::{BbConfig, BootRequest, FullBootReport, Pipeline, Scenario};
 use bb_sim::SimDuration;
 use bb_workloads::tv_scenario;
+
+fn boost(s: &Scenario, cfg: &BbConfig) -> Result<FullBootReport, bb_core::Error> {
+    Ok(BootRequest::new(s).config(*cfg).run()?.report)
+}
 
 /// Pass groups with their tolerance bands: estimated saving must land
 /// in `[measured * lo - slack, measured * hi + slack]`. Serial plan
