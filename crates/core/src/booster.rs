@@ -18,11 +18,16 @@ use bb_init::{
     BootRecord, ManagerCosts, PlanOverrides, Transaction, Unit, UnitGraph, UnitName, WorkloadMap,
 };
 use bb_kernel::{KernelPlan, KernelReport, ModuleCatalog};
-use bb_sim::{DeviceProfile, FaultPlan, Machine, MachineConfig, RcuStats, SimTime};
+use bb_sim::{
+    snapshot, DeviceId, DeviceProfile, FaultPlan, Machine, MachineConfig, RcuStats, SimTime,
+};
 
 use crate::config::BbConfig;
 use crate::error::Error;
-use crate::pipeline::{execute_instrumented, BootPlanIr, PassDelta, Pipeline};
+use crate::pipeline::{
+    execute_instrumented, execute_prefix, execute_suffix, BootPlanIr, OwnedPlan, PassDelta,
+    Pipeline,
+};
 use crate::service_engine::{ParseCostParams, PreParser};
 
 /// A complete boot scenario (hardware + software + completion policy).
@@ -111,6 +116,71 @@ pub struct Boot {
     pub machine: Machine,
 }
 
+/// Where in the boot timeline a [`Checkpoint`] is taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointPhase {
+    /// The kernel→init handoff: bootloader, kernel image load, memory
+    /// and rootfs setup, initcalls, RCU Booster Control installation,
+    /// and module-loading setup have all been simulated; the init
+    /// scheme has not started. This is the natural split point because
+    /// every configuration with the same [`BbConfig::prefix_key`]
+    /// reaches it with a bit-identical machine.
+    KernelHandoff,
+}
+
+/// A saved boot prefix: the machine state at a [`CheckpointPhase`],
+/// serialized with [`bb_sim::snapshot`], plus the few prefix products
+/// the suffix needs (the kernel report and the boot-storage device).
+///
+/// Produced by [`BootRequest::checkpoint_at`]; consumed — any number of
+/// times — by [`BootRequest::resume`]. A checkpoint is `Clone`, cheap
+/// to fork, and safe to hand to other threads, which is what lets a
+/// fleet sweep simulate the shared kernel phase once per prefix key
+/// instead of once per configuration.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    phase: CheckpointPhase,
+    bytes: Vec<u8>,
+    kernel: KernelReport,
+    device: DeviceId,
+    cfg: BbConfig,
+    config_hash: u64,
+    /// The checkpoint request's full boot plan, kept so a resume under
+    /// the same configuration skips re-planning (see
+    /// [`BootRequest::resume`]).
+    plan: OwnedPlan,
+}
+
+impl Checkpoint {
+    /// Where in the boot this checkpoint was taken.
+    pub fn phase(&self) -> CheckpointPhase {
+        self.phase
+    }
+
+    /// The configuration the prefix was simulated under. A resume may
+    /// use any configuration with the same [`BbConfig::prefix_key`].
+    pub fn config(&self) -> BbConfig {
+        self.cfg
+    }
+
+    /// The serialized machine snapshot (see [`bb_sim::snapshot`] for
+    /// the format). Stable for identical scenarios and prefix keys.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// FNV-1a hash of the machine configuration the snapshot encodes;
+    /// [`BootRequest::resume`] rejects scenarios that hash differently.
+    pub fn config_hash(&self) -> u64 {
+        self.config_hash
+    }
+
+    /// Kernel phase timings measured while producing the prefix.
+    pub fn kernel(&self) -> &KernelReport {
+        &self.kernel
+    }
+}
+
 /// The single entry point for booting a scenario: a builder over every
 /// knob the old `boost_*` family spread across four functions.
 ///
@@ -197,6 +267,136 @@ impl<'s> BootRequest<'s> {
     ) -> Self {
         self.tweak = Some(Box::new(tweak));
         self
+    }
+
+    /// Plans the boot, executes only its *prefix* (through the
+    /// kernel→init handoff), and captures the machine as a
+    /// [`Checkpoint`] that [`resume`](Self::resume) can continue from —
+    /// as many times, and under as many suffix configurations, as the
+    /// caller likes.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Checkpoint`] if telemetry is enabled (the metrics sink
+    /// is deliberately not snapshotted; see [`bb_sim::snapshot`]) or a
+    /// plan tweak was installed (tweaks act on the suffix plan — apply
+    /// them on the resume request instead). Planning errors surface as
+    /// usual; snapshot encoding failures as [`Error::Snapshot`].
+    pub fn checkpoint_at(self, phase: CheckpointPhase) -> Result<Checkpoint, Error> {
+        let CheckpointPhase::KernelHandoff = phase;
+        if self.telemetry {
+            return Err(Error::Checkpoint(
+                "telemetry must be off to checkpoint: the metrics sink is not snapshotted".into(),
+            ));
+        }
+        if self.tweak.is_some() {
+            return Err(Error::Checkpoint(
+                "plan tweaks act on the boot suffix; install the tweak on the resume request"
+                    .into(),
+            ));
+        }
+        let pipeline = Pipeline::standard();
+        let (ir, deltas) = pipeline.plan(self.scenario, &self.cfg, self.pre)?;
+        let no_faults = FaultPlan::none();
+        let faults = self.faults.unwrap_or(&no_faults);
+        let (machine, kernel, device) = execute_prefix(&ir, faults, false);
+        let bytes = snapshot::save(&machine)?;
+        Ok(Checkpoint {
+            phase,
+            config_hash: snapshot::config_hash(&ir.machine),
+            plan: OwnedPlan::capture(self.scenario, &ir, &deltas),
+            bytes,
+            kernel,
+            device,
+            cfg: self.cfg,
+        })
+    }
+
+    /// Restores `checkpoint` and executes only the boot *suffix* (the
+    /// init scheme onward) under this request's configuration. The
+    /// composed timeline is bit-identical to an uninterrupted
+    /// [`run`](Self::run) of the same configuration.
+    ///
+    /// The request's configuration must share the checkpoint's
+    /// [`BbConfig::prefix_key`]; the suffix-only features
+    /// (`deferred_executor`, `preparser`, `bb_group`) are free to
+    /// differ, which is the whole point — one kernel simulation, many
+    /// service-phase variants. A [`tweak`](Self::tweak) is applied to
+    /// the resumed plan as usual.
+    ///
+    /// Resuming the checkpoint's own configuration on its own scenario
+    /// (no tweak) additionally reuses the checkpoint's stored boot
+    /// plan instead of re-planning — planning is deterministic, so the
+    /// timeline is unchanged but the host-side cost drops; this is why
+    /// forked boots beat full boots in `BENCH_snapshot.json`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Checkpoint`] if telemetry is enabled, a fault plan is
+    /// attached (faults are installed *before* the kernel boots, so
+    /// they belong on the checkpoint request — the snapshot carries the
+    /// fault state), the prefix keys differ, or the scenario's machine
+    /// configuration hashes differently from the checkpoint's.
+    /// [`Error::Snapshot`] if the snapshot bytes fail validation.
+    pub fn resume(self, checkpoint: &Checkpoint) -> Result<Boot, Error> {
+        if self.telemetry {
+            return Err(Error::Checkpoint(
+                "telemetry must be off to resume: the metrics sink is not snapshotted".into(),
+            ));
+        }
+        if self.faults.is_some() {
+            return Err(Error::Checkpoint(
+                "a resumed boot carries the checkpoint's fault state; \
+                 install the fault plan on the checkpoint request"
+                    .into(),
+            ));
+        }
+        if self.cfg.prefix_key() != checkpoint.cfg.prefix_key() {
+            return Err(Error::Checkpoint(format!(
+                "prefix key mismatch: checkpoint was taken under {:?}, resume requested {:?}",
+                checkpoint.cfg.prefix_key(),
+                self.cfg.prefix_key()
+            )));
+        }
+        // Fast path: resuming the checkpoint's own configuration on the
+        // checkpoint's own scenario (with no tweak) reuses the plan the
+        // checkpoint already computed — planning is deterministic, so
+        // re-running it would reproduce the same IR at a double-digit
+        // share of the boot's host cost. Any mismatch falls through to
+        // the re-planning path below, which performs the authoritative
+        // validation.
+        let (mut ir, deltas) = if self.tweak.is_none()
+            && checkpoint.plan.covers(self.scenario, &self.cfg)
+        {
+            checkpoint.plan.as_ir(self.scenario)
+        } else {
+            let pipeline = Pipeline::standard();
+            let (ir, deltas) = pipeline.plan(self.scenario, &self.cfg, self.pre)?;
+            if snapshot::config_hash(&ir.machine) != checkpoint.config_hash {
+                return Err(Error::Checkpoint(
+                    "machine config mismatch: the scenario does not match the checkpoint's".into(),
+                ));
+            }
+            (ir, deltas)
+        };
+        if let Some(tweak) = self.tweak {
+            let BootPlanIr {
+                ref graph,
+                ref transaction,
+                ref mut overrides,
+                ..
+            } = ir;
+            tweak(graph, transaction, overrides);
+        }
+        let machine = snapshot::restore(&checkpoint.bytes)?;
+        let (report, machine) = execute_suffix(
+            &ir,
+            deltas,
+            machine,
+            checkpoint.kernel.clone(),
+            checkpoint.device,
+        );
+        Ok(Boot { report, machine })
     }
 
     /// Plans and executes the boot.
@@ -540,6 +740,138 @@ pub(crate) mod tests {
                 overrides.isolate.insert(graph.idx_of("var.mount"));
             })
             .run()
+            .unwrap();
+        assert_eq!(boot.report.bb_group, [UnitName::new("var.mount")]);
+    }
+
+    /// The load-bearing checkpoint property: split the boot at the
+    /// kernel→init handoff and the composed timeline is bit-identical
+    /// to the uninterrupted run, event for event, for both ends of the
+    /// config spectrum.
+    #[test]
+    fn checkpoint_resume_matches_uninterrupted_run() {
+        let s = mini_tv();
+        for cfg in [BbConfig::conventional(), BbConfig::full()] {
+            let straight = BootRequest::new(&s).config(cfg).run().unwrap();
+            let ckpt = BootRequest::new(&s)
+                .config(cfg)
+                .checkpoint_at(CheckpointPhase::KernelHandoff)
+                .unwrap();
+            let resumed = BootRequest::new(&s).config(cfg).resume(&ckpt).unwrap();
+            assert_eq!(
+                straight.report.boot.completion_time,
+                resumed.report.boot.completion_time
+            );
+            assert_eq!(straight.report.quiesce_time, resumed.report.quiesce_time);
+            assert_eq!(straight.report.rcu, resumed.report.rcu);
+            let a = straight.machine.trace().events();
+            let b = resumed.machine.trace().events();
+            assert_eq!(a.len(), b.len(), "event counts diverge");
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x, y, "trace event diverges");
+            }
+        }
+    }
+
+    /// One checkpoint, many suffix variants: resuming under a config
+    /// that differs only in suffix features matches that config's
+    /// uninterrupted run.
+    #[test]
+    fn one_checkpoint_serves_every_suffix_config() {
+        let s = mini_tv();
+        let base = BbConfig::full();
+        let ckpt = BootRequest::new(&s)
+            .config(base)
+            .checkpoint_at(CheckpointPhase::KernelHandoff)
+            .unwrap();
+        for cfg in [
+            base,
+            BbConfig {
+                bb_group: false,
+                ..base
+            },
+            BbConfig {
+                preparser: false,
+                deferred_executor: false,
+                ..base
+            },
+        ] {
+            assert_eq!(cfg.prefix_key(), base.prefix_key());
+            let straight = BootRequest::new(&s).config(cfg).run().unwrap();
+            let resumed = BootRequest::new(&s).config(cfg).resume(&ckpt).unwrap();
+            assert_eq!(straight.report.boot_time(), resumed.report.boot_time());
+            assert_eq!(straight.report.quiesce_time, resumed.report.quiesce_time);
+            assert_eq!(straight.report.bb_group, resumed.report.bb_group);
+        }
+    }
+
+    #[test]
+    fn checkpoint_rejects_incompatible_requests() {
+        let s = mini_tv();
+        // Telemetry is not snapshotted.
+        assert!(matches!(
+            BootRequest::new(&s)
+                .telemetry(true)
+                .checkpoint_at(CheckpointPhase::KernelHandoff),
+            Err(Error::Checkpoint(_))
+        ));
+        // Tweaks act on the suffix plan.
+        assert!(matches!(
+            BootRequest::new(&s)
+                .tweak(|_, _, _| {})
+                .checkpoint_at(CheckpointPhase::KernelHandoff),
+            Err(Error::Checkpoint(_))
+        ));
+
+        let ckpt = BootRequest::new(&s)
+            .checkpoint_at(CheckpointPhase::KernelHandoff)
+            .unwrap();
+        assert_eq!(ckpt.phase(), CheckpointPhase::KernelHandoff);
+        assert_eq!(ckpt.config(), BbConfig::full());
+        // Prefix keys must match: conventional differs from full in
+        // every kernel-phase feature.
+        assert!(matches!(
+            BootRequest::new(&s)
+                .config(BbConfig::conventional())
+                .resume(&ckpt),
+            Err(Error::Checkpoint(_))
+        ));
+        // Faults belong on the checkpoint request.
+        let faults = FaultPlan::none();
+        assert!(matches!(
+            BootRequest::new(&s).faults(&faults).resume(&ckpt),
+            Err(Error::Checkpoint(_))
+        ));
+        // Telemetry rejected on resume too.
+        assert!(matches!(
+            BootRequest::new(&s).telemetry(true).resume(&ckpt),
+            Err(Error::Checkpoint(_))
+        ));
+        // A different machine shape is caught by the config hash even
+        // though the prefix key matches.
+        let mut other = mini_tv();
+        other.machine.cores = 2;
+        assert!(matches!(
+            BootRequest::new(&other).resume(&ckpt),
+            Err(Error::Checkpoint(_))
+        ));
+    }
+
+    /// A tweak on the *resume* request adjusts the suffix plan, exactly
+    /// as it would on an uninterrupted run.
+    #[test]
+    fn resume_applies_suffix_tweaks() {
+        let s = mini_tv();
+        let ckpt = BootRequest::new(&s)
+            .config(BbConfig::conventional())
+            .checkpoint_at(CheckpointPhase::KernelHandoff)
+            .unwrap();
+        let boot = BootRequest::new(&s)
+            .config(BbConfig::conventional())
+            .tweak(|graph, _tx, overrides| {
+                overrides.isolate.insert(graph.idx_of("var.mount"));
+            })
+            .resume(&ckpt)
             .unwrap();
         assert_eq!(boot.report.bb_group, [UnitName::new("var.mount")]);
     }

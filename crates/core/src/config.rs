@@ -76,6 +76,25 @@ impl BbConfig {
         .count()
     }
 
+    /// The features that shape the boot *prefix* — everything simulated
+    /// before the kernel→init handoff (kernel boot, RCU Booster Control
+    /// installation, module loading setup). Two configurations with
+    /// equal prefix keys produce bit-identical machines at the handoff,
+    /// so a checkpoint taken under one can be resumed under the other;
+    /// this is what lets a forked fleet sweep simulate the shared
+    /// kernel phase once per key instead of once per configuration.
+    ///
+    /// `deferred_executor`, `preparser`, and `bb_group` act entirely in
+    /// the init/service phase and are deliberately excluded.
+    pub fn prefix_key(&self) -> (bool, bool, bool, bool) {
+        (
+            self.rcu_booster,
+            self.defer_memory,
+            self.ondemand_modularizer,
+            self.defer_journal,
+        )
+    }
+
     /// All single-feature configurations, as `(feature name, config)` —
     /// the conventional boot with exactly one mechanism enabled.
     pub fn single_feature_configs() -> Vec<(&'static str, BbConfig)> {

@@ -27,6 +27,13 @@ pub enum Error {
     Fallback(FallbackReason),
     /// A fleet job failed (see `bb_fleet`).
     Job(JobError),
+    /// A machine snapshot could not be written or restored (see
+    /// [`bb_sim::snapshot`] and [`crate::booster::Checkpoint`]).
+    Snapshot(bb_sim::SnapshotError),
+    /// A checkpoint/resume request combined incompatible options (e.g.
+    /// resuming under a config whose prefix differs from the
+    /// checkpoint's, or checkpointing with telemetry enabled).
+    Checkpoint(String),
 }
 
 impl std::fmt::Display for Error {
@@ -36,6 +43,8 @@ impl std::fmt::Display for Error {
             Error::Transaction(e) => write!(f, "transaction error: {e}"),
             Error::Fallback(e) => write!(f, "fallback: {e}"),
             Error::Job(e) => write!(f, "job failed: {e}"),
+            Error::Snapshot(e) => write!(f, "snapshot error: {e}"),
+            Error::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
         }
     }
 }
@@ -47,6 +56,8 @@ impl std::error::Error for Error {
             Error::Transaction(e) => Some(e),
             Error::Fallback(e) => Some(e),
             Error::Job(e) => Some(e),
+            Error::Snapshot(e) => Some(e),
+            Error::Checkpoint(_) => None,
         }
     }
 }
@@ -72,6 +83,12 @@ impl From<FallbackReason> for Error {
 impl From<JobError> for Error {
     fn from(e: JobError) -> Self {
         Error::Job(e)
+    }
+}
+
+impl From<bb_sim::SnapshotError> for Error {
+    fn from(e: bb_sim::SnapshotError) -> Self {
+        Error::Snapshot(e)
     }
 }
 

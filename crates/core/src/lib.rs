@@ -43,7 +43,7 @@ pub mod telemetry;
 
 #[allow(deprecated)]
 pub use booster::{boost, boost_custom, boost_prepared, boost_with_machine, BoostError};
-pub use booster::{Boot, BootRequest, FullBootReport, Scenario};
+pub use booster::{Boot, BootRequest, Checkpoint, CheckpointPhase, FullBootReport, Scenario};
 pub use config::BbConfig;
 pub use error::{Error, JobError};
 pub use fallback::{

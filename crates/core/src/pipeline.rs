@@ -742,6 +742,21 @@ pub fn execute_instrumented(
     faults: &bb_sim::FaultPlan,
     telemetry: bool,
 ) -> (FullBootReport, Machine) {
+    let (machine, kernel, device) = execute_prefix(ir, faults, telemetry);
+    execute_suffix(ir, deltas, machine, kernel, device)
+}
+
+/// The boot *prefix*: everything up to (and including) the kernel→init
+/// handoff — machine creation, storage, fault plan, kernel boot, the
+/// RCU Booster Control installation, and module loading setup. This is
+/// the shared phase a checkpoint captures; the only prefix products the
+/// suffix needs beyond the machine itself are the kernel report and the
+/// boot-storage device id.
+pub(crate) fn execute_prefix(
+    ir: &BootPlanIr<'_>,
+    faults: &bb_sim::FaultPlan,
+    telemetry: bool,
+) -> (Machine, bb_kernel::KernelReport, bb_sim::DeviceId) {
     let mut machine = Machine::new(ir.machine);
     if telemetry {
         machine.enable_telemetry();
@@ -759,7 +774,21 @@ pub fn execute_instrumented(
         ir.module_strategy,
         boot_complete,
     );
+    (machine, kernel, device)
+}
 
+/// The boot *suffix*: the init scheme and everything after it, resumed
+/// on a machine that already completed [`execute_prefix`] (freshly, or
+/// restored from a snapshot). Composing prefix + suffix replays the
+/// exact machine-op order of the unsplit path, so boot timelines are
+/// bit-identical.
+pub(crate) fn execute_suffix(
+    ir: &BootPlanIr<'_>,
+    deltas: Vec<PassDelta>,
+    mut machine: Machine,
+    kernel: bb_kernel::KernelReport,
+    device: bb_sim::DeviceId,
+) -> (FullBootReport, Machine) {
     let bb_group: Vec<UnitName> = ir
         .overrides
         .isolate
@@ -796,6 +825,118 @@ pub fn execute_instrumented(
         },
         machine,
     )
+}
+
+/// An owned copy of a planned boot — every [`BootPlanIr`] field that
+/// does not borrow the scenario — plus the pass deltas that produced
+/// it and enough scenario identity to tell when it can be reused.
+///
+/// A [`crate::Checkpoint`] carries one: resuming under the checkpoint's
+/// own configuration (the common case — a fleet fork resumes the
+/// checkpointing config itself, and a suspend/resume cycle never
+/// changes config) then skips [`Pipeline::plan`] entirely, which is a
+/// double-digit share of a simulated boot's host cost. Planning is
+/// deterministic, so the reused plan is the plan a fresh
+/// [`Pipeline::plan`] call would have produced and the resumed timeline
+/// stays bit-identical.
+#[derive(Debug, Clone)]
+pub(crate) struct OwnedPlan {
+    name: String,
+    units_len: usize,
+    scenario_machine_hash: u64,
+    cfg: BbConfig,
+    machine: MachineConfig,
+    storage: DeviceProfile,
+    kernel: KernelPlan,
+    module_strategy: ModuleStrategy,
+    graph: UnitGraph,
+    transaction: Transaction,
+    completion: Vec<UnitName>,
+    overrides: PlanOverrides,
+    init_tasks: Vec<ManagerTask>,
+    service_phase_tasks: Vec<ManagerTask>,
+    load: LoadModel,
+    manager_costs: ManagerCosts,
+    parse_params: ParseCostParams,
+    pre: PreParser,
+    boost_rcu: bool,
+    deltas: Vec<PassDelta>,
+}
+
+impl OwnedPlan {
+    /// Copies the owned parts of `ir` (freshly planned from `scenario`)
+    /// and the pass deltas into a scenario-independent plan.
+    pub(crate) fn capture(
+        scenario: &Scenario,
+        ir: &BootPlanIr<'_>,
+        deltas: &[PassDelta],
+    ) -> OwnedPlan {
+        OwnedPlan {
+            name: scenario.name.clone(),
+            units_len: scenario.units.len(),
+            scenario_machine_hash: bb_sim::snapshot::config_hash(&scenario.machine),
+            cfg: ir.cfg,
+            machine: ir.machine,
+            storage: ir.storage,
+            kernel: ir.kernel.clone(),
+            module_strategy: ir.module_strategy,
+            graph: ir.graph.clone(),
+            transaction: ir.transaction.clone(),
+            completion: ir.completion.clone(),
+            overrides: ir.overrides.clone(),
+            init_tasks: ir.init_tasks.clone(),
+            service_phase_tasks: ir.service_phase_tasks.clone(),
+            load: ir.load,
+            manager_costs: ir.manager_costs,
+            parse_params: ir.parse_params,
+            pre: ir.pre,
+            boost_rcu: ir.boost_rcu,
+            deltas: deltas.to_vec(),
+        }
+    }
+
+    /// Whether resuming `scenario` under `cfg` can reuse this plan
+    /// verbatim. Conservative: any mismatch (different config, renamed
+    /// scenario, changed unit count or machine shape) sends the caller
+    /// down the re-planning path, which performs the authoritative
+    /// validation — reuse is purely an optimization, never a semantic
+    /// fork.
+    pub(crate) fn covers(&self, scenario: &Scenario, cfg: &BbConfig) -> bool {
+        self.cfg == *cfg
+            && self.name == scenario.name
+            && self.units_len == scenario.units.len()
+            && self.scenario_machine_hash == bb_sim::snapshot::config_hash(&scenario.machine)
+    }
+
+    /// Reconstructs the [`BootPlanIr`] this plan was captured from,
+    /// borrowing the read-only inputs (module catalog, workload bodies)
+    /// from `scenario` exactly like a fresh plan would.
+    pub(crate) fn as_ir<'s>(&self, scenario: &'s Scenario) -> (BootPlanIr<'s>, Vec<PassDelta>) {
+        (
+            BootPlanIr {
+                name: &scenario.name,
+                cfg: self.cfg,
+                machine: self.machine,
+                storage: self.storage,
+                kernel: self.kernel.clone(),
+                modules: &scenario.modules,
+                module_strategy: self.module_strategy,
+                workloads: &scenario.workloads,
+                graph: self.graph.clone(),
+                transaction: self.transaction.clone(),
+                completion: self.completion.clone(),
+                overrides: self.overrides.clone(),
+                init_tasks: self.init_tasks.clone(),
+                service_phase_tasks: self.service_phase_tasks.clone(),
+                load: self.load,
+                manager_costs: self.manager_costs,
+                parse_params: self.parse_params,
+                pre: self.pre,
+                boost_rcu: self.boost_rcu,
+            },
+            self.deltas.clone(),
+        )
+    }
 }
 
 #[cfg(test)]

@@ -690,6 +690,7 @@ mod tests {
                 })
                 .collect(),
             spans: Vec::new(),
+            kernel_sims: 0,
             elapsed: std::time::Duration::ZERO,
         }
     }

@@ -568,6 +568,7 @@ pub fn run_chaos(spec: &ChaosSpec, pool: &PoolConfig) -> ChaosOutcome {
             jobs: jobs.len(),
             max_queue_depth,
             restarts: total_restarts,
+            kernel_sims: 0,
             per_worker,
         },
     }

@@ -26,6 +26,9 @@ pub const SCHEMA_METRICS: &str = "bb-metrics-v1";
 pub const SCHEMA_PROFILE: &str = "bb-profile-v1";
 /// Schema stamp of `bbsim boot --json` output.
 pub const SCHEMA_BOOT: &str = "bbsim-boot-v1";
+/// Schema stamp of snapshot-derived documents: `bbsim suspend --json`
+/// and the `BENCH_snapshot.json` perf baseline.
+pub const SCHEMA_SNAPSHOT: &str = "bb-snapshot-v1";
 
 /// Opens a top-level JSON document with its version stamp. Every
 /// emitter in the workspace goes through this helper, so the `"schema"`

@@ -23,7 +23,7 @@ use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 
 use crate::aggregate::{Aggregator, SweepReport};
 use crate::spec::{job_scenario, Job, SweepSpec};
-use bb_core::BootRequest;
+use bb_core::{BootRequest, Checkpoint, CheckpointPhase};
 
 /// Pool sizing and policy.
 #[derive(Debug, Clone)]
@@ -74,6 +74,10 @@ pub struct JobOutput {
     /// Per-config `(span name, duration ns)` lists, in config order.
     /// Empty unless [`SweepSpec::metrics`] is set.
     pub spans: Vec<Vec<(String, u64)>>,
+    /// Kernel-phase simulations this job actually executed. Equals the
+    /// config count for a plain sweep; with [`SweepSpec::fork`] it is
+    /// the number of distinct prefix keys in the cell's config list.
+    pub kernel_sims: usize,
     /// Wall-clock time the job took (host time; not in JSON output).
     pub elapsed: Duration,
 }
@@ -119,6 +123,12 @@ pub struct PoolStats {
     /// Supervised respawns observed across all boots. Always 0 for
     /// fault-free sweeps; chaos sweeps count every `Restart=` respawn.
     pub restarts: usize,
+    /// Kernel-phase simulations executed across all completed jobs.
+    /// Equals the boot count for a plain sweep; a forked sweep
+    /// ([`SweepSpec::fork`]) simulates the shared prefix once per
+    /// distinct prefix key per job, so this drops well below the boot
+    /// count — the work the checkpoint fork saved.
+    pub kernel_sims: usize,
     /// Per-worker counters.
     pub per_worker: Vec<WorkerStats>,
 }
@@ -157,6 +167,9 @@ impl PoolStats {
             self.jobs_per_sec(),
             self.max_queue_depth,
         );
+        if self.kernel_sims > 0 {
+            let _ = writeln!(out, "  kernel phase simulated {} time(s)", self.kernel_sims);
+        }
         for (w, ws) in self.per_worker.iter().enumerate() {
             let _ = writeln!(
                 out,
@@ -202,6 +215,7 @@ pub fn run_sweep(spec: &SweepSpec, pool: &PoolConfig) -> SweepOutcome {
     let mut aggregator = Aggregator::new(spec);
     let started = Instant::now();
     let mut max_queue_depth = jobs.len();
+    let mut kernel_sims = 0usize;
     let mut per_worker: Vec<WorkerStats> = Vec::new();
 
     crossbeam::thread::scope(|scope| {
@@ -232,6 +246,9 @@ pub fn run_sweep(spec: &SweepSpec, pool: &PoolConfig) -> SweepOutcome {
         // Streaming aggregation on this thread while workers run.
         while let Ok(msg) = rx.recv() {
             max_queue_depth = max_queue_depth.max(injector.len());
+            if let Ok(out) = &msg {
+                kernel_sims += out.kernel_sims;
+            }
             aggregator.accept(msg);
         }
 
@@ -251,6 +268,7 @@ pub fn run_sweep(spec: &SweepSpec, pool: &PoolConfig) -> SweepOutcome {
             jobs: jobs.len(),
             max_queue_depth,
             restarts: 0,
+            kernel_sims,
             per_worker,
         },
     }
@@ -311,13 +329,40 @@ fn run_job(
         let (scenario, pre) = job_scenario(cell, seed, &shared[job.cell]);
         let mut samples = Vec::with_capacity(cell.configs.len());
         let mut spans = Vec::new();
+        let mut kernel_sims = 0usize;
+        // Forked mode: one checkpoint per distinct prefix key, shared
+        // by every config of the job. Every boot resumes (the first
+        // included), so forked ≡ unforked reduces to resume ≡ run —
+        // the property bb-core's checkpoint tests pin.
+        let mut checkpoints: Vec<((bool, bool, bool, bool), Checkpoint)> = Vec::new();
         for (config, (label, cfg)) in cell.configs.iter().enumerate() {
-            let report = BootRequest::new(&scenario)
-                .config(*cfg)
-                .prepared(&pre)
-                .run()
-                .map_err(|e| FailureKind::Boost(e.to_string()))?
-                .report;
+            let boot = if spec.fork {
+                let key = cfg.prefix_key();
+                if !checkpoints.iter().any(|(k, _)| *k == key) {
+                    let ckpt = BootRequest::new(&scenario)
+                        .config(*cfg)
+                        .prepared(&pre)
+                        .checkpoint_at(CheckpointPhase::KernelHandoff)
+                        .map_err(|e| FailureKind::Boost(e.to_string()))?;
+                    kernel_sims += 1;
+                    checkpoints.push((key, ckpt));
+                }
+                let (_, ckpt) = checkpoints
+                    .iter()
+                    .find(|(k, _)| *k == key)
+                    .expect("checkpoint inserted above");
+                BootRequest::new(&scenario)
+                    .config(*cfg)
+                    .prepared(&pre)
+                    .resume(ckpt)
+            } else {
+                kernel_sims += 1;
+                BootRequest::new(&scenario)
+                    .config(*cfg)
+                    .prepared(&pre)
+                    .run()
+            };
+            let report = boot.map_err(|e| FailureKind::Boost(e.to_string()))?.report;
             // A boot that never met its completion definition is a
             // reported failure, not a worker panic (`try_boot_time`).
             let boot_time = report
@@ -339,7 +384,7 @@ fn run_job(
                 );
             }
         }
-        Ok::<_, FailureKind>((samples, spans))
+        Ok::<_, FailureKind>((samples, spans, kernel_sims))
     }));
     let elapsed = started.elapsed();
 
@@ -347,7 +392,7 @@ fn run_job(
     match outcome {
         Err(payload) => fail(FailureKind::Panic(panic_message(payload))),
         Ok(Err(kind)) => fail(kind),
-        Ok(Ok((samples, spans))) => {
+        Ok(Ok((samples, spans, kernel_sims))) => {
             if let Some(deadline) = spec.deadline {
                 if elapsed > deadline {
                     return fail(FailureKind::DeadlineExceeded { elapsed });
@@ -358,6 +403,7 @@ fn run_job(
                 seed,
                 samples,
                 spans,
+                kernel_sims,
                 elapsed,
             })
         }
@@ -378,6 +424,7 @@ pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 mod tests {
     use super::*;
     use crate::spec::CellSpec;
+    use bb_core::BbConfig;
     use bb_workloads::{profiles, TizenParams};
 
     fn tiny_spec(seeds: impl IntoIterator<Item = u64>) -> SweepSpec {
@@ -466,6 +513,52 @@ mod tests {
             .failures
             .iter()
             .all(|f| f.reason == "incomplete boot: conventional"));
+    }
+
+    /// The acceptance property of checkpoint-forked sweeps: JSON
+    /// byte-identical to the unforked sweep, shared kernel phase
+    /// simulated once per prefix key per job.
+    #[test]
+    fn forked_sweep_is_byte_identical_and_simulates_the_kernel_once() {
+        let spec = tiny_spec([1, 2]);
+        let plain = run_sweep(&spec, &PoolConfig::with_workers(2));
+        let forked = run_sweep(&spec.clone().with_fork(true), &PoolConfig::with_workers(2));
+        assert_eq!(plain.report.to_json(), forked.report.to_json());
+        // conventional vs bb differ in every prefix feature → 2 keys
+        // per job; the plain sweep simulates the kernel per boot.
+        assert_eq!(plain.stats.kernel_sims, 4);
+        assert_eq!(forked.stats.kernel_sims, 4);
+
+        // A config axis that shares one prefix key forks for real:
+        // full BB vs BB-without-bb_group boot the same kernel.
+        let shared_prefix = SweepSpec::new().cell(
+            CellSpec::tizen(
+                "tiny",
+                profiles::ue48h6200(),
+                TizenParams {
+                    services: 24,
+                    ..TizenParams::open_source()
+                },
+            )
+            .seeds([1, 2])
+            .config("bb", BbConfig::full())
+            .config(
+                "bb-no-group",
+                BbConfig {
+                    bb_group: false,
+                    ..BbConfig::full()
+                },
+            ),
+        );
+        let plain = run_sweep(&shared_prefix, &PoolConfig::with_workers(2));
+        let forked = run_sweep(
+            &shared_prefix.clone().with_fork(true),
+            &PoolConfig::with_workers(2),
+        );
+        assert_eq!(plain.report.to_json(), forked.report.to_json());
+        assert_eq!(plain.stats.kernel_sims, 4, "2 jobs x 2 configs");
+        assert_eq!(forked.stats.kernel_sims, 2, "2 jobs x 1 shared prefix");
+        assert!(forked.stats.summary().contains("kernel phase simulated"));
     }
 
     #[test]

@@ -125,6 +125,14 @@ pub struct SweepSpec {
     /// Collect per-boot telemetry spans ([`bb_core::boot_spans`]) and
     /// aggregate them into a [`crate::MetricsReport`] (`bb-metrics-v1`).
     pub metrics: bool,
+    /// Fork each job's boots from a shared kernel checkpoint: the boot
+    /// prefix (through the kernel→init handoff) is simulated once per
+    /// distinct [`BbConfig::prefix_key`] and every config resumes from
+    /// the saved [`bb_core::Checkpoint`] instead of re-simulating it.
+    /// Reports are byte-identical to an unforked sweep — resuming a
+    /// checkpoint replays the exact prefix timeline — the sweep just
+    /// does less work (see `PoolStats::kernel_sims`).
+    pub fork: bool,
 }
 
 impl SweepSpec {
@@ -148,6 +156,12 @@ impl SweepSpec {
     /// Enables span metrics collection (see [`SweepSpec::metrics`]).
     pub fn with_metrics(mut self, metrics: bool) -> Self {
         self.metrics = metrics;
+        self
+    }
+
+    /// Enables checkpoint-forked boots (see [`SweepSpec::fork`]).
+    pub fn with_fork(mut self, fork: bool) -> Self {
+        self.fork = fork;
         self
     }
 

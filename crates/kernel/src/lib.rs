@@ -23,4 +23,4 @@ pub use boot::{execute_kernel_boot, KernelPhase, KernelPlan, KernelReport, Rootf
 pub use initcall::{Criticality, Initcall, InitcallLevel, InitcallRegistry};
 pub use memory::MemoryPlan;
 pub use modules::{synthetic_catalog, KernelModule, ModuleCatalog, ModuleLoadCosts};
-pub use suspend::{StandbyPolicy, SuspendToRam};
+pub use suspend::{ResumeReport, StandbyPolicy, SuspendToRam};

@@ -8,8 +8,16 @@
 //! regulation of the European Union… the power consumption of a TV in
 //! standby cannot exceed 1 W. An active smart TV application processor
 //! consumes well over 1 W."
+//!
+//! [`SuspendToRam::simulate_resume`] runs the resume *on a machine*:
+//! take a fully-booted machine (typically round-tripped through
+//! [`bb_sim::snapshot`] — RAM contents survive suspend, so the snapshot
+//! *is* the suspended image), spawn the wake sequence on it, and run to
+//! quiescence. `bbsim suspend` uses this to put real numbers behind the
+//! §2.1 comparison: instant-on resume vs. the BB cold boot vs. the
+//! conventional cold boot.
 
-use bb_sim::SimDuration;
+use bb_sim::{Machine, OpsBuilder, ProcessSpec, SimDuration, SimTime};
 
 /// Suspend-to-RAM resume model.
 #[derive(Debug, Clone, Copy)]
@@ -35,9 +43,54 @@ impl SuspendToRam {
         }
     }
 
-    /// Time from power-button press to a usable device.
+    /// Time from power-button press to a usable device (the closed-form
+    /// model; [`simulate_resume`](Self::simulate_resume) is the
+    /// executed version and matches it on an idle machine).
     pub fn resume_time(&self) -> SimDuration {
         self.wake_latency + self.per_device_resume * u64::from(self.devices) + self.display_restart
+    }
+
+    /// Executes the resume sequence on `machine` — SoC wake, one resume
+    /// hook per device driver (serial, exactly how the kernel walks the
+    /// suspend order), then the display pipeline restart — and runs the
+    /// machine to quiescence.
+    ///
+    /// `machine` should be a fully-booted, quiescent machine restored
+    /// from a [`bb_sim::snapshot`]: suspend-to-RAM keeps DRAM powered,
+    /// so the snapshot of the booted machine is a faithful stand-in for
+    /// the suspended RAM image, and the resumed timeline continues from
+    /// the machine's own clock.
+    pub fn simulate_resume(&self, machine: &mut Machine) -> ResumeReport {
+        let suspended_at = machine.now();
+        let done = machine.flag("resume-complete");
+        let mut ops = OpsBuilder::new().compute(self.wake_latency);
+        for _ in 0..self.devices {
+            ops = ops.compute(self.per_device_resume);
+        }
+        let ops = ops.compute(self.display_restart).set_flag(done).build();
+        machine.spawn(ProcessSpec::new("suspend-resume", ops));
+        let outcome = machine.run();
+        ResumeReport {
+            suspended_at,
+            resumed_at: outcome.end_time,
+        }
+    }
+}
+
+/// Measured outcome of [`SuspendToRam::simulate_resume`].
+#[derive(Debug, Clone, Copy)]
+pub struct ResumeReport {
+    /// Machine clock when the wake was requested (= when the booted
+    /// machine went quiescent and was suspended).
+    pub suspended_at: SimTime,
+    /// Machine clock when the resume sequence finished.
+    pub resumed_at: SimTime,
+}
+
+impl ResumeReport {
+    /// Power-button press to usable device.
+    pub fn resume_time(&self) -> SimDuration {
+        self.resumed_at.since(self.suspended_at)
     }
 }
 
@@ -99,6 +152,37 @@ mod tests {
         // A genuinely off TV is fine — which is why the cold boot must
         // be fast instead.
         assert!(StandbyPolicy::tv_cold_off().compliant());
+    }
+
+    /// The executed resume matches the closed-form model on an idle
+    /// single-purpose machine: nothing competes with the wake process.
+    #[test]
+    fn simulated_resume_matches_the_closed_form() {
+        use bb_sim::MachineConfig;
+        let model = SuspendToRam::tv();
+        let mut m = Machine::new(MachineConfig::default());
+        let report = model.simulate_resume(&mut m);
+        assert_eq!(report.resume_time(), model.resume_time());
+        assert_eq!(report.suspended_at, SimTime::ZERO);
+    }
+
+    /// Resume continues the machine's own clock — simulating it on a
+    /// machine that has already run leaves history intact.
+    #[test]
+    fn resume_continues_a_used_machine() {
+        use bb_sim::MachineConfig;
+        let mut m = Machine::new(MachineConfig::default());
+        m.spawn(ProcessSpec::new(
+            "boot",
+            OpsBuilder::new().compute_ms(5).build(),
+        ));
+        m.run();
+        let report = SuspendToRam::tv().simulate_resume(&mut m);
+        assert_eq!(
+            report.suspended_at,
+            SimTime::ZERO + SimDuration::from_millis(5)
+        );
+        assert_eq!(report.resume_time(), SuspendToRam::tv().resume_time());
     }
 
     #[test]

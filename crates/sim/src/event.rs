@@ -57,10 +57,10 @@ pub enum EventKind {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct QueuedEvent {
-    time: SimTime,
-    seq: u64,
-    kind: EventKind,
+pub(crate) struct QueuedEvent {
+    pub(crate) time: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) kind: EventKind,
 }
 
 impl Ord for QueuedEvent {
@@ -78,8 +78,8 @@ impl PartialOrd for QueuedEvent {
 /// The simulator's future-event list.
 #[derive(Debug, Default)]
 pub struct EventQueue {
-    heap: BinaryHeap<Reverse<QueuedEvent>>,
-    next_seq: u64,
+    pub(crate) heap: BinaryHeap<Reverse<QueuedEvent>>,
+    pub(crate) next_seq: u64,
 }
 
 impl EventQueue {

@@ -126,10 +126,10 @@ pub struct Device {
     /// Performance parameters.
     pub profile: DeviceProfile,
     /// Waiting requests keyed by (class, submission sequence).
-    queue: BTreeMap<(IoPriority, u64), IoRequest>,
-    next_seq: u64,
-    in_flight: Option<IoRequest>,
-    busy_until: Option<SimTime>,
+    pub(crate) queue: BTreeMap<(IoPriority, u64), IoRequest>,
+    pub(crate) next_seq: u64,
+    pub(crate) in_flight: Option<IoRequest>,
+    pub(crate) busy_until: Option<SimTime>,
     /// Total bytes read, for reports.
     pub bytes_read: u64,
     /// Total time requests spent queued before service, for reports.

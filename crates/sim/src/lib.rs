@@ -39,6 +39,7 @@ pub mod io;
 pub mod machine;
 pub mod process;
 pub mod rcu;
+pub mod snapshot;
 pub mod telemetry;
 pub mod time;
 pub mod trace;
@@ -50,6 +51,7 @@ pub use io::{Device, DeviceProfile, IoPriority, MIB};
 pub use machine::{Machine, MachineConfig, RunOutcome, SchedStats};
 pub use process::{AccessPattern, Op, OpsBuilder, ProcessSpec};
 pub use rcu::{RcuMode, RcuParams, RcuStats};
+pub use snapshot::{SnapshotError, SnapshotHeader};
 pub use telemetry::{Histogram, MetricsRegistry, Span, Telemetry};
 pub use time::{SimDuration, SimTime};
 pub use trace::{CoreSpan, ProcessTimeline, Trace, TraceEvent, TraceKind};

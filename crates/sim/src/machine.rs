@@ -86,73 +86,73 @@ pub struct RunOutcome {
 }
 
 #[derive(Debug, Default)]
-struct FlagState {
-    name: String,
-    set_at: Option<SimTime>,
-    waiters: Vec<Pid>,
+pub(crate) struct FlagState {
+    pub(crate) name: String,
+    pub(crate) set_at: Option<SimTime>,
+    pub(crate) waiters: Vec<Pid>,
 }
 
 /// Where a core-occupying span started, per running process.
 #[derive(Debug, Clone, Copy)]
-struct Running {
-    core: CoreId,
-    since: SimTime,
+pub(crate) struct Running {
+    pub(crate) core: CoreId,
+    pub(crate) since: SimTime,
 }
 
 /// An armed crash/hang fault against a process name.
 #[derive(Debug)]
-struct ProcFaultArm {
-    process: String,
-    hits_left: u32,
-    hang: bool,
+pub(crate) struct ProcFaultArm {
+    pub(crate) process: String,
+    pub(crate) hits_left: u32,
+    pub(crate) hang: bool,
 }
 
 /// An armed transient-I/O fault against a device.
 #[derive(Debug)]
-struct IoFaultArm {
-    device: DeviceId,
-    failures_left: u32,
-    retry_delay: SimDuration,
+pub(crate) struct IoFaultArm {
+    pub(crate) device: DeviceId,
+    pub(crate) failures_left: u32,
+    pub(crate) retry_delay: SimDuration,
 }
 
 /// Live fault-injection state built from an installed [`FaultPlan`].
 /// Absent (`None` on the machine) unless a non-empty plan was installed,
 /// so the fault-free path stays bit-identical.
 #[derive(Debug, Default)]
-struct FaultState {
-    proc_arms: Vec<ProcFaultArm>,
-    io_arms: Vec<IoFaultArm>,
+pub(crate) struct FaultState {
+    pub(crate) proc_arms: Vec<ProcFaultArm>,
+    pub(crate) io_arms: Vec<IoFaultArm>,
     /// Flag nobody ever sets, parked on by hung processes (lazily made).
-    hang_flag: Option<FlagId>,
+    pub(crate) hang_flag: Option<FlagId>,
 }
 
 /// The simulated machine.
 #[derive(Debug)]
 pub struct Machine {
-    cfg: MachineConfig,
-    now: SimTime,
-    events: EventQueue,
-    procs: Vec<Process>,
+    pub(crate) cfg: MachineConfig,
+    pub(crate) now: SimTime,
+    pub(crate) events: EventQueue,
+    pub(crate) procs: Vec<Process>,
     /// `Some(pid)` per busy core.
-    cores: Vec<Option<Pid>>,
+    pub(crate) cores: Vec<Option<Pid>>,
     /// Dispatch bookkeeping for busy processes.
-    running: HashMap<Pid, Running>,
-    ready: BinaryHeap<Reverse<(i8, u64, u32)>>,
-    ready_seq: u64,
-    devices: Vec<Device>,
-    flags: Vec<FlagState>,
-    flag_index: HashMap<String, FlagId>,
-    rcu: RcuEngine,
-    trace: Trace,
-    pending_spawns: Vec<Option<ProcessSpec>>,
-    work: Vec<Pid>,
-    failed: Vec<Pid>,
-    sched_stats: SchedStats,
-    faults: Option<FaultState>,
+    pub(crate) running: HashMap<Pid, Running>,
+    pub(crate) ready: BinaryHeap<Reverse<(i8, u64, u32)>>,
+    pub(crate) ready_seq: u64,
+    pub(crate) devices: Vec<Device>,
+    pub(crate) flags: Vec<FlagState>,
+    pub(crate) flag_index: HashMap<String, FlagId>,
+    pub(crate) rcu: RcuEngine,
+    pub(crate) trace: Trace,
+    pub(crate) pending_spawns: Vec<Option<ProcessSpec>>,
+    pub(crate) work: Vec<Pid>,
+    pub(crate) failed: Vec<Pid>,
+    pub(crate) sched_stats: SchedStats,
+    pub(crate) faults: Option<FaultState>,
     /// Metrics sink; absent unless telemetry was enabled, so the
     /// uninstrumented path stays bit-identical (same pattern as
     /// `faults`).
-    telemetry: Option<Telemetry>,
+    pub(crate) telemetry: Option<Telemetry>,
 }
 
 impl Machine {

@@ -94,7 +94,7 @@ pub struct Waiter {
 }
 
 /// Aggregate statistics of the engine, for experiment reports.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RcuStats {
     /// Completed `synchronize_rcu` calls.
     pub syncs_completed: u64,
@@ -117,15 +117,15 @@ pub struct RcuStats {
 /// The simulated RCU engine: batched grace periods plus reader tracking.
 #[derive(Debug)]
 pub struct RcuEngine {
-    mode: RcuMode,
-    params: RcuParams,
+    pub(crate) mode: RcuMode,
+    pub(crate) params: RcuParams,
     /// Waiters covered by the in-flight grace period.
-    current: Vec<Waiter>,
+    pub(crate) current: Vec<Waiter>,
     /// Waiters for the next grace period.
-    next: Vec<Waiter>,
-    grace_end: Option<SimTime>,
-    active_readers: u32,
-    stats: RcuStats,
+    pub(crate) next: Vec<Waiter>,
+    pub(crate) grace_end: Option<SimTime>,
+    pub(crate) active_readers: u32,
+    pub(crate) stats: RcuStats,
 }
 
 impl RcuEngine {

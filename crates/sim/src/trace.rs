@@ -75,8 +75,8 @@ pub struct CoreSpan {
 /// Collected timeline of one simulation run.
 #[derive(Debug, Default)]
 pub struct Trace {
-    events: Vec<TraceEvent>,
-    spans: Vec<CoreSpan>,
+    pub(crate) events: Vec<TraceEvent>,
+    pub(crate) spans: Vec<CoreSpan>,
     /// Disable span recording for very long runs.
     pub record_spans: bool,
 }

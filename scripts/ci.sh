@@ -28,4 +28,19 @@ run ./target/release/bbsim chaos --services 24 --seeds 2 --plans 2 \
     --workers 3 --json "$chaos_tmp/w3.json"
 run cmp "$chaos_tmp/w1.json" "$chaos_tmp/w3.json"
 
+# Snapshot gates: checkpoint-forked sweeps must be byte-identical to
+# unforked ones, the snapshot round-trip must stay deterministic
+# (proptests), and the golden file must pin the v1 format byte-for-byte.
+run cargo test -q --test proptest_snapshot
+run ./target/release/bbsim sweep --services 24 --seeds 3 \
+    --workers 2 --json "$chaos_tmp/plain.json"
+run ./target/release/bbsim sweep --services 24 --seeds 3 \
+    --workers 2 --fork-from kernel-handoff --json "$chaos_tmp/forked.json"
+run cmp "$chaos_tmp/plain.json" "$chaos_tmp/forked.json"
+
+# Instant-on smoke: suspend must emit a valid bb-snapshot-v1 document.
+echo "==> bbsim suspend --services 24 --json | grep schema"
+./target/release/bbsim suspend --services 24 --json >"$chaos_tmp/suspend.json"
+run grep -q '"schema": "bb-snapshot-v1"' "$chaos_tmp/suspend.json"
+
 echo "CI gate passed."

@@ -13,8 +13,11 @@
 //!
 //! bbsim sweep [--profiles NAMES|all] [--services N] [--seeds N] [--seed N]
 //!             [--features all|none|LIST] [--workers N] [--deadline-ms N]
-//!             [--json FILE|-] [--metrics FILE|-] [--baseline FILE]
-//!             [--tolerance PCT]
+//!             [--fork-from kernel-handoff] [--json FILE|-] [--metrics FILE|-]
+//!             [--baseline FILE] [--tolerance PCT]
+//!
+//! bbsim suspend [--scenario tv|tv136|camera] [--services N] [--cores N]
+//!               [--seed N] [--json]
 //!
 //! bbsim chaos [--profiles NAMES|all] [--services N] [--seeds N] [--seed N]
 //!             [--plans N] [--plan-seed N] [--workers N] [--deadline-ms N]
@@ -43,6 +46,18 @@
 //!
 //! `LIST` is a comma-separated subset of: rcu-booster, defer-memory,
 //! modularizer, defer-journal, deferred-executor, preparser, bb-group.
+//!
+//! `sweep --fork-from kernel-handoff` forks each job's boots from a
+//! shared kernel checkpoint ([`bb_core::Checkpoint`]): the boot prefix
+//! is simulated once per distinct prefix key and every config resumes
+//! from the saved snapshot. Output is byte-identical to the unforked
+//! sweep; the pool summary shows how many kernel simulations ran.
+//!
+//! `suspend` compares the three power paths of §2.1 on one scenario: it
+//! boots the conventional and full-BB shapes, snapshots the booted
+//! machine ([`bb_sim::snapshot`] — the stand-in for the suspended RAM
+//! image), restores it, and executes the suspend-to-RAM resume sequence
+//! on the restored machine. `--json` emits a `bb-snapshot-v1` document.
 //!
 //! `chaos` grids `{seed × fault-plan × config}`: every boot runs under
 //! the supervised BB→conventional fallback with `--plans` seeded fault
@@ -100,8 +115,10 @@ fn usage() -> ! {
          \u{20}            [--dot FILE.dot] [--blame N]\n\
          \u{20}      bbsim sweep [--profiles NAMES|all] [--services N] [--seeds N]\n\
          \u{20}            [--seed N] [--features LIST] [--workers N] [--deadline-ms N]\n\
-         \u{20}            [--json FILE|-] [--metrics FILE|-] [--baseline FILE]\n\
-         \u{20}            [--tolerance PCT]\n\
+         \u{20}            [--fork-from kernel-handoff] [--json FILE|-]\n\
+         \u{20}            [--metrics FILE|-] [--baseline FILE] [--tolerance PCT]\n\
+         \u{20}      bbsim suspend [--scenario tv|tv136|camera] [--services N]\n\
+         \u{20}            [--cores N] [--seed N] [--json]\n\
          \u{20}      bbsim chaos [--profiles NAMES|all] [--services N] [--seeds N]\n\
          \u{20}            [--seed N] [--plans N] [--plan-seed N] [--workers N]\n\
          \u{20}            [--deadline-ms N] [--restart no|on-failure|always]\n\
@@ -677,6 +694,7 @@ struct SweepArgs {
     features: String,
     workers: Option<usize>,
     deadline_ms: Option<u64>,
+    fork_from: Option<String>,
     json: Option<String>,
     metrics: Option<String>,
     baseline: Option<String>,
@@ -692,6 +710,7 @@ fn parse_sweep_args(mut it: impl Iterator<Item = String>) -> SweepArgs {
         features: "all".into(),
         workers: None,
         deadline_ms: None,
+        fork_from: None,
         json: None,
         metrics: None,
         baseline: None,
@@ -716,6 +735,7 @@ fn parse_sweep_args(mut it: impl Iterator<Item = String>) -> SweepArgs {
             "--deadline-ms" => {
                 args.deadline_ms = Some(value("--deadline-ms").parse().unwrap_or_else(|_| usage()))
             }
+            "--fork-from" => args.fork_from = Some(value("--fork-from")),
             "--json" => args.json = Some(value("--json")),
             "--metrics" => args.metrics = Some(value("--metrics")),
             "--baseline" => args.baseline = Some(value("--baseline")),
@@ -772,6 +792,15 @@ fn run_sweep_cmd(args: SweepArgs) {
     let mut spec = SweepSpec::new().with_metrics(args.metrics.is_some());
     if let Some(ms) = args.deadline_ms {
         spec = spec.deadline(std::time::Duration::from_millis(ms));
+    }
+    if let Some(phase) = &args.fork_from {
+        match phase.as_str() {
+            "kernel" | "kernel-handoff" => spec = spec.with_fork(true),
+            other => {
+                eprintln!("unknown --fork-from phase {other:?} (kernel-handoff)");
+                usage()
+            }
+        }
     }
     for profile in resolve_profiles(&args.profiles) {
         let label = format!("{}-s{}", profile.name, args.services);
@@ -859,6 +888,195 @@ fn run_sweep_cmd(args: SweepArgs) {
             args.tolerance
         );
     }
+}
+
+// ---------------------------------------------------------------------
+// suspend subcommand
+// ---------------------------------------------------------------------
+
+struct SuspendArgs {
+    scenario: String,
+    services: Option<usize>,
+    cores: Option<usize>,
+    seed: Option<u64>,
+    json: bool,
+}
+
+fn parse_suspend_args(mut it: impl Iterator<Item = String>) -> SuspendArgs {
+    let mut args = SuspendArgs {
+        scenario: "tv".into(),
+        services: None,
+        cores: None,
+        seed: None,
+        json: false,
+    };
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--scenario" => args.scenario = value("--scenario"),
+            "--services" => {
+                args.services = Some(value("--services").parse().unwrap_or_else(|_| usage()))
+            }
+            "--cores" => args.cores = Some(value("--cores").parse().unwrap_or_else(|_| usage())),
+            "--seed" => args.seed = Some(value("--seed").parse().unwrap_or_else(|_| usage())),
+            "--json" => args.json = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown suspend flag {other}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn suspend_json(
+    scenario: &booting_booster::bb::Scenario,
+    snapshot_bytes: usize,
+    resume: booting_booster::sim::SimDuration,
+    bb_boot: booting_booster::sim::SimTime,
+    conv_boot: booting_booster::sim::SimTime,
+) -> String {
+    use booting_booster::kernel::StandbyPolicy;
+    use booting_booster::sim::snapshot;
+
+    let standby = StandbyPolicy::tv_suspend_to_ram();
+    let mut out = json::open_document(json::SCHEMA_SNAPSHOT);
+    out.push_str(&format!(
+        "  \"scenario\": \"{}\",\n",
+        json::escape(&scenario.name)
+    ));
+    out.push_str(&format!(
+        "  \"snapshot_bytes\": {snapshot_bytes}, \"format_version\": {},\n",
+        snapshot::FORMAT_VERSION
+    ));
+    out.push_str(&format!(
+        "  \"config_hash\": {},\n",
+        snapshot::config_hash(&scenario.machine)
+    ));
+    out.push_str(&format!(
+        "  \"resume_ms\": {}, \"bb_boot_ms\": {}, \"conventional_boot_ms\": {},\n",
+        json::ms(resume.as_nanos() as f64),
+        json::ms(bb_boot.as_nanos() as f64),
+        json::ms(conv_boot.as_nanos() as f64),
+    ));
+    out.push_str(&format!(
+        "  \"standby_watts\": {}, \"standby_limit_watts\": {}, \"standby_compliant\": {}\n",
+        standby.standby_watts,
+        standby.limit_watts,
+        standby.compliant(),
+    ));
+    out.push_str("}\n");
+    out
+}
+
+fn run_suspend_cmd(args: SuspendArgs) {
+    use booting_booster::kernel::{StandbyPolicy, SuspendToRam};
+    use booting_booster::sim::snapshot;
+
+    let boot_args = Args {
+        scenario: args.scenario,
+        units_dir: None,
+        target: "boot.target".into(),
+        completion: None,
+        features: "all".into(),
+        services: args.services,
+        cores: args.cores,
+        seed: args.seed,
+        compare: false,
+        explain: false,
+        json: args.json,
+        profile: false,
+        metrics: false,
+        chart: None,
+        dot: None,
+        trace: None,
+        blame: 0,
+    };
+    let scenario = build_scenario(&boot_args);
+
+    let boot = |cfg: BbConfig| {
+        BootRequest::new(&scenario)
+            .config(cfg)
+            .run()
+            .unwrap_or_else(|e| {
+                eprintln!("boot failed: {e}");
+                exit(1);
+            })
+    };
+    let conv = boot(BbConfig::conventional());
+    let bb = boot(BbConfig::full());
+    let conv_boot = conv.report.boot_time();
+    let bb_boot = bb.report.boot_time();
+
+    // The booted, quiescent machine *is* the suspended RAM image:
+    // serialize it, restore it, and wake the restored copy.
+    let bytes = snapshot::save(&bb.machine).unwrap_or_else(|e| {
+        eprintln!("snapshot failed: {e}");
+        exit(1);
+    });
+    let mut resumed = snapshot::restore(&bytes).unwrap_or_else(|e| {
+        eprintln!("restore failed: {e}");
+        exit(1);
+    });
+    let resume = SuspendToRam::tv()
+        .simulate_resume(&mut resumed)
+        .resume_time();
+
+    if args.json {
+        print!(
+            "{}",
+            suspend_json(&scenario, bytes.len(), resume, bb_boot, conv_boot)
+        );
+        return;
+    }
+
+    let suspend = StandbyPolicy::tv_suspend_to_ram();
+    let off = StandbyPolicy::tv_cold_off();
+    let verdict = |p: &StandbyPolicy| {
+        if p.compliant() {
+            "compliant"
+        } else {
+            "VIOLATES the EU limit"
+        }
+    };
+    println!(
+        "scenario {} | {} units | snapshot of the booted machine: {} bytes (format v{})",
+        scenario.name,
+        scenario.units.len(),
+        bytes.len(),
+        snapshot::FORMAT_VERSION
+    );
+    println!("\npower-button to usable device:");
+    println!(
+        "  instant-on resume       {:>9.3} s   standby {:.1} W — {}",
+        resume.as_secs_f64(),
+        suspend.standby_watts,
+        verdict(&suspend)
+    );
+    println!(
+        "  BB cold boot            {:>9.3} s   standby {:.1} W — {}",
+        bb_boot.as_secs_f64(),
+        off.standby_watts,
+        verdict(&off)
+    );
+    println!(
+        "  conventional cold boot  {:>9.3} s   standby {:.1} W — {}",
+        conv_boot.as_secs_f64(),
+        off.standby_watts,
+        verdict(&off)
+    );
+    println!(
+        "\ninstant-on needs {:.1} W in standby — over the EU's {:.1} W cap (§2.1), \
+         which is why the cold boot itself must be fast.",
+        suspend.standby_watts,
+        StandbyPolicy::EU_LIMIT_WATTS
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -1018,6 +1236,10 @@ fn main() {
         Some("chaos") => {
             argv.next();
             run_chaos_cmd(parse_chaos_args(argv));
+        }
+        Some("suspend") => {
+            argv.next();
+            run_suspend_cmd(parse_suspend_args(argv));
         }
         _ => run_boot(parse_args(argv)),
     }
