@@ -74,13 +74,16 @@ fn boot_time(units: Vec<Unit>) -> SimTime {
         UnitName::new(format!("a{}.service", GROUP - 1)),
         UnitName::new(format!("b{}.service", GROUP - 1)),
     ];
+    let execution_order = transaction.execution_order(&graph);
+    let overrides = PlanOverrides::default();
     let plan = BootPlan {
         graph: &graph,
-        transaction,
-        completion,
-        overrides: PlanOverrides::default(),
-        init_tasks: Vec::new(),
-        service_phase_tasks: Vec::new(),
+        transaction: &transaction,
+        completion: &completion,
+        overrides: &overrides,
+        init_tasks: &[],
+        service_phase_tasks: &[],
+        execution_order: &execution_order,
     };
     let cfg = EngineConfig {
         mode: EngineMode::InOrder,

@@ -44,13 +44,16 @@ fn run_mode(name: &'static str, mode: EngineMode) -> SchemeResult {
     let workload = tizen_tv(&params, device);
     let graph = UnitGraph::build(workload.units.clone()).expect("valid units");
     let transaction = Transaction::build(&graph, &workload.target).expect("acyclic");
+    let execution_order = transaction.execution_order(&graph);
+    let overrides = PlanOverrides::default();
     let plan = BootPlan {
         graph: &graph,
-        transaction,
-        completion: workload.completion.clone(),
-        overrides: PlanOverrides::default(),
-        init_tasks: Vec::new(),
-        service_phase_tasks: Vec::new(),
+        transaction: &transaction,
+        completion: &workload.completion,
+        overrides: &overrides,
+        init_tasks: &[],
+        service_phase_tasks: &[],
+        execution_order: &execution_order,
     };
     let cfg = EngineConfig {
         mode,

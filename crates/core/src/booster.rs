@@ -7,9 +7,9 @@
 //! the scenario is lowered to a [`crate::pipeline::BootPlanIr`], the
 //! enabled [`PlanPass`]es transform it (recording a [`PassDelta`]
 //! each), and [`crate::pipeline::execute_instrumented`] runs the boot
-//! end to end. The pre-redesign entry points (`boost`,
-//! `boost_with_machine`, `boost_prepared`, `boost_custom`) survive as
-//! thin deprecated wrappers over the builder.
+//! end to end. Callers that boot in a loop attach a
+//! [`MachineBuilder`] via [`BootRequest::machine_builder`] so each boot
+//! reuses the previous machine's allocations.
 //!
 //! [`PlanPass`]: crate::pipeline::PlanPass
 //! [`PassDelta`]: crate::pipeline::PassDelta
@@ -19,14 +19,15 @@ use bb_init::{
 };
 use bb_kernel::{KernelPlan, KernelReport, ModuleCatalog};
 use bb_sim::{
-    snapshot, DeviceId, DeviceProfile, FaultPlan, Machine, MachineConfig, RcuStats, SimTime,
+    snapshot, DeviceId, DeviceProfile, FaultPlan, Machine, MachineBuilder, MachineConfig, RcuStats,
+    SimTime,
 };
 
 use crate::config::BbConfig;
 use crate::error::Error;
 use crate::pipeline::{
-    execute_instrumented, execute_prefix, execute_suffix, BootPlanIr, OwnedPlan, PassDelta,
-    Pipeline,
+    execute_pooled, execute_prefix, execute_suffix, execute_suffix_view, BootPlanIr, OwnedPlan,
+    PassDelta, Pipeline, SuffixView,
 };
 use crate::service_engine::{ParseCostParams, PreParser};
 
@@ -99,11 +100,6 @@ impl FullBootReport {
         self.boot.try_boot_time()
     }
 }
-
-/// Deprecated name for the workspace error type; assembly failures are
-/// now the `Graph`/`Transaction` variants of [`crate::Error`].
-#[deprecated(since = "0.5.0", note = "use bb_core::Error")]
-pub type BoostError = Error;
 
 /// One boot of a [`Scenario`], as returned by [`BootRequest::run`]: the
 /// measured report plus the machine whose trace produced it (for
@@ -206,6 +202,7 @@ pub struct BootRequest<'s> {
     pre: Option<&'s PreParser>,
     faults: Option<&'s FaultPlan>,
     telemetry: bool,
+    builder: Option<&'s mut MachineBuilder>,
     #[allow(clippy::type_complexity)]
     tweak: Option<Box<dyn FnOnce(&UnitGraph, &Transaction, &mut PlanOverrides) + 's>>,
 }
@@ -219,6 +216,7 @@ impl<'s> BootRequest<'s> {
             pre: None,
             faults: None,
             telemetry: false,
+            builder: None,
             tweak: None,
         }
     }
@@ -247,6 +245,17 @@ impl<'s> BootRequest<'s> {
     /// no-op.
     pub fn faults(mut self, faults: &'s FaultPlan) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Draws the boot's machine from `builder`'s recycling pool instead
+    /// of allocating a fresh one — the fleet hot path. Hand the
+    /// finished [`Boot::machine`] back via [`MachineBuilder::recycle`]
+    /// so the next request reuses its allocations. The builder contract
+    /// ([`MachineBuilder::build`]) makes this invisible in results:
+    /// timelines, traces, and snapshots stay bit-identical.
+    pub fn machine_builder(mut self, builder: &'s mut MachineBuilder) -> Self {
+        self.builder = Some(builder);
         self
     }
 
@@ -301,6 +310,11 @@ impl<'s> BootRequest<'s> {
         let faults = self.faults.unwrap_or(&no_faults);
         let (machine, kernel, device) = execute_prefix(&ir, faults, false);
         let bytes = snapshot::save(&machine)?;
+        // The prefix machine's job ends at the snapshot: recycle its
+        // allocations for the resumes that follow.
+        if let Some(b) = self.builder {
+            b.recycle(machine);
+        }
         Ok(Checkpoint {
             phase,
             config_hash: snapshot::config_hash(&ir.machine),
@@ -362,23 +376,32 @@ impl<'s> BootRequest<'s> {
         // checkpoint's own scenario (with no tweak) reuses the plan the
         // checkpoint already computed — planning is deterministic, so
         // re-running it would reproduce the same IR at a double-digit
-        // share of the boot's host cost. Any mismatch falls through to
-        // the re-planning path below, which performs the authoritative
-        // validation.
-        let (mut ir, deltas) = if self.tweak.is_none()
-            && checkpoint.plan.covers(self.scenario, &self.cfg)
-        {
-            checkpoint.plan.as_ir(self.scenario)
-        } else {
-            let pipeline = Pipeline::standard();
-            let (ir, deltas) = pipeline.plan(self.scenario, &self.cfg, self.pre)?;
-            if snapshot::config_hash(&ir.machine) != checkpoint.config_hash {
-                return Err(Error::Checkpoint(
-                    "machine config mismatch: the scenario does not match the checkpoint's".into(),
-                ));
-            }
-            (ir, deltas)
-        };
+        // share of the boot's host cost. The suffix executor borrows
+        // straight out of the stored plan, so this path performs no
+        // per-boot graph or task-table clones at all. Any mismatch
+        // falls through to the re-planning path below, which performs
+        // the authoritative validation.
+        if self.tweak.is_none() && checkpoint.plan.covers(self.scenario, &self.cfg) {
+            let machine = match self.builder {
+                Some(b) => b.restore(&checkpoint.bytes)?,
+                None => snapshot::restore(&checkpoint.bytes)?,
+            };
+            let (report, machine) = execute_suffix_view(
+                SuffixView::of_owned(&checkpoint.plan, self.scenario),
+                checkpoint.plan.deltas().to_vec(),
+                machine,
+                checkpoint.kernel.clone(),
+                checkpoint.device,
+            );
+            return Ok(Boot { report, machine });
+        }
+        let pipeline = Pipeline::standard();
+        let (mut ir, deltas) = pipeline.plan(self.scenario, &self.cfg, self.pre)?;
+        if snapshot::config_hash(&ir.machine) != checkpoint.config_hash {
+            return Err(Error::Checkpoint(
+                "machine config mismatch: the scenario does not match the checkpoint's".into(),
+            ));
+        }
         if let Some(tweak) = self.tweak {
             let BootPlanIr {
                 ref graph,
@@ -414,80 +437,13 @@ impl<'s> BootRequest<'s> {
         }
         let no_faults = FaultPlan::none();
         let faults = self.faults.unwrap_or(&no_faults);
-        let (report, machine) = execute_instrumented(&ir, deltas, faults, self.telemetry);
+        let (report, machine) = execute_pooled(&ir, deltas, faults, self.telemetry, self.builder);
         Ok(Boot { report, machine })
     }
 }
 
-/// Runs `scenario` under `cfg`.
-#[deprecated(
-    since = "0.5.0",
-    note = "use BootRequest::new(scenario).config(cfg).run()"
-)]
-pub fn boost(scenario: &Scenario, cfg: &BbConfig) -> Result<FullBootReport, Error> {
-    BootRequest::new(scenario)
-        .config(*cfg)
-        .run()
-        .map(|b| b.report)
-}
-
-/// Runs `scenario` under `cfg`, returning the report and the machine
-/// whose trace produced it.
-#[deprecated(
-    since = "0.5.0",
-    note = "use BootRequest::new(scenario).config(cfg).run()"
-)]
-pub fn boost_with_machine(
-    scenario: &Scenario,
-    cfg: &BbConfig,
-) -> Result<(FullBootReport, Machine), Error> {
-    BootRequest::new(scenario)
-        .config(*cfg)
-        .run()
-        .map(|b| (b.report, b.machine))
-}
-
-/// Runs `scenario` under `cfg` with pre-built [`PreParser`]
-/// measurements.
-#[deprecated(
-    since = "0.5.0",
-    note = "use BootRequest::new(scenario).config(cfg).prepared(pre).run()"
-)]
-pub fn boost_prepared(
-    scenario: &Scenario,
-    cfg: &BbConfig,
-    pre: &PreParser,
-) -> Result<FullBootReport, Error> {
-    BootRequest::new(scenario)
-        .config(*cfg)
-        .prepared(pre)
-        .run()
-        .map(|b| b.report)
-}
-
-/// Runs `scenario` under `cfg`, letting the caller adjust the plan
-/// overrides after the Service Engine computed them.
-#[deprecated(
-    since = "0.5.0",
-    note = "use BootRequest::new(scenario).config(cfg).tweak(..).run()"
-)]
-pub fn boost_custom(
-    scenario: &Scenario,
-    cfg: &BbConfig,
-    tweak: impl FnOnce(&UnitGraph, &Transaction, &mut PlanOverrides),
-) -> Result<(FullBootReport, Machine), Error> {
-    BootRequest::new(scenario)
-        .config(*cfg)
-        .tweak(tweak)
-        .run()
-        .map(|b| (b.report, b.machine))
-}
-
 #[cfg(test)]
 pub(crate) mod tests {
-    // The legacy `boost_*` wrappers are exercised on purpose: they must
-    // keep passing until they are removed.
-    #![allow(deprecated)]
     use super::*;
     use bb_init::{ServiceBody, ServiceType, TransactionError};
     use bb_kernel::{
@@ -623,6 +579,10 @@ pub(crate) mod tests {
         }
     }
 
+    fn boost(s: &Scenario, cfg: &BbConfig) -> Result<FullBootReport, Error> {
+        BootRequest::new(s).config(*cfg).run().map(|b| b.report)
+    }
+
     #[test]
     fn conventional_boot_completes() {
         let s = mini_tv();
@@ -698,20 +658,26 @@ pub(crate) mod tests {
     }
 
     #[test]
-    fn builder_matches_legacy_event_for_event() {
+    fn recycled_builder_matches_fresh_event_for_event() {
         let s = mini_tv();
+        let mut builder = MachineBuilder::new();
         for cfg in [BbConfig::conventional(), BbConfig::full()] {
-            let (legacy, legacy_machine) = boost_with_machine(&s, &cfg).unwrap();
-            let boot = BootRequest::new(&s).config(cfg).run().unwrap();
+            let fresh = BootRequest::new(&s).config(cfg).run().unwrap();
+            // The second boot builds its machine from the first boot's
+            // recycled buffers; capacity reuse must not be observable.
+            builder.recycle(BootRequest::new(&s).config(cfg).run().unwrap().machine);
+            let pooled = BootRequest::new(&s)
+                .config(cfg)
+                .machine_builder(&mut builder)
+                .run()
+                .unwrap();
             assert_eq!(
-                legacy.boot.completion_time,
-                boot.report.boot.completion_time
+                fresh.report.boot.completion_time,
+                pooled.report.boot.completion_time
             );
-            assert_eq!(legacy.quiesce_time, boot.report.quiesce_time);
-            // Event-for-event: the redesigned entry point replays the
-            // exact machine timeline of the legacy facade.
-            let a = legacy_machine.trace().events();
-            let b = boot.machine.trace().events();
+            assert_eq!(fresh.report.quiesce_time, pooled.report.quiesce_time);
+            let a = fresh.machine.trace().events();
+            let b = pooled.machine.trace().events();
             assert_eq!(a.len(), b.len(), "event counts diverge");
             for (x, y) in a.iter().zip(b) {
                 assert_eq!(x, y, "trace event diverges");
@@ -882,7 +848,7 @@ pub(crate) mod tests {
         s.target = "ghost.target".into();
         assert!(matches!(
             boost(&s, &BbConfig::full()),
-            Err(BoostError::Transaction(TransactionError::UnknownTarget(_)))
+            Err(Error::Transaction(TransactionError::UnknownTarget(_)))
         ));
     }
 }

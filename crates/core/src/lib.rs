@@ -41,8 +41,6 @@ pub mod report;
 pub mod service_engine;
 pub mod telemetry;
 
-#[allow(deprecated)]
-pub use booster::{boost, boost_custom, boost_prepared, boost_with_machine, BoostError};
 pub use booster::{Boot, BootRequest, Checkpoint, CheckpointPhase, FullBootReport, Scenario};
 pub use config::BbConfig;
 pub use error::{Error, JobError};

@@ -75,6 +75,11 @@ pub struct BootPlanIr<'s> {
     pub init_tasks: Vec<ManagerTask>,
     /// Service-phase housekeeping task table.
     pub service_phase_tasks: Vec<ManagerTask>,
+    /// Dispatch order of the transaction, recomputed by
+    /// [`Pipeline::plan`] after the passes run so every boot of this
+    /// plan skips the per-boot Kahn/SCC walk (plan tweaks only mutate
+    /// [`PlanOverrides`], which the base order does not depend on).
+    pub execution_order: Vec<usize>,
     /// Unit-configuration load model.
     pub load: LoadModel,
     /// Manager cost knobs.
@@ -109,6 +114,7 @@ impl<'s> BootPlanIr<'s> {
         kernel.defer_journal = false;
         let mut init_tasks = scenario.extra_init_tasks.clone();
         init_tasks.extend(bootup_engine::init_tasks(&BbConfig::conventional()));
+        let execution_order = transaction.execution_order(&graph);
         Ok(BootPlanIr {
             name: &scenario.name,
             cfg: *cfg,
@@ -126,6 +132,7 @@ impl<'s> BootPlanIr<'s> {
             overrides: PlanOverrides::default(),
             init_tasks,
             service_phase_tasks: bootup_engine::service_phase_tasks(&BbConfig::conventional()),
+            execution_order,
             load: pre.load_model(&scenario.parse_params, false),
             manager_costs: scenario.manager_costs,
             parse_params: scenario.parse_params,
@@ -547,7 +554,9 @@ impl PlanPass for BbManagerPriority {
     }
     fn apply(&self, ir: &mut BootPlanIr<'_>) -> PassDelta {
         let group = service_engine::identify_bb_group(&ir.graph, &ir.completion);
-        let order = ir.transaction.execution_order(&ir.graph);
+        // Passes never reshape the transaction, so the order cached at
+        // IR construction is current.
+        let order = ir.execution_order.clone();
         ir.overrides.dispatch_first = order
             .iter()
             .copied()
@@ -742,7 +751,23 @@ pub fn execute_instrumented(
     faults: &bb_sim::FaultPlan,
     telemetry: bool,
 ) -> (FullBootReport, Machine) {
-    let (machine, kernel, device) = execute_prefix(ir, faults, telemetry);
+    execute_pooled(ir, deltas, faults, telemetry, None)
+}
+
+/// [`execute_instrumented`] drawing the machine from a caller-held
+/// [`MachineBuilder`] pool when one is supplied, so a loop that runs
+/// many boots (a fleet cell, a sweep) reuses one machine's allocations
+/// across jobs instead of re-growing every table from empty. The
+/// builder contract guarantees recycled machines are observationally
+/// identical to fresh ones, so results are bit-identical either way.
+pub(crate) fn execute_pooled(
+    ir: &BootPlanIr<'_>,
+    deltas: Vec<PassDelta>,
+    faults: &bb_sim::FaultPlan,
+    telemetry: bool,
+    builder: Option<&mut bb_sim::MachineBuilder>,
+) -> (FullBootReport, Machine) {
+    let (machine, kernel, device) = execute_prefix_pooled(ir, faults, telemetry, builder);
     execute_suffix(ir, deltas, machine, kernel, device)
 }
 
@@ -757,7 +782,21 @@ pub(crate) fn execute_prefix(
     faults: &bb_sim::FaultPlan,
     telemetry: bool,
 ) -> (Machine, bb_kernel::KernelReport, bb_sim::DeviceId) {
-    let mut machine = Machine::new(ir.machine);
+    execute_prefix_pooled(ir, faults, telemetry, None)
+}
+
+/// [`execute_prefix`], constructing the machine through `builder` when
+/// one is supplied (allocation reuse across boots).
+pub(crate) fn execute_prefix_pooled(
+    ir: &BootPlanIr<'_>,
+    faults: &bb_sim::FaultPlan,
+    telemetry: bool,
+    builder: Option<&mut bb_sim::MachineBuilder>,
+) -> (Machine, bb_kernel::KernelReport, bb_sim::DeviceId) {
+    let mut machine = match builder {
+        Some(b) => b.build(ir.machine),
+        None => Machine::new(ir.machine),
+    };
     if telemetry {
         machine.enable_telemetry();
     }
@@ -785,37 +824,100 @@ pub(crate) fn execute_prefix(
 pub(crate) fn execute_suffix(
     ir: &BootPlanIr<'_>,
     deltas: Vec<PassDelta>,
+    machine: Machine,
+    kernel: bb_kernel::KernelReport,
+    device: bb_sim::DeviceId,
+) -> (FullBootReport, Machine) {
+    execute_suffix_view(SuffixView::of_ir(ir), deltas, machine, kernel, device)
+}
+
+/// Borrowed view of the plan pieces the suffix needs, constructible
+/// from a fresh [`BootPlanIr`] or straight from a [`OwnedPlan`] — the
+/// resume hot path goes through the latter so a fleet job never clones
+/// the unit graph or task tables per boot.
+pub(crate) struct SuffixView<'a> {
+    cfg: BbConfig,
+    graph: &'a UnitGraph,
+    transaction: &'a Transaction,
+    completion: &'a [UnitName],
+    overrides: &'a PlanOverrides,
+    init_tasks: &'a [ManagerTask],
+    service_phase_tasks: &'a [ManagerTask],
+    execution_order: &'a [usize],
+    workloads: &'a WorkloadMap,
+    load: LoadModel,
+    manager_costs: ManagerCosts,
+}
+
+impl<'a> SuffixView<'a> {
+    pub(crate) fn of_ir(ir: &'a BootPlanIr<'_>) -> Self {
+        SuffixView {
+            cfg: ir.cfg,
+            graph: &ir.graph,
+            transaction: &ir.transaction,
+            completion: &ir.completion,
+            overrides: &ir.overrides,
+            init_tasks: &ir.init_tasks,
+            service_phase_tasks: &ir.service_phase_tasks,
+            execution_order: &ir.execution_order,
+            workloads: ir.workloads,
+            load: ir.load,
+            manager_costs: ir.manager_costs,
+        }
+    }
+
+    pub(crate) fn of_owned(plan: &'a OwnedPlan, scenario: &'a Scenario) -> Self {
+        SuffixView {
+            cfg: plan.cfg,
+            graph: &plan.graph,
+            transaction: &plan.transaction,
+            completion: &plan.completion,
+            overrides: &plan.overrides,
+            init_tasks: &plan.init_tasks,
+            service_phase_tasks: &plan.service_phase_tasks,
+            execution_order: &plan.execution_order,
+            workloads: &scenario.workloads,
+            load: plan.load,
+            manager_costs: plan.manager_costs,
+        }
+    }
+}
+
+pub(crate) fn execute_suffix_view(
+    view: SuffixView<'_>,
+    deltas: Vec<PassDelta>,
     mut machine: Machine,
     kernel: bb_kernel::KernelReport,
     device: bb_sim::DeviceId,
 ) -> (FullBootReport, Machine) {
-    let bb_group: Vec<UnitName> = ir
+    let bb_group: Vec<UnitName> = view
         .overrides
         .isolate
         .iter()
-        .map(|&i| ir.graph.unit(i).name.clone())
+        .map(|&i| view.graph.unit(i).name.clone())
         .collect();
     let plan = BootPlan {
-        graph: &ir.graph,
-        transaction: ir.transaction.clone(),
-        completion: ir.completion.clone(),
-        overrides: ir.overrides.clone(),
-        init_tasks: ir.init_tasks.clone(),
-        service_phase_tasks: ir.service_phase_tasks.clone(),
+        graph: view.graph,
+        transaction: view.transaction,
+        completion: view.completion,
+        overrides: view.overrides,
+        init_tasks: view.init_tasks,
+        service_phase_tasks: view.service_phase_tasks,
+        execution_order: view.execution_order,
     };
     let engine_cfg = EngineConfig {
         mode: EngineMode::InOrder,
-        load: ir.load,
-        costs: ir.manager_costs,
+        load: view.load,
+        costs: view.manager_costs,
         device,
     };
-    let boot = run_boot(&mut machine, &plan, ir.workloads, &engine_cfg);
+    let boot = run_boot(&mut machine, &plan, view.workloads, &engine_cfg);
     let quiesce_time = boot.outcome.end_time;
     let rcu = machine.rcu_stats();
 
     (
         FullBootReport {
-            config: ir.cfg,
+            config: view.cfg,
             kernel,
             boot,
             rcu,
@@ -827,9 +929,9 @@ pub(crate) fn execute_suffix(
     )
 }
 
-/// An owned copy of a planned boot — every [`BootPlanIr`] field that
-/// does not borrow the scenario — plus the pass deltas that produced
-/// it and enough scenario identity to tell when it can be reused.
+/// An owned copy of the suffix-relevant parts of a planned boot, plus
+/// the pass deltas that produced it and enough scenario identity to
+/// tell when it can be reused.
 ///
 /// A [`crate::Checkpoint`] carries one: resuming under the checkpoint's
 /// own configuration (the common case — a fleet fork resumes the
@@ -845,21 +947,15 @@ pub(crate) struct OwnedPlan {
     units_len: usize,
     scenario_machine_hash: u64,
     cfg: BbConfig,
-    machine: MachineConfig,
-    storage: DeviceProfile,
-    kernel: KernelPlan,
-    module_strategy: ModuleStrategy,
     graph: UnitGraph,
     transaction: Transaction,
     completion: Vec<UnitName>,
     overrides: PlanOverrides,
     init_tasks: Vec<ManagerTask>,
     service_phase_tasks: Vec<ManagerTask>,
+    execution_order: Vec<usize>,
     load: LoadModel,
     manager_costs: ManagerCosts,
-    parse_params: ParseCostParams,
-    pre: PreParser,
-    boost_rcu: bool,
     deltas: Vec<PassDelta>,
 }
 
@@ -876,21 +972,15 @@ impl OwnedPlan {
             units_len: scenario.units.len(),
             scenario_machine_hash: bb_sim::snapshot::config_hash(&scenario.machine),
             cfg: ir.cfg,
-            machine: ir.machine,
-            storage: ir.storage,
-            kernel: ir.kernel.clone(),
-            module_strategy: ir.module_strategy,
             graph: ir.graph.clone(),
             transaction: ir.transaction.clone(),
             completion: ir.completion.clone(),
             overrides: ir.overrides.clone(),
             init_tasks: ir.init_tasks.clone(),
             service_phase_tasks: ir.service_phase_tasks.clone(),
+            execution_order: ir.execution_order.clone(),
             load: ir.load,
             manager_costs: ir.manager_costs,
-            parse_params: ir.parse_params,
-            pre: ir.pre,
-            boost_rcu: ir.boost_rcu,
             deltas: deltas.to_vec(),
         }
     }
@@ -901,52 +991,24 @@ impl OwnedPlan {
     /// down the re-planning path, which performs the authoritative
     /// validation — reuse is purely an optimization, never a semantic
     /// fork.
+    /// The pass deltas recorded when this plan was captured.
+    pub(crate) fn deltas(&self) -> &[PassDelta] {
+        &self.deltas
+    }
+
     pub(crate) fn covers(&self, scenario: &Scenario, cfg: &BbConfig) -> bool {
         self.cfg == *cfg
             && self.name == scenario.name
             && self.units_len == scenario.units.len()
             && self.scenario_machine_hash == bb_sim::snapshot::config_hash(&scenario.machine)
     }
-
-    /// Reconstructs the [`BootPlanIr`] this plan was captured from,
-    /// borrowing the read-only inputs (module catalog, workload bodies)
-    /// from `scenario` exactly like a fresh plan would.
-    pub(crate) fn as_ir<'s>(&self, scenario: &'s Scenario) -> (BootPlanIr<'s>, Vec<PassDelta>) {
-        (
-            BootPlanIr {
-                name: &scenario.name,
-                cfg: self.cfg,
-                machine: self.machine,
-                storage: self.storage,
-                kernel: self.kernel.clone(),
-                modules: &scenario.modules,
-                module_strategy: self.module_strategy,
-                workloads: &scenario.workloads,
-                graph: self.graph.clone(),
-                transaction: self.transaction.clone(),
-                completion: self.completion.clone(),
-                overrides: self.overrides.clone(),
-                init_tasks: self.init_tasks.clone(),
-                service_phase_tasks: self.service_phase_tasks.clone(),
-                load: self.load,
-                manager_costs: self.manager_costs,
-                parse_params: self.parse_params,
-                pre: self.pre,
-                boost_rcu: self.boost_rcu,
-            },
-            self.deltas.clone(),
-        )
-    }
 }
 
 #[cfg(test)]
 mod tests {
-    // `boost` is exercised on purpose: the pipeline must keep matching
-    // the legacy facade until the deprecated wrappers are removed.
-    #![allow(deprecated)]
     use super::*;
-    use crate::booster::boost;
     use crate::booster::tests::mini_tv;
+    use crate::booster::BootRequest;
 
     #[test]
     fn standard_pipeline_has_the_seven_passes_in_order() {
@@ -1020,12 +1082,12 @@ mod tests {
     }
 
     #[test]
-    fn pipeline_run_matches_boost_facade() {
+    fn pipeline_run_matches_boot_request() {
         let s = mini_tv();
         let p = Pipeline::standard();
         for cfg in [BbConfig::conventional(), BbConfig::full()] {
             let via_pipeline = p.run(&s, &cfg).unwrap();
-            let via_facade = boost(&s, &cfg).unwrap();
+            let via_facade = BootRequest::new(&s).config(cfg).run().unwrap().report;
             assert_eq!(
                 via_pipeline.boot.completion_time,
                 via_facade.boot.completion_time

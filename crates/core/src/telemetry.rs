@@ -218,6 +218,11 @@ pub fn metrics_snapshot(report: &FullBootReport, machine: &Machine) -> MetricsSn
         }
     }
     let sched = machine.sched_stats();
+    let queue = machine.event_queue_stats();
+    snap.counters
+        .insert("sim.events.scheduled".into(), queue.scheduled);
+    snap.counters
+        .insert("sim.events.peak_depth".into(), queue.peak_depth as u64);
     snap.counters
         .insert("sched.dispatches".into(), sched.dispatches);
     snap.counters

@@ -691,6 +691,7 @@ mod tests {
                 .collect(),
             spans: Vec::new(),
             kernel_sims: 0,
+            peak_events: 0,
             elapsed: std::time::Duration::ZERO,
         }
     }

@@ -569,6 +569,9 @@ pub fn run_chaos(spec: &ChaosSpec, pool: &PoolConfig) -> ChaosOutcome {
             max_queue_depth,
             restarts: total_restarts,
             kernel_sims: 0,
+            // The supervised entry point consumes its machine
+            // internally, so chaos sweeps have no queue depth to report.
+            peak_events: 0,
             per_worker,
         },
     }

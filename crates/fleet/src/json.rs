@@ -29,6 +29,9 @@ pub const SCHEMA_BOOT: &str = "bbsim-boot-v1";
 /// Schema stamp of snapshot-derived documents: `bbsim suspend --json`
 /// and the `BENCH_snapshot.json` perf baseline.
 pub const SCHEMA_SNAPSHOT: &str = "bb-snapshot-v1";
+/// Schema stamp of the scheduler hot-path perf baseline
+/// (`BENCH_hotpath.json`, written by `cargo bench --bench hotpath`).
+pub const SCHEMA_HOTPATH: &str = "bb-hotpath-v1";
 
 /// Opens a top-level JSON document with its version stamp. Every
 /// emitter in the workspace goes through this helper, so the `"schema"`

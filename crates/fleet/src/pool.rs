@@ -78,6 +78,10 @@ pub struct JobOutput {
     /// config count for a plain sweep; with [`SweepSpec::fork`] it is
     /// the number of distinct prefix keys in the cell's config list.
     pub kernel_sims: usize,
+    /// Deepest simulator event queue observed across this job's boots
+    /// (the machine's high-water mark, a sizing signal for
+    /// `EventQueue::with_capacity`).
+    pub peak_events: usize,
     /// Wall-clock time the job took (host time; not in JSON output).
     pub elapsed: Duration,
 }
@@ -129,6 +133,11 @@ pub struct PoolStats {
     /// distinct prefix key per job, so this drops well below the boot
     /// count — the work the checkpoint fork saved.
     pub kernel_sims: usize,
+    /// Deepest simulator event queue observed across all completed
+    /// boots. Deterministic (simulated state, not host time), but kept
+    /// out of the JSON report so sweep documents stay byte-stable
+    /// across simulator sizing changes.
+    pub peak_events: usize,
     /// Per-worker counters.
     pub per_worker: Vec<WorkerStats>,
 }
@@ -167,6 +176,13 @@ impl PoolStats {
             self.jobs_per_sec(),
             self.max_queue_depth,
         );
+        if self.peak_events > 0 {
+            let _ = writeln!(
+                out,
+                "  peak simulator event-queue depth {}",
+                self.peak_events
+            );
+        }
         if self.kernel_sims > 0 {
             let _ = writeln!(out, "  kernel phase simulated {} time(s)", self.kernel_sims);
         }
@@ -216,6 +232,7 @@ pub fn run_sweep(spec: &SweepSpec, pool: &PoolConfig) -> SweepOutcome {
     let started = Instant::now();
     let mut max_queue_depth = jobs.len();
     let mut kernel_sims = 0usize;
+    let mut peak_events = 0usize;
     let mut per_worker: Vec<WorkerStats> = Vec::new();
 
     crossbeam::thread::scope(|scope| {
@@ -227,11 +244,18 @@ pub fn run_sweep(spec: &SweepSpec, pool: &PoolConfig) -> SweepOutcome {
             let shared = &shared;
             handles.push(scope.spawn(move |_| {
                 let mut stats = WorkerStats::default();
+                // One machine pool per worker: every boot this worker
+                // runs draws on (and returns to) the same recycled
+                // allocations, so the inner loop stops paying fresh
+                // table growth per job. Recycling is observationally
+                // invisible (the MachineBuilder contract), so reports
+                // stay byte-identical for any worker count.
+                let mut builder = bb_sim::MachineBuilder::new();
                 loop {
                     let job = next_job(&local, injector, stealers, w, &mut stats);
                     let Some(job) = job else { break };
                     let job_started = Instant::now();
-                    let result = run_job(spec, shared, job);
+                    let result = run_job(spec, shared, job, &mut builder);
                     stats.busy += job_started.elapsed();
                     stats.jobs += 1;
                     if tx.send(result).is_err() {
@@ -248,6 +272,7 @@ pub fn run_sweep(spec: &SweepSpec, pool: &PoolConfig) -> SweepOutcome {
             max_queue_depth = max_queue_depth.max(injector.len());
             if let Ok(out) = &msg {
                 kernel_sims += out.kernel_sims;
+                peak_events = peak_events.max(out.peak_events);
             }
             aggregator.accept(msg);
         }
@@ -269,6 +294,7 @@ pub fn run_sweep(spec: &SweepSpec, pool: &PoolConfig) -> SweepOutcome {
             max_queue_depth,
             restarts: 0,
             kernel_sims,
+            peak_events,
             per_worker,
         },
     }
@@ -320,16 +346,19 @@ fn run_job(
         bb_core::PreParser,
     )>],
     job: Job,
+    builder: &mut bb_sim::MachineBuilder,
 ) -> Result<JobOutput, JobFailure> {
     let cell = &spec.cells[job.cell];
     let seed = cell.seeds[job.seed_idx];
     let started = Instant::now();
 
     let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let builder = &mut *builder;
         let (scenario, pre) = job_scenario(cell, seed, &shared[job.cell]);
         let mut samples = Vec::with_capacity(cell.configs.len());
         let mut spans = Vec::new();
         let mut kernel_sims = 0usize;
+        let mut peak_events = 0usize;
         // Forked mode: one checkpoint per distinct prefix key, shared
         // by every config of the job. Every boot resumes (the first
         // included), so forked ≡ unforked reduces to resume ≡ run —
@@ -342,6 +371,7 @@ fn run_job(
                     let ckpt = BootRequest::new(&scenario)
                         .config(*cfg)
                         .prepared(&pre)
+                        .machine_builder(&mut *builder)
                         .checkpoint_at(CheckpointPhase::KernelHandoff)
                         .map_err(|e| FailureKind::Boost(e.to_string()))?;
                     kernel_sims += 1;
@@ -354,15 +384,20 @@ fn run_job(
                 BootRequest::new(&scenario)
                     .config(*cfg)
                     .prepared(&pre)
+                    .machine_builder(&mut *builder)
                     .resume(ckpt)
             } else {
                 kernel_sims += 1;
                 BootRequest::new(&scenario)
                     .config(*cfg)
                     .prepared(&pre)
+                    .machine_builder(&mut *builder)
                     .run()
             };
-            let report = boot.map_err(|e| FailureKind::Boost(e.to_string()))?.report;
+            let boot = boot.map_err(|e| FailureKind::Boost(e.to_string()))?;
+            peak_events = peak_events.max(boot.machine.event_queue_stats().peak_depth);
+            builder.recycle(boot.machine);
+            let report = boot.report;
             // A boot that never met its completion definition is a
             // reported failure, not a worker panic (`try_boot_time`).
             let boot_time = report
@@ -384,7 +419,7 @@ fn run_job(
                 );
             }
         }
-        Ok::<_, FailureKind>((samples, spans, kernel_sims))
+        Ok::<_, FailureKind>((samples, spans, kernel_sims, peak_events))
     }));
     let elapsed = started.elapsed();
 
@@ -392,7 +427,7 @@ fn run_job(
     match outcome {
         Err(payload) => fail(FailureKind::Panic(panic_message(payload))),
         Ok(Err(kind)) => fail(kind),
-        Ok(Ok((samples, spans, kernel_sims))) => {
+        Ok(Ok((samples, spans, kernel_sims, peak_events))) => {
             if let Some(deadline) = spec.deadline {
                 if elapsed > deadline {
                     return fail(FailureKind::DeadlineExceeded { elapsed });
@@ -404,6 +439,7 @@ fn run_job(
                 samples,
                 spans,
                 kernel_sims,
+                peak_events,
                 elapsed,
             })
         }
@@ -453,6 +489,12 @@ mod tests {
         let jobs_done: usize = outcome.stats.per_worker.iter().map(|w| w.jobs).sum();
         assert_eq!(jobs_done, 3);
         assert!(outcome.stats.summary().contains("pool: 2 workers"));
+        // The event-queue high-water mark made it up from the machines.
+        assert!(outcome.stats.peak_events > 0);
+        assert!(outcome
+            .stats
+            .summary()
+            .contains("peak simulator event-queue depth"));
     }
 
     #[test]

@@ -309,13 +309,17 @@ mod tests {
             );
         }
         let transaction = Transaction::build(&graph, "boot.target").unwrap();
+        let execution_order = transaction.execution_order(&graph);
+        let completion = vec![UnitName::new("b.service")];
+        let overrides = PlanOverrides::default();
         let plan = BootPlan {
             graph: &graph,
-            transaction,
-            completion: vec![UnitName::new("b.service")],
-            overrides: PlanOverrides::default(),
-            init_tasks: Vec::new(),
-            service_phase_tasks: Vec::new(),
+            transaction: &transaction,
+            completion: &completion,
+            overrides: &overrides,
+            init_tasks: &[],
+            service_phase_tasks: &[],
+            execution_order: &execution_order,
         };
         let cfg = EngineConfig {
             mode: EngineMode::InOrder,

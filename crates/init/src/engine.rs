@@ -141,24 +141,45 @@ pub struct ServiceBody {
 /// small default body.
 pub type WorkloadMap = HashMap<String, ServiceBody>;
 
+/// Dense job→readiness-flag table, indexed by graph slot. Indexing by
+/// `&usize` mirrors the map interface it replaced; only transaction
+/// jobs have entries.
+struct JobFlags(Vec<Option<FlagId>>);
+
+impl std::ops::Index<&usize> for JobFlags {
+    type Output = FlagId;
+    fn index(&self, j: &usize) -> &FlagId {
+        self.0[*j].as_ref().expect("job has a readiness flag")
+    }
+}
+
 /// Everything the engine needs to run one boot.
-#[derive(Debug)]
+///
+/// All fields borrow from the planning layer: the engine is the
+/// per-boot hot path, and a fleet cell runs it thousands of times
+/// against one plan, so nothing here is cloned per boot.
+#[derive(Debug, Clone, Copy)]
 pub struct BootPlan<'g> {
     /// The unit graph.
     pub graph: &'g UnitGraph,
     /// The transaction to execute.
-    pub transaction: Transaction,
+    pub transaction: &'g Transaction,
     /// Units whose readiness defines boot completion (§2: "the video and
     /// audio of a broadcast channel is played and it responds to remote
     /// control inputs").
-    pub completion: Vec<UnitName>,
+    pub completion: &'g [UnitName],
     /// Service-engine adjustments.
-    pub overrides: PlanOverrides,
+    pub overrides: &'g PlanOverrides,
     /// Serial init-phase tasks run before unit loading (Figure 6(b)).
-    pub init_tasks: Vec<ManagerTask>,
+    pub init_tasks: &'g [ManagerTask],
     /// Housekeeping spawned alongside services (Figure 6(c) Deferred
     /// Executor items).
-    pub service_phase_tasks: Vec<ManagerTask>,
+    pub service_phase_tasks: &'g [ManagerTask],
+    /// Dispatch order for the ordered engine modes, precomputed once at
+    /// plan time ([`Transaction::execution_order`]) instead of running
+    /// Kahn + SCC checks inside every boot. Out-of-order engines ignore
+    /// it (they dispatch in name order by design).
+    pub execution_order: &'g [usize],
 }
 
 /// Engine configuration.
@@ -308,22 +329,21 @@ pub fn run_boot(
     let graph = plan.graph;
     let jobs = &plan.transaction.jobs;
 
-    // Flags: readiness per job + the boot-completion gate.
+    // Flags: readiness per job + the boot-completion gate. Dense tables
+    // indexed by graph slot — no hashing on the per-service paths.
     let boot_complete = machine.flag("boot-complete");
-    let ready_flags: HashMap<usize, FlagId> = jobs
-        .iter()
-        .map(|&j| (j, machine.flag(format!("ready:{}", graph.unit(j).name))))
-        .collect();
+    let mut ready_flags: Vec<Option<FlagId>> = vec![None; graph.len()];
+    for &j in jobs.iter() {
+        ready_flags[j] = Some(machine.flag(format!("ready:{}", graph.unit(j).name)));
+    }
+    let ready_flags = JobFlags(ready_flags);
     // Condition flags (ConditionPathExists= stands in for path presence).
-    let cond_flags: HashMap<usize, FlagId> = jobs
-        .iter()
-        .filter_map(|&j| {
-            graph.unit(j).condition_path_exists.as_ref().map(|p| {
-                let f = machine.flag(format!("path:{p}"));
-                (j, f)
-            })
-        })
-        .collect();
+    let mut cond_flags: Vec<Option<FlagId>> = vec![None; graph.len()];
+    for &j in jobs.iter() {
+        if let Some(p) = graph.unit(j).condition_path_exists.as_ref() {
+            cond_flags[j] = Some(machine.flag(format!("path:{p}")));
+        }
+    }
 
     // Serial init phase (Figure 6(b)): non-deferred tasks run first in
     // the manager process; deferred ones become gated background
@@ -333,7 +353,7 @@ pub fn run_boot(
     let init_done_flag = machine.flag("phase:init-done");
     let load_done_flag = machine.flag("phase:load-done");
     let mut manager_ops: Vec<Op> = Vec::new();
-    for task in &plan.init_tasks {
+    for task in plan.init_tasks {
         if task.deferred {
             machine.spawn(
                 ProcessSpec::new(
@@ -361,26 +381,45 @@ pub fn run_boot(
     }
     manager_ops.push(Op::SetFlag(load_done_flag));
 
+    // Transaction membership as a dense bitmap: the order filter and
+    // per-service dependency filters test membership per edge, which
+    // must not scan the job list each time.
+    let mut is_job = vec![false; graph.len()];
+    for &j in jobs.iter() {
+        is_job[j] = true;
+    }
+
     // Dispatch order.
-    let base_order = match cfg.mode {
-        EngineMode::Serial | EngineMode::InOrder => plan.transaction.execution_order(graph),
+    let ooo_order: Vec<usize>;
+    let base_order: &[usize] = match cfg.mode {
+        EngineMode::Serial | EngineMode::InOrder => {
+            assert_eq!(
+                plan.execution_order.len(),
+                jobs.len(),
+                "BootPlan::execution_order must cover the transaction \
+                 (precompute it with Transaction::execution_order)"
+            );
+            plan.execution_order
+        }
         EngineMode::OutOfOrder { .. } => {
             // Out-of-order engines use declaration order (name order for
             // determinism), ignoring dependencies.
             let mut v: Vec<usize> = jobs.iter().copied().collect();
             v.sort_by(|&a, &b| graph.unit(a).name.cmp(&graph.unit(b).name));
-            v
+            ooo_order = v;
+            &ooo_order
         }
     };
     let mut order: Vec<usize> = Vec::with_capacity(base_order.len());
-    let mut seen = BTreeSet::new();
+    let mut seen = vec![false; graph.len()];
     for &j in plan
         .overrides
         .dispatch_first
         .iter()
         .chain(base_order.iter())
     {
-        if jobs.contains(&j) && seen.insert(j) {
+        if is_job.get(j).copied().unwrap_or(false) && !seen[j] {
+            seen[j] = true;
             order.push(j);
         }
     }
@@ -388,6 +427,7 @@ pub fn run_boot(
     // Dispatch every job (services self-gate), then spawn service-phase
     // housekeeping.
     let mut prev_ready: Option<FlagId> = None;
+    let mut has_timeouts = false;
     // Per supervised job: (start-limit flag, escalation flag if any).
     let mut supervised: HashMap<usize, (FlagId, Option<FlagId>)> = HashMap::new();
     for &j in &order {
@@ -397,6 +437,7 @@ pub fn run_boot(
             workloads,
             cfg,
             j,
+            &is_job,
             &ready_flags,
             &cond_flags,
             boot_complete,
@@ -411,6 +452,7 @@ pub fn run_boot(
         // ready exits immediately and never outlives the boot.
         let timeout_ms = graph.unit(j).exec.timeout_ms;
         if timeout_ms > 0 {
+            has_timeouts = true;
             manager_ops.push(Op::Spawn(ProcessSpec::new(
                 format!("timeout:{}", graph.unit(j).name),
                 vec![
@@ -445,6 +487,7 @@ pub fn run_boot(
                     workloads,
                     cfg,
                     j,
+                    &is_job,
                     &ready_flags,
                     &cond_flags,
                     boot_complete,
@@ -492,7 +535,7 @@ pub fn run_boot(
             prev_ready = Some(ready_flags[&j]);
         }
     }
-    for task in &plan.service_phase_tasks {
+    for task in plan.service_phase_tasks {
         let mut ops = Vec::new();
         if task.deferred {
             ops.push(Op::WaitFlag(boot_complete));
@@ -525,48 +568,76 @@ pub fn run_boot(
 
     let outcome = machine.run();
 
-    // Assemble records from the trace.
+    // Assemble records from the trace, via dense pid-indexed lifecycle
+    // tables — no per-process name clones or per-job full scans on the
+    // common (no-restart, no-timeout) path.
     let mut services: BTreeMap<UnitName, ServiceRecord> = BTreeMap::new();
-    let timelines = machine.trace().process_timeline();
-    let by_name: HashMap<&str, &bb_sim::ProcessTimeline> =
-        timelines.values().map(|t| (t.name.as_str(), t)).collect();
-    // Who set each readiness flag (to attribute timeout releases).
-    let flag_setters: HashMap<FlagId, bb_sim::Pid> = machine
-        .trace()
-        .events()
-        .iter()
-        .filter_map(|e| match e.kind {
-            bb_sim::TraceKind::FlagSet { flag } => Some((flag, e.pid)),
-            _ => None,
-        })
+    let n_procs = machine.process_count();
+    let mut spawned_at: Vec<Option<SimTime>> = vec![None; n_procs];
+    let mut started_at: Vec<Option<SimTime>> = vec![None; n_procs];
+    let mut finished_at: Vec<Option<SimTime>> = vec![None; n_procs];
+    let mut proc_failed = vec![false; n_procs];
+    for e in machine.trace().events() {
+        let i = e.pid.index();
+        match e.kind {
+            bb_sim::TraceKind::Spawned { .. } => spawned_at[i] = Some(e.time),
+            bb_sim::TraceKind::FirstRun => started_at[i] = Some(e.time),
+            bb_sim::TraceKind::Finished => finished_at[i] = Some(e.time),
+            bb_sim::TraceKind::Failed { .. } => proc_failed[i] = true,
+            _ => {}
+        }
+    }
+    let pid_at = |i: usize| bb_sim::Pid::from_raw(i as u32);
+    let by_name: HashMap<&str, usize> = (0..n_procs)
+        .map(|i| (machine.process(pid_at(i)).name.as_str(), i))
         .collect();
+    // Who set each readiness flag (to attribute timeout releases); only
+    // needed when a timeout watchdog could have forced one.
+    let flag_setters: HashMap<FlagId, bb_sim::Pid> = if has_timeouts {
+        machine
+            .trace()
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                bb_sim::TraceKind::FlagSet { flag } => Some((flag, e.pid)),
+                _ => None,
+            })
+            .collect()
+    } else {
+        HashMap::new()
+    };
     for &j in jobs.iter() {
         let name = &graph.unit(j).name;
         let ready_flag = ready_flags[&j];
-        let timed_out = flag_setters
-            .get(&ready_flag)
-            .is_some_and(|&pid| machine.process(pid).name.starts_with("timeout:"));
+        let timed_out = has_timeouts
+            && flag_setters
+                .get(&ready_flag)
+                .is_some_and(|&pid| machine.process(pid).name.starts_with("timeout:"));
         let mut rec = ServiceRecord {
             ready: machine.flag_set_at(ready_flag),
             timed_out,
             ..ServiceRecord::default()
         };
-        if let Some(t) = by_name.get(name.as_str()) {
-            rec.spawned = t.spawned;
-            rec.started = t.first_run;
-            rec.finished = t.finished;
-            rec.failed = t.failed;
+        if let Some(&i) = by_name.get(name.as_str()) {
+            rec.spawned = spawned_at[i];
+            rec.started = started_at[i];
+            rec.finished = finished_at[i];
+            rec.failed = proc_failed[i];
         }
-        // Respawned incarnations are named `<unit>#<k>`.
-        let restart_prefix = format!("{name}#");
-        rec.restarts = timelines
-            .values()
-            .filter(|t| {
-                t.name
-                    .strip_prefix(&restart_prefix)
-                    .is_some_and(|s| !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit()))
-            })
-            .count() as u32;
+        // Respawned incarnations are named `<unit>#<k>`; only supervised
+        // units can have any.
+        if graph.unit(j).exec.restart.restarts_on_crash() {
+            let restart_prefix = format!("{name}#");
+            rec.restarts = (0..n_procs)
+                .filter(|&i| {
+                    machine
+                        .process(pid_at(i))
+                        .name
+                        .strip_prefix(&restart_prefix)
+                        .is_some_and(|s| !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit()))
+                })
+                .count() as u32;
+        }
         if let Some(&(limit_flag, escalate_flag)) = supervised.get(&j) {
             rec.start_limit_hit = machine.flag_set_at(limit_flag).is_some();
             rec.escalated = escalate_flag.is_some_and(|f| machine.flag_set_at(f).is_some());
@@ -596,13 +667,13 @@ fn service_spec(
     workloads: &WorkloadMap,
     cfg: &EngineConfig,
     job: usize,
-    ready_flags: &HashMap<usize, FlagId>,
-    cond_flags: &HashMap<usize, FlagId>,
+    is_job: &[bool],
+    ready_flags: &JobFlags,
+    cond_flags: &[Option<FlagId>],
     boot_complete: FlagId,
     serial_prev: Option<FlagId>,
 ) -> ProcessSpec {
     let unit = graph.unit(job);
-    let jobs = &plan.transaction.jobs;
     let isolated = plan.overrides.isolate.contains(&job);
 
     // Ordering predecessors this service waits for.
@@ -612,7 +683,7 @@ fn service_spec(
             let mut seen = BTreeSet::new();
             graph
                 .ordering_in_edges(job)
-                .filter(|e| jobs.contains(&e.src))
+                .filter(|e| is_job[e.src])
                 .filter(|e| !plan.overrides.drop_edges.contains(&(e.src, e.dst)))
                 .filter(|e| {
                     // BB Group isolation: members ignore foreign
@@ -647,7 +718,7 @@ fn service_spec(
             let mut seen = BTreeSet::new();
             let raw_deps: Vec<usize> = graph
                 .ordering_in_edges(job)
-                .filter(|e| jobs.contains(&e.src))
+                .filter(|e| is_job[e.src])
                 .map(|e| e.src)
                 .filter(|s| seen.insert(*s))
                 .collect();
@@ -685,7 +756,7 @@ fn service_spec(
             post_ready: Vec::new(),
         });
     let ready = ready_flags[&job];
-    let cond = cond_flags.get(&job).copied();
+    let cond = cond_flags[job];
 
     match unit.exec.service_type {
         ServiceType::Simple => {
@@ -834,17 +905,41 @@ mod tests {
             .collect()
     }
 
-    fn plan<'g>(graph: &'g UnitGraph, completion: &[&str]) -> BootPlan<'g> {
+    /// Owned plan parts: the engine's `BootPlan` is all borrows, so
+    /// tests build (and freely mutate) this and borrow a view per boot.
+    struct TestPlan {
+        transaction: Transaction,
+        completion: Vec<UnitName>,
+        overrides: PlanOverrides,
+        init_tasks: Vec<ManagerTask>,
+        execution_order: Vec<usize>,
+    }
+
+    impl TestPlan {
+        fn as_plan<'g>(&'g self, graph: &'g UnitGraph) -> BootPlan<'g> {
+            BootPlan {
+                graph,
+                transaction: &self.transaction,
+                completion: &self.completion,
+                overrides: &self.overrides,
+                init_tasks: &self.init_tasks,
+                service_phase_tasks: &[],
+                execution_order: &self.execution_order,
+            }
+        }
+    }
+
+    fn plan(graph: &UnitGraph, completion: &[&str]) -> TestPlan {
         // `a` is not pulled by the target in chain_units; pull everything
         // required transitively through c.
         let transaction = Transaction::build(graph, "boot.target").unwrap();
-        BootPlan {
-            graph,
+        let execution_order = transaction.execution_order(graph);
+        TestPlan {
             transaction,
             completion: completion.iter().map(|c| UnitName::new(*c)).collect(),
             overrides: PlanOverrides::default(),
             init_tasks: Vec::new(),
-            service_phase_tasks: Vec::new(),
+            execution_order,
         }
     }
 
@@ -853,7 +948,7 @@ mod tests {
         let graph = UnitGraph::build(chain_units()).unwrap();
         let mut s = setup(4);
         let p = plan(&graph, &["c.service"]);
-        let record = run_boot(&mut s.machine, &p, &workloads(10), &s.cfg);
+        let record = run_boot(&mut s.machine, &p.as_plan(&graph), &workloads(10), &s.cfg);
         let a = record.service("a.service").ready.unwrap();
         let b = record.service("b.service").ready.unwrap();
         let c = record.service("c.service").ready.unwrap();
@@ -867,7 +962,7 @@ mod tests {
         let graph = UnitGraph::build(chain_units()).unwrap();
         let mut s = setup(4);
         let p = plan(&graph, &["c.service"]);
-        let record = run_boot(&mut s.machine, &p, &workloads(10), &s.cfg);
+        let record = run_boot(&mut s.machine, &p.as_plan(&graph), &workloads(10), &s.cfg);
         // d has no deps: its ready time should be near a's, far before c.
         let a = record.service("a.service").ready.unwrap();
         let d = record.service("d.service").ready.unwrap();
@@ -881,13 +976,18 @@ mod tests {
         let graph = UnitGraph::build(chain_units()).unwrap();
         let mut s1 = setup(4);
         let p1 = plan(&graph, &["c.service"]);
-        let inorder = run_boot(&mut s1.machine, &p1, &workloads(10), &s1.cfg);
+        let inorder = run_boot(
+            &mut s1.machine,
+            &p1.as_plan(&graph),
+            &workloads(10),
+            &s1.cfg,
+        );
 
         let mut s2 = setup(4);
         let mut cfg = s2.cfg;
         cfg.mode = EngineMode::Serial;
         let p2 = plan(&graph, &["c.service"]);
-        let serial = run_boot(&mut s2.machine, &p2, &workloads(10), &cfg);
+        let serial = run_boot(&mut s2.machine, &p2.as_plan(&graph), &workloads(10), &cfg);
         assert!(serial.boot_time() > inorder.boot_time());
         assert!(serial.outcome.failed.is_empty());
     }
@@ -902,7 +1002,7 @@ mod tests {
             assert_deps: true,
         };
         let p = plan(&graph, &["c.service"]);
-        let record = run_boot(&mut s.machine, &p, &workloads(10), &cfg);
+        let record = run_boot(&mut s.machine, &p.as_plan(&graph), &workloads(10), &cfg);
         // b and c start immediately, find their prerequisites missing,
         // and crash; the boot never completes.
         assert!(!record.failed_services().is_empty());
@@ -919,14 +1019,19 @@ mod tests {
             assert_deps: false,
         };
         let p = plan(&graph, &["c.service"]);
-        let record = run_boot(&mut s.machine, &p, &workloads(10), &cfg);
+        let record = run_boot(&mut s.machine, &p.as_plan(&graph), &workloads(10), &cfg);
         assert!(record.completion_time.is_some());
         assert!(record.outcome.failed.is_empty());
         // Polling quantizes readiness to the 50 ms retry interval: the
         // chain completes later than the dependency-gated engine would.
         let mut s2 = setup(4);
         let p2 = plan(&graph, &["c.service"]);
-        let inorder = run_boot(&mut s2.machine, &p2, &workloads(10), &s2.cfg);
+        let inorder = run_boot(
+            &mut s2.machine,
+            &p2.as_plan(&graph),
+            &workloads(10),
+            &s2.cfg,
+        );
         assert!(record.boot_time() > inorder.boot_time());
     }
 
@@ -937,7 +1042,7 @@ mod tests {
         let mut p = plan(&graph, &["c.service"]);
         let d = graph.idx_of("d.service");
         p.overrides.defer.insert(d);
-        let record = run_boot(&mut s.machine, &p, &workloads(10), &s.cfg);
+        let record = run_boot(&mut s.machine, &p.as_plan(&graph), &workloads(10), &s.cfg);
         let completion = record.completion_time.unwrap();
         let d_ready = record.service("d.service").ready.unwrap();
         assert!(d_ready > completion);
@@ -974,7 +1079,7 @@ mod tests {
         // Conventional: dbus waits for var.mount which waits for slows.
         let mut s1 = setup(2);
         let p1 = plan(&graph, &["dbus.service"]);
-        let conv = run_boot(&mut s1.machine, &p1, &wl, &s1.cfg);
+        let conv = run_boot(&mut s1.machine, &p1.as_plan(&graph), &wl, &s1.cfg);
 
         // Isolated: var.mount + dbus in the BB group.
         let mut s2 = setup(2);
@@ -984,7 +1089,7 @@ mod tests {
         for &j in &p2.overrides.isolate.clone() {
             p2.overrides.nice.insert(j, -15);
         }
-        let boosted = run_boot(&mut s2.machine, &p2, &wl, &s2.cfg);
+        let boosted = run_boot(&mut s2.machine, &p2.as_plan(&graph), &wl, &s2.cfg);
 
         let conv_dbus = conv.service("dbus.service").ready.unwrap();
         let boosted_dbus = boosted.service("dbus.service").ready.unwrap();
@@ -1010,13 +1115,13 @@ mod tests {
         let mut s1 = setup(4);
         let mut p1 = plan(&graph, &["c.service"]);
         p1.init_tasks = tasks(false);
-        let conv = run_boot(&mut s1.machine, &p1, &workloads(5), &s1.cfg);
+        let conv = run_boot(&mut s1.machine, &p1.as_plan(&graph), &workloads(5), &s1.cfg);
         assert_eq!(conv.init_done.since(conv.userspace_start).as_millis(), 41);
 
         let mut s2 = setup(4);
         let mut p2 = plan(&graph, &["c.service"]);
         p2.init_tasks = tasks(true);
-        let boosted = run_boot(&mut s2.machine, &p2, &workloads(5), &s2.cfg);
+        let boosted = run_boot(&mut s2.machine, &p2.as_plan(&graph), &workloads(5), &s2.cfg);
         assert_eq!(
             boosted.init_done.since(boosted.userspace_start).as_millis(),
             28
@@ -1037,7 +1142,7 @@ mod tests {
         let mut wl = WorkloadMap::new();
         wl.insert("bin:cond.service".into(), body_ms(500));
         let p = plan(&graph, &["cond.service"]);
-        let record = run_boot(&mut s.machine, &p, &wl, &s.cfg);
+        let record = run_boot(&mut s.machine, &p.as_plan(&graph), &wl, &s.cfg);
         // Ready despite the skipped 500 ms body: completion well under it.
         let ready = record.service("cond.service").ready.unwrap();
         assert!(ready.since(record.load_done).as_millis() < 50);
@@ -1061,7 +1166,7 @@ mod tests {
         wl.insert("bin:lo.service".into(), body_ms(20));
         let mut p = plan(&graph, &["hi.service", "lo.service"]);
         p.overrides.nice.insert(graph.idx_of("hi.service"), -15);
-        let record = run_boot(&mut s.machine, &p, &wl, &s.cfg);
+        let record = run_boot(&mut s.machine, &p.as_plan(&graph), &wl, &s.cfg);
         let hi = record.service("hi.service").ready.unwrap();
         let lo = record.service("lo.service").ready.unwrap();
         assert!(hi < lo, "priority override ineffective: {hi} vs {lo}");
@@ -1085,7 +1190,7 @@ mod tests {
             seed: 0,
         });
         let p = plan(&graph, &["c.service"]);
-        let record = run_boot(&mut s.machine, &p, &workloads(10), &s.cfg);
+        let record = run_boot(&mut s.machine, &p.as_plan(&graph), &workloads(10), &s.cfg);
         let b = record.service("b.service");
         assert_eq!(b.restarts, 1);
         assert_eq!(b.outcome(), UnitOutcome::Restarted(1));
@@ -1120,7 +1225,7 @@ mod tests {
             seed: 0,
         });
         let p = plan(&graph, &["c.service"]);
-        let record = run_boot(&mut s.machine, &p, &workloads(10), &s.cfg);
+        let record = run_boot(&mut s.machine, &p.as_plan(&graph), &workloads(10), &s.cfg);
         let b = record.service("b.service");
         // Original + 2 respawns all crash; the chain stops at the burst.
         assert_eq!(b.restarts, 2);
@@ -1147,7 +1252,7 @@ mod tests {
             seed: 0,
         });
         let p = plan(&graph, &["c.service"]);
-        let record = run_boot(&mut s.machine, &p, &workloads(10), &s.cfg);
+        let record = run_boot(&mut s.machine, &p.as_plan(&graph), &workloads(10), &s.cfg);
         let d = record.service("d.service");
         assert_eq!(d.outcome(), UnitOutcome::Failed);
         assert_eq!(d.restarts, 0);
@@ -1167,7 +1272,7 @@ mod tests {
         let mut wl = WorkloadMap::new();
         wl.insert("bin:t.service".into(), body_ms(10));
         let p = plan(&graph, &["t.service"]);
-        let record = run_boot(&mut s.machine, &p, &wl, &s.cfg);
+        let record = run_boot(&mut s.machine, &p.as_plan(&graph), &wl, &s.cfg);
         assert!(!record.service("t.service").timed_out);
         // The watchdog exits when readiness appears: quiescence arrives
         // long before the 60 s timeout would.
@@ -1180,7 +1285,7 @@ mod tests {
         let mut s = setup(4);
         let mut p = plan(&graph, &["c.service"]);
         p.init_tasks = vec![ManagerTask::new("x", SimDuration::from_millis(5))];
-        let record = run_boot(&mut s.machine, &p, &workloads(5), &s.cfg);
+        let record = run_boot(&mut s.machine, &p.as_plan(&graph), &workloads(5), &s.cfg);
         assert!(record.userspace_start <= record.init_done);
         assert!(record.init_done <= record.load_done);
         assert!(record.load_done <= record.completion_time.unwrap());

@@ -45,10 +45,11 @@ pub mod time;
 pub mod trace;
 
 pub use chrome::chrome_trace;
+pub use event::{EventKind, EventQueue, EventQueueStats};
 pub use fault::{Fault, FaultPlan, FaultTargets};
 pub use ids::{CoreId, DeviceId, FlagId, Pid};
 pub use io::{Device, DeviceProfile, IoPriority, MIB};
-pub use machine::{Machine, MachineConfig, RunOutcome, SchedStats};
+pub use machine::{Machine, MachineBuilder, MachineConfig, RunOutcome, SchedStats};
 pub use process::{AccessPattern, Op, OpsBuilder, ProcessSpec};
 pub use rcu::{RcuMode, RcuParams, RcuStats};
 pub use snapshot::{SnapshotError, SnapshotHeader};

@@ -20,10 +20,11 @@
 //! (nice, arrival sequence); two runs of the same scenario produce
 //! identical traces.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::VecDeque;
 
-use crate::event::{EventKind, EventQueue};
+use smallvec::SmallVec;
+
+use crate::event::{EventKind, EventQueue, EventQueueStats};
 use crate::fault::{Fault, FaultPlan};
 use crate::ids::{CoreId, DeviceId, FlagId, Pid};
 use crate::io::{Device, DeviceProfile, IoRequest};
@@ -85,11 +86,84 @@ pub struct RunOutcome {
     pub failed: Vec<Pid>,
 }
 
+/// Pre-sized event-queue capacity: full TV boots keep well under this
+/// many pending events, so the heap never reallocates mid-run.
+const EVENT_QUEUE_CAPACITY: usize = 256;
+
+/// Most flags have zero or one waiter (readiness flags are waited on by
+/// the boot manager alone), so waiter lists live inline and the hot
+/// path never allocates for them.
+pub(crate) const FLAG_WAITERS_INLINE: usize = 4;
+
 #[derive(Debug, Default)]
 pub(crate) struct FlagState {
     pub(crate) name: String,
     pub(crate) set_at: Option<SimTime>,
-    pub(crate) waiters: Vec<Pid>,
+    pub(crate) waiters: SmallVec<Pid, FLAG_WAITERS_INLINE>,
+}
+
+/// The run queue: one FIFO ring per distinct nice level, levels sorted
+/// by nice. A boot uses only a handful of distinct nice values, so push
+/// and pop are O(#levels) scans with no per-element sifting — much
+/// cheaper than the binary heap this replaces. Because `ready_seq` is
+/// globally monotonic, entries within a level arrive FIFO in seq order,
+/// and draining levels lowest-nice-first reproduces the old heap's
+/// `(nice, seq, pid)` order exactly.
+#[derive(Debug, Default)]
+pub(crate) struct ReadyQueue {
+    levels: Vec<(i8, VecDeque<(u64, u32)>)>,
+    len: usize,
+}
+
+impl ReadyQueue {
+    pub(crate) fn push(&mut self, nice: i8, seq: u64, raw: u32) {
+        let idx = match self.levels.binary_search_by_key(&nice, |l| l.0) {
+            Ok(i) => i,
+            Err(i) => {
+                self.levels.insert(i, (nice, VecDeque::new()));
+                i
+            }
+        };
+        self.levels[idx].1.push_back((seq, raw));
+        self.len += 1;
+    }
+
+    /// Pops the pid of the `(nice, seq)`-minimal entry.
+    pub(crate) fn pop(&mut self) -> Option<u32> {
+        if self.len == 0 {
+            return None;
+        }
+        for (_, q) in &mut self.levels {
+            if let Some((_, raw)) = q.pop_front() {
+                self.len -= 1;
+                return Some(raw);
+            }
+        }
+        unreachable!("ready len out of sync with levels")
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Empties the queue, keeping level rings allocated (recycling).
+    pub(crate) fn clear(&mut self) {
+        for (_, q) in &mut self.levels {
+            q.clear();
+        }
+        self.len = 0;
+    }
+
+    /// Entries in canonical `(nice, seq, pid)` order (snapshot encode).
+    pub(crate) fn iter_sorted(&self) -> impl Iterator<Item = (i8, u64, u32)> + '_ {
+        self.levels
+            .iter()
+            .flat_map(|(n, q)| q.iter().map(move |&(s, r)| (*n, s, r)))
+    }
 }
 
 /// Where a core-occupying span started, per running process.
@@ -135,13 +209,18 @@ pub struct Machine {
     pub(crate) procs: Vec<Process>,
     /// `Some(pid)` per busy core.
     pub(crate) cores: Vec<Option<Pid>>,
-    /// Dispatch bookkeeping for busy processes.
-    pub(crate) running: HashMap<Pid, Running>,
-    pub(crate) ready: BinaryHeap<Reverse<(i8, u64, u32)>>,
+    /// Dispatch bookkeeping for busy processes: a dense slab indexed by
+    /// pid (`running[pid] == Some(..)` iff the process holds a core),
+    /// kept `procs.len()` long. No hashing on the dispatch path.
+    pub(crate) running: Vec<Option<Running>>,
+    pub(crate) ready: ReadyQueue,
     pub(crate) ready_seq: u64,
     pub(crate) devices: Vec<Device>,
     pub(crate) flags: Vec<FlagState>,
-    pub(crate) flag_index: HashMap<String, FlagId>,
+    /// String→flag interner: flag ids sorted by flag name, binary-
+    /// searched on (re)interning. Names are interned once at build time;
+    /// the simulation loop itself only ever touches `FlagId` indices.
+    pub(crate) flag_lookup: Vec<FlagId>,
     pub(crate) rcu: RcuEngine,
     pub(crate) trace: Trace,
     pub(crate) pending_spawns: Vec<Option<ProcessSpec>>,
@@ -163,25 +242,20 @@ impl Machine {
     /// Panics if the configuration is degenerate (no cores, zero speed,
     /// zero quantum).
     pub fn new(cfg: MachineConfig) -> Self {
-        assert!(cfg.cores > 0, "machine needs at least one core");
-        assert!(
-            cfg.core_speed.is_finite() && cfg.core_speed > 0.0,
-            "core speed must be positive"
-        );
-        assert!(!cfg.quantum.is_zero(), "quantum must be nonzero");
+        Self::check_config(&cfg);
         Machine {
             cores: vec![None; cfg.cores],
             rcu: RcuEngine::new(cfg.rcu_mode, cfg.rcu_params),
             cfg,
             now: SimTime::ZERO,
-            events: EventQueue::new(),
+            events: EventQueue::with_capacity(EVENT_QUEUE_CAPACITY),
             procs: Vec::new(),
-            running: HashMap::new(),
-            ready: BinaryHeap::new(),
+            running: Vec::new(),
+            ready: ReadyQueue::default(),
             ready_seq: 0,
             devices: Vec::new(),
             flags: Vec::new(),
-            flag_index: HashMap::new(),
+            flag_lookup: Vec::new(),
             trace: Trace::new(),
             pending_spawns: Vec::new(),
             work: Vec::new(),
@@ -190,6 +264,49 @@ impl Machine {
             faults: None,
             telemetry: None,
         }
+    }
+
+    fn check_config(cfg: &MachineConfig) {
+        assert!(cfg.cores > 0, "machine needs at least one core");
+        assert!(
+            cfg.core_speed.is_finite() && cfg.core_speed > 0.0,
+            "core speed must be positive"
+        );
+        assert!(!cfg.quantum.is_zero(), "quantum must be nonzero");
+    }
+
+    /// Resets the machine to the pristine state [`Machine::new`]`(cfg)`
+    /// would produce, but keeps the backing allocations of every arena
+    /// (event heap, process table, running slab, ready queue, trace,
+    /// work lists) so a recycled machine boots without reallocating.
+    /// Observationally identical to a fresh machine: the recycling
+    /// proptests pin trace-for-trace equality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate, like [`Machine::new`].
+    pub fn reset(&mut self, cfg: MachineConfig) {
+        Self::check_config(&cfg);
+        self.cores.clear();
+        self.cores.resize(cfg.cores, None);
+        self.rcu = RcuEngine::new(cfg.rcu_mode, cfg.rcu_params);
+        self.cfg = cfg;
+        self.now = SimTime::ZERO;
+        self.events.reset();
+        self.procs.clear();
+        self.running.clear();
+        self.ready.clear();
+        self.ready_seq = 0;
+        self.devices.clear();
+        self.flags.clear();
+        self.flag_lookup.clear();
+        self.trace.reset();
+        self.pending_spawns.clear();
+        self.work.clear();
+        self.failed.clear();
+        self.sched_stats = SchedStats::default();
+        self.faults = None;
+        self.telemetry = None;
     }
 
     /// Current simulated time.
@@ -220,6 +337,13 @@ impl Machine {
     /// Scheduler counters so far.
     pub fn sched_stats(&self) -> SchedStats {
         self.sched_stats
+    }
+
+    /// Event-queue observability counters: total events scheduled and
+    /// the peak pending depth (high-water mark). Host-side only — not
+    /// simulated state and not part of snapshots.
+    pub fn event_queue_stats(&self) -> EventQueueStats {
+        self.events.stats()
     }
 
     /// Installs a telemetry sink. Subsequent execution records counters
@@ -259,20 +383,34 @@ impl Machine {
         &self.devices[id.index()]
     }
 
-    /// Returns the flag with the given name, creating it if needed.
+    /// Returns the flag with the given name, creating (interning) it if
+    /// needed. Interning happens at machine-build time; after that the
+    /// returned `FlagId` is a plain index and the name is never hashed
+    /// or compared again.
     pub fn flag(&mut self, name: impl Into<String>) -> FlagId {
         let name = name.into();
-        if let Some(&id) = self.flag_index.get(&name) {
-            return id;
+        match self.lookup_flag(&name) {
+            Ok(id) => id,
+            Err(slot) => {
+                let id = FlagId::from_raw(self.flags.len() as u32);
+                self.flags.push(FlagState {
+                    name,
+                    set_at: None,
+                    waiters: SmallVec::new(),
+                });
+                self.flag_lookup.insert(slot, id);
+                id
+            }
         }
-        let id = FlagId::from_raw(self.flags.len() as u32);
-        self.flags.push(FlagState {
-            name: name.clone(),
-            set_at: None,
-            waiters: Vec::new(),
-        });
-        self.flag_index.insert(name, id);
-        id
+    }
+
+    /// Binary-searches the name interner. `Ok(id)` if interned,
+    /// `Err(insertion_slot)` otherwise.
+    fn lookup_flag(&self, name: &str) -> Result<FlagId, usize> {
+        let flags = &self.flags;
+        self.flag_lookup
+            .binary_search_by(|&id| flags[id.index()].name.as_str().cmp(name))
+            .map(|i| self.flag_lookup[i])
     }
 
     /// Name of a flag.
@@ -302,6 +440,15 @@ impl Machine {
 
     /// Spawns a process, ready at the current time. Returns its pid.
     pub fn spawn(&mut self, spec: ProcessSpec) -> Pid {
+        let pid = self.add_process(spec);
+        self.work.push(pid);
+        self.drain_work();
+        pid
+    }
+
+    /// Creates the process record for `spec` (trace entry, process
+    /// table, running-slab slot) without making it runnable.
+    fn add_process(&mut self, spec: ProcessSpec) -> Pid {
         let pid = Pid::from_raw(self.procs.len() as u32);
         self.trace.push(
             self.now,
@@ -311,8 +458,7 @@ impl Machine {
             },
         );
         self.procs.push(Process::from_spec(pid, spec, self.now));
-        self.work.push(pid);
-        self.drain_work();
+        self.running.push(None);
         pid
     }
 
@@ -590,47 +736,78 @@ impl Machine {
                 let spec = self.pending_spawns[spawn_slot as usize]
                     .take()
                     .expect("spawn slot fired twice");
-                let pid = Pid::from_raw(self.procs.len() as u32);
-                self.trace.push(
-                    self.now,
-                    pid,
-                    TraceKind::Spawned {
-                        name: spec.name.clone(),
-                    },
-                );
-                self.procs.push(Process::from_spec(pid, spec, self.now));
+                let pid = self.add_process(spec);
                 self.work.push(pid);
             }
         }
     }
 
     fn on_slice_done(&mut self, pid: Pid, core: CoreId) {
-        self.release_core(pid, core);
-        let p = &mut self.procs[pid.index()];
-        if p.compute_left.is_zero() {
-            // Compute op finished (or a PollFlag check completed).
-            match p.ops.front() {
-                Some(Op::Compute(_)) => {
-                    p.ops.pop_front();
-                    self.work.push(pid);
-                }
-                Some(Op::PollFlag { flag, interval, .. }) => {
-                    let (flag, interval) = (*flag, *interval);
-                    if self.flags[flag.index()].set_at.is_some() {
-                        self.procs[pid.index()].ops.pop_front();
-                        self.work.push(pid);
-                    } else {
-                        self.procs[pid.index()].state = ProcState::Blocked(BlockReason::Sleep);
-                        self.events
-                            .push(self.now + interval, EventKind::WakeUp { pid });
-                    }
-                }
-                other => unreachable!("slice done with unexpected front op {other:?}"),
-            }
-        } else {
+        if !self.procs[pid.index()].compute_left.is_zero() {
             // Preemption point: requeue with remaining work.
             self.sched_stats.preemptions += 1;
-            self.make_ready(pid);
+            // Same-core continuation: with nothing else ready and every
+            // lower-indexed core busy, release + requeue + dispatch
+            // provably re-grants this core to this process, so skip the
+            // ready-heap and core churn. Every side effect of the slow
+            // path (ready_seq, span boundary, stats, telemetry, event
+            // push order) is replicated exactly, keeping timelines and
+            // snapshots bit-identical.
+            if self.ready.is_empty() && self.cores[..core.index()].iter().all(Option::is_some) {
+                let seq = self.ready_seq;
+                self.ready_seq += 1;
+                self.sched_stats.dispatches += 1;
+                if let Some(t) = self.telemetry.as_mut() {
+                    t.metrics.record(telemetry::RUN_QUEUE_DEPTH, 0);
+                }
+                let run = self.running[pid.index()]
+                    .as_mut()
+                    .expect("sliced process is running");
+                let since = run.since;
+                run.since = self.now;
+                if since < self.now {
+                    self.trace.push_span(CoreSpan {
+                        core,
+                        pid,
+                        start: since,
+                        end: self.now,
+                    });
+                }
+                let speed = self.cfg.core_speed;
+                let p = &mut self.procs[pid.index()];
+                p.ready_seq = seq;
+                let slice = p.compute_left.min(self.cfg.quantum);
+                p.compute_left = p.compute_left - slice;
+                let wall = slice.scale(1.0 / speed);
+                p.cpu_time += wall;
+                self.events
+                    .push(self.now + wall, EventKind::SliceDone { pid, core });
+            } else {
+                self.release_core(pid, core);
+                self.make_ready(pid);
+            }
+            return;
+        }
+        self.release_core(pid, core);
+        let p = &mut self.procs[pid.index()];
+        // Compute op finished (or a PollFlag check completed).
+        match p.ops.front() {
+            Some(Op::Compute(_)) => {
+                p.ops.pop_front();
+                self.work.push(pid);
+            }
+            Some(Op::PollFlag { flag, interval, .. }) => {
+                let (flag, interval) = (*flag, *interval);
+                if self.flags[flag.index()].set_at.is_some() {
+                    self.procs[pid.index()].ops.pop_front();
+                    self.work.push(pid);
+                } else {
+                    self.procs[pid.index()].state = ProcState::Blocked(BlockReason::Sleep);
+                    self.events
+                        .push(self.now + interval, EventKind::WakeUp { pid });
+                }
+            }
+            other => unreachable!("slice done with unexpected front op {other:?}"),
         }
     }
 
@@ -678,7 +855,7 @@ impl Machine {
                 crate::rcu::WaitKind::Spinning => {
                     // The waiter burned its core the whole time; charge
                     // and free it.
-                    let run = self.running[&waiter.pid];
+                    let run = self.running[waiter.pid.index()].expect("spinning waiter runs");
                     self.procs[waiter.pid.index()].cpu_time += self.now.saturating_since(run.since);
                     self.release_core(waiter.pid, run.core);
                     self.work.push(waiter.pid);
@@ -707,7 +884,7 @@ impl Machine {
         // so a firing here is for the currently parked wait.
         let p = &mut self.procs[pid.index()];
         debug_assert_eq!(p.timed_wait_seq, seq);
-        let Some(Op::TimedWaitFlag { flag, .. }) = p.ops.front().cloned() else {
+        let Some(&Op::TimedWaitFlag { flag, .. }) = p.ops.front() else {
             unreachable!("timed-wait timeout with unexpected front op");
         };
         debug_assert_eq!(p.state, ProcState::Blocked(BlockReason::Flag(flag)));
@@ -742,10 +919,14 @@ impl Machine {
 
     /// Folds zero-cost ops and parks the process in the state its next
     /// real op requires (ready, blocked, or done).
+    ///
+    /// Allocation-free: every arm borrows the front op and copies only
+    /// its scalar payload; `Spawn` — the one op with heap payload —
+    /// pops the op and *moves* the spec into the child instead of
+    /// deep-cloning it.
     fn step_process(&mut self, pid: Pid) {
         loop {
-            let front = self.procs[pid.index()].ops.front().cloned();
-            match front {
+            match self.procs[pid.index()].ops.front() {
                 None => {
                     let p = &mut self.procs[pid.index()];
                     if p.state != ProcState::Done {
@@ -755,7 +936,7 @@ impl Machine {
                     }
                     return;
                 }
-                Some(Op::Compute(d)) => {
+                Some(&Op::Compute(d)) => {
                     let p = &mut self.procs[pid.index()];
                     if p.compute_left.is_zero() {
                         p.compute_left = d;
@@ -763,18 +944,20 @@ impl Machine {
                     self.make_ready(pid);
                     return;
                 }
-                Some(Op::RcuReadHold(_)) | Some(Op::RcuSync) | Some(Op::PollFlag { .. }) => {
+                Some(&Op::PollFlag { flag, .. }) => {
                     // PollFlag with an already-set flag can skip the check.
-                    if let Some(Op::PollFlag { flag, .. }) = front {
-                        if self.flags[flag.index()].set_at.is_some() {
-                            self.procs[pid.index()].ops.pop_front();
-                            continue;
-                        }
+                    if self.flags[flag.index()].set_at.is_some() {
+                        self.procs[pid.index()].ops.pop_front();
+                        continue;
                     }
                     self.make_ready(pid);
                     return;
                 }
-                Some(Op::IoRead {
+                Some(&Op::RcuReadHold(_)) | Some(&Op::RcuSync) => {
+                    self.make_ready(pid);
+                    return;
+                }
+                Some(&Op::IoRead {
                     device,
                     bytes,
                     pattern,
@@ -798,12 +981,12 @@ impl Machine {
                     }
                     return;
                 }
-                Some(Op::Sleep(d)) => {
+                Some(&Op::Sleep(d)) => {
                     self.procs[pid.index()].state = ProcState::Blocked(BlockReason::Sleep);
                     self.events.push(self.now + d, EventKind::WakeUp { pid });
                     return;
                 }
-                Some(Op::WaitFlag(flag)) => {
+                Some(&Op::WaitFlag(flag)) => {
                     if self.flags[flag.index()].set_at.is_some() {
                         self.procs[pid.index()].ops.pop_front();
                         continue;
@@ -812,7 +995,7 @@ impl Machine {
                     self.flags[flag.index()].waiters.push(pid);
                     return;
                 }
-                Some(Op::TimedWaitFlag { flag, timeout }) => {
+                Some(&Op::TimedWaitFlag { flag, timeout }) => {
                     if self.flags[flag.index()].set_at.is_some() {
                         self.procs[pid.index()].ops.pop_front();
                         continue;
@@ -825,7 +1008,7 @@ impl Machine {
                         .push(self.now + timeout, EventKind::FlagWaitTimeout { pid, seq });
                     return;
                 }
-                Some(Op::AssertFlag(flag)) => {
+                Some(&Op::AssertFlag(flag)) => {
                     if self.flags[flag.index()].set_at.is_some() {
                         self.procs[pid.index()].ops.pop_front();
                         continue;
@@ -838,7 +1021,7 @@ impl Machine {
                     self.trace.push(self.now, pid, TraceKind::Failed { flag });
                     return;
                 }
-                Some(Op::CondSkip { flag, skip_ops }) => {
+                Some(&Op::CondSkip { flag, skip_ops }) => {
                     let p = &mut self.procs[pid.index()];
                     p.ops.pop_front();
                     if self.flags[flag.index()].set_at.is_none() {
@@ -849,7 +1032,7 @@ impl Machine {
                         }
                     }
                 }
-                Some(Op::SetFlag(flag)) => {
+                Some(&Op::SetFlag(flag)) => {
                     if self.try_inject_readiness_fault(pid, flag) {
                         // Crashed processes are done; hung ones now have a
                         // fresh front op to park on.
@@ -861,25 +1044,19 @@ impl Machine {
                     self.procs[pid.index()].ops.pop_front();
                     self.do_set_flag(flag, pid);
                 }
-                Some(Op::Spawn(spec)) => {
-                    self.procs[pid.index()].ops.pop_front();
-                    let child = Pid::from_raw(self.procs.len() as u32);
-                    self.trace.push(
-                        self.now,
-                        child,
-                        TraceKind::Spawned {
-                            name: spec.name.clone(),
-                        },
-                    );
-                    self.procs.push(Process::from_spec(child, spec, self.now));
+                Some(&Op::Spawn(_)) => {
+                    let Some(Op::Spawn(spec)) = self.procs[pid.index()].ops.pop_front() else {
+                        unreachable!("front op changed under us");
+                    };
+                    let child = self.add_process(spec);
                     self.work.push(child);
                 }
-                Some(Op::Yield) => {
+                Some(&Op::Yield) => {
                     self.procs[pid.index()].ops.pop_front();
                     // A bare requeue: if the next op needs a core it will
                     // naturally arrive behind current ready peers.
                 }
-                Some(Op::SetRcuMode(mode)) => {
+                Some(&Op::SetRcuMode(mode)) => {
                     self.procs[pid.index()].ops.pop_front();
                     self.rcu.set_mode(mode);
                 }
@@ -920,7 +1097,7 @@ impl Machine {
         let p = &mut self.procs[pid.index()];
         p.state = ProcState::Ready;
         p.ready_seq = seq;
-        self.ready.push(Reverse((p.nice, seq, pid.as_raw())));
+        self.ready.push(p.nice, seq, pid.as_raw());
     }
 
     // ---- internal: dispatching -----------------------------------------
@@ -930,7 +1107,7 @@ impl Machine {
             let Some(core) = self.cores.iter().position(Option::is_none) else {
                 return;
             };
-            let Some(Reverse((_, _, raw))) = self.ready.pop() else {
+            let Some(raw) = self.ready.pop() else {
                 return;
             };
             let pid = Pid::from_raw(raw);
@@ -947,23 +1124,19 @@ impl Machine {
                 .record(telemetry::RUN_QUEUE_DEPTH, self.ready.len() as u64);
         }
         self.cores[core.index()] = Some(pid);
-        self.running.insert(
-            pid,
-            Running {
-                core,
-                since: self.now,
-            },
-        );
+        self.running[pid.index()] = Some(Running {
+            core,
+            since: self.now,
+        });
         let speed = self.cfg.core_speed;
         let p = &mut self.procs[pid.index()];
         p.state = ProcState::Running;
-        let front = p.ops.front().cloned();
         if !p.first_dispatched {
             p.first_dispatched = true;
             self.trace.push(self.now, pid, TraceKind::FirstRun);
         }
-        match front {
-            Some(Op::Compute(_)) => {
+        match self.procs[pid.index()].ops.front() {
+            Some(&Op::Compute(_)) => {
                 let p = &mut self.procs[pid.index()];
                 let slice = p.compute_left.min(self.cfg.quantum);
                 p.compute_left = p.compute_left - slice;
@@ -972,20 +1145,20 @@ impl Machine {
                 self.events
                     .push(self.now + wall, EventKind::SliceDone { pid, core });
             }
-            Some(Op::PollFlag { poll_cost, .. }) => {
+            Some(&Op::PollFlag { poll_cost, .. }) => {
                 let wall = poll_cost.scale(1.0 / speed).max(SimDuration::from_nanos(1));
                 self.procs[pid.index()].cpu_time += wall;
                 self.events
                     .push(self.now + wall, EventKind::SliceDone { pid, core });
             }
-            Some(Op::RcuReadHold(d)) => {
+            Some(&Op::RcuReadHold(d)) => {
                 self.rcu.reader_enter();
                 let wall = d.scale(1.0 / speed);
                 self.procs[pid.index()].cpu_time += wall;
                 self.events
                     .push(self.now + wall, EventKind::ReadHoldDone { pid, core });
             }
-            Some(Op::RcuSync) => {
+            Some(&Op::RcuSync) => {
                 self.procs[pid.index()].ops.pop_front();
                 let overhead = self.rcu.submit_overhead().scale(1.0 / speed);
                 self.procs[pid.index()].cpu_time += overhead;
@@ -1015,7 +1188,7 @@ impl Machine {
     fn release_core(&mut self, pid: Pid, core: CoreId) {
         debug_assert_eq!(self.cores[core.index()], Some(pid));
         self.cores[core.index()] = None;
-        if let Some(run) = self.running.remove(&pid) {
+        if let Some(run) = self.running[pid.index()].take() {
             if run.since < self.now {
                 self.trace.push_span(CoreSpan {
                     core,
@@ -1025,6 +1198,113 @@ impl Machine {
                 });
             }
         }
+    }
+}
+
+/// Reusable machine factory for hot loops (fleet cells, sweeps):
+/// recycles one finished machine's arena allocations across boots —
+/// reset-and-rebuild instead of alloc-and-drop per job.
+///
+/// Contract: a machine obtained from [`MachineBuilder::build`] is
+/// observationally identical to `Machine::new(cfg)` — same timelines,
+/// traces, and snapshots, event for event — regardless of what the
+/// recycled machine ran before (see `Machine::reset`).
+///
+/// ```
+/// use bb_sim::{Machine, MachineBuilder, MachineConfig};
+///
+/// let mut builder = MachineBuilder::new();
+/// for _ in 0..3 {
+///     let mut m = builder.build(MachineConfig::default());
+///     // ... run the boot ...
+///     builder.recycle(m);
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct MachineBuilder {
+    spare: Option<Machine>,
+}
+
+impl MachineBuilder {
+    /// Creates a builder with no recycled machine yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a pristine machine for `cfg`, reusing the allocations of
+    /// the last recycled machine when one is available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate, like [`Machine::new`].
+    pub fn build(&mut self, cfg: MachineConfig) -> Machine {
+        match self.spare.take() {
+            Some(mut m) => {
+                m.reset(cfg);
+                m
+            }
+            None => Machine::new(cfg),
+        }
+    }
+
+    /// Hands a finished machine back for reuse by the next `build`.
+    pub fn recycle(&mut self, machine: Machine) {
+        self.spare = Some(machine);
+    }
+
+    /// Restores a machine from snapshot bytes (see
+    /// [`crate::snapshot::restore`]), grafting the recycled machine's
+    /// buffer capacity onto the restored machine. A fleet inner loop
+    /// that restores the same checkpoint thousands of times stops
+    /// re-growing the trace, event heap, and process tables from
+    /// scratch every job. Capacity is never observable: timelines,
+    /// traces, and snapshots are bit-identical to a plain restore.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<Machine, crate::snapshot::SnapshotError> {
+        let mut m = crate::snapshot::restore(bytes)?;
+        if let Some(spare) = self.spare.take() {
+            m.adopt_capacity(spare);
+        }
+        Ok(m)
+    }
+}
+
+/// Moves `spare`'s larger backing buffer under `dst`, preserving
+/// `dst`'s contents. No-op when `dst` is already at least as large.
+fn graft<T>(dst: &mut Vec<T>, mut spare: Vec<T>) {
+    if spare.capacity() > dst.capacity() {
+        spare.clear();
+        spare.append(dst);
+        *dst = spare;
+    }
+}
+
+impl Machine {
+    /// Adopts `spare`'s high-water buffer capacities without changing
+    /// any observable state (machine recycling for restore-heavy
+    /// loops).
+    fn adopt_capacity(&mut self, spare: Machine) {
+        let Machine {
+            events,
+            procs,
+            running,
+            flags,
+            flag_lookup,
+            trace,
+            pending_spawns,
+            work,
+            failed,
+            ..
+        } = spare;
+        self.events.adopt_capacity(events);
+        graft(&mut self.procs, procs);
+        graft(&mut self.running, running);
+        graft(&mut self.flags, flags);
+        graft(&mut self.flag_lookup, flag_lookup);
+        graft(&mut self.trace.events, trace.events);
+        graft(&mut self.trace.spans, trace.spans);
+        graft(&mut self.pending_spawns, pending_spawns);
+        graft(&mut self.work, work);
+        graft(&mut self.failed, failed);
     }
 }
 

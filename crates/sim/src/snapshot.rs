@@ -42,15 +42,15 @@
 //! * **Derived state is rebuilt, not stored.** The flag name index is
 //!   reconstructed from the flag table on restore.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
+
+use smallvec::SmallVec;
 
 use crate::event::{EventKind, EventQueue, QueuedEvent};
 use crate::ids::{CoreId, DeviceId, FlagId, Pid};
 use crate::io::{Device, DeviceProfile, IoPriority, IoRequest};
 use crate::machine::{
-    FaultState, FlagState, IoFaultArm, Machine, MachineConfig, ProcFaultArm, Running,
+    FaultState, FlagState, IoFaultArm, Machine, MachineConfig, ProcFaultArm, ReadyQueue, Running,
 };
 use crate::process::{AccessPattern, BlockReason, Op, ProcState, Process, ProcessSpec};
 use crate::rcu::{RcuEngine, RcuMode, RcuParams, RcuStats, WaitKind, Waiter};
@@ -356,7 +356,7 @@ pub fn restore(bytes: &[u8]) -> Result<Machine, SnapshotError> {
 
     let mut sec = r.section(SEC_SCHED)?;
     let (cores, running, ready, ready_seq, work, failed, sched_stats) =
-        decode_sched(&mut sec, cfg.cores)?;
+        decode_sched(&mut sec, cfg.cores, procs.len())?;
     sec.finish()?;
 
     let mut sec = r.section(SEC_DEVICES)?;
@@ -370,16 +370,14 @@ pub fn restore(bytes: &[u8]) -> Result<Machine, SnapshotError> {
     let mut sec = r.section(SEC_FLAGS)?;
     let n = sec.vec_len(8)?;
     let mut flags = Vec::with_capacity(n);
-    let mut flag_index = HashMap::new();
-    for i in 0..n {
+    for _ in 0..n {
         let name = sec.str()?;
         let set_at = sec.opt_u64()?.map(SimTime::from_nanos);
         let waiters_len = sec.vec_len(4)?;
-        let mut waiters = Vec::with_capacity(waiters_len);
+        let mut waiters = SmallVec::with_capacity(waiters_len);
         for _ in 0..waiters_len {
             waiters.push(Pid::from_raw(sec.u32()?));
         }
-        flag_index.insert(name.clone(), FlagId::from_raw(i as u32));
         flags.push(FlagState {
             name,
             set_at,
@@ -387,6 +385,10 @@ pub fn restore(bytes: &[u8]) -> Result<Machine, SnapshotError> {
         });
     }
     sec.finish()?;
+    // The name interner is derived state (not serialized): rebuild it
+    // by sorting the flag ids by name.
+    let mut flag_lookup: Vec<FlagId> = (0..flags.len() as u32).map(FlagId::from_raw).collect();
+    flag_lookup.sort_by(|a, b| flags[a.index()].name.cmp(&flags[b.index()].name));
 
     let mut sec = r.section(SEC_RCU)?;
     let rcu = decode_rcu(&mut sec)?;
@@ -427,7 +429,7 @@ pub fn restore(bytes: &[u8]) -> Result<Machine, SnapshotError> {
         ready_seq,
         devices,
         flags,
-        flag_index,
+        flag_lookup,
         rcu,
         trace,
         pending_spawns,
@@ -484,16 +486,17 @@ fn decode_config(r: &mut Reader<'_>) -> Result<MachineConfig, SnapshotError> {
 }
 
 fn encode_events(w: &mut Writer, events: &EventQueue) {
-    // The heap's pop order is fully determined by its element multiset
-    // (sequence numbers are unique), so a canonical sorted encoding
-    // restores identical behaviour regardless of internal layout.
-    let mut queued: Vec<QueuedEvent> = events.heap.iter().map(|Reverse(e)| *e).collect();
-    queued.sort_by_key(|e| (e.time, e.seq));
-    w.u64(events.next_seq);
+    // The queue's pop order is fully determined by its element multiset
+    // (sequence numbers are unique), so the canonical sorted view
+    // (`EventQueue::sorted_events`) restores identical behaviour
+    // regardless of internal layout — the front-slot/heap split never
+    // reaches the wire, keeping the v1 bytes stable across layouts.
+    let queued = events.sorted_events();
+    w.u64(events.next_seq());
     w.len(queued.len());
     for e in &queued {
-        w.u64(e.time.as_nanos());
-        w.u64(e.seq);
+        w.u64(e.time().as_nanos());
+        w.u64(e.seq());
         encode_event_kind(w, e.kind);
     }
 }
@@ -501,14 +504,14 @@ fn encode_events(w: &mut Writer, events: &EventQueue) {
 fn decode_events(r: &mut Reader<'_>) -> Result<EventQueue, SnapshotError> {
     let next_seq = r.u64()?;
     let n = r.vec_len(17)?;
-    let mut heap = BinaryHeap::with_capacity(n);
+    let mut queued = Vec::with_capacity(n);
     for _ in 0..n {
         let time = SimTime::from_nanos(r.u64()?);
         let seq = r.u64()?;
         let kind = decode_event_kind(r)?;
-        heap.push(Reverse(QueuedEvent { time, seq, kind }));
+        queued.push(QueuedEvent::new(time, seq, kind));
     }
-    Ok(EventQueue { heap, next_seq })
+    Ok(EventQueue::from_parts(next_seq, queued))
 }
 
 fn encode_event_kind(w: &mut Writer, kind: EventKind) {
@@ -788,11 +791,12 @@ fn decode_spec(r: &mut Reader<'_>) -> Result<ProcessSpec, SnapshotError> {
 fn decode_sched(
     r: &mut Reader<'_>,
     cores_cfg: usize,
+    n_procs: usize,
 ) -> Result<
     (
         Vec<Option<Pid>>,
-        HashMap<Pid, Running>,
-        BinaryHeap<Reverse<(i8, u64, u32)>>,
+        Vec<Option<Running>>,
+        ReadyQueue,
         u64,
         Vec<Pid>,
         Vec<Pid>,
@@ -809,20 +813,33 @@ fn decode_sched(
         cores.push(r.opt_u32()?.map(Pid::from_raw));
     }
     let n = r.vec_len(16)?;
-    let mut running = HashMap::with_capacity(n);
+    // The on-disk form stays the sparse pid-sorted triple list; the
+    // in-memory slab is rebuilt here. Pids are bounds-checked against
+    // the decoded process table so corrupt inputs error, never panic.
+    let mut running: Vec<Option<Running>> = vec![None; n_procs];
     for _ in 0..n {
         let pid = Pid::from_raw(r.u32()?);
         let core = CoreId::from_raw(r.u32()?);
         let since = SimTime::from_nanos(r.u64()?);
-        running.insert(pid, Running { core, since });
+        let slot = running
+            .get_mut(pid.index())
+            .ok_or(SnapshotError::Corrupt("running pid out of range"))?;
+        *slot = Some(Running { core, since });
     }
     let n = r.vec_len(13)?;
-    let mut ready = BinaryHeap::with_capacity(n);
+    let mut entries: Vec<(i8, u64, u32)> = Vec::with_capacity(n);
     for _ in 0..n {
         let nice = r.i8()?;
         let seq = r.u64()?;
         let raw = r.u32()?;
-        ready.push(Reverse((nice, seq, raw)));
+        entries.push((nice, seq, raw));
+    }
+    // v1 stores the queue canonically sorted; sort defensively so a
+    // hand-edited snapshot still yields a well-ordered queue.
+    entries.sort_unstable();
+    let mut ready = ReadyQueue::default();
+    for (nice, seq, raw) in entries {
+        ready.push(nice, seq, raw);
     }
     let ready_seq = r.u64()?;
     let n = r.vec_len(4)?;
@@ -849,24 +866,24 @@ fn encode_sched(w: &mut Writer, machine: &Machine) {
     for slot in &machine.cores {
         w.opt_u32(slot.map(Pid::as_raw));
     }
-    // HashMap iteration order is not deterministic; store sorted by pid.
-    let mut running: Vec<(Pid, Running)> = machine
+    // The running slab is indexed by pid, so walking it in order yields
+    // the same pid-sorted sparse triple list v1 has always stored.
+    let running: Vec<(Pid, Running)> = machine
         .running
         .iter()
-        .map(|(&pid, &run)| (pid, run))
+        .enumerate()
+        .filter_map(|(i, slot)| slot.map(|run| (Pid::from_raw(i as u32), run)))
         .collect();
-    running.sort_by_key(|(pid, _)| *pid);
     w.len(running.len());
     for (pid, run) in running {
         w.u32(pid.as_raw());
         w.u32(run.core.as_raw());
         w.u64(run.since.as_nanos());
     }
-    // Same canonical-sorted treatment as the event queue.
-    let mut ready: Vec<(i8, u64, u32)> = machine.ready.iter().map(|Reverse(t)| *t).collect();
-    ready.sort();
-    w.len(ready.len());
-    for (nice, seq, raw) in ready {
+    // Same canonical-sorted treatment as the event queue: the bucketed
+    // run queue iterates in `(nice, seq)` order, which is v1's sort.
+    w.len(machine.ready.len());
+    for (nice, seq, raw) in machine.ready.iter_sorted() {
         w.i8(nice);
         w.u64(seq);
         w.u32(raw);

@@ -91,6 +91,14 @@ impl Trace {
         }
     }
 
+    /// Empties the trace back to the [`Trace::new`] state, keeping the
+    /// event and span allocations (machine recycling).
+    pub(crate) fn reset(&mut self) {
+        self.events.clear();
+        self.spans.clear();
+        self.record_spans = true;
+    }
+
     /// Appends an event.
     pub fn push(&mut self, time: SimTime, pid: Pid, kind: TraceKind) {
         self.events.push(TraceEvent { time, pid, kind });

@@ -1,0 +1,98 @@
+#!/bin/sh
+# Hot-path perf smoke gate.
+#
+# Runs the hotpath criterion bench with a reduced iteration count
+# (quick, not publication-grade), checks that the regenerated
+# BENCH_hotpath.json carries the bb-hotpath-v1 schema and every field
+# the committed baseline promises, and fails if the freshly measured
+# boots/sec regressed more than the tolerance against the committed
+# numbers. CI hosts are noisy and shared, so the tolerance is
+# deliberately loose: this gate catches "someone made the scheduler 2x
+# slower", not single-digit drift.
+#
+# Usage:
+#   scripts/bench_smoke.sh            # 20% tolerance, 50 iters
+#   BB_BENCH_ITERS=200 BB_BENCH_TOLERANCE=10 scripts/bench_smoke.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BASELINE=BENCH_hotpath.json
+TOLERANCE="${BB_BENCH_TOLERANCE:-20}"
+ITERS="${BB_BENCH_ITERS:-50}"
+
+[ -f "$BASELINE" ] || {
+    echo "bench_smoke: $BASELINE missing — run 'cargo bench --bench hotpath' and commit it" >&2
+    exit 1
+}
+
+# Field extractor for the flat one-value-per-key JSON our emitters
+# write (no jq dependency).
+field() {
+    sed -n "s/^.*\"$1\": *\([0-9.]*\).*$/\1/p" "$2" | head -n 1
+}
+
+check_schema() {
+    grep -q '"schema": "bb-hotpath-v1"' "$1" || {
+        echo "bench_smoke: $1 lacks the bb-hotpath-v1 schema stamp" >&2
+        exit 1
+    }
+    for key in storm_events events_per_sec full_boots_per_sec \
+        hotpath_boots_per_sec baseline_events_per_sec \
+        baseline_full_boots_per_sec baseline_hotpath_boots_per_sec \
+        speedup_full speedup_hotpath; do
+        v="$(field "$key" "$1")"
+        [ -n "$v" ] || {
+            echo "bench_smoke: $1 is missing field \"$key\"" >&2
+            exit 1
+        }
+    done
+}
+
+echo "==> validating committed $BASELINE"
+check_schema "$BASELINE"
+
+committed_full="$(field full_boots_per_sec "$BASELINE")"
+committed_hot="$(field hotpath_boots_per_sec "$BASELINE")"
+committed_events="$(field storm_events "$BASELINE")"
+
+echo "==> running hotpath bench ($ITERS iters)"
+BB_BENCH_ITERS="$ITERS" cargo bench -p bb-bench --bench hotpath
+
+echo "==> validating regenerated $BASELINE"
+check_schema "$BASELINE"
+
+fresh_full="$(field full_boots_per_sec "$BASELINE")"
+fresh_hot="$(field hotpath_boots_per_sec "$BASELINE")"
+fresh_events="$(field storm_events "$BASELINE")"
+
+# The bench rewrites BENCH_hotpath.json in place; restore the committed
+# copy so a smoke run never dirties the tree.
+git checkout -- "$BASELINE" 2>/dev/null || true
+
+# The storm is deterministic: its event count must not move at all.
+[ "$fresh_events" = "$committed_events" ] || {
+    echo "bench_smoke: storm event count changed ($committed_events -> $fresh_events);" \
+        "the simulation itself changed, re-bless BENCH_hotpath.json deliberately" >&2
+    exit 1
+}
+
+# fresh >= committed * (100 - TOLERANCE)%, in awk (sh has no floats).
+gate() {
+    name="$1" fresh="$2" committed="$3"
+    awk -v f="$fresh" -v c="$committed" -v tol="$TOLERANCE" -v n="$name" 'BEGIN {
+        floor = c * (100 - tol) / 100
+        if (f < floor) {
+            printf "bench_smoke: %s regressed: %.1f boots/s vs committed %.1f (floor %.1f, tolerance %d%%)\n",
+                n, f, c, floor, tol
+            exit 1
+        }
+        printf "    %s: %.1f vs committed %.1f (floor %.1f) ok\n", n, f, c, floor
+    }' || exit 1
+}
+
+echo "==> regression gate (${TOLERANCE}% tolerance)"
+gate full_boots_per_sec "$fresh_full" "$committed_full"
+gate hotpath_boots_per_sec "$fresh_hot" "$committed_hot"
+
+echo "bench smoke passed."

@@ -43,4 +43,8 @@ echo "==> bbsim suspend --services 24 --json | grep schema"
 ./target/release/bbsim suspend --services 24 --json >"$chaos_tmp/suspend.json"
 run grep -q '"schema": "bb-snapshot-v1"' "$chaos_tmp/suspend.json"
 
+# Hot-path perf smoke: quick bench run gated against the committed
+# BENCH_hotpath.json (loose tolerance; catches gross regressions only).
+run ./scripts/bench_smoke.sh
+
 echo "CI gate passed."

@@ -4,14 +4,15 @@
 //! can be pinned exactly. These tests exist to catch *accidental*
 //! calibration drift — if you change a cost model on purpose, update
 //! the pins and the tables in EXPERIMENTS.md together.
-//!
-//! Deliberately boots through the deprecated `boost` wrapper: the legacy
-//! entry points must keep producing the pinned timeline until removed.
-#![allow(deprecated)]
-
-use booting_booster::bb::{boost, run_with_fallback, BbConfig, BootOutcome, FallbackPolicy};
+use booting_booster::bb::{
+    run_with_fallback, BbConfig, BootOutcome, BootRequest, FallbackPolicy, FullBootReport, Scenario,
+};
 use booting_booster::sim::FaultPlan;
 use booting_booster::workloads::tv_scenario;
+
+fn boost(s: &Scenario, cfg: &BbConfig) -> Result<FullBootReport, booting_booster::bb::Error> {
+    BootRequest::new(s).config(*cfg).run().map(|b| b.report)
+}
 
 #[test]
 fn headline_numbers_are_pinned() {

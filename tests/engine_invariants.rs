@@ -64,13 +64,17 @@ fn boot(w: &RandomWorkload, mode: EngineMode, cores: usize) -> booting_booster::
         ..MachineConfig::default()
     });
     let device = machine.add_device("emmc", DeviceProfile::tv_emmc());
+    let execution_order = transaction.execution_order(&graph);
+    let completion = vec![w.completion.clone()];
+    let overrides = PlanOverrides::default();
     let plan = BootPlan {
         graph: &graph,
-        transaction,
-        completion: vec![w.completion.clone()],
-        overrides: PlanOverrides::default(),
-        init_tasks: Vec::new(),
-        service_phase_tasks: Vec::new(),
+        transaction: &transaction,
+        completion: &completion,
+        overrides: &overrides,
+        init_tasks: &[],
+        service_phase_tasks: &[],
+        execution_order: &execution_order,
     };
     let cfg = EngineConfig {
         mode,

@@ -71,13 +71,17 @@ fn boot(timeout_ms: u64) -> booting_booster::init::BootRecord {
     let transaction = Transaction::build(&graph, "boot.target").expect("acyclic");
     let mut s = setup();
     let workloads = wl(&mut s.machine);
+    let execution_order = transaction.execution_order(&graph);
+    let completion = vec![UnitName::new("app.service")];
+    let overrides = PlanOverrides::default();
     let plan = BootPlan {
         graph: &graph,
-        transaction,
-        completion: vec![UnitName::new("app.service")],
-        overrides: PlanOverrides::default(),
-        init_tasks: Vec::new(),
-        service_phase_tasks: Vec::new(),
+        transaction: &transaction,
+        completion: &completion,
+        overrides: &overrides,
+        init_tasks: &[],
+        service_phase_tasks: &[],
+        execution_order: &execution_order,
     };
     run_boot(&mut s.machine, &plan, &workloads, &s.cfg)
 }
@@ -124,13 +128,17 @@ fn healthy_service_with_timeout_is_not_marked() {
             post_ready: Vec::new(),
         },
     );
+    let execution_order = transaction.execution_order(&graph);
+    let completion = vec![UnitName::new("app.service")];
+    let overrides = PlanOverrides::default();
     let plan = BootPlan {
         graph: &graph,
-        transaction,
-        completion: vec![UnitName::new("app.service")],
-        overrides: PlanOverrides::default(),
-        init_tasks: Vec::new(),
-        service_phase_tasks: Vec::new(),
+        transaction: &transaction,
+        completion: &completion,
+        overrides: &overrides,
+        init_tasks: &[],
+        service_phase_tasks: &[],
+        execution_order: &execution_order,
     };
     let record = run_boot(&mut s.machine, &plan, &workloads, &s.cfg);
     assert!(!record.service("broken.service").timed_out);
@@ -149,13 +157,17 @@ fn crashing_service_fails_loud_in_out_of_order_mode() {
         assert_deps: true,
     };
     let workloads = wl(&mut s.machine);
+    let execution_order = transaction.execution_order(&graph);
+    let completion = vec![UnitName::new("app.service")];
+    let overrides = PlanOverrides::default();
     let plan = BootPlan {
         graph: &graph,
-        transaction,
-        completion: vec![UnitName::new("app.service")],
-        overrides: PlanOverrides::default(),
-        init_tasks: Vec::new(),
-        service_phase_tasks: Vec::new(),
+        transaction: &transaction,
+        completion: &completion,
+        overrides: &overrides,
+        init_tasks: &[],
+        service_phase_tasks: &[],
+        execution_order: &execution_order,
     };
     let record = run_boot(&mut s.machine, &plan, &workloads, &s.cfg);
     assert!(record.service("app.service").failed);

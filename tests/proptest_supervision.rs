@@ -187,13 +187,17 @@ proptest! {
             faults: vec![Fault::CrashAtReadiness { process: w.crash_target.clone(), hits: 1 }],
             seed: 0,
         });
+        let execution_order = transaction.execution_order(&graph);
+        let completion = vec![w.completion.clone()];
+        let overrides = PlanOverrides::default();
         let plan = BootPlan {
             graph: &graph,
-            transaction,
-            completion: vec![w.completion.clone()],
-            overrides: PlanOverrides::default(),
-            init_tasks: Vec::new(),
-            service_phase_tasks: Vec::new(),
+            transaction: &transaction,
+            completion: &completion,
+            overrides: &overrides,
+            init_tasks: &[],
+            service_phase_tasks: &[],
+            execution_order: &execution_order,
         };
         let cfg = EngineConfig {
             mode: EngineMode::InOrder,

@@ -111,13 +111,17 @@ fn corpus_boots_on_the_simulator() {
     let transaction = Transaction::build(&graph, "tv-boot.target").expect("acyclic");
     let mut machine = Machine::new(MachineConfig::default());
     let device = machine.add_device("emmc", DeviceProfile::tv_emmc());
+    let execution_order = transaction.execution_order(&graph);
+    let completion = vec![UnitName::new("fasttv.service")];
+    let overrides = PlanOverrides::default();
     let plan = BootPlan {
         graph: &graph,
-        transaction,
-        completion: vec![UnitName::new("fasttv.service")],
-        overrides: PlanOverrides::default(),
-        init_tasks: Vec::new(),
-        service_phase_tasks: Vec::new(),
+        transaction: &transaction,
+        completion: &completion,
+        overrides: &overrides,
+        init_tasks: &[],
+        service_phase_tasks: &[],
+        execution_order: &execution_order,
     };
     let cfg = EngineConfig {
         mode: EngineMode::InOrder,

@@ -1,0 +1,338 @@
+//! Offline stand-in for the `smallvec` crate (DESIGN.md §4): a vector
+//! that stores up to `N` elements inline and spills to the heap only
+//! beyond that, so short lists (flag waiter lists, listener lists) stay
+//! allocation-free on the simulator hot path.
+//!
+//! API differences from the real crate, forced by stable Rust: the type
+//! is `SmallVec<T, N>` with a const-generic capacity rather than
+//! `SmallVec<[T; N]>` (the `Array`-trait encoding needs unstable
+//! features to reproduce), inline slots are `Option<T>` (safe code
+//! only, no `MaybeUninit`), and `retain` passes `&T` like `Vec::retain`
+//! instead of `&mut T`. Only the subset the workspace uses is
+//! implemented.
+
+/// A vector with inline storage for the first `N` elements.
+///
+/// Invariant: before the first spill, elements live in
+/// `inline[..len]` (each `Some`) and `spill` is empty; after spilling,
+/// all elements live in `spill`, every inline slot is `None`, and the
+/// collection never moves back inline (mirrors the real crate).
+pub struct SmallVec<T, const N: usize> {
+    inline: [Option<T>; N],
+    len: usize,
+    spill: Vec<T>,
+    spilled: bool,
+}
+
+impl<T, const N: usize> SmallVec<T, N> {
+    /// An empty small-vector using inline storage.
+    pub fn new() -> Self {
+        SmallVec {
+            inline: std::array::from_fn(|_| None),
+            len: 0,
+            spill: Vec::new(),
+            spilled: false,
+        }
+    }
+
+    /// An empty small-vector that can hold `cap` elements without
+    /// further allocation (spills up front when `cap > N`).
+    pub fn with_capacity(cap: usize) -> Self {
+        let mut v = Self::new();
+        if cap > N {
+            v.spill = Vec::with_capacity(cap);
+            v.spilled = true;
+        }
+        v
+    }
+
+    pub fn len(&self) -> usize {
+        if self.spilled {
+            self.spill.len()
+        } else {
+            self.len
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the elements have moved to the heap.
+    pub fn spilled(&self) -> bool {
+        self.spilled
+    }
+
+    pub fn push(&mut self, value: T) {
+        if !self.spilled {
+            if self.len < N {
+                self.inline[self.len] = Some(value);
+                self.len += 1;
+                return;
+            }
+            // Spill: move the inline elements to the heap.
+            self.spill.reserve(N + 1);
+            for slot in &mut self.inline {
+                self.spill.push(slot.take().expect("full inline slot"));
+            }
+            self.len = 0;
+            self.spilled = true;
+        }
+        self.spill.push(value);
+    }
+
+    pub fn pop(&mut self) -> Option<T> {
+        if self.spilled {
+            self.spill.pop()
+        } else if self.len > 0 {
+            self.len -= 1;
+            self.inline[self.len].take()
+        } else {
+            None
+        }
+    }
+
+    pub fn clear(&mut self) {
+        if self.spilled {
+            self.spill.clear();
+        } else {
+            for slot in &mut self.inline[..self.len] {
+                *slot = None;
+            }
+            self.len = 0;
+        }
+    }
+
+    /// Keeps only the elements for which `keep` returns true,
+    /// preserving order. Passes `&T` (like `Vec::retain`), not `&mut T`
+    /// as the real crate does.
+    pub fn retain(&mut self, mut keep: impl FnMut(&T) -> bool) {
+        if self.spilled {
+            self.spill.retain(|x| keep(x));
+            return;
+        }
+        let mut kept = 0;
+        for i in 0..self.len {
+            let x = self.inline[i].take().expect("full inline slot");
+            if keep(&x) {
+                self.inline[kept] = Some(x);
+                kept += 1;
+            }
+        }
+        self.len = kept;
+    }
+
+    pub fn iter(&self) -> Iter<'_, T> {
+        let (inline, spill) = if self.spilled {
+            (&self.inline[..0], &self.spill[..])
+        } else {
+            (&self.inline[..self.len], &[][..])
+        };
+        Iter {
+            inline: inline.iter(),
+            spill: spill.iter(),
+        }
+    }
+
+    pub fn as_slice_vec(&self) -> Vec<&T> {
+        self.iter().collect()
+    }
+}
+
+impl<T, const N: usize> Default for SmallVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Clone, const N: usize> Clone for SmallVec<T, N> {
+    fn clone(&self) -> Self {
+        let mut v = Self::new();
+        for x in self.iter() {
+            v.push(x.clone());
+        }
+        v
+    }
+}
+
+impl<T: std::fmt::Debug, const N: usize> std::fmt::Debug for SmallVec<T, N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl<T: PartialEq, const N: usize> PartialEq for SmallVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl<T: Eq, const N: usize> Eq for SmallVec<T, N> {}
+
+impl<T, const N: usize> FromIterator<T> for SmallVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = Self::new();
+        for x in iter {
+            v.push(x);
+        }
+        v
+    }
+}
+
+impl<T, const N: usize> Extend<T> for SmallVec<T, N> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+/// Borrowing iterator over a [`SmallVec`].
+pub struct Iter<'a, T> {
+    inline: std::slice::Iter<'a, Option<T>>,
+    spill: std::slice::Iter<'a, T>,
+}
+
+impl<'a, T> Iterator for Iter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        match self.inline.next() {
+            Some(slot) => Some(slot.as_ref().expect("full inline slot")),
+            None => self.spill.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.inline.len() + self.spill.len();
+        (n, Some(n))
+    }
+}
+
+impl<'a, T> ExactSizeIterator for Iter<'a, T> {}
+
+impl<'a, T, const N: usize> IntoIterator for &'a SmallVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = Iter<'a, T>;
+
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+/// Owning iterator over a [`SmallVec`]. Inline elements are yielded
+/// without touching the heap.
+pub struct IntoIter<T, const N: usize> {
+    inline: [Option<T>; N],
+    pos: usize,
+    len: usize,
+    spill: std::vec::IntoIter<T>,
+}
+
+impl<T, const N: usize> Iterator for IntoIter<T, N> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        if self.pos < self.len {
+            let x = self.inline[self.pos].take();
+            self.pos += 1;
+            debug_assert!(x.is_some(), "full inline slot");
+            x
+        } else {
+            self.spill.next()
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.len - self.pos) + self.spill.len();
+        (n, Some(n))
+    }
+}
+
+impl<T, const N: usize> ExactSizeIterator for IntoIter<T, N> {}
+
+impl<T, const N: usize> IntoIterator for SmallVec<T, N> {
+    type Item = T;
+    type IntoIter = IntoIter<T, N>;
+
+    fn into_iter(self) -> IntoIter<T, N> {
+        IntoIter {
+            inline: self.inline,
+            pos: 0,
+            len: self.len,
+            spill: self.spill.into_iter(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_up_to_capacity() {
+        let mut v: SmallVec<u32, 4> = SmallVec::new();
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert!(!v.spilled());
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn spills_beyond_capacity_and_preserves_order() {
+        let mut v: SmallVec<u32, 2> = SmallVec::new();
+        for i in 0..7 {
+            v.push(i);
+        }
+        assert!(v.spilled());
+        assert_eq!(v.len(), 7);
+        assert_eq!(
+            v.into_iter().collect::<Vec<_>>(),
+            (0..7).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn retain_filters_in_place_inline_and_spilled() {
+        let mut v: SmallVec<u32, 4> = (0..4).collect();
+        v.retain(|&x| x % 2 == 0);
+        assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![0, 2]);
+        assert!(!v.spilled());
+
+        let mut v: SmallVec<u32, 2> = (0..8).collect();
+        v.retain(|&x| x % 2 == 1);
+        assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![1, 3, 5, 7]);
+    }
+
+    #[test]
+    fn pop_and_clear_cover_both_reprs() {
+        let mut v: SmallVec<u32, 2> = (0..3).collect();
+        assert_eq!(v.pop(), Some(2));
+        v.clear();
+        assert!(v.is_empty());
+
+        let mut v: SmallVec<u32, 4> = (0..2).collect();
+        assert_eq!(v.pop(), Some(1));
+        assert_eq!(v.pop(), Some(0));
+        assert_eq!(v.pop(), None);
+    }
+
+    #[test]
+    fn mem_take_leaves_a_fresh_empty_vector() {
+        let mut v: SmallVec<u32, 2> = (0..5).collect();
+        let taken = std::mem::take(&mut v);
+        assert_eq!(taken.len(), 5);
+        assert!(v.is_empty());
+        v.push(42);
+        assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![42]);
+    }
+
+    #[test]
+    fn owned_iteration_yields_all_elements() {
+        let v: SmallVec<String, 3> = ["a", "b", "c", "d"].into_iter().map(String::from).collect();
+        let joined: String = v.into_iter().collect();
+        assert_eq!(joined, "abcd");
+    }
+}
