@@ -23,12 +23,15 @@ use bb_sim::{
     SimTime,
 };
 
+use std::sync::Arc;
+
 use crate::config::BbConfig;
 use crate::error::Error;
 use crate::pipeline::{
-    execute_pooled, execute_prefix, execute_suffix, execute_suffix_view, BootPlanIr, OwnedPlan,
-    PassDelta, Pipeline, SuffixView,
+    execute_pooled, execute_pooled_owned, execute_prefix_pooled, execute_suffix,
+    execute_suffix_view, BootPlanIr, OwnedPlan, PassDelta, Pipeline, PrefixView, SuffixView,
 };
+use crate::plan_cache::PlanCache;
 use crate::service_engine::{ParseCostParams, PreParser};
 
 /// A complete boot scenario (hardware + software + completion policy).
@@ -143,8 +146,11 @@ pub struct Checkpoint {
     config_hash: u64,
     /// The checkpoint request's full boot plan, kept so a resume under
     /// the same configuration skips re-planning (see
-    /// [`BootRequest::resume`]).
-    plan: OwnedPlan,
+    /// [`BootRequest::resume`]). Behind an `Arc` so a checkpoint taken
+    /// through a [`PlanCache`] *shares* the cached plan instead of
+    /// cloning the graph and task tables, and so cloning a checkpoint
+    /// to fan it out across workers stays cheap.
+    plan: Arc<OwnedPlan>,
 }
 
 impl Checkpoint {
@@ -203,6 +209,7 @@ pub struct BootRequest<'s> {
     faults: Option<&'s FaultPlan>,
     telemetry: bool,
     builder: Option<&'s mut MachineBuilder>,
+    cache: Option<(&'s PlanCache, &'s Arc<Scenario>)>,
     #[allow(clippy::type_complexity)]
     tweak: Option<Box<dyn FnOnce(&UnitGraph, &Transaction, &mut PlanOverrides) + 's>>,
 }
@@ -217,6 +224,7 @@ impl<'s> BootRequest<'s> {
             faults: None,
             telemetry: false,
             builder: None,
+            cache: None,
             tweak: None,
         }
     }
@@ -256,6 +264,35 @@ impl<'s> BootRequest<'s> {
     /// timelines, traces, and snapshots stay bit-identical.
     pub fn machine_builder(mut self, builder: &'s mut MachineBuilder) -> Self {
         self.builder = Some(builder);
+        self
+    }
+
+    /// Shares compiled plans through `cache`: [`run`](Self::run),
+    /// [`checkpoint_at`](Self::checkpoint_at), and
+    /// [`resume`](Self::resume) first consult the cache for a plan
+    /// compiled for (`scenario`, this request's config) and reuse it
+    /// with zero clones; on a miss they compile once and insert. The
+    /// sweep-wide amortization this enables is why fleet workers hand
+    /// every request the same cache (see `bb-fleet`).
+    ///
+    /// `scenario` is the cache key and **must be the very allocation
+    /// this request was built from** (the `Arc` whose contents
+    /// [`BootRequest::new`] borrowed) — the cache keys by pointer
+    /// identity, so handing it a different `Arc` would file the plan
+    /// under the wrong scenario.
+    ///
+    /// Requests with a [`tweak`](Self::tweak) bypass the cache: tweaks
+    /// mutate the plan per boot, so their plans are never shared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scenario` is not the request's scenario.
+    pub fn plan_cache(mut self, cache: &'s PlanCache, scenario: &'s Arc<Scenario>) -> Self {
+        assert!(
+            std::ptr::eq::<Scenario>(Arc::as_ptr(scenario), self.scenario),
+            "plan_cache scenario must be the Arc the request's scenario reference points into"
+        );
+        self.cache = Some((cache, scenario));
         self
     }
 
@@ -304,21 +341,46 @@ impl<'s> BootRequest<'s> {
                     .into(),
             ));
         }
-        let pipeline = Pipeline::standard();
-        let (ir, deltas) = pipeline.plan(self.scenario, &self.cfg, self.pre)?;
+        // Resolve the full plan: a cache hit shares the compiled
+        // `Arc<OwnedPlan>` outright; a miss (or no cache) compiles it
+        // once — and a cache-attached request publishes the result so
+        // the *next* checkpoint or run of this (scenario, config)
+        // skips planning.
+        let plan: Arc<OwnedPlan> = match self.cache {
+            Some((cache, key)) => match cache.lookup(key, &self.cfg) {
+                Some(plan) => plan,
+                None => {
+                    let (ir, deltas) =
+                        Pipeline::standard().plan(self.scenario, &self.cfg, self.pre)?;
+                    let plan = Arc::new(OwnedPlan::capture(self.scenario, &ir, &deltas));
+                    cache.insert(key, &self.cfg, Arc::clone(&plan));
+                    plan
+                }
+            },
+            None => {
+                let (ir, deltas) = Pipeline::standard().plan(self.scenario, &self.cfg, self.pre)?;
+                Arc::new(OwnedPlan::capture(self.scenario, &ir, &deltas))
+            }
+        };
         let no_faults = FaultPlan::none();
         let faults = self.faults.unwrap_or(&no_faults);
-        let (machine, kernel, device) = execute_prefix(&ir, faults, false);
+        let mut builder = self.builder;
+        let (machine, kernel, device) = execute_prefix_pooled(
+            PrefixView::of_owned(&plan, self.scenario),
+            faults,
+            false,
+            builder.as_deref_mut(),
+        );
         let bytes = snapshot::save(&machine)?;
         // The prefix machine's job ends at the snapshot: recycle its
         // allocations for the resumes that follow.
-        if let Some(b) = self.builder {
+        if let Some(b) = builder {
             b.recycle(machine);
         }
         Ok(Checkpoint {
             phase,
-            config_hash: snapshot::config_hash(&ir.machine),
-            plan: OwnedPlan::capture(self.scenario, &ir, &deltas),
+            config_hash: plan.machine_hash(),
+            plan,
             bytes,
             kernel,
             device,
@@ -381,19 +443,48 @@ impl<'s> BootRequest<'s> {
         // per-boot graph or task-table clones at all. Any mismatch
         // falls through to the re-planning path below, which performs
         // the authoritative validation.
-        if self.tweak.is_none() && checkpoint.plan.covers(self.scenario, &self.cfg) {
-            let machine = match self.builder {
-                Some(b) => b.restore(&checkpoint.bytes)?,
-                None => snapshot::restore(&checkpoint.bytes)?,
-            };
-            let (report, machine) = execute_suffix_view(
-                SuffixView::of_owned(&checkpoint.plan, self.scenario),
-                checkpoint.plan.deltas().to_vec(),
-                machine,
-                checkpoint.kernel.clone(),
-                checkpoint.device,
-            );
-            return Ok(Boot { report, machine });
+        let mut builder = self.builder;
+        if self.tweak.is_none() {
+            let restore =
+                |builder: Option<&mut MachineBuilder>, bytes: &[u8]| -> Result<Machine, Error> {
+                    Ok(match builder {
+                        Some(b) => b.restore(bytes)?,
+                        None => snapshot::restore(bytes)?,
+                    })
+                };
+            if checkpoint.plan.covers(self.scenario, &self.cfg) {
+                let machine = restore(builder.as_deref_mut(), &checkpoint.bytes)?;
+                let (report, machine) = execute_suffix_view(
+                    SuffixView::of_owned(&checkpoint.plan, self.scenario),
+                    checkpoint.plan.deltas().to_vec(),
+                    machine,
+                    checkpoint.kernel.clone(),
+                    checkpoint.device,
+                );
+                return Ok(Boot { report, machine });
+            }
+            // Second-fastest path: a plan cache hit for this (scenario,
+            // config) — typically a suffix-variant resume whose plan an
+            // earlier job already compiled. Same zero-clone suffix
+            // execution as above, with the checkpoint compatibility
+            // pinned by the machine-config hash.
+            if let Some((cache, key)) = self.cache {
+                if let Some(plan) = cache.lookup(key, &self.cfg) {
+                    if plan.covers(self.scenario, &self.cfg)
+                        && plan.machine_hash() == checkpoint.config_hash
+                    {
+                        let machine = restore(builder.as_deref_mut(), &checkpoint.bytes)?;
+                        let (report, machine) = execute_suffix_view(
+                            SuffixView::of_owned(&plan, self.scenario),
+                            plan.deltas().to_vec(),
+                            machine,
+                            checkpoint.kernel.clone(),
+                            checkpoint.device,
+                        );
+                        return Ok(Boot { report, machine });
+                    }
+                }
+            }
         }
         let pipeline = Pipeline::standard();
         let (mut ir, deltas) = pipeline.plan(self.scenario, &self.cfg, self.pre)?;
@@ -402,16 +493,32 @@ impl<'s> BootRequest<'s> {
                 "machine config mismatch: the scenario does not match the checkpoint's".into(),
             ));
         }
-        if let Some(tweak) = self.tweak {
-            let BootPlanIr {
-                ref graph,
-                ref transaction,
-                ref mut overrides,
-                ..
-            } = ir;
-            tweak(graph, transaction, overrides);
+        match self.tweak {
+            Some(tweak) => {
+                let BootPlanIr {
+                    ref graph,
+                    ref transaction,
+                    ref mut overrides,
+                    ..
+                } = ir;
+                tweak(graph, transaction, overrides);
+            }
+            None => {
+                // Publish the freshly compiled plan so the next resume
+                // of this (scenario, config) takes the cached path.
+                if let Some((cache, key)) = self.cache {
+                    cache.insert(
+                        key,
+                        &self.cfg,
+                        Arc::new(OwnedPlan::capture(self.scenario, &ir, &deltas)),
+                    );
+                }
+            }
         }
-        let machine = snapshot::restore(&checkpoint.bytes)?;
+        let machine = match builder {
+            Some(b) => b.restore(&checkpoint.bytes)?,
+            None => snapshot::restore(&checkpoint.bytes)?,
+        };
         let (report, machine) = execute_suffix(
             &ir,
             deltas,
@@ -424,18 +531,48 @@ impl<'s> BootRequest<'s> {
 
     /// Plans and executes the boot.
     pub fn run(self) -> Result<Boot, Error> {
+        let no_faults = FaultPlan::none();
+        // Cached path: a plan compiled earlier for this (scenario,
+        // config) is executed as-is — prefix and suffix both borrow out
+        // of the shared `OwnedPlan`, so a cache hit re-plans nothing
+        // and clones nothing. Tweaked requests never share plans.
+        if self.tweak.is_none() {
+            if let Some((cache, key)) = self.cache {
+                if let Some(plan) = cache.lookup(key, &self.cfg) {
+                    let faults = self.faults.unwrap_or(&no_faults);
+                    let (report, machine) = execute_pooled_owned(
+                        &plan,
+                        self.scenario,
+                        faults,
+                        self.telemetry,
+                        self.builder,
+                    );
+                    return Ok(Boot { report, machine });
+                }
+            }
+        }
         let pipeline = Pipeline::standard();
         let (mut ir, deltas) = pipeline.plan(self.scenario, &self.cfg, self.pre)?;
-        if let Some(tweak) = self.tweak {
-            let BootPlanIr {
-                ref graph,
-                ref transaction,
-                ref mut overrides,
-                ..
-            } = ir;
-            tweak(graph, transaction, overrides);
+        match self.tweak {
+            Some(tweak) => {
+                let BootPlanIr {
+                    ref graph,
+                    ref transaction,
+                    ref mut overrides,
+                    ..
+                } = ir;
+                tweak(graph, transaction, overrides);
+            }
+            None => {
+                if let Some((cache, key)) = self.cache {
+                    cache.insert(
+                        key,
+                        &self.cfg,
+                        Arc::new(OwnedPlan::capture(self.scenario, &ir, &deltas)),
+                    );
+                }
+            }
         }
-        let no_faults = FaultPlan::none();
         let faults = self.faults.unwrap_or(&no_faults);
         let (report, machine) = execute_pooled(&ir, deltas, faults, self.telemetry, self.builder);
         Ok(Boot { report, machine })

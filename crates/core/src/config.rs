@@ -76,6 +76,19 @@ impl BbConfig {
         .count()
     }
 
+    /// The full configuration packed into one byte, one bit per
+    /// feature — the compact hash [`crate::PlanCache`] and the fleet's
+    /// dedup keys use. Two configs are equal iff their bits are equal.
+    pub fn bits(&self) -> u8 {
+        (self.rcu_booster as u8)
+            | (self.defer_memory as u8) << 1
+            | (self.ondemand_modularizer as u8) << 2
+            | (self.defer_journal as u8) << 3
+            | (self.deferred_executor as u8) << 4
+            | (self.preparser as u8) << 5
+            | (self.bb_group as u8) << 6
+    }
+
     /// The features that shape the boot *prefix* — everything simulated
     /// before the kernel→init handoff (kernel boot, RCU Booster Control
     /// installation, module loading setup). Two configurations with
@@ -224,6 +237,30 @@ mod tests {
     fn conventional_has_nothing_full_has_everything() {
         assert_eq!(BbConfig::conventional().active_features(), 0);
         assert_eq!(BbConfig::full().active_features(), 7);
+    }
+
+    #[test]
+    fn bits_are_a_faithful_config_hash() {
+        use std::collections::BTreeSet;
+        let mut seen = BTreeSet::new();
+        let mut all: Vec<BbConfig> = vec![BbConfig::conventional(), BbConfig::full()];
+        all.extend(
+            BbConfig::single_feature_configs()
+                .into_iter()
+                .map(|(_, c)| c),
+        );
+        all.extend(
+            BbConfig::leave_one_out_configs()
+                .into_iter()
+                .map(|(_, c)| c),
+        );
+        for c in &all {
+            assert_eq!(c.bits().count_ones() as usize, c.active_features());
+            seen.insert(c.bits());
+        }
+        // conventional + full + 7 singles + 7 leave-one-outs are all
+        // distinct configs, so their bit patterns must be too.
+        assert_eq!(seen.len(), all.len());
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //! * [`pipeline`] — the spine: every mechanism as a [`pipeline::PlanPass`]
 //!   over one [`pipeline::BootPlanIr`], with a [`pipeline::PassDelta`]
 //!   provenance record per pass.
+//! * [`plan_cache`] — sweep-wide sharing of compiled plans: a
+//!   [`plan_cache::PlanCache`] hands the same `Arc`'d plan to every
+//!   run/checkpoint/resume of a (scenario, config) pair.
 //! * [`booster`] — the single-entry facade: boot a
 //!   [`booster::Scenario`] through a [`booster::BootRequest`] and get a
 //!   [`booster::Boot`] (report + machine).
@@ -37,6 +40,7 @@ pub mod error;
 pub mod fallback;
 pub mod miner;
 pub mod pipeline;
+pub mod plan_cache;
 pub mod report;
 pub mod service_engine;
 pub mod telemetry;
@@ -53,6 +57,7 @@ pub use pipeline::{
     execute_instrumented, execute_with_faults, BootPlanIr, PassDelta, Pipeline, PlanPass,
     STANDARD_PASSES,
 };
+pub use plan_cache::{PlanCache, PlanCacheStats};
 pub use report::{attribution_table, Comparison, Row};
 pub use service_engine::{
     analyze, analyze_directives, identify_bb_group, load_model, Finding, ParseCostParams, PreParser,

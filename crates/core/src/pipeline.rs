@@ -767,50 +767,112 @@ pub(crate) fn execute_pooled(
     telemetry: bool,
     builder: Option<&mut bb_sim::MachineBuilder>,
 ) -> (FullBootReport, Machine) {
-    let (machine, kernel, device) = execute_prefix_pooled(ir, faults, telemetry, builder);
+    let (machine, kernel, device) =
+        execute_prefix_pooled(PrefixView::of_ir(ir), faults, telemetry, builder);
     execute_suffix(ir, deltas, machine, kernel, device)
 }
 
-/// The boot *prefix*: everything up to (and including) the kernel→init
-/// handoff — machine creation, storage, fault plan, kernel boot, the
-/// RCU Booster Control installation, and module loading setup. This is
-/// the shared phase a checkpoint captures; the only prefix products the
-/// suffix needs beyond the machine itself are the kernel report and the
-/// boot-storage device id.
-pub(crate) fn execute_prefix(
-    ir: &BootPlanIr<'_>,
+/// Executes a cached [`OwnedPlan`] end to end — the zero-clone path a
+/// [`crate::PlanCache`] hit takes: prefix and suffix both borrow
+/// straight out of the stored plan (plus the scenario's read-only
+/// inputs), so nothing is re-planned and nothing is cloned per boot.
+/// Planning is deterministic, so the timeline is bit-identical to a
+/// fresh [`Pipeline::plan`] + execute of the same (scenario, config).
+pub(crate) fn execute_pooled_owned(
+    plan: &OwnedPlan,
+    scenario: &Scenario,
     faults: &bb_sim::FaultPlan,
     telemetry: bool,
-) -> (Machine, bb_kernel::KernelReport, bb_sim::DeviceId) {
-    execute_prefix_pooled(ir, faults, telemetry, None)
+    builder: Option<&mut bb_sim::MachineBuilder>,
+) -> (FullBootReport, Machine) {
+    let (machine, kernel, device) = execute_prefix_pooled(
+        PrefixView::of_owned(plan, scenario),
+        faults,
+        telemetry,
+        builder,
+    );
+    execute_suffix_view(
+        SuffixView::of_owned(plan, scenario),
+        plan.deltas().to_vec(),
+        machine,
+        kernel,
+        device,
+    )
 }
 
-/// [`execute_prefix`], constructing the machine through `builder` when
-/// one is supplied (allocation reuse across boots).
+/// Borrowed view of the plan pieces the boot *prefix* needs —
+/// everything up to (and including) the kernel→init handoff: machine
+/// creation, storage, fault plan, kernel boot, the RCU Booster Control
+/// installation, and module loading setup. This is the shared phase a
+/// checkpoint captures; the only prefix products the suffix needs
+/// beyond the machine itself are the kernel report and the
+/// boot-storage device id.
+///
+/// Constructible
+/// from a fresh [`BootPlanIr`] or straight from an [`OwnedPlan`] — the
+/// [`crate::PlanCache`] hit paths go through the latter so a cached
+/// boot (or checkpoint) never re-plans and never clones the kernel
+/// plan.
+pub(crate) struct PrefixView<'a> {
+    machine: MachineConfig,
+    storage: DeviceProfile,
+    kernel: &'a KernelPlan,
+    modules: &'a ModuleCatalog,
+    module_strategy: ModuleStrategy,
+    boost_rcu: bool,
+}
+
+impl<'a> PrefixView<'a> {
+    pub(crate) fn of_ir(ir: &'a BootPlanIr<'_>) -> Self {
+        PrefixView {
+            machine: ir.machine,
+            storage: ir.storage,
+            kernel: &ir.kernel,
+            modules: ir.modules,
+            module_strategy: ir.module_strategy,
+            boost_rcu: ir.boost_rcu,
+        }
+    }
+
+    pub(crate) fn of_owned(plan: &'a OwnedPlan, scenario: &'a Scenario) -> Self {
+        PrefixView {
+            machine: plan.machine,
+            storage: plan.storage,
+            kernel: &plan.kernel,
+            modules: &scenario.modules,
+            module_strategy: plan.module_strategy,
+            boost_rcu: plan.boost_rcu,
+        }
+    }
+}
+
+/// Executes the boot prefix described by `view`, constructing the
+/// machine through `builder` when one is supplied (allocation reuse
+/// across boots).
 pub(crate) fn execute_prefix_pooled(
-    ir: &BootPlanIr<'_>,
+    view: PrefixView<'_>,
     faults: &bb_sim::FaultPlan,
     telemetry: bool,
     builder: Option<&mut bb_sim::MachineBuilder>,
 ) -> (Machine, bb_kernel::KernelReport, bb_sim::DeviceId) {
     let mut machine = match builder {
-        Some(b) => b.build(ir.machine),
-        None => Machine::new(ir.machine),
+        Some(b) => b.build(view.machine),
+        None => Machine::new(view.machine),
     };
     if telemetry {
         machine.enable_telemetry();
     }
-    let device = machine.add_device("boot-storage", ir.storage);
+    let device = machine.add_device("boot-storage", view.storage);
     machine.install_fault_plan(faults);
     let boot_complete = machine.flag("boot-complete");
 
-    let kernel = execute_kernel_boot(&mut machine, device, &ir.kernel, boot_complete);
-    bootup_engine::install_rcu_booster_control(&mut machine, ir.boost_rcu, boot_complete);
+    let kernel = execute_kernel_boot(&mut machine, device, view.kernel, boot_complete);
+    bootup_engine::install_rcu_booster_control(&mut machine, view.boost_rcu, boot_complete);
     core_engine::install_module_loading(
         &mut machine,
-        ir.modules,
+        view.modules,
         device,
-        ir.module_strategy,
+        view.module_strategy,
         boot_complete,
     );
     (machine, kernel, device)
@@ -929,24 +991,32 @@ pub(crate) fn execute_suffix_view(
     )
 }
 
-/// An owned copy of the suffix-relevant parts of a planned boot, plus
-/// the pass deltas that produced it and enough scenario identity to
-/// tell when it can be reused.
+/// An owned copy of everything a planned boot needs — the full prefix
+/// (machine shape, storage, transformed kernel plan, module strategy,
+/// RCU install flag) *and* the suffix (graph, transaction, overrides,
+/// task tables, load model) — plus the pass deltas that produced it and
+/// enough scenario identity to tell when it can be reused.
 ///
-/// A [`crate::Checkpoint`] carries one: resuming under the checkpoint's
-/// own configuration (the common case — a fleet fork resumes the
-/// checkpointing config itself, and a suspend/resume cycle never
-/// changes config) then skips [`Pipeline::plan`] entirely, which is a
-/// double-digit share of a simulated boot's host cost. Planning is
-/// deterministic, so the reused plan is the plan a fresh
-/// [`Pipeline::plan`] call would have produced and the resumed timeline
-/// stays bit-identical.
+/// A [`crate::Checkpoint`] carries one behind an `Arc`: resuming under
+/// the checkpoint's own configuration (the common case — a fleet fork
+/// resumes the checkpointing config itself, and a suspend/resume cycle
+/// never changes config) then skips [`Pipeline::plan`] entirely, which
+/// is a double-digit share of a simulated boot's host cost. A
+/// [`crate::PlanCache`] holds them too, so whole sweeps share one
+/// compiled plan per (scenario, config). Planning is deterministic, so
+/// the reused plan is the plan a fresh [`Pipeline::plan`] call would
+/// have produced and the timeline stays bit-identical.
 #[derive(Debug, Clone)]
 pub(crate) struct OwnedPlan {
     name: String,
     units_len: usize,
     scenario_machine_hash: u64,
     cfg: BbConfig,
+    machine: MachineConfig,
+    storage: DeviceProfile,
+    kernel: KernelPlan,
+    module_strategy: ModuleStrategy,
+    boost_rcu: bool,
     graph: UnitGraph,
     transaction: Transaction,
     completion: Vec<UnitName>,
@@ -972,6 +1042,11 @@ impl OwnedPlan {
             units_len: scenario.units.len(),
             scenario_machine_hash: bb_sim::snapshot::config_hash(&scenario.machine),
             cfg: ir.cfg,
+            machine: ir.machine,
+            storage: ir.storage,
+            kernel: ir.kernel.clone(),
+            module_strategy: ir.module_strategy,
+            boost_rcu: ir.boost_rcu,
             graph: ir.graph.clone(),
             transaction: ir.transaction.clone(),
             completion: ir.completion.clone(),
@@ -985,17 +1060,23 @@ impl OwnedPlan {
         }
     }
 
-    /// Whether resuming `scenario` under `cfg` can reuse this plan
-    /// verbatim. Conservative: any mismatch (different config, renamed
-    /// scenario, changed unit count or machine shape) sends the caller
-    /// down the re-planning path, which performs the authoritative
-    /// validation — reuse is purely an optimization, never a semantic
-    /// fork.
     /// The pass deltas recorded when this plan was captured.
     pub(crate) fn deltas(&self) -> &[PassDelta] {
         &self.deltas
     }
 
+    /// FNV-1a hash of the machine configuration the plan was built
+    /// from (always the scenario's — no pass edits the machine shape).
+    pub(crate) fn machine_hash(&self) -> u64 {
+        self.scenario_machine_hash
+    }
+
+    /// Whether booting `scenario` under `cfg` can reuse this plan
+    /// verbatim. Conservative: any mismatch (different config, renamed
+    /// scenario, changed unit count or machine shape) sends the caller
+    /// down the re-planning path, which performs the authoritative
+    /// validation — reuse is purely an optimization, never a semantic
+    /// fork.
     pub(crate) fn covers(&self, scenario: &Scenario, cfg: &BbConfig) -> bool {
         self.cfg == *cfg
             && self.name == scenario.name

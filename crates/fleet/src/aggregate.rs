@@ -692,6 +692,7 @@ mod tests {
             spans: Vec::new(),
             kernel_sims: 0,
             peak_events: 0,
+            deduped: 0,
             elapsed: std::time::Duration::ZERO,
         }
     }

@@ -570,8 +570,13 @@ pub fn run_chaos(spec: &ChaosSpec, pool: &PoolConfig) -> ChaosOutcome {
             restarts: total_restarts,
             kernel_sims: 0,
             // The supervised entry point consumes its machine
-            // internally, so chaos sweeps have no queue depth to report.
+            // internally, so chaos sweeps have no queue depth to
+            // report, and they share no artifacts (every boot runs
+            // under its own fault plan).
             peak_events: 0,
+            plans_compiled: 0,
+            plan_cache_hits: 0,
+            cells_deduped: 0,
             per_worker,
         },
     }

@@ -32,6 +32,9 @@ pub const SCHEMA_SNAPSHOT: &str = "bb-snapshot-v1";
 /// Schema stamp of the scheduler hot-path perf baseline
 /// (`BENCH_hotpath.json`, written by `cargo bench --bench hotpath`).
 pub const SCHEMA_HOTPATH: &str = "bb-hotpath-v1";
+/// Schema stamp of the sweep-throughput perf baseline
+/// (`BENCH_sweep.json`, written by `cargo bench --bench sweep`).
+pub const SCHEMA_SWEEP: &str = "bb-sweep-v1";
 
 /// Opens a top-level JSON document with its version stamp. Every
 /// emitter in the workspace goes through this helper, so the `"schema"`

@@ -15,7 +15,11 @@
 //! * [`pool`] — [`run_sweep`]: fixed-size work-stealing pool
 //!   (`crossbeam` injector + per-worker deques) with per-job panic
 //!   isolation, per-job wall-clock deadlines, a failed-job report
-//!   channel, and per-worker observability counters.
+//!   channel, and per-worker observability counters. Every sweep runs
+//!   over a [`FleetCache`] of shared artifacts — compiled boot plans
+//!   ([`bb_core::PlanCache`]), memoized scenarios, and deduplicated
+//!   boot outcomes ([`SweepSpec::dedup`]) — and [`run_sweep_cached`]
+//!   carries that cache across sweeps.
 //! * [`aggregate`] — the streaming [`Aggregator`]: consumes results in
 //!   arrival order into seed-addressed slots, finalizes in slot order.
 //!   Count/mean/stddev/min/max and nearest-rank p50/p95/p99 per
@@ -76,7 +80,7 @@ pub use chaos::{
 };
 pub use json::{parse as parse_json, Json, JsonError};
 pub use pool::{
-    run_sweep, BootSample, FailureKind, JobFailure, JobOutput, PoolConfig, PoolStats, SweepOutcome,
-    WorkerStats,
+    run_sweep, run_sweep_cached, BootSample, FailureKind, FleetCache, JobFailure, JobOutput,
+    PoolConfig, PoolStats, SweepOutcome, WorkerStats,
 };
 pub use spec::{CellSpec, Job, ScenarioSource, SweepSpec};

@@ -14,16 +14,34 @@
 //! aggregator stores them into index-addressed slots, so the *output*
 //! of a sweep is identical for any worker count even though execution
 //! order is not.
+//!
+//! # Shared artifacts
+//!
+//! Every sweep runs over a [`FleetCache`]: a [`bb_core::PlanCache`] so
+//! each (scenario, config) pair compiles its boot plan once, a
+//! scenario memo so jobs with identical sources share one `Arc`'d
+//! scenario (which is what makes the pointer-keyed plan cache hit
+//! across jobs), and a boot-outcome cache that lets [`SweepSpec::dedup`]
+//! serve identical grid points without re-simulating. All three are
+//! keyed by the content fingerprints from [`crate::spec`], and all
+//! three are invisible in the report: simulation is deterministic, so
+//! cached results are bit-identical to fresh ones. [`run_sweep`] uses a
+//! fresh cache per call; [`run_sweep_cached`] lets a long-lived caller
+//! (a serve loop, a bench harness) carry artifacts across sweeps.
 
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel;
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 
 use crate::aggregate::{Aggregator, SweepReport};
-use crate::spec::{job_scenario, Job, SweepSpec};
-use bb_core::{BootRequest, Checkpoint, CheckpointPhase};
+use crate::spec::{cell_fingerprint, job_fingerprint, job_scenario, Job, SweepSpec};
+use bb_core::booster::Scenario;
+use bb_core::{BootRequest, Checkpoint, CheckpointPhase, PlanCache, PreParser};
 
 /// Pool sizing and policy.
 #[derive(Debug, Clone)]
@@ -51,6 +69,132 @@ impl PoolConfig {
     }
 }
 
+/// Prefix key of a [`bb_core::BbConfig`] — the features that shape the
+/// boot up to the kernel→init handoff.
+type PrefixKey = (bool, bool, bool, bool);
+
+/// Entries above which the scenario memo is reset. Generous: a sweep
+/// holds one entry per distinct (source, seed) pair, and losing an
+/// entry only costs sharing, never correctness.
+const SCENARIO_MEMO_CAP: usize = 4096;
+
+/// Entries above which the boot-outcome cache is reset.
+const BOOT_CACHE_CAP: usize = 65536;
+
+/// Checkpoints a single worker keeps across jobs. Small: checkpoints
+/// own a machine snapshot, and a clear only costs re-forking.
+const CHECKPOINT_MEMO_CAP: usize = 64;
+
+/// One memoized boot outcome (everything a job extracts from a boot),
+/// fanned out to every grid point that requests the same
+/// (scenario-fingerprint, config) pair.
+#[derive(Debug, Clone)]
+enum CachedBoot {
+    /// The boot completed; these values are deterministic functions of
+    /// the (scenario, config) pair, so replaying them is bit-identical
+    /// to re-simulating.
+    Done {
+        boot_ns: u64,
+        quiesce_ns: u64,
+        /// The machine's event-queue high-water mark (simulated state,
+        /// deterministic), replayed into `PoolStats::peak_events`.
+        peak_events: usize,
+        /// Span telemetry, present only if the simulating sweep had
+        /// [`SweepSpec::metrics`] on. A metrics sweep treats a
+        /// span-less entry as a miss and re-simulates.
+        spans: Option<Vec<(String, u64)>>,
+    },
+    /// The boot never met its completion definition; every requesting
+    /// slot reports the failure under its own config label.
+    Incomplete,
+}
+
+/// Shared artifacts of one or more sweeps: compiled boot plans, memoized
+/// scenarios, and deduplicated boot outcomes (see the module docs).
+///
+/// [`run_sweep`] creates a private one per call; hand the same cache to
+/// repeated [`run_sweep_cached`] calls to reuse artifacts across sweeps
+/// — a repeat of an identical sweep then simulates nothing at all.
+/// Everything in here is derived deterministically from scenario
+/// content, so sharing never changes a report.
+#[derive(Debug, Default)]
+pub struct FleetCache {
+    plans: PlanCache,
+    scenarios: Mutex<HashMap<u64, (Arc<Scenario>, PreParser)>>,
+    boots: Mutex<HashMap<(u64, u8), CachedBoot>>,
+}
+
+impl FleetCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        FleetCache::default()
+    }
+
+    /// The plan-compilation cache (for counter snapshots).
+    pub fn plans(&self) -> &PlanCache {
+        &self.plans
+    }
+
+    /// Drops every cached artifact.
+    pub fn clear(&self) {
+        self.plans.clear();
+        lock(&self.scenarios).clear();
+        lock(&self.boots).clear();
+    }
+
+    /// The memoized `(scenario, preparser)` for job fingerprint `fp`,
+    /// building (outside the lock) and inserting on a miss. On a racing
+    /// double-build the first insert wins, so every job of a fingerprint
+    /// converges on one `Arc` — the pointer identity the plan cache
+    /// keys on.
+    fn scenario(
+        &self,
+        fp: u64,
+        build: impl FnOnce() -> (Arc<Scenario>, PreParser),
+    ) -> (Arc<Scenario>, PreParser) {
+        if let Some(hit) = lock(&self.scenarios).get(&fp) {
+            return hit.clone();
+        }
+        let built = build();
+        let mut map = lock(&self.scenarios);
+        if map.len() >= SCENARIO_MEMO_CAP {
+            map.clear();
+        }
+        map.entry(fp).or_insert(built).clone()
+    }
+
+    /// The cached outcome for (`fp`, config `bits`), if one exists and
+    /// carries the telemetry this sweep needs.
+    fn boot_lookup(&self, fp: u64, bits: u8, metrics: bool) -> Option<CachedBoot> {
+        let map = lock(&self.boots);
+        let hit = map.get(&(fp, bits))?;
+        if metrics {
+            // A span-less entry (cached by a metrics-off sweep) cannot
+            // serve a metrics sweep; re-simulate and upgrade it.
+            if let CachedBoot::Done { spans: None, .. } = hit {
+                return None;
+            }
+        }
+        Some(hit.clone())
+    }
+
+    /// Stores (or upgrades) the outcome for (`fp`, config `bits`).
+    fn boot_insert(&self, fp: u64, bits: u8, outcome: CachedBoot) {
+        let mut map = lock(&self.boots);
+        if map.len() >= BOOT_CACHE_CAP {
+            map.clear();
+        }
+        map.insert((fp, bits), outcome);
+    }
+}
+
+/// Locks a cache map, recovering from poisoning: worker panics are
+/// caught per job and these maps are only ever mutated whole-entry, so
+/// a poisoned lock cannot hide a half-written state.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
 /// One boot measurement inside a job.
 #[derive(Debug, Clone, Copy)]
 pub struct BootSample {
@@ -76,12 +220,17 @@ pub struct JobOutput {
     pub spans: Vec<Vec<(String, u64)>>,
     /// Kernel-phase simulations this job actually executed. Equals the
     /// config count for a plain sweep; with [`SweepSpec::fork`] it is
-    /// the number of distinct prefix keys in the cell's config list.
+    /// the number of distinct prefix keys in the cell's config list
+    /// this worker had no memoized checkpoint for, and boots served
+    /// from the dedup cache simulate nothing at all.
     pub kernel_sims: usize,
     /// Deepest simulator event queue observed across this job's boots
     /// (the machine's high-water mark, a sizing signal for
     /// `EventQueue::with_capacity`).
     pub peak_events: usize,
+    /// Boots served from the dedup cache instead of simulated (see
+    /// [`SweepSpec::dedup`]).
+    pub deduped: usize,
     /// Wall-clock time the job took (host time; not in JSON output).
     pub elapsed: Duration,
 }
@@ -138,6 +287,19 @@ pub struct PoolStats {
     /// out of the JSON report so sweep documents stay byte-stable
     /// across simulator sizing changes.
     pub peak_events: usize,
+    /// Boot plans compiled during this sweep — one per distinct
+    /// (scenario, config) pair that actually booted (see
+    /// [`bb_core::PlanCache`]).
+    pub plans_compiled: u64,
+    /// Boots that reused an already-compiled plan instead of running
+    /// the pass pipeline again.
+    pub plan_cache_hits: u64,
+    /// Boots served from the dedup cache instead of simulated (see
+    /// [`SweepSpec::dedup`]). Like everything in `PoolStats` this is
+    /// execution observability, not part of the JSON report: racing
+    /// workers may simulate a grid point twice, so the count can vary
+    /// run to run even though the report never does.
+    pub cells_deduped: usize,
     /// Per-worker counters.
     pub per_worker: Vec<WorkerStats>,
 }
@@ -186,6 +348,20 @@ impl PoolStats {
         if self.kernel_sims > 0 {
             let _ = writeln!(out, "  kernel phase simulated {} time(s)", self.kernel_sims);
         }
+        if self.plans_compiled > 0 || self.plan_cache_hits > 0 {
+            let _ = writeln!(
+                out,
+                "  boot plans compiled {} time(s), served from cache {} time(s)",
+                self.plans_compiled, self.plan_cache_hits,
+            );
+        }
+        if self.cells_deduped > 0 {
+            let _ = writeln!(
+                out,
+                "  {} boot(s) deduplicated (identical grid points served from cache)",
+                self.cells_deduped,
+            );
+        }
         for (w, ws) in self.per_worker.iter().enumerate() {
             let _ = writeln!(
                 out,
@@ -209,14 +385,24 @@ pub struct SweepOutcome {
     pub stats: PoolStats,
 }
 
-/// Runs `spec` on a work-stealing pool of `pool.workers` threads.
+/// Runs `spec` on a work-stealing pool of `pool.workers` threads, with
+/// a fresh private [`FleetCache`].
 ///
 /// The aggregated report is byte-identical for any worker count: result
 /// slots are addressed by `(cell, seed_idx)` and finalized in slot
 /// order, and nothing host-time-dependent enters the report.
 pub fn run_sweep(spec: &SweepSpec, pool: &PoolConfig) -> SweepOutcome {
+    run_sweep_cached(spec, pool, &FleetCache::new())
+}
+
+/// [`run_sweep`] over a caller-owned [`FleetCache`], so compiled plans,
+/// memoized scenarios, and deduplicated boot outcomes carry across
+/// sweeps. Reports are unaffected by cache state — a warm cache only
+/// changes how much work the sweep skips (visible in [`PoolStats`]).
+pub fn run_sweep_cached(spec: &SweepSpec, pool: &PoolConfig, cache: &FleetCache) -> SweepOutcome {
     let jobs = spec.jobs();
     let shared = spec.shared_templates();
+    let fps: Vec<(u64, bool)> = spec.cells.iter().map(cell_fingerprint).collect();
     let n_workers = pool.workers.max(1);
 
     let injector: Injector<Job> = Injector::new();
@@ -230,9 +416,11 @@ pub fn run_sweep(spec: &SweepSpec, pool: &PoolConfig) -> SweepOutcome {
     let (tx, rx) = channel::unbounded::<Result<JobOutput, JobFailure>>();
     let mut aggregator = Aggregator::new(spec);
     let started = Instant::now();
+    let plans_before = cache.plans.stats();
     let mut max_queue_depth = jobs.len();
     let mut kernel_sims = 0usize;
     let mut peak_events = 0usize;
+    let mut cells_deduped = 0usize;
     let mut per_worker: Vec<WorkerStats> = Vec::new();
 
     crossbeam::thread::scope(|scope| {
@@ -242,6 +430,7 @@ pub fn run_sweep(spec: &SweepSpec, pool: &PoolConfig) -> SweepOutcome {
             let injector = &injector;
             let stealers = &stealers;
             let shared = &shared;
+            let fps = &fps;
             handles.push(scope.spawn(move |_| {
                 let mut stats = WorkerStats::default();
                 // One machine pool per worker: every boot this worker
@@ -251,11 +440,24 @@ pub fn run_sweep(spec: &SweepSpec, pool: &PoolConfig) -> SweepOutcome {
                 // invisible (the MachineBuilder contract), so reports
                 // stay byte-identical for any worker count.
                 let mut builder = bb_sim::MachineBuilder::new();
+                // Checkpoints survive across this worker's jobs, keyed
+                // by (job fingerprint, prefix key) — a seed-independent
+                // source (Fixed cells) forks its kernel prefix once per
+                // worker, not once per job.
+                let mut checkpoints: HashMap<(u64, PrefixKey), Checkpoint> = HashMap::new();
                 loop {
                     let job = next_job(&local, injector, stealers, w, &mut stats);
                     let Some(job) = job else { break };
                     let job_started = Instant::now();
-                    let result = run_job(spec, shared, job, &mut builder);
+                    let result = run_job(
+                        spec,
+                        shared,
+                        fps,
+                        cache,
+                        job,
+                        &mut builder,
+                        &mut checkpoints,
+                    );
                     stats.busy += job_started.elapsed();
                     stats.jobs += 1;
                     if tx.send(result).is_err() {
@@ -273,6 +475,7 @@ pub fn run_sweep(spec: &SweepSpec, pool: &PoolConfig) -> SweepOutcome {
             if let Ok(out) = &msg {
                 kernel_sims += out.kernel_sims;
                 peak_events = peak_events.max(out.peak_events);
+                cells_deduped += out.deduped;
             }
             aggregator.accept(msg);
         }
@@ -285,6 +488,7 @@ pub fn run_sweep(spec: &SweepSpec, pool: &PoolConfig) -> SweepOutcome {
     .expect("sweep scope");
 
     let wall = started.elapsed();
+    let plans_after = cache.plans.stats();
     SweepOutcome {
         report: aggregator.finalize(),
         stats: PoolStats {
@@ -295,6 +499,9 @@ pub fn run_sweep(spec: &SweepSpec, pool: &PoolConfig) -> SweepOutcome {
             restarts: 0,
             kernel_sims,
             peak_events,
+            plans_compiled: plans_after.plans_compiled - plans_before.plans_compiled,
+            plan_cache_hits: plans_after.hits - plans_before.hits,
+            cells_deduped,
             per_worker,
         },
     }
@@ -339,52 +546,94 @@ pub(crate) fn next_job<T>(
 }
 
 /// Executes one job with panic isolation and post-hoc deadline check.
+#[allow(clippy::too_many_arguments)]
 fn run_job(
     spec: &SweepSpec,
-    shared: &[Option<(
-        std::sync::Arc<bb_core::booster::Scenario>,
-        bb_core::PreParser,
-    )>],
+    shared: &[Option<(Arc<Scenario>, PreParser)>],
+    fps: &[(u64, bool)],
+    cache: &FleetCache,
     job: Job,
     builder: &mut bb_sim::MachineBuilder,
+    checkpoints: &mut HashMap<(u64, PrefixKey), Checkpoint>,
 ) -> Result<JobOutput, JobFailure> {
     let cell = &spec.cells[job.cell];
     let seed = cell.seeds[job.seed_idx];
+    let (base_fp, seed_dependent) = fps[job.cell];
+    let fp = job_fingerprint(base_fp, seed_dependent, seed);
+    if checkpoints.len() >= CHECKPOINT_MEMO_CAP {
+        checkpoints.clear();
+    }
     let started = Instant::now();
 
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         let builder = &mut *builder;
-        let (scenario, pre) = job_scenario(cell, seed, &shared[job.cell]);
+        // Jobs with the same fingerprint converge on one Arc'd
+        // scenario, which is what lets the pointer-keyed plan cache hit
+        // across jobs and cells.
+        let (scenario, pre) = cache.scenario(fp, || job_scenario(cell, seed, &shared[job.cell]));
         let mut samples = Vec::with_capacity(cell.configs.len());
         let mut spans = Vec::new();
         let mut kernel_sims = 0usize;
         let mut peak_events = 0usize;
-        // Forked mode: one checkpoint per distinct prefix key, shared
-        // by every config of the job. Every boot resumes (the first
-        // included), so forked ≡ unforked reduces to resume ≡ run —
-        // the property bb-core's checkpoint tests pin.
-        let mut checkpoints: Vec<((bool, bool, bool, bool), Checkpoint)> = Vec::new();
+        let mut deduped = 0usize;
         for (config, (label, cfg)) in cell.configs.iter().enumerate() {
-            let boot = if spec.fork {
-                let key = cfg.prefix_key();
-                if !checkpoints.iter().any(|(k, _)| *k == key) {
-                    let ckpt = BootRequest::new(&scenario)
-                        .config(*cfg)
-                        .prepared(&pre)
-                        .machine_builder(&mut *builder)
-                        .checkpoint_at(CheckpointPhase::KernelHandoff)
-                        .map_err(|e| FailureKind::Boost(e.to_string()))?;
-                    kernel_sims += 1;
-                    checkpoints.push((key, ckpt));
+            let bits = cfg.bits();
+            // Dedup: an identical grid point that already ran anywhere
+            // in the sweep replays its (deterministic) outcome.
+            if spec.dedup {
+                match cache.boot_lookup(fp, bits, spec.metrics) {
+                    Some(CachedBoot::Incomplete) => {
+                        return Err(FailureKind::Incomplete {
+                            config: label.clone(),
+                        })
+                    }
+                    Some(CachedBoot::Done {
+                        boot_ns,
+                        quiesce_ns,
+                        peak_events: peak,
+                        spans: cached_spans,
+                    }) => {
+                        samples.push(BootSample {
+                            config,
+                            boot_ns,
+                            quiesce_ns,
+                        });
+                        peak_events = peak_events.max(peak);
+                        if spec.metrics {
+                            spans
+                                .push(cached_spans.expect("boot_lookup filters span-less entries"));
+                        }
+                        deduped += 1;
+                        continue;
+                    }
+                    None => {}
                 }
-                let (_, ckpt) = checkpoints
-                    .iter()
-                    .find(|(k, _)| *k == key)
-                    .expect("checkpoint inserted above");
+            }
+            let boot = if spec.fork {
+                // Forked mode: one checkpoint per distinct (scenario,
+                // prefix key), memoized across the worker's jobs. Every
+                // boot resumes (the first included), so forked ≡
+                // unforked reduces to resume ≡ run — the property
+                // bb-core's checkpoint tests pin.
+                let ckpt = match checkpoints.entry((fp, cfg.prefix_key())) {
+                    Entry::Occupied(e) => e.into_mut(),
+                    Entry::Vacant(v) => {
+                        let ckpt = BootRequest::new(&scenario)
+                            .config(*cfg)
+                            .prepared(&pre)
+                            .machine_builder(&mut *builder)
+                            .plan_cache(&cache.plans, &scenario)
+                            .checkpoint_at(CheckpointPhase::KernelHandoff)
+                            .map_err(|e| FailureKind::Boost(e.to_string()))?;
+                        kernel_sims += 1;
+                        v.insert(ckpt)
+                    }
+                };
                 BootRequest::new(&scenario)
                     .config(*cfg)
                     .prepared(&pre)
                     .machine_builder(&mut *builder)
+                    .plan_cache(&cache.plans, &scenario)
                     .resume(ckpt)
             } else {
                 kernel_sims += 1;
@@ -392,34 +641,52 @@ fn run_job(
                     .config(*cfg)
                     .prepared(&pre)
                     .machine_builder(&mut *builder)
+                    .plan_cache(&cache.plans, &scenario)
                     .run()
             };
             let boot = boot.map_err(|e| FailureKind::Boost(e.to_string()))?;
-            peak_events = peak_events.max(boot.machine.event_queue_stats().peak_depth);
+            let peak = boot.machine.event_queue_stats().peak_depth;
+            peak_events = peak_events.max(peak);
             builder.recycle(boot.machine);
             let report = boot.report;
             // A boot that never met its completion definition is a
             // reported failure, not a worker panic (`try_boot_time`).
-            let boot_time = report
-                .try_boot_time()
-                .ok_or_else(|| FailureKind::Incomplete {
+            let Some(boot_time) = report.try_boot_time() else {
+                if spec.dedup {
+                    cache.boot_insert(fp, bits, CachedBoot::Incomplete);
+                }
+                return Err(FailureKind::Incomplete {
                     config: label.clone(),
-                })?;
+                });
+            };
+            let boot_spans: Option<Vec<(String, u64)>> = spec.metrics.then(|| {
+                bb_core::boot_spans(&report)
+                    .into_iter()
+                    .map(|s| (s.name, s.end.since(s.start).as_nanos()))
+                    .collect()
+            });
             samples.push(BootSample {
                 config,
                 boot_ns: boot_time.as_nanos(),
                 quiesce_ns: report.quiesce_time.as_nanos(),
             });
-            if spec.metrics {
-                spans.push(
-                    bb_core::boot_spans(&report)
-                        .into_iter()
-                        .map(|s| (s.name, s.end.since(s.start).as_nanos()))
-                        .collect(),
+            if spec.dedup {
+                cache.boot_insert(
+                    fp,
+                    bits,
+                    CachedBoot::Done {
+                        boot_ns: boot_time.as_nanos(),
+                        quiesce_ns: report.quiesce_time.as_nanos(),
+                        peak_events: peak,
+                        spans: boot_spans.clone(),
+                    },
                 );
             }
+            if let Some(s) = boot_spans {
+                spans.push(s);
+            }
         }
-        Ok::<_, FailureKind>((samples, spans, kernel_sims, peak_events))
+        Ok::<_, FailureKind>((samples, spans, kernel_sims, peak_events, deduped))
     }));
     let elapsed = started.elapsed();
 
@@ -427,7 +694,7 @@ fn run_job(
     match outcome {
         Err(payload) => fail(FailureKind::Panic(panic_message(payload))),
         Ok(Err(kind)) => fail(kind),
-        Ok(Ok((samples, spans, kernel_sims, peak_events))) => {
+        Ok(Ok((samples, spans, kernel_sims, peak_events, deduped))) => {
             if let Some(deadline) = spec.deadline {
                 if elapsed > deadline {
                     return fail(FailureKind::DeadlineExceeded { elapsed });
@@ -440,6 +707,7 @@ fn run_job(
                 spans,
                 kernel_sims,
                 peak_events,
+                deduped,
                 elapsed,
             })
         }
@@ -607,5 +875,134 @@ mod tests {
     fn pool_config_default_is_at_least_one_worker() {
         assert!(PoolConfig::default().workers >= 1);
         assert_eq!(PoolConfig::with_workers(0).workers, 1);
+    }
+
+    /// The acceptance property of grid dedup: identical grid points are
+    /// simulated once, results fan out, and the JSON report is
+    /// byte-identical with dedup on or off.
+    #[test]
+    fn dedup_serves_identical_grid_points_once_and_keeps_json_identical() {
+        // Two cells with the same source and seeds: the whole second
+        // cell duplicates the first.
+        let spec = SweepSpec::new()
+            .cell(
+                CellSpec::tizen(
+                    "a",
+                    profiles::ue48h6200(),
+                    TizenParams {
+                        services: 24,
+                        ..TizenParams::open_source()
+                    },
+                )
+                .seeds([1, 2])
+                .conventional_vs_bb(),
+            )
+            .cell(
+                CellSpec::tizen(
+                    "b",
+                    profiles::ue48h6200(),
+                    TizenParams {
+                        services: 24,
+                        ..TizenParams::open_source()
+                    },
+                )
+                .seeds([1, 2])
+                .conventional_vs_bb(),
+            );
+        // One worker makes the dedup count deterministic: jobs run in
+        // order, so cell b's 4 boots are all cache hits.
+        let deduped = run_sweep(&spec, &PoolConfig::with_workers(1));
+        let plain = run_sweep(
+            &spec.clone().with_dedup(false),
+            &PoolConfig::with_workers(2),
+        );
+        assert_eq!(deduped.report.to_json(), plain.report.to_json());
+        assert_eq!(plain.stats.cells_deduped, 0);
+        assert_eq!(deduped.stats.cells_deduped, 4);
+        assert_eq!(deduped.stats.kernel_sims, 4, "only cell a simulates");
+        assert!(deduped.stats.summary().contains("deduplicated"));
+    }
+
+    /// Plan compilation is per (scenario, config), not per boot: a
+    /// fixed cell booting the same template across seed slots compiles
+    /// each config once and reuses it from the cache.
+    #[test]
+    fn plan_cache_compiles_each_scenario_config_pair_once() {
+        use bb_workloads::tv_scenario_with;
+        let scenario = tv_scenario_with(
+            profiles::ue48h6200(),
+            TizenParams {
+                services: 24,
+                ..TizenParams::open_source()
+            },
+        );
+        // Dedup off so every slot really boots; the plan cache is the
+        // only sharing layer under test.
+        let spec = SweepSpec::new()
+            .cell(
+                CellSpec::fixed("pinned", scenario)
+                    .seeds([0, 1, 2])
+                    .conventional_vs_bb(),
+            )
+            .with_dedup(false);
+        let outcome = run_sweep(&spec, &PoolConfig::with_workers(1));
+        assert!(outcome.report.failures.is_empty());
+        assert_eq!(outcome.report.total_boots, 6);
+        assert_eq!(outcome.stats.plans_compiled, 2, "one per config");
+        assert_eq!(outcome.stats.plan_cache_hits, 4, "remaining boots reuse");
+        assert!(outcome.stats.summary().contains("boot plans compiled"));
+    }
+
+    /// A caller-owned cache carries artifacts across sweeps: an
+    /// identical second sweep simulates nothing and reports the same
+    /// bytes.
+    #[test]
+    fn a_shared_fleet_cache_carries_results_across_sweeps() {
+        let spec = tiny_spec([1]);
+        let cache = FleetCache::new();
+        let first = run_sweep_cached(&spec, &PoolConfig::with_workers(1), &cache);
+        let second = run_sweep_cached(&spec, &PoolConfig::with_workers(1), &cache);
+        assert_eq!(first.report.to_json(), second.report.to_json());
+        assert_eq!(first.stats.cells_deduped, 0);
+        assert_eq!(second.stats.cells_deduped, 2);
+        assert_eq!(second.stats.kernel_sims, 0);
+        assert_eq!(second.stats.plans_compiled, 0);
+        cache.clear();
+        assert!(cache.plans().is_empty());
+        let third = run_sweep_cached(&spec, &PoolConfig::with_workers(1), &cache);
+        assert_eq!(third.stats.cells_deduped, 0, "clear() really clears");
+    }
+
+    /// A metrics sweep must not be served span-less outcomes cached by
+    /// a metrics-off sweep — it re-simulates and upgrades the entry.
+    #[test]
+    fn metrics_sweeps_do_not_reuse_spanless_cached_boots() {
+        let spec = tiny_spec([1]);
+        let cache = FleetCache::new();
+        run_sweep_cached(&spec, &PoolConfig::with_workers(1), &cache);
+        let with_metrics = run_sweep_cached(
+            &spec.clone().with_metrics(true),
+            &PoolConfig::with_workers(1),
+            &cache,
+        );
+        assert_eq!(with_metrics.stats.cells_deduped, 0);
+        assert!(with_metrics.report.metrics.is_some());
+        // The upgraded entries now serve metrics sweeps.
+        let again = run_sweep_cached(
+            &spec.clone().with_metrics(true),
+            &PoolConfig::with_workers(1),
+            &cache,
+        );
+        assert_eq!(again.stats.cells_deduped, 2);
+        assert_eq!(
+            with_metrics.report.to_json(),
+            again.report.to_json(),
+            "cached boots replay byte-identically"
+        );
+        assert_eq!(
+            with_metrics.report.metrics.as_ref().map(|m| m.to_json()),
+            again.report.metrics.as_ref().map(|m| m.to_json()),
+            "cached spans replay byte-identically"
+        );
     }
 }

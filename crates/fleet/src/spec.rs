@@ -114,7 +114,7 @@ impl CellSpec {
 
 /// The full sweep: cells plus execution policy that belongs to the
 /// *work* (not the pool), i.e. the per-job deadline.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SweepSpec {
     /// The grid.
     pub cells: Vec<CellSpec>,
@@ -133,6 +133,27 @@ pub struct SweepSpec {
     /// checkpoint replays the exact prefix timeline — the sweep just
     /// does less work (see `PoolStats::kernel_sims`).
     pub fork: bool,
+    /// Deduplicate identical grid points: two boots with the same
+    /// (scenario identity × seed × config) — across cells, across
+    /// seed slots of a [`ScenarioSource::Fixed`] cell — are simulated
+    /// once and the result is fanned out to every requesting slot.
+    /// Simulation is deterministic, so reports stay byte-identical
+    /// with dedup on or off (see `PoolStats::cells_deduped`); on by
+    /// default, opt out with [`SweepSpec::with_dedup`] to force every
+    /// slot to re-simulate.
+    pub dedup: bool,
+}
+
+impl Default for SweepSpec {
+    fn default() -> Self {
+        SweepSpec {
+            cells: Vec::new(),
+            deadline: None,
+            metrics: false,
+            fork: false,
+            dedup: true,
+        }
+    }
 }
 
 impl SweepSpec {
@@ -162,6 +183,13 @@ impl SweepSpec {
     /// Enables checkpoint-forked boots (see [`SweepSpec::fork`]).
     pub fn with_fork(mut self, fork: bool) -> Self {
         self.fork = fork;
+        self
+    }
+
+    /// Enables or disables grid-point dedup (see [`SweepSpec::dedup`];
+    /// on by default).
+    pub fn with_dedup(mut self, dedup: bool) -> Self {
+        self.dedup = dedup;
         self
     }
 
@@ -203,6 +231,51 @@ pub struct Job {
     pub cell: usize,
     /// Index into that cell's seed list.
     pub seed_idx: usize,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(h: u64, bytes: &[u8]) -> u64 {
+    let mut h = h;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Content fingerprint of a cell's scenario *source*: `(hash,
+/// seed_dependent)`. Two cells with equal fingerprints instantiate
+/// identical scenarios for equal seeds — the sharing key behind the
+/// sweep-wide scenario memo, the cross-job checkpoint memo, and grid
+/// dedup (see [`SweepSpec::dedup`]).
+///
+/// `Tizen` sources hash the profile and the parameters with the seed
+/// field canonicalized to zero (the per-job seed is mixed in by
+/// [`job_fingerprint`], because the generator derives durations, I/O
+/// sizes, *and* false-ordering edges from it). `Fixed` sources hash the
+/// scenario content itself and are seed-independent: every seed slot
+/// boots the very same template.
+pub(crate) fn cell_fingerprint(cell: &CellSpec) -> (u64, bool) {
+    match &cell.source {
+        ScenarioSource::Tizen { profile, params } => {
+            let canonical = TizenParams { seed: 0, ..*params };
+            let h = fnv1a(FNV_OFFSET, format!("{profile:?}|{canonical:?}").as_bytes());
+            (h, true)
+        }
+        ScenarioSource::Fixed(s) => (fnv1a(FNV_OFFSET, format!("{s:?}").as_bytes()), false),
+    }
+}
+
+/// Mixes a job's seed into its cell's source fingerprint (identity for
+/// seed-independent sources).
+pub(crate) fn job_fingerprint(base: u64, seed_dependent: bool, seed: u64) -> u64 {
+    if seed_dependent {
+        fnv1a(base, &seed.to_le_bytes())
+    } else {
+        base
+    }
 }
 
 /// Materializes the scenario a job boots: the shared template for
@@ -281,6 +354,54 @@ mod tests {
             format!("{:?}", b.workloads),
             "seeds should vary the generated workload"
         );
+    }
+
+    #[test]
+    fn fingerprints_key_source_content_not_labels() {
+        // Same source, different labels: identical fingerprints — the
+        // sharing key must not split on presentation.
+        let (fa, dep_a) = cell_fingerprint(&small_cell());
+        let (fb, dep_b) =
+            cell_fingerprint(&small_cell().seeds([9, 10]).config("bb", BbConfig::full()));
+        assert_eq!((fa, dep_a), (fb, dep_b));
+        assert!(dep_a, "Tizen sources are seed-dependent");
+
+        // The params seed field is canonicalized away: only the job
+        // seed (mixed by job_fingerprint) distinguishes instances.
+        let mut reseeded = small_cell();
+        if let ScenarioSource::Tizen { params, .. } = &mut reseeded.source {
+            params.seed = 999;
+        }
+        assert_eq!(cell_fingerprint(&reseeded).0, fa);
+
+        // Different generator parameters split.
+        let other = CellSpec::tizen(
+            "other",
+            profiles::ue48h6200(),
+            TizenParams {
+                services: 25,
+                ..TizenParams::open_source()
+            },
+        );
+        assert_ne!(cell_fingerprint(&other).0, fa);
+
+        // Seeds split seed-dependent sources, never fixed ones.
+        assert_ne!(job_fingerprint(fa, true, 1), job_fingerprint(fa, true, 2));
+        assert_eq!(job_fingerprint(fa, false, 1), job_fingerprint(fa, false, 2));
+
+        // Fixed sources fingerprint their content, seed-independent.
+        let scenario = tv_scenario_with(
+            profiles::ue48h6200(),
+            TizenParams {
+                services: 24,
+                ..TizenParams::open_source()
+            },
+        );
+        let fixed_a = CellSpec::fixed("a", scenario.clone());
+        let fixed_b = CellSpec::fixed("b", scenario);
+        let (ga, gdep) = cell_fingerprint(&fixed_a);
+        assert_eq!(ga, cell_fingerprint(&fixed_b).0);
+        assert!(!gdep);
     }
 
     #[test]

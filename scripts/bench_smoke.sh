@@ -1,14 +1,16 @@
 #!/bin/sh
-# Hot-path perf smoke gate.
+# Perf smoke gate over the committed bench baselines.
 #
-# Runs the hotpath criterion bench with a reduced iteration count
-# (quick, not publication-grade), checks that the regenerated
-# BENCH_hotpath.json carries the bb-hotpath-v1 schema and every field
-# the committed baseline promises, and fails if the freshly measured
-# boots/sec regressed more than the tolerance against the committed
-# numbers. CI hosts are noisy and shared, so the tolerance is
-# deliberately loose: this gate catches "someone made the scheduler 2x
-# slower", not single-digit drift.
+# Runs the hotpath and sweep criterion benches with a reduced iteration
+# count (quick, not publication-grade), checks that each regenerated
+# BENCH_*.json carries its schema and every field the committed baseline
+# promises, and fails if a freshly measured throughput regressed more
+# than the tolerance against the committed numbers. CI hosts are noisy
+# and shared, so the tolerance is deliberately loose: this gate catches
+# "someone made the engine 2x slower", not single-digit drift.
+# Deterministic counters (storm events, kernel sims, dedup and
+# plan-cache counts) are gated exactly — they move only when the
+# simulation or the sharing layer itself changes.
 #
 # Usage:
 #   scripts/bench_smoke.sh            # 20% tolerance, 50 iters
@@ -17,14 +19,8 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-BASELINE=BENCH_hotpath.json
 TOLERANCE="${BB_BENCH_TOLERANCE:-20}"
 ITERS="${BB_BENCH_ITERS:-50}"
-
-[ -f "$BASELINE" ] || {
-    echo "bench_smoke: $BASELINE missing — run 'cargo bench --bench hotpath' and commit it" >&2
-    exit 1
-}
 
 # Field extractor for the flat one-value-per-key JSON our emitters
 # write (no jq dependency).
@@ -32,25 +28,67 @@ field() {
     sed -n "s/^.*\"$1\": *\([0-9.]*\).*$/\1/p" "$2" | head -n 1
 }
 
+# check_schema FILE SCHEMA FIELD...
 check_schema() {
-    grep -q '"schema": "bb-hotpath-v1"' "$1" || {
-        echo "bench_smoke: $1 lacks the bb-hotpath-v1 schema stamp" >&2
+    f="$1" schema="$2"
+    shift 2
+    grep -q "\"schema\": \"$schema\"" "$f" || {
+        echo "bench_smoke: $f lacks the $schema schema stamp" >&2
         exit 1
     }
-    for key in storm_events events_per_sec full_boots_per_sec \
-        hotpath_boots_per_sec baseline_events_per_sec \
-        baseline_full_boots_per_sec baseline_hotpath_boots_per_sec \
-        speedup_full speedup_hotpath; do
-        v="$(field "$key" "$1")"
+    for key in "$@"; do
+        v="$(field "$key" "$f")"
         [ -n "$v" ] || {
-            echo "bench_smoke: $1 is missing field \"$key\"" >&2
+            echo "bench_smoke: $f is missing field \"$key\"" >&2
             exit 1
         }
     done
 }
 
+# fresh >= committed * (100 - TOLERANCE)%, in awk (sh has no floats).
+gate() {
+    name="$1" fresh="$2" committed="$3"
+    awk -v f="$fresh" -v c="$committed" -v tol="$TOLERANCE" -v n="$name" 'BEGIN {
+        floor = c * (100 - tol) / 100
+        if (f < floor) {
+            printf "bench_smoke: %s regressed: %.1f vs committed %.1f (floor %.1f, tolerance %d%%)\n",
+                n, f, c, floor, tol
+            exit 1
+        }
+        printf "    %s: %.1f vs committed %.1f (floor %.1f) ok\n", n, f, c, floor
+    }' || exit 1
+}
+
+# exact NAME FRESH COMMITTED HINT — deterministic counters must not move.
+exact() {
+    name="$1" fresh="$2" committed="$3" hint="$4"
+    [ "$fresh" = "$committed" ] || {
+        echo "bench_smoke: $name changed ($committed -> $fresh); $hint" >&2
+        exit 1
+    }
+}
+
+HOTPATH_FIELDS="storm_events events_per_sec full_boots_per_sec \
+    hotpath_boots_per_sec baseline_events_per_sec \
+    baseline_full_boots_per_sec baseline_hotpath_boots_per_sec \
+    speedup_full speedup_hotpath"
+SWEEP_FIELDS="cells boots cells_per_sec cells_per_sec_no_dedup \
+    baseline_plain_cells_per_sec baseline_forked_cells_per_sec \
+    speedup speedup_no_dedup kernel_sims cells_deduped \
+    plans_compiled plan_cache_hits"
+
+for b in hotpath sweep; do
+    [ -f "BENCH_$b.json" ] || {
+        echo "bench_smoke: BENCH_$b.json missing — run 'cargo bench -p bb-bench --bench $b' and commit it" >&2
+        exit 1
+    }
+done
+
+# ---------------------------------------------------------------- hotpath
+BASELINE=BENCH_hotpath.json
 echo "==> validating committed $BASELINE"
-check_schema "$BASELINE"
+# shellcheck disable=SC2086
+check_schema "$BASELINE" bb-hotpath-v1 $HOTPATH_FIELDS
 
 committed_full="$(field full_boots_per_sec "$BASELINE")"
 committed_hot="$(field hotpath_boots_per_sec "$BASELINE")"
@@ -60,7 +98,8 @@ echo "==> running hotpath bench ($ITERS iters)"
 BB_BENCH_ITERS="$ITERS" cargo bench -p bb-bench --bench hotpath
 
 echo "==> validating regenerated $BASELINE"
-check_schema "$BASELINE"
+# shellcheck disable=SC2086
+check_schema "$BASELINE" bb-hotpath-v1 $HOTPATH_FIELDS
 
 fresh_full="$(field full_boots_per_sec "$BASELINE")"
 fresh_hot="$(field hotpath_boots_per_sec "$BASELINE")"
@@ -71,28 +110,52 @@ fresh_events="$(field storm_events "$BASELINE")"
 git checkout -- "$BASELINE" 2>/dev/null || true
 
 # The storm is deterministic: its event count must not move at all.
-[ "$fresh_events" = "$committed_events" ] || {
-    echo "bench_smoke: storm event count changed ($committed_events -> $fresh_events);" \
-        "the simulation itself changed, re-bless BENCH_hotpath.json deliberately" >&2
-    exit 1
-}
+exact storm_events "$fresh_events" "$committed_events" \
+    "the simulation itself changed, re-bless BENCH_hotpath.json deliberately"
 
-# fresh >= committed * (100 - TOLERANCE)%, in awk (sh has no floats).
-gate() {
-    name="$1" fresh="$2" committed="$3"
-    awk -v f="$fresh" -v c="$committed" -v tol="$TOLERANCE" -v n="$name" 'BEGIN {
-        floor = c * (100 - tol) / 100
-        if (f < floor) {
-            printf "bench_smoke: %s regressed: %.1f boots/s vs committed %.1f (floor %.1f, tolerance %d%%)\n",
-                n, f, c, floor, tol
-            exit 1
-        }
-        printf "    %s: %.1f vs committed %.1f (floor %.1f) ok\n", n, f, c, floor
-    }' || exit 1
-}
-
-echo "==> regression gate (${TOLERANCE}% tolerance)"
+echo "==> hotpath regression gate (${TOLERANCE}% tolerance)"
 gate full_boots_per_sec "$fresh_full" "$committed_full"
 gate hotpath_boots_per_sec "$fresh_hot" "$committed_hot"
+
+# ------------------------------------------------------------------ sweep
+BASELINE=BENCH_sweep.json
+echo "==> validating committed $BASELINE"
+# shellcheck disable=SC2086
+check_schema "$BASELINE" bb-sweep-v1 $SWEEP_FIELDS
+
+committed_cells="$(field cells_per_sec "$BASELINE")"
+committed_nodedup="$(field cells_per_sec_no_dedup "$BASELINE")"
+committed_sims="$(field kernel_sims "$BASELINE")"
+committed_deduped="$(field cells_deduped "$BASELINE")"
+committed_plans="$(field plans_compiled "$BASELINE")"
+committed_hits="$(field plan_cache_hits "$BASELINE")"
+
+echo "==> running sweep bench ($ITERS iters)"
+BB_BENCH_ITERS="$ITERS" cargo bench -p bb-bench --bench sweep
+
+echo "==> validating regenerated $BASELINE"
+# shellcheck disable=SC2086
+check_schema "$BASELINE" bb-sweep-v1 $SWEEP_FIELDS
+
+fresh_cells="$(field cells_per_sec "$BASELINE")"
+fresh_nodedup="$(field cells_per_sec_no_dedup "$BASELINE")"
+fresh_sims="$(field kernel_sims "$BASELINE")"
+fresh_deduped="$(field cells_deduped "$BASELINE")"
+fresh_plans="$(field plans_compiled "$BASELINE")"
+fresh_hits="$(field plan_cache_hits "$BASELINE")"
+
+git checkout -- "$BASELINE" 2>/dev/null || true
+
+# The sharing layer is deterministic on a 1-worker pool: the work
+# counters must not move at all.
+blesshint="the sharing layer changed, re-bless BENCH_sweep.json deliberately"
+exact kernel_sims "$fresh_sims" "$committed_sims" "$blesshint"
+exact cells_deduped "$fresh_deduped" "$committed_deduped" "$blesshint"
+exact plans_compiled "$fresh_plans" "$committed_plans" "$blesshint"
+exact plan_cache_hits "$fresh_hits" "$committed_hits" "$blesshint"
+
+echo "==> sweep regression gate (${TOLERANCE}% tolerance)"
+gate cells_per_sec "$fresh_cells" "$committed_cells"
+gate cells_per_sec_no_dedup "$fresh_nodedup" "$committed_nodedup"
 
 echo "bench smoke passed."

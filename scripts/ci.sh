@@ -38,13 +38,23 @@ run ./target/release/bbsim sweep --services 24 --seeds 3 \
     --workers 2 --fork-from kernel-handoff --json "$chaos_tmp/forked.json"
 run cmp "$chaos_tmp/plain.json" "$chaos_tmp/forked.json"
 
+# Shared-artifact gate: grid dedup + plan caching (the sweep defaults)
+# must emit byte-identical JSON to a --no-dedup sweep on any worker
+# count, and the cached/fresh boot equivalence proptests must hold.
+run cargo test -q --test proptest_plan_cache
+run ./target/release/bbsim sweep --services 24 --seeds 3 \
+    --workers 1 --no-dedup --json "$chaos_tmp/nodedup.json"
+run cmp "$chaos_tmp/plain.json" "$chaos_tmp/nodedup.json"
+
 # Instant-on smoke: suspend must emit a valid bb-snapshot-v1 document.
 echo "==> bbsim suspend --services 24 --json | grep schema"
 ./target/release/bbsim suspend --services 24 --json >"$chaos_tmp/suspend.json"
 run grep -q '"schema": "bb-snapshot-v1"' "$chaos_tmp/suspend.json"
 
-# Hot-path perf smoke: quick bench run gated against the committed
-# BENCH_hotpath.json (loose tolerance; catches gross regressions only).
+# Perf smoke: quick bench runs gated against the committed
+# BENCH_hotpath.json and BENCH_sweep.json (loose tolerance; catches
+# gross regressions only), then the perf-trajectory report.
 run ./scripts/bench_smoke.sh
+run ./scripts/perf_report.sh
 
 echo "CI gate passed."

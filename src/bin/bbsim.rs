@@ -13,8 +13,8 @@
 //!
 //! bbsim sweep [--profiles NAMES|all] [--services N] [--seeds N] [--seed N]
 //!             [--features all|none|LIST] [--workers N] [--deadline-ms N]
-//!             [--fork-from kernel-handoff] [--json FILE|-] [--metrics FILE|-]
-//!             [--baseline FILE] [--tolerance PCT]
+//!             [--fork-from kernel-handoff] [--no-dedup] [--json FILE|-]
+//!             [--metrics FILE|-] [--baseline FILE] [--tolerance PCT]
 //!
 //! bbsim suspend [--scenario tv|tv136|camera] [--services N] [--cores N]
 //!               [--seed N] [--json]
@@ -52,6 +52,13 @@
 //! is simulated once per distinct prefix key and every config resumes
 //! from the saved snapshot. Output is byte-identical to the unforked
 //! sweep; the pool summary shows how many kernel simulations ran.
+//!
+//! `sweep` deduplicates identical grid points by default: two boots
+//! with the same (scenario content × seed × config) are simulated once
+//! and the deterministic result is fanned out, with compiled boot plans
+//! shared through a [`bb_core::PlanCache`]. Output stays byte-identical
+//! (the pool summary shows dedup and plan-cache counts); `--no-dedup`
+//! forces every grid point to re-simulate.
 //!
 //! `suspend` compares the three power paths of §2.1 on one scenario: it
 //! boots the conventional and full-BB shapes, snapshots the booted
@@ -115,7 +122,7 @@ fn usage() -> ! {
          \u{20}            [--dot FILE.dot] [--blame N]\n\
          \u{20}      bbsim sweep [--profiles NAMES|all] [--services N] [--seeds N]\n\
          \u{20}            [--seed N] [--features LIST] [--workers N] [--deadline-ms N]\n\
-         \u{20}            [--fork-from kernel-handoff] [--json FILE|-]\n\
+         \u{20}            [--fork-from kernel-handoff] [--no-dedup] [--json FILE|-]\n\
          \u{20}            [--metrics FILE|-] [--baseline FILE] [--tolerance PCT]\n\
          \u{20}      bbsim suspend [--scenario tv|tv136|camera] [--services N]\n\
          \u{20}            [--cores N] [--seed N] [--json]\n\
@@ -695,6 +702,7 @@ struct SweepArgs {
     workers: Option<usize>,
     deadline_ms: Option<u64>,
     fork_from: Option<String>,
+    no_dedup: bool,
     json: Option<String>,
     metrics: Option<String>,
     baseline: Option<String>,
@@ -711,6 +719,7 @@ fn parse_sweep_args(mut it: impl Iterator<Item = String>) -> SweepArgs {
         workers: None,
         deadline_ms: None,
         fork_from: None,
+        no_dedup: false,
         json: None,
         metrics: None,
         baseline: None,
@@ -736,6 +745,7 @@ fn parse_sweep_args(mut it: impl Iterator<Item = String>) -> SweepArgs {
                 args.deadline_ms = Some(value("--deadline-ms").parse().unwrap_or_else(|_| usage()))
             }
             "--fork-from" => args.fork_from = Some(value("--fork-from")),
+            "--no-dedup" => args.no_dedup = true,
             "--json" => args.json = Some(value("--json")),
             "--metrics" => args.metrics = Some(value("--metrics")),
             "--baseline" => args.baseline = Some(value("--baseline")),
@@ -789,7 +799,9 @@ fn run_sweep_cmd(args: SweepArgs) {
     } else {
         args.features.clone()
     };
-    let mut spec = SweepSpec::new().with_metrics(args.metrics.is_some());
+    let mut spec = SweepSpec::new()
+        .with_metrics(args.metrics.is_some())
+        .with_dedup(!args.no_dedup);
     if let Some(ms) = args.deadline_ms {
         spec = spec.deadline(std::time::Duration::from_millis(ms));
     }

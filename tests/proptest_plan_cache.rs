@@ -1,0 +1,161 @@
+//! Property tests of the shared-artifact layer: plan caching and grid
+//! dedup must be observationally invisible.
+//!
+//! 1. At the boot layer: a boot served a cached [`bb::PlanCache`] plan
+//!    replays the fresh boot event for event — same timeline, same
+//!    final snapshot bytes — across workload seeds, feature subsets,
+//!    and fault plans. Planning depends only on (scenario, config), so
+//!    a hit *must* be bit-identical to re-planning.
+//! 2. At the sweep layer: a deduplicated sweep ([`SweepSpec::dedup`],
+//!    the default) emits byte-identical JSON to the undeduplicated
+//!    sweep, for any combination of worker counts — grid points served
+//!    from the boot-outcome cache replay the exact samples simulation
+//!    would produce.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use booting_booster::bb::{fault_targets, BbConfig, BootRequest, PlanCache};
+use booting_booster::fleet::{run_sweep, CellSpec, PoolConfig, SweepSpec};
+use booting_booster::sim::{snapshot, FaultPlan};
+use booting_booster::workloads::{profiles, tv_scenario_with, TizenParams};
+
+fn config_from_bits(bits: u8) -> BbConfig {
+    if bits & 0x80 != 0 {
+        BbConfig::conventional()
+    } else {
+        BbConfig {
+            deferred_executor: bits & 0x01 != 0,
+            preparser: bits & 0x02 != 0,
+            bb_group: bits & 0x04 != 0,
+            ..BbConfig::full()
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A cache-hit boot replays the fresh boot event for event, for
+    /// arbitrary workload seeds, feature subsets, and (possibly empty)
+    /// fault plans.
+    #[test]
+    fn cached_plan_boot_matches_fresh_boot(
+        seed in 0u64..1_000_000,
+        services in 24usize..36,
+        bits in any::<u8>(),
+        fault_seed in 0u64..1_000,
+    ) {
+        let s = Arc::new(tv_scenario_with(
+            profiles::ue48h6200(),
+            TizenParams { services, seed, ..TizenParams::open_source() },
+        ));
+        let cfg = config_from_bits(bits);
+        // Every third case is fault-free; the rest inject a seeded plan.
+        let faults = if fault_seed % 3 == 0 {
+            FaultPlan::none()
+        } else {
+            FaultPlan::seeded(fault_seed, &fault_targets(&s))
+        };
+
+        let fresh = BootRequest::new(&s)
+            .config(cfg)
+            .faults(&faults)
+            .run()
+            .expect("fresh boot");
+
+        // First cached boot compiles and inserts; the second is served
+        // the Arc'd plan with zero clones.
+        let cache = PlanCache::new();
+        BootRequest::new(&s)
+            .config(cfg)
+            .faults(&faults)
+            .plan_cache(&cache, &s)
+            .run()
+            .expect("warming boot");
+        prop_assert_eq!(cache.stats().plans_compiled, 1);
+        let cached = BootRequest::new(&s)
+            .config(cfg)
+            .faults(&faults)
+            .plan_cache(&cache, &s)
+            .run()
+            .expect("cached boot");
+        prop_assert_eq!(cache.stats().plans_compiled, 1, "hit must not re-plan");
+        prop_assert!(cache.stats().hits >= 1);
+
+        prop_assert_eq!(
+            fresh.report.boot.completion_time,
+            cached.report.boot.completion_time
+        );
+        prop_assert_eq!(fresh.report.quiesce_time, cached.report.quiesce_time);
+        prop_assert_eq!(&fresh.report.rcu, &cached.report.rcu);
+        let a = fresh.machine.trace().events();
+        let b = cached.machine.trace().events();
+        prop_assert_eq!(a.len(), b.len(), "event counts diverge");
+        for (x, y) in a.iter().zip(b) {
+            prop_assert_eq!(x, y, "trace event diverges");
+        }
+        prop_assert_eq!(
+            snapshot::save(&fresh.machine).expect("snapshot fresh"),
+            snapshot::save(&cached.machine).expect("snapshot cached"),
+            "final machine states diverge"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Deduplicated and plain sweeps emit byte-identical JSON for any
+    /// worker-count combination. The grid deliberately contains
+    /// duplicate cells (same source, same seeds) and a fixed cell with
+    /// repeated seed slots, so dedup really fires.
+    #[test]
+    fn deduped_sweep_json_is_byte_identical_to_plain(
+        seed_base in 0u64..1_000,
+        services in 24usize..30,
+        dedup_workers in 1usize..4,
+        plain_workers in 1usize..4,
+    ) {
+        let params = TizenParams { services, ..TizenParams::open_source() };
+        let fixed = tv_scenario_with(profiles::ue48h6200(), params);
+        let spec = SweepSpec::new()
+            .cell(
+                CellSpec::tizen("a", profiles::ue48h6200(), params)
+                    .seeds(seed_base..seed_base + 2)
+                    .conventional_vs_bb(),
+            )
+            .cell(
+                // Duplicates cell "a" under another label.
+                CellSpec::tizen("b", profiles::ue48h6200(), params)
+                    .seeds(seed_base..seed_base + 2)
+                    .conventional_vs_bb(),
+            )
+            .cell(
+                // Seed slots of a fixed cell all boot the same template.
+                CellSpec::fixed("pinned", fixed)
+                    .seeds([0, 1, 2])
+                    .conventional_vs_bb(),
+            );
+
+        let deduped = run_sweep(&spec, &PoolConfig::with_workers(dedup_workers));
+        let plain = run_sweep(
+            &spec.clone().with_dedup(false),
+            &PoolConfig::with_workers(plain_workers),
+        );
+        prop_assert_eq!(plain.stats.cells_deduped, 0);
+        if dedup_workers == 1 {
+            // Deterministic with one worker: cell b's 4 boots plus the
+            // fixed cell's 2 repeated slots are all served from cache.
+            // (With racing workers a duplicate can simulate twice, so
+            // the count is only a lower-bound observability signal.)
+            prop_assert_eq!(deduped.stats.cells_deduped, 8);
+        }
+        prop_assert_eq!(
+            deduped.report.to_json(),
+            plain.report.to_json(),
+            "dedup changed the report"
+        );
+    }
+}
