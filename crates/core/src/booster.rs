@@ -113,6 +113,9 @@ pub struct Boot {
     pub report: FullBootReport,
     /// The simulated machine, run to quiescence.
     pub machine: Machine,
+    /// Artifact recoveries this boot incurred (empty unless an artifact
+    /// was supplied and needed the [`crate::recovery`] chain).
+    pub recoveries: Vec<crate::recovery::RecoveryEvent>,
 }
 
 /// Where in the boot timeline a [`Checkpoint`] is taken.
@@ -181,6 +184,19 @@ impl Checkpoint {
     pub fn kernel(&self) -> &KernelReport {
         &self.kernel
     }
+
+    /// This checkpoint with its snapshot image replaced by `bytes` —
+    /// the image as it came back from storage, which may differ from
+    /// what was written. [`BootRequest::resume`] validates the image
+    /// (header pins plus the v2 payload checksum) and surfaces damage
+    /// as [`Error::Snapshot`]; [`crate::recovery::resume_or_cold_boot`]
+    /// turns that into a recovered cold boot.
+    pub fn with_image(&self, bytes: Vec<u8>) -> Checkpoint {
+        Checkpoint {
+            bytes,
+            ..self.clone()
+        }
+    }
 }
 
 /// The single entry point for booting a scenario: a builder over every
@@ -207,6 +223,7 @@ pub struct BootRequest<'s> {
     cfg: BbConfig,
     pre: Option<&'s PreParser>,
     faults: Option<&'s FaultPlan>,
+    artifact: Option<&'s crate::recovery::ArtifactRead>,
     telemetry: bool,
     builder: Option<&'s mut MachineBuilder>,
     cache: Option<(&'s PlanCache, &'s Arc<Scenario>)>,
@@ -222,6 +239,7 @@ impl<'s> BootRequest<'s> {
             cfg: BbConfig::full(),
             pre: None,
             faults: None,
+            artifact: None,
             telemetry: false,
             builder: None,
             cache: None,
@@ -253,6 +271,23 @@ impl<'s> BootRequest<'s> {
     /// no-op.
     pub fn faults(mut self, faults: &'s FaultPlan) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Supplies the Pre-parser cache as it was read back from boot
+    /// storage. Before planning, [`run`](Self::run) validates the
+    /// artifact through the [`crate::recovery`] chain — bounded
+    /// transient-read retries, container CRC, format version, and the
+    /// content hash against this scenario's unit set. A rejected
+    /// artifact turns the Pre-parser off for this boot (the timeline of
+    /// a device whose cache was discarded: bit-identical to a boot that
+    /// never had it) and records a priced
+    /// [`crate::recovery::RecoveryEvent`] on the [`Boot`].
+    ///
+    /// Ignored when the configuration does not use the Pre-parser — a
+    /// conventional boot never reads the cache.
+    pub fn preparse_artifact(mut self, read: &'s crate::recovery::ArtifactRead) -> Self {
+        self.artifact = Some(read);
         self
     }
 
@@ -338,6 +373,13 @@ impl<'s> BootRequest<'s> {
         if self.tweak.is_some() {
             return Err(Error::Checkpoint(
                 "plan tweaks act on the boot suffix; install the tweak on the resume request"
+                    .into(),
+            ));
+        }
+        if self.artifact.is_some() {
+            return Err(Error::Checkpoint(
+                "artifacts are validated by run(); a checkpoint simulates only the kernel \
+                 prefix, which never reads the Pre-parser cache"
                     .into(),
             ));
         }
@@ -427,6 +469,13 @@ impl<'s> BootRequest<'s> {
                     .into(),
             ));
         }
+        if self.artifact.is_some() {
+            return Err(Error::Checkpoint(
+                "a resumed boot skips the init phase's cache load; to recover a damaged \
+                 snapshot image use recovery::resume_or_cold_boot"
+                    .into(),
+            ));
+        }
         if self.cfg.prefix_key() != checkpoint.cfg.prefix_key() {
             return Err(Error::Checkpoint(format!(
                 "prefix key mismatch: checkpoint was taken under {:?}, resume requested {:?}",
@@ -461,7 +510,11 @@ impl<'s> BootRequest<'s> {
                     checkpoint.kernel.clone(),
                     checkpoint.device,
                 );
-                return Ok(Boot { report, machine });
+                return Ok(Boot {
+                    report,
+                    machine,
+                    recoveries: Vec::new(),
+                });
             }
             // Second-fastest path: a plan cache hit for this (scenario,
             // config) — typically a suffix-variant resume whose plan an
@@ -481,7 +534,11 @@ impl<'s> BootRequest<'s> {
                             checkpoint.kernel.clone(),
                             checkpoint.device,
                         );
-                        return Ok(Boot { report, machine });
+                        return Ok(Boot {
+                            report,
+                            machine,
+                            recoveries: Vec::new(),
+                        });
                     }
                 }
             }
@@ -526,11 +583,65 @@ impl<'s> BootRequest<'s> {
             checkpoint.kernel.clone(),
             checkpoint.device,
         );
-        Ok(Boot { report, machine })
+        Ok(Boot {
+            report,
+            machine,
+            recoveries: Vec::new(),
+        })
     }
 
-    /// Plans and executes the boot.
-    pub fn run(self) -> Result<Boot, Error> {
+    /// Plans and executes the boot. A supplied
+    /// [`preparse_artifact`](Self::preparse_artifact) is validated
+    /// first; recoveries land on [`Boot::recoveries`].
+    pub fn run(mut self) -> Result<Boot, Error> {
+        use crate::recovery::{validate_preparse_blob, ArtifactVerdict, RecoveryEvent};
+        let mut recoveries = Vec::new();
+        if let Some(read) = self.artifact.take() {
+            if self.cfg.preparser {
+                let built;
+                let pre = match self.pre {
+                    Some(p) => p,
+                    None => {
+                        built = PreParser::build(&self.scenario.units);
+                        &built
+                    }
+                };
+                match validate_preparse_blob(
+                    read,
+                    &self.scenario.units,
+                    pre,
+                    &self.scenario.parse_params,
+                    &self.scenario.storage,
+                ) {
+                    ArtifactVerdict::Accepted { retries: 0, .. } => {}
+                    ArtifactVerdict::Accepted {
+                        retries,
+                        retry_cost,
+                    } => {
+                        recoveries.push(RecoveryEvent::transient_ok(
+                            crate::recovery::ArtifactKind::PreparseBlob,
+                            retries,
+                            retry_cost,
+                        ));
+                    }
+                    ArtifactVerdict::Rejected(ev) => {
+                        // The cache is gone; this boot pays the
+                        // conventional parse path, exactly as a device
+                        // whose blob was discarded would.
+                        self.cfg.preparser = false;
+                        recoveries.push(ev);
+                    }
+                }
+            }
+        }
+        let mut boot = self.execute()?;
+        boot.recoveries = recoveries;
+        Ok(boot)
+    }
+
+    /// The planning/execution body shared by the cached and plain
+    /// paths (artifact validation already resolved by `run`).
+    fn execute(self) -> Result<Boot, Error> {
         let no_faults = FaultPlan::none();
         // Cached path: a plan compiled earlier for this (scenario,
         // config) is executed as-is — prefix and suffix both borrow out
@@ -547,7 +658,11 @@ impl<'s> BootRequest<'s> {
                         self.telemetry,
                         self.builder,
                     );
-                    return Ok(Boot { report, machine });
+                    return Ok(Boot {
+                        report,
+                        machine,
+                        recoveries: Vec::new(),
+                    });
                 }
             }
         }
@@ -575,7 +690,11 @@ impl<'s> BootRequest<'s> {
         }
         let faults = self.faults.unwrap_or(&no_faults);
         let (report, machine) = execute_pooled(&ir, deltas, faults, self.telemetry, self.builder);
-        Ok(Boot { report, machine })
+        Ok(Boot {
+            report,
+            machine,
+            recoveries: Vec::new(),
+        })
     }
 }
 

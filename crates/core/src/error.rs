@@ -127,6 +127,16 @@ pub enum JobError {
         /// Supervised respawns the recovery took.
         restarts: u32,
     },
+    /// A chaos boot's artifact (pre-parse blob or snapshot image) was
+    /// rejected by the integrity chain and the boot recovered without
+    /// it (see [`crate::recovery`]). A notable event, not a lost
+    /// sample.
+    ArtifactRejected {
+        /// Label of the config whose artifact was rejected.
+        config: String,
+        /// The recovery's stable one-line description.
+        detail: String,
+    },
 }
 
 impl JobError {
@@ -141,6 +151,9 @@ impl JobError {
             JobError::Degraded { config } => format!("degraded boot: {config}"),
             JobError::FaultRecovered { config, restarts } => {
                 format!("recovered after {restarts} restart(s): {config}")
+            }
+            JobError::ArtifactRejected { config, detail } => {
+                format!("artifact rejected ({detail}): {config}")
             }
         }
     }

@@ -22,6 +22,11 @@
 //!   injected [`bb_sim::FaultPlan`] and fall back to the conventional
 //!   shape when the deadline or a start limit trips (§3.4 deployment
 //!   safety).
+//! * [`recovery`] — artifact integrity & recovery: validate the
+//!   checksummed boot artifacts (pre-parse blob, snapshot image),
+//!   retry transient reads with bounded backoff, and boot on without a
+//!   damaged artifact, pricing every recovery as a
+//!   [`recovery::RecoveryEvent`].
 //! * [`telemetry`] — spans, the metrics snapshot, and the critical-path
 //!   profiler over a finished boot.
 //! * [`error`] — the workspace [`Error`] hierarchy.
@@ -41,6 +46,7 @@ pub mod fallback;
 pub mod miner;
 pub mod pipeline;
 pub mod plan_cache;
+pub mod recovery;
 pub mod report;
 pub mod service_engine;
 pub mod telemetry;
@@ -58,6 +64,11 @@ pub use pipeline::{
     STANDARD_PASSES,
 };
 pub use plan_cache::{PlanCache, PlanCacheStats};
+pub use recovery::{
+    resume_or_cold_boot, run_with_fallback_recovering, validate_preparse_blob, ArtifactKind,
+    ArtifactRead, ArtifactVerdict, RecoveryAction, RecoveryEvent, RecoveryReason,
+    MAX_ARTIFACT_RETRIES,
+};
 pub use report::{attribution_table, Comparison, Row};
 pub use service_engine::{
     analyze, analyze_directives, identify_bb_group, load_model, Finding, ParseCostParams, PreParser,

@@ -18,7 +18,7 @@ use std::fmt::Write as _;
 /// Schema stamp of the sweep report ([`crate::SweepReport::to_json`]).
 pub const SCHEMA_FLEET: &str = "bb-fleet-v1";
 /// Schema stamp of the chaos report ([`crate::ChaosReport::to_json`]).
-pub const SCHEMA_CHAOS: &str = "bb-fleet-chaos-v1";
+pub const SCHEMA_CHAOS: &str = "bb-fleet-chaos-v2";
 /// Schema stamp of the sweep metrics document
 /// ([`crate::MetricsReport::to_json`]).
 pub const SCHEMA_METRICS: &str = "bb-metrics-v1";

@@ -33,10 +33,11 @@
 //!   schema constants every emitter stamps its document with via
 //!   [`json::open_document`].
 //! * [`chaos`] — [`run_chaos`]: the fault-injection sweep, gridding
-//!   `{seed × fault-plan × config}` through the supervised
-//!   [`bb_core::run_with_fallback`] boot and aggregating recovery
-//!   rate, restart counts, degraded-boot rate, and
-//!   boot-time-under-fault percentiles (schema `bb-fleet-chaos-v1`).
+//!   `{seed × fault-plan × corruption × config}` through the supervised
+//!   [`bb_core::run_with_fallback_recovering`] boot and aggregating
+//!   recovery rate, restart counts, degraded-boot rate, artifact
+//!   rejection rates, recovery-cost percentiles, and
+//!   boot-time-under-fault percentiles (schema `bb-fleet-chaos-v2`).
 //!
 //! The aggregated report — including its JSON serialization — is
 //! byte-identical for any worker count: results land in slots addressed

@@ -300,6 +300,13 @@ pub struct PoolStats {
     /// workers may simulate a grid point twice, so the count can vary
     /// run to run even though the report never does.
     pub cells_deduped: usize,
+    /// Artifact recoveries across all boots (retried reads included).
+    /// Always 0 for sweeps without a corruption axis; see
+    /// [`bb_core::recovery`].
+    pub recoveries: usize,
+    /// Artifacts the integrity chain rejected outright (subset of
+    /// `recoveries`): corrupt, stale, or unreadable.
+    pub artifacts_rejected: usize,
     /// Per-worker counters.
     pub per_worker: Vec<WorkerStats>,
 }
@@ -360,6 +367,13 @@ impl PoolStats {
                 out,
                 "  {} boot(s) deduplicated (identical grid points served from cache)",
                 self.cells_deduped,
+            );
+        }
+        if self.recoveries > 0 {
+            let _ = writeln!(
+                out,
+                "  {} artifact recover(ies), {} artifact(s) rejected by the integrity chain",
+                self.recoveries, self.artifacts_rejected,
             );
         }
         for (w, ws) in self.per_worker.iter().enumerate() {
@@ -502,6 +516,8 @@ pub fn run_sweep_cached(spec: &SweepSpec, pool: &PoolConfig, cache: &FleetCache)
             plans_compiled: plans_after.plans_compiled - plans_before.plans_compiled,
             plan_cache_hits: plans_after.hits - plans_before.hits,
             cells_deduped,
+            recoveries: 0,
+            artifacts_rejected: 0,
             per_worker,
         },
     }

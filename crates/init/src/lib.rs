@@ -37,7 +37,9 @@ pub use parser::{
     parse_unit, parse_unit_dir, parse_unit_dir_with_warnings, parse_unit_set, DirectiveWarning,
     DirectiveWarningKind, FileWarnings, ParseError, ParseErrorKind, Parsed, UnitDirError,
 };
-pub use preparse::{decode_units, encode_units, CodecError};
+pub use preparse::{
+    blob_content_hash, decode_units, encode_units, unit_set_hash, CodecError, INTEGRITY_OVERHEAD,
+};
 pub use transaction::{Transaction, TransactionError};
 pub use unit::{
     ExecConfig, IoSchedulingClass, RestartPolicy, ServiceType, Unit, UnitKind, UnitName,

@@ -17,15 +17,34 @@ use crate::unit::{ExecConfig, IoSchedulingClass, RestartPolicy, ServiceType, Uni
 
 /// Magic + version header of a cache blob. Version 2 added the
 /// supervision fields (`Restart=`, `RestartSec=`, start limits,
-/// `OnFailure=`); v1 blobs are rejected with [`CodecError::BadMagic`].
+/// `OnFailure=`); version 3 added the integrity envelope (a content
+/// hash of the source unit set after the magic, and a trailing CRC over
+/// the whole blob). Blobs from older versions are rejected with
+/// [`CodecError::UnsupportedVersion`]; non-cache bytes with
+/// [`CodecError::BadMagic`].
 ///
 /// Supervision data is flagged in the service-type byte
 /// (`FLAG_SUPERVISION`, `FLAG_ON_FAILURE`) and encoded only for
 /// units that actually carry it, so a unit set without `Restart=` or
 /// `OnFailure=` encodes to exactly as many bytes as it did under v1 —
 /// the simulated cache-load I/O (and with it the calibration pins) is
-/// unchanged for unsupervised boots.
-pub const MAGIC: &[u8; 6] = b"BBPP\x02\x00";
+/// unchanged for unsupervised boots. The v3 integrity envelope is a
+/// *constant* 12 bytes ([`INTEGRITY_OVERHEAD`]), which the Pre-parser's
+/// load model subtracts, so it too leaves the calibration pins alone.
+pub const MAGIC: &[u8; 6] = b"BBPP\x03\x00";
+
+/// The first bytes every cache blob shares across versions; what
+/// distinguishes "an old cache" from "not a cache at all".
+const MAGIC_PREFIX: &[u8; 4] = b"BBPP";
+
+/// Bytes the v3 integrity envelope adds over the v2 layout: the u64
+/// content hash after the magic plus the trailing u32 CRC. Constant for
+/// any unit set, so cost models can subtract it.
+pub const INTEGRITY_OVERHEAD: usize = 8 + 4;
+
+/// Minimum size of a well-formed blob: magic, content hash, unit
+/// count, trailing CRC (the empty unit set).
+const MIN_BLOB_LEN: usize = MAGIC.len() + 8 + 4 + 4;
 
 /// Service-type flag bit: a supervision tail (`Restart=`,
 /// `RestartSec=`, `StartLimitBurst=`, `StartLimitIntervalSec=`)
@@ -38,8 +57,25 @@ const FLAG_ON_FAILURE: u8 = 0x40;
 /// Decode failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CodecError {
-    /// Blob does not start with [`MAGIC`].
+    /// Blob does not start with the `BBPP` cache prefix — these bytes
+    /// were never a unit cache.
     BadMagic,
+    /// Blob carries the cache prefix but a different format version —
+    /// a genuine cache from another build (e.g. left behind by a
+    /// firmware update), distinguishable from garbage so recovery
+    /// reports can say "stale format", not "corrupt".
+    UnsupportedVersion {
+        /// Version byte recorded in the blob.
+        found: u8,
+    },
+    /// The blob's bytes do not hash to its trailing CRC: damaged after
+    /// it was written (bit flip, torn write, zeroed page).
+    ChecksumMismatch {
+        /// CRC recorded in the blob.
+        found: u32,
+        /// CRC computed over the blob as read.
+        expected: u32,
+    },
     /// Blob ended mid-structure.
     Truncated,
     /// A decoded string was not UTF-8.
@@ -56,6 +92,13 @@ impl std::fmt::Display for CodecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CodecError::BadMagic => write!(f, "not a unit cache blob"),
+            CodecError::UnsupportedVersion { found } => {
+                write!(f, "unit cache format version {found} is not supported")
+            }
+            CodecError::ChecksumMismatch { found, expected } => write!(
+                f,
+                "unit cache CRC {found:#010x} does not match computed {expected:#010x}"
+            ),
             CodecError::Truncated => write!(f, "truncated unit cache"),
             CodecError::BadString => write!(f, "invalid UTF-8 in unit cache"),
             CodecError::BadEnum(d) => write!(f, "unknown discriminant {d}"),
@@ -79,9 +122,88 @@ impl std::error::Error for CodecError {}
 /// assert_eq!(decode_units(&blob).unwrap(), units);
 /// ```
 pub fn encode_units(units: &[Unit]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(units.len() * 128);
+    let payload = encode_unit_payload(units);
+    let mut out = Vec::with_capacity(MIN_BLOB_LEN + payload.len());
     out.extend_from_slice(MAGIC);
+    put_u64(&mut out, fnv1a64(&payload));
     put_u32(&mut out, units.len() as u32);
+    out.extend_from_slice(&payload);
+    let crc = fnv1a32(&out);
+    put_u32(&mut out, crc);
+    out
+}
+
+/// FNV-1a content hash of a unit set — the generation stamp stored in
+/// every blob. A firmware update that edits any unit changes this hash,
+/// so a cached blob written before the update no longer matches the
+/// live unit set ([`blob_content_hash`] reads the stored stamp for the
+/// comparison).
+pub fn unit_set_hash(units: &[Unit]) -> u64 {
+    fnv1a64(&encode_unit_payload(units))
+}
+
+/// The content hash stored in `blob`'s header, after validating the
+/// container (magic, version, CRC). Compare with [`unit_set_hash`] of
+/// the live unit set to detect a stale cache.
+///
+/// # Errors
+///
+/// The same container errors as [`decode_units`]; the unit payload
+/// itself is not decoded.
+pub fn blob_content_hash(blob: &[u8]) -> Result<u64, CodecError> {
+    verify_container(blob)?;
+    let at = MAGIC.len();
+    Ok(u64::from_le_bytes(
+        blob[at..at + 8].try_into().expect("8 bytes"),
+    ))
+}
+
+/// Checks the container envelope: magic prefix, format version, and
+/// the trailing CRC over everything before it. Returns the body (blob
+/// minus the CRC) for the structural decoder.
+fn verify_container(blob: &[u8]) -> Result<&[u8], CodecError> {
+    if blob.len() < MAGIC.len() {
+        return Err(CodecError::Truncated);
+    }
+    if &blob[..MAGIC_PREFIX.len()] != MAGIC_PREFIX {
+        return Err(CodecError::BadMagic);
+    }
+    if blob[..MAGIC.len()] != MAGIC[..] {
+        return Err(CodecError::UnsupportedVersion { found: blob[4] });
+    }
+    if blob.len() < MIN_BLOB_LEN {
+        return Err(CodecError::Truncated);
+    }
+    let body = &blob[..blob.len() - 4];
+    let found = u32::from_le_bytes(blob[blob.len() - 4..].try_into().expect("4 bytes"));
+    let expected = fnv1a32(body);
+    if found != expected {
+        return Err(CodecError::ChecksumMismatch { found, expected });
+    }
+    Ok(body)
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+fn fnv1a32(bytes: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        hash ^= u32::from(b);
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
+
+/// Encodes the unit records alone — the bytes the content hash covers.
+fn encode_unit_payload(units: &[Unit]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(units.len() * 128);
     for u in units {
         put_str(&mut out, u.name.as_str());
         put_str(&mut out, &u.description);
@@ -155,17 +277,23 @@ pub fn encode_units(units: &[Unit]) -> Vec<u8> {
 }
 
 /// Decodes a cache blob back into units.
+///
+/// The container envelope (magic, version, trailing CRC) is verified
+/// before any structure is decoded, so random damage surfaces as
+/// [`CodecError::ChecksumMismatch`] rather than an arbitrary
+/// structural error. Never panics on malformed input.
 pub fn decode_units(blob: &[u8]) -> Result<Vec<Unit>, CodecError> {
-    let mut r = Reader { buf: blob, pos: 0 };
-    if r.take(MAGIC.len())? != MAGIC {
-        return Err(CodecError::BadMagic);
-    }
+    let body = verify_container(blob)?;
+    let mut r = Reader {
+        buf: body,
+        pos: MAGIC.len() + 8,
+    };
     let count = r.u32()? as usize;
     // Each encoded unit occupies at least ~30 bytes (fixed fields plus
     // empty-list length prefixes); bound the allocation by what the blob
     // could possibly hold so a corrupted count cannot trigger a huge
     // allocation before the Truncated error would surface.
-    if count > blob.len() / 30 + 1 {
+    if count > body.len() / 30 + 1 {
         return Err(CodecError::Truncated);
     }
     let mut units = Vec::with_capacity(count);
@@ -224,8 +352,8 @@ pub fn decode_units(blob: &[u8]) -> Result<Vec<Unit>, CodecError> {
         }
         units.push(u);
     }
-    if r.pos != blob.len() {
-        return Err(CodecError::TrailingBytes(blob.len() - r.pos));
+    if r.pos != body.len() {
+        return Err(CodecError::TrailingBytes(body.len() - r.pos));
     }
     Ok(units)
 }
@@ -360,6 +488,14 @@ mod tests {
         assert_eq!(decode_units(&blob).unwrap(), Vec::<Unit>::new());
     }
 
+    /// Recomputes the trailing CRC after a test mutated the body, so
+    /// structural decode errors stay reachable past the integrity check.
+    fn reseal(blob: &mut [u8]) {
+        let body_len = blob.len() - 4;
+        let crc = fnv1a32(&blob[..body_len]);
+        blob[body_len..].copy_from_slice(&crc.to_le_bytes());
+    }
+
     #[test]
     fn bad_magic_rejected() {
         let mut blob = encode_units(&sample_units());
@@ -368,12 +504,70 @@ mod tests {
     }
 
     #[test]
+    fn old_format_versions_are_distinguishable_from_garbage() {
+        // A v2 blob (the previous release's cache, e.g. left behind by
+        // a firmware update) keeps the BBPP prefix but an older version
+        // byte: that is UnsupportedVersion, not BadMagic.
+        let mut blob = encode_units(&sample_units());
+        blob[4] = 0x02;
+        assert_eq!(
+            decode_units(&blob),
+            Err(CodecError::UnsupportedVersion { found: 2 })
+        );
+        assert_eq!(
+            blob_content_hash(&blob),
+            Err(CodecError::UnsupportedVersion { found: 2 })
+        );
+    }
+
+    #[test]
+    fn random_damage_is_a_checksum_mismatch_not_a_decode_error() {
+        let blob = encode_units(&sample_units());
+        // Flip one bit anywhere in the body: the CRC catches it before
+        // the structural decoder ever runs.
+        for at in [MAGIC.len(), MAGIC.len() + 9, blob.len() / 2, blob.len() - 5] {
+            let mut bad = blob.clone();
+            bad[at] ^= 0x04;
+            assert!(
+                matches!(decode_units(&bad), Err(CodecError::ChecksumMismatch { .. })),
+                "flip at {at}"
+            );
+        }
+        // A damaged CRC field itself is also a mismatch.
+        let mut bad = blob.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xff;
+        assert!(matches!(
+            decode_units(&bad),
+            Err(CodecError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn content_hash_stamps_the_unit_generation() {
+        let units = sample_units();
+        let blob = encode_units(&units);
+        assert_eq!(blob_content_hash(&blob).unwrap(), unit_set_hash(&units));
+        // Editing any unit (a firmware update) changes the stamp.
+        let mut edited = units.clone();
+        edited[0].description = "updated".into();
+        assert_ne!(unit_set_hash(&edited), unit_set_hash(&units));
+        assert_ne!(
+            blob_content_hash(&encode_units(&edited)).unwrap(),
+            blob_content_hash(&blob).unwrap()
+        );
+    }
+
+    #[test]
     fn truncation_rejected_everywhere() {
         let blob = encode_units(&sample_units());
         for cut in (MAGIC.len()..blob.len()).step_by(7) {
             let err = decode_units(&blob[..cut]).unwrap_err();
             assert!(
-                matches!(err, CodecError::Truncated | CodecError::BadString),
+                matches!(
+                    err,
+                    CodecError::Truncated | CodecError::ChecksumMismatch { .. }
+                ),
                 "cut at {cut}: {err:?}"
             );
         }
@@ -381,8 +575,12 @@ mod tests {
 
     #[test]
     fn trailing_bytes_rejected() {
+        // Splice a stray byte between the last unit and the CRC and
+        // reseal, so the *structural* trailing check is what fires.
         let mut blob = encode_units(&sample_units());
-        blob.push(0);
+        let at = blob.len() - 4;
+        blob.insert(at, 0);
+        reseal(&mut blob);
         assert_eq!(decode_units(&blob), Err(CodecError::TrailingBytes(1)));
     }
 
@@ -392,10 +590,12 @@ mod tests {
         let blob = encode_units(&one);
         // Corrupt the service-type byte: locate it from the end of an
         // unsupervised unit (type(1) exec(1) nice(1) io(1) timeout(8)
-        // = 12, so index len-12).
+        // = 12 bytes before the CRC, so index len-16), then reseal the
+        // CRC so the structural decoder sees the bad discriminant.
         let mut bad = blob.clone();
-        let idx = bad.len() - 12;
+        let idx = bad.len() - 16;
         bad[idx] = 9;
+        reseal(&mut bad);
         assert_eq!(decode_units(&bad), Err(CodecError::BadEnum(9)));
     }
 
@@ -448,8 +648,13 @@ mod regression_tests {
     #[test]
     fn huge_forged_count_errors_instead_of_allocating() {
         let mut blob = encode_units(&[Unit::new(UnitName::new("a.service"))]);
-        // Forge the count field (bytes 6..10) to u32::MAX.
-        blob[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        // Forge the count field (bytes 14..18, after magic and content
+        // hash) to u32::MAX, resealing the CRC so the forged count
+        // reaches the structural decoder.
+        blob[14..18].copy_from_slice(&u32::MAX.to_le_bytes());
+        let body_len = blob.len() - 4;
+        let crc = super::fnv1a32(&blob[..body_len]);
+        blob[body_len..].copy_from_slice(&crc.to_le_bytes());
         assert_eq!(decode_units(&blob), Err(CodecError::Truncated));
     }
 }

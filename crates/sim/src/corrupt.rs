@@ -1,0 +1,280 @@
+//! Deterministic artifact corruption: seeded plans of byte-level damage
+//! applied to *encoded* boot artifacts (pre-parsed unit blobs, machine
+//! snapshots) before they are decoded.
+//!
+//! The paper's deployment story (§3.3–3.4) requires that a stale or
+//! corrupt artifact never brick the device: the boot must detect the
+//! damage and degrade (re-parse the unit text, cold-boot instead of
+//! resuming) rather than crash or silently misbehave. To measure that
+//! recovery envelope the same way [`crate::fault`] measures service
+//! failures, a [`CorruptionPlan`] is a fixed list of byte mutations
+//! resolved from a seed — so a chaos sweep over
+//! `{seed × fault plan × corruption plan × config}` is exactly as
+//! reproducible as a pristine run.
+//!
+//! Corruption vocabulary (matched to observed flash failure modes):
+//!
+//! - [`Corruption::BitFlip`]: a single bit inverted at an offset —
+//!   flash-cell decay or an undetected DMA error.
+//! - [`Corruption::Truncate`]: the artifact ends early — power loss
+//!   before the final write completed.
+//! - [`Corruption::TornWrite`]: the tail beyond an offset is replaced
+//!   with zeros — power loss mid-write on a device that zero-fills
+//!   allocated-but-unwritten blocks (also the shape of a stale
+//!   generation whose tail sectors were reclaimed).
+//! - [`Corruption::ZeroPage`]: one aligned 256-byte page zeroed — an
+//!   erased-but-never-programmed flash page.
+//!
+//! Offsets are stored as raw `u64`s and resolved *modulo the artifact
+//! length* at [`CorruptionPlan::apply`] time, so one plan is meaningful
+//! against artifacts of any size (the chaos sweep applies the same plan
+//! to blobs and snapshots of different scenarios).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Page size used by [`Corruption::ZeroPage`], in bytes. Small enough
+/// that every artifact the simulator produces spans several pages.
+pub const CORRUPT_PAGE: usize = 256;
+
+/// One byte-level mutation of an encoded artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Corruption {
+    /// Invert bit `bit` (0–7) of the byte at `offset % len`.
+    BitFlip {
+        /// Raw byte offset; resolved modulo the artifact length.
+        offset: u64,
+        /// Bit index within the byte (0 = LSB).
+        bit: u8,
+    },
+    /// Truncate the artifact to `keep % (len + 1)` bytes (so a plan can
+    /// cut anywhere from empty to one-byte-short).
+    Truncate {
+        /// Raw length to keep; resolved modulo `len + 1`.
+        keep: u64,
+    },
+    /// Zero-fill every byte from `offset % len` to the end — a torn
+    /// write whose tail never hit the medium.
+    TornWrite {
+        /// Raw byte offset; resolved modulo the artifact length.
+        offset: u64,
+    },
+    /// Zero one aligned [`CORRUPT_PAGE`]-byte page (page index resolved
+    /// modulo the artifact's page count).
+    ZeroPage {
+        /// Raw page index; resolved modulo the page count.
+        page: u64,
+    },
+}
+
+impl Corruption {
+    /// Short human-readable description, used for reports and traces.
+    pub fn describe(&self) -> String {
+        match self {
+            Corruption::BitFlip { offset, bit } => {
+                format!("bit flip: offset {offset} bit {bit}")
+            }
+            Corruption::Truncate { keep } => format!("truncate: keep {keep}"),
+            Corruption::TornWrite { offset } => format!("torn write: from offset {offset}"),
+            Corruption::ZeroPage { page } => format!("zero page: page {page}"),
+        }
+    }
+
+    /// Applies this mutation to `bytes` in place.
+    fn apply(&self, bytes: &mut Vec<u8>) {
+        if bytes.is_empty() {
+            return;
+        }
+        let len = bytes.len() as u64;
+        match *self {
+            Corruption::BitFlip { offset, bit } => {
+                let at = (offset % len) as usize;
+                bytes[at] ^= 1 << (bit & 7);
+            }
+            Corruption::Truncate { keep } => {
+                let keep = (keep % (len + 1)) as usize;
+                bytes.truncate(keep);
+            }
+            Corruption::TornWrite { offset } => {
+                let from = (offset % len) as usize;
+                for b in &mut bytes[from..] {
+                    *b = 0;
+                }
+            }
+            Corruption::ZeroPage { page } => {
+                let pages = bytes.len().div_ceil(CORRUPT_PAGE) as u64;
+                let p = (page % pages) as usize;
+                let start = p * CORRUPT_PAGE;
+                let end = (start + CORRUPT_PAGE).min(bytes.len());
+                for b in &mut bytes[start..end] {
+                    *b = 0;
+                }
+            }
+        }
+    }
+}
+
+/// A fixed, reproducible set of artifact mutations.
+///
+/// Mirrors [`crate::fault::FaultPlan`]: hand-build the list or derive
+/// it from a seed with [`CorruptionPlan::seeded`]; the same seed always
+/// yields the same plan, and the empty plan is a strict no-op.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CorruptionPlan {
+    /// Mutations to apply, in order.
+    pub corruptions: Vec<Corruption>,
+    /// Seed the plan was generated from (0 for hand-built plans).
+    pub seed: u64,
+}
+
+impl CorruptionPlan {
+    /// The empty plan: applying it leaves every artifact untouched.
+    pub fn none() -> Self {
+        CorruptionPlan::default()
+    }
+
+    /// True if the plan mutates nothing.
+    pub fn is_empty(&self) -> bool {
+        self.corruptions.is_empty()
+    }
+
+    /// Generates a plan from a seed: 1–2 mutations drawn over the whole
+    /// vocabulary. The same seed always yields the same plan.
+    pub fn seeded(seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut corruptions = Vec::new();
+        let n = rng.gen_range(1u32..=2);
+        for _ in 0..n {
+            let c = match rng.gen_range(0u32..4) {
+                0 => Corruption::BitFlip {
+                    offset: rng.gen_range(0u64..1 << 20),
+                    bit: rng.gen_range(0u8..8),
+                },
+                1 => Corruption::Truncate {
+                    keep: rng.gen_range(0u64..1 << 20),
+                },
+                2 => Corruption::TornWrite {
+                    offset: rng.gen_range(0u64..1 << 20),
+                },
+                _ => Corruption::ZeroPage {
+                    page: rng.gen_range(0u64..1 << 12),
+                },
+            };
+            corruptions.push(c);
+        }
+        CorruptionPlan { corruptions, seed }
+    }
+
+    /// Applies every mutation to `bytes` in order. Offsets resolve
+    /// against the artifact's length *at that point in the sequence*
+    /// (a truncation shrinks the target of later flips).
+    pub fn apply(&self, bytes: &mut Vec<u8>) {
+        for c in &self.corruptions {
+            c.apply(bytes);
+        }
+    }
+
+    /// Short human-readable description of the whole plan.
+    pub fn describe(&self) -> String {
+        if self.is_empty() {
+            return "pristine".into();
+        }
+        self.corruptions
+            .iter()
+            .map(Corruption::describe)
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        assert_eq!(CorruptionPlan::seeded(7), CorruptionPlan::seeded(7));
+        assert!(!CorruptionPlan::seeded(7).is_empty());
+    }
+
+    #[test]
+    fn different_seeds_eventually_differ() {
+        let base = CorruptionPlan::seeded(0);
+        assert!((1..32).any(|s| CorruptionPlan::seeded(s) != base));
+    }
+
+    #[test]
+    fn empty_plan_is_a_no_op() {
+        let mut bytes = vec![1u8, 2, 3, 4];
+        let before = bytes.clone();
+        CorruptionPlan::none().apply(&mut bytes);
+        assert_eq!(bytes, before);
+    }
+
+    #[test]
+    fn bit_flip_changes_exactly_one_bit() {
+        let mut bytes = vec![0u8; 64];
+        let plan = CorruptionPlan {
+            corruptions: vec![Corruption::BitFlip { offset: 70, bit: 3 }],
+            seed: 0,
+        };
+        plan.apply(&mut bytes);
+        assert_eq!(bytes[70 % 64], 1 << 3);
+        assert_eq!(bytes.iter().filter(|&&b| b != 0).count(), 1);
+    }
+
+    #[test]
+    fn truncate_resolves_modulo_len_plus_one() {
+        let mut bytes = vec![9u8; 10];
+        let plan = CorruptionPlan {
+            corruptions: vec![Corruption::Truncate { keep: 14 }],
+            seed: 0,
+        };
+        plan.apply(&mut bytes);
+        assert_eq!(bytes.len(), 14 % 11);
+    }
+
+    #[test]
+    fn torn_write_zeroes_the_tail() {
+        let mut bytes = vec![7u8; 16];
+        let plan = CorruptionPlan {
+            corruptions: vec![Corruption::TornWrite { offset: 4 }],
+            seed: 0,
+        };
+        plan.apply(&mut bytes);
+        assert_eq!(&bytes[..4], &[7, 7, 7, 7]);
+        assert!(bytes[4..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn zero_page_zeroes_one_aligned_page() {
+        let mut bytes = vec![5u8; CORRUPT_PAGE * 2 + 10];
+        let plan = CorruptionPlan {
+            corruptions: vec![Corruption::ZeroPage { page: 1 }],
+            seed: 0,
+        };
+        plan.apply(&mut bytes);
+        assert!(bytes[..CORRUPT_PAGE].iter().all(|&b| b == 5));
+        assert!(bytes[CORRUPT_PAGE..2 * CORRUPT_PAGE]
+            .iter()
+            .all(|&b| b == 0));
+        assert!(bytes[2 * CORRUPT_PAGE..].iter().all(|&b| b == 5));
+    }
+
+    #[test]
+    fn apply_on_empty_artifact_is_safe() {
+        let mut bytes = Vec::new();
+        CorruptionPlan::seeded(3).apply(&mut bytes);
+        assert!(bytes.is_empty());
+    }
+
+    #[test]
+    fn descriptions_name_the_mutation() {
+        assert!(CorruptionPlan::none().describe().contains("pristine"));
+        let p = CorruptionPlan {
+            corruptions: vec![Corruption::Truncate { keep: 3 }],
+            seed: 0,
+        };
+        assert!(p.describe().contains("truncate"));
+    }
+}

@@ -32,6 +32,7 @@
 //! ```
 
 pub mod chrome;
+pub mod corrupt;
 pub mod event;
 pub mod fault;
 pub mod ids;
@@ -45,6 +46,7 @@ pub mod time;
 pub mod trace;
 
 pub use chrome::chrome_trace;
+pub use corrupt::{Corruption, CorruptionPlan};
 pub use event::{EventKind, EventQueue, EventQueueStats};
 pub use fault::{Fault, FaultPlan, FaultTargets};
 pub use ids::{CoreId, DeviceId, FlagId, Pid};

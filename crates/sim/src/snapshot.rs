@@ -18,6 +18,7 @@
 //!          1 config   2 clock    3 events   4 procs   5 sched
 //!          6 devices  7 flags    8 rcu      9 trace  10 spawns
 //!          11 faults
+//! footer   (v2+) payload_checksum u64   FNV-1a over the payload
 //! ```
 //!
 //! All integers are little-endian; `f64` travels as IEEE-754 bits;
@@ -26,6 +27,15 @@
 //! into a build whose machine parameters drifted. The calibration pins
 //! tag the cost-model epoch (the headline boot times in microseconds);
 //! changing the calibration invalidates old snapshots by design.
+//!
+//! Format v2 appends a whole-payload FNV-1a checksum after the payload
+//! (the header layout is unchanged, and `payload_len` still counts only
+//! the sections). A random bit flip anywhere in the payload is detected
+//! as [`SnapshotError::ChecksumMismatch`] *before* decoding, instead of
+//! surfacing as an arbitrary structural error — the recovery chain in
+//! `bb-core` keys off this to discard the image and cold-boot. v1
+//! images (no footer) are still decoded; their integrity rests on the
+//! structural checks alone.
 //!
 //! # Invariants
 //!
@@ -61,7 +71,16 @@ use crate::trace::{CoreSpan, Trace, TraceEvent, TraceKind};
 pub const MAGIC: [u8; 8] = *b"BBSNAPSH";
 
 /// Current snapshot format version. Bump on any layout change.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// v1: sections only. v2: a trailing FNV-1a payload checksum follows
+/// the payload. [`restore`] accepts both; [`save`] writes v2.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Oldest format version [`restore`] still decodes.
+pub const MIN_SUPPORTED_VERSION: u32 = 1;
+
+/// Bytes of the v2 trailing payload checksum.
+const CHECKSUM_LEN: usize = 8;
 
 /// Calibration-epoch pins: the headline conventional and full-BB TV
 /// boot times in microseconds (8614.474 ms / 3200.077 ms). A snapshot
@@ -108,6 +127,15 @@ pub enum SnapshotError {
         /// (conventional, bb) pins recorded in the header, in µs.
         found: (u64, u64),
     },
+    /// The payload bytes do not hash to the trailing checksum (v2+):
+    /// the image was damaged after it was written — a bit flip, torn
+    /// write, or zeroed page somewhere in the payload.
+    ChecksumMismatch {
+        /// Checksum recorded in the snapshot footer.
+        found: u64,
+        /// FNV-1a of the payload as read.
+        expected: u64,
+    },
     /// The buffer ended before the structure it promises.
     Truncated,
     /// Bytes remain after the last section.
@@ -136,6 +164,10 @@ impl fmt::Display for SnapshotError {
                 f,
                 "snapshot calibration pins ({}, {}) µs do not match this build ({}, {}) µs",
                 found.0, found.1, CALIBRATION_PIN_CONVENTIONAL_US, CALIBRATION_PIN_BB_US
+            ),
+            SnapshotError::ChecksumMismatch { found, expected } => write!(
+                f,
+                "snapshot payload checksum {found:#018x} does not match computed {expected:#018x}"
             ),
             SnapshotError::Truncated => write!(f, "snapshot is truncated"),
             SnapshotError::TrailingBytes => write!(f, "snapshot has trailing bytes"),
@@ -283,7 +315,7 @@ pub fn save(machine: &Machine) -> Result<Vec<u8>, SnapshotError> {
     encode_faults(&mut w, machine.faults.as_ref());
     payload.section(SEC_FAULTS, w);
 
-    let mut out = Vec::with_capacity(HEADER_LEN + payload.buf.len());
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.buf.len() + CHECKSUM_LEN);
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
     out.extend_from_slice(&hash.to_le_bytes());
@@ -291,6 +323,7 @@ pub fn save(machine: &Machine) -> Result<Vec<u8>, SnapshotError> {
     out.extend_from_slice(&CALIBRATION_PIN_BB_US.to_le_bytes());
     out.extend_from_slice(&(payload.buf.len() as u64).to_le_bytes());
     out.extend_from_slice(&payload.buf);
+    out.extend_from_slice(&fnv1a(&payload.buf).to_le_bytes());
     Ok(out)
 }
 
@@ -303,7 +336,7 @@ pub fn save(machine: &Machine) -> Result<Vec<u8>, SnapshotError> {
 /// payload. Never panics on malformed input.
 pub fn restore(bytes: &[u8]) -> Result<Machine, SnapshotError> {
     let header = read_header(bytes)?;
-    if header.version != FORMAT_VERSION {
+    if !(MIN_SUPPORTED_VERSION..=FORMAT_VERSION).contains(&header.version) {
         return Err(SnapshotError::VersionMismatch {
             found: header.version,
             expected: FORMAT_VERSION,
@@ -314,13 +347,27 @@ pub fn restore(bytes: &[u8]) -> Result<Machine, SnapshotError> {
             found: header.calibration,
         });
     }
-    let payload = &bytes[HEADER_LEN..];
-    if payload.len() as u64 != header.payload_len {
-        return Err(if (payload.len() as u64) < header.payload_len {
+    // v1 images end at the payload; v2 carries a trailing checksum.
+    let footer_len = if header.version >= 2 { CHECKSUM_LEN } else { 0 };
+    let expected_total = (HEADER_LEN + footer_len) as u64 + header.payload_len;
+    if bytes.len() as u64 != expected_total {
+        return Err(if (bytes.len() as u64) < expected_total {
             SnapshotError::Truncated
         } else {
             SnapshotError::TrailingBytes
         });
+    }
+    let payload = &bytes[HEADER_LEN..bytes.len() - footer_len];
+    if footer_len > 0 {
+        let found = u64::from_le_bytes(
+            bytes[bytes.len() - CHECKSUM_LEN..]
+                .try_into()
+                .expect("8 bytes"),
+        );
+        let expected = fnv1a(payload);
+        if found != expected {
+            return Err(SnapshotError::ChecksumMismatch { found, expected });
+        }
     }
     let mut r = Reader {
         buf: payload,
@@ -1536,7 +1583,11 @@ mod tests {
             (CALIBRATION_PIN_CONVENTIONAL_US, CALIBRATION_PIN_BB_US)
         );
         assert_eq!(header.config_hash, config_hash(m.config()));
-        assert_eq!(header.payload_len as usize, bytes.len() - HEADER_LEN);
+        // v2 layout: header | payload | u64 checksum.
+        assert_eq!(
+            header.payload_len as usize,
+            bytes.len() - HEADER_LEN - CHECKSUM_LEN
+        );
     }
 
     #[test]
@@ -1574,14 +1625,61 @@ mod tests {
         trailing.push(0);
         assert_eq!(restore(&trailing).err(), Some(SnapshotError::TrailingBytes));
 
+        // Any payload bit flip is caught by the v2 checksum before the
+        // decoder runs — structured, never an arbitrary decode error.
+        for at in [HEADER_LEN, HEADER_LEN + 33, good.len() - CHECKSUM_LEN - 1] {
+            let mut flipped = good.clone();
+            flipped[at] ^= 0x10;
+            assert!(matches!(
+                restore(&flipped),
+                Err(SnapshotError::ChecksumMismatch { .. })
+            ));
+        }
+        // A damaged footer is also a checksum mismatch.
+        let mut bad_footer = good.clone();
+        *bad_footer.last_mut().unwrap() ^= 0xff;
+        assert!(matches!(
+            restore(&bad_footer),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+
         // Truncating anywhere in the payload must never panic.
         for cut in (HEADER_LEN..good.len()).step_by(97) {
             let mut short = good[..cut].to_vec();
             // Fix the payload length so the cut reaches the decoder.
-            let plen = (cut - HEADER_LEN) as u64;
+            let plen = cut.saturating_sub(HEADER_LEN + CHECKSUM_LEN) as u64;
             short[HEADER_LEN - 8..HEADER_LEN].copy_from_slice(&plen.to_le_bytes());
             assert!(restore(&short).is_err());
         }
+    }
+
+    /// The checksum is additive: a v1 image (no footer) still decodes.
+    #[test]
+    fn v1_images_without_a_footer_still_restore() {
+        let mut m = busy_machine();
+        m.run_until(SimTime::from_nanos(2_000_000));
+        let v2 = save(&m).expect("snapshot");
+        // Rewrite the header version to 1 and strip the footer — the
+        // exact bytes a v1 build would have written.
+        let mut v1 = v2[..v2.len() - CHECKSUM_LEN].to_vec();
+        v1[8..12].copy_from_slice(&1u32.to_le_bytes());
+        let restored = restore(&v1).expect("v1 restore");
+        let reference = restore(&v2).expect("v2 restore");
+        assert_same_outcome(reference, restored);
+
+        // Versions outside [min, current] are still rejected.
+        let mut future = v2.clone();
+        future[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            restore(&future),
+            Err(SnapshotError::VersionMismatch { found: 99, .. })
+        ));
+        let mut zero = v2;
+        zero[8..12].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            restore(&zero),
+            Err(SnapshotError::VersionMismatch { found: 0, .. })
+        ));
     }
 
     #[test]

@@ -28,9 +28,28 @@ run ./target/release/bbsim chaos --services 24 --seeds 2 --plans 2 \
     --workers 3 --json "$chaos_tmp/w3.json"
 run cmp "$chaos_tmp/w1.json" "$chaos_tmp/w3.json"
 
+# Corruption-determinism smoke: with the artifact-corruption axis armed
+# the sweep must still be byte-identical for any worker count, and the
+# damaged slots must actually exercise the recovery chain (grep for the
+# artifact-rejected events in the report).
+run ./target/release/bbsim chaos --services 24 --seeds 2 --plans 1 \
+    --corruption 2 --workers 1 --json "$chaos_tmp/c1.json"
+run ./target/release/bbsim chaos --services 24 --seeds 2 --plans 1 \
+    --corruption 2 --workers 4 --json "$chaos_tmp/c4.json"
+run cmp "$chaos_tmp/c1.json" "$chaos_tmp/c4.json"
+run grep -q '"schema": "bb-fleet-chaos-v2"' "$chaos_tmp/c1.json"
+run grep -q 'artifact rejected' "$chaos_tmp/c1.json"
+
+# Integrity & recovery gates: the never-panic/always-detected proptests
+# over the checksummed artifacts, and the golden corrupt-blob fixtures
+# plus the recovered-timeline equivalence property.
+run cargo test -q --test proptest_units
+run cargo test -q --test recovery_chain
+
 # Snapshot gates: checkpoint-forked sweeps must be byte-identical to
 # unforked ones, the snapshot round-trip must stay deterministic
-# (proptests), and the golden file must pin the v1 format byte-for-byte.
+# (proptests), and the goldens must pin the v2 format byte-for-byte
+# while the committed v1 image keeps restoring.
 run cargo test -q --test proptest_snapshot
 run ./target/release/bbsim sweep --services 24 --seeds 3 \
     --workers 2 --json "$chaos_tmp/plain.json"

@@ -58,6 +58,13 @@ for f in BENCH_*.json; do
         echo "    (unknown schema — fields not summarized)"
         ;;
     esac
+    # Integrity-chain counters, printed whenever a document carries
+    # them (chaos sweeps with the corruption axis armed).
+    rec="$(field recoveries "$f")"
+    rej="$(field artifacts_rejected "$f")"
+    if [ -n "$rec" ] || [ -n "$rej" ]; then
+        row "artifact recoveries/rejected" "${rec:-0}/${rej:-0}" events
+    fi
 done
 
 [ "$found" = 1 ] || {

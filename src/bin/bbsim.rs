@@ -20,7 +20,8 @@
 //!               [--seed N] [--json]
 //!
 //! bbsim chaos [--profiles NAMES|all] [--services N] [--seeds N] [--seed N]
-//!             [--plans N] [--plan-seed N] [--workers N] [--deadline-ms N]
+//!             [--plans N] [--plan-seed N] [--corruption N]
+//!             [--corruption-seed N] [--workers N] [--deadline-ms N]
 //!             [--restart no|on-failure|always] [--restart-sec-ms N]
 //!             [--burst N] [--json FILE|-]
 //! ```
@@ -66,13 +67,18 @@
 //! image), restores it, and executes the suspend-to-RAM resume sequence
 //! on the restored machine. `--json` emits a `bb-snapshot-v1` document.
 //!
-//! `chaos` grids `{seed × fault-plan × config}`: every boot runs under
-//! the supervised BB→conventional fallback with `--plans` seeded fault
-//! plans (plus the fault-free control plan), `Restart=` armed on every
-//! service, and the aggregate reports recovery rate, restart counts,
-//! degraded-boot rate, and boot-time-under-fault percentiles. Output is
-//! deterministic: the same seeds give byte-identical `--json` for any
-//! `--workers` value.
+//! `chaos` grids `{seed × fault-plan × corruption × config}`: every
+//! boot runs under the supervised BB→conventional fallback with
+//! `--plans` seeded fault plans (plus the fault-free control plan),
+//! `Restart=` armed on every service, and the aggregate reports
+//! recovery rate, restart counts, degraded-boot rate, and
+//! boot-time-under-fault percentiles. `--corruption N` adds N seeded
+//! [`bb_sim::CorruptionPlan`]s (plus the pristine control) that damage
+//! each scenario's pre-parse blob and drive the boot through the
+//! artifact integrity chain ([`bb_core::recovery`]); per-config stats
+//! then include artifact rejection rates and recovery-cost
+//! percentiles. Output is deterministic: the same seeds give
+//! byte-identical `--json` for any `--workers` value.
 
 use std::process::exit;
 
@@ -127,9 +133,10 @@ fn usage() -> ! {
          \u{20}      bbsim suspend [--scenario tv|tv136|camera] [--services N]\n\
          \u{20}            [--cores N] [--seed N] [--json]\n\
          \u{20}      bbsim chaos [--profiles NAMES|all] [--services N] [--seeds N]\n\
-         \u{20}            [--seed N] [--plans N] [--plan-seed N] [--workers N]\n\
-         \u{20}            [--deadline-ms N] [--restart no|on-failure|always]\n\
-         \u{20}            [--restart-sec-ms N] [--burst N] [--json FILE|-]\n\
+         \u{20}            [--seed N] [--plans N] [--plan-seed N] [--corruption N]\n\
+         \u{20}            [--corruption-seed N] [--workers N] [--deadline-ms N]\n\
+         \u{20}            [--restart no|on-failure|always] [--restart-sec-ms N]\n\
+         \u{20}            [--burst N] [--json FILE|-]\n\
          LIST: comma-separated of rcu-booster,defer-memory,modularizer,\n\
          \u{20}     defer-journal,deferred-executor,preparser,bb-group"
     );
@@ -1102,6 +1109,8 @@ struct ChaosArgs {
     seed_base: u64,
     plans: u64,
     plan_seed: u64,
+    corruption: u64,
+    corruption_seed: u64,
     workers: Option<usize>,
     deadline_ms: u64,
     restart: String,
@@ -1118,6 +1127,8 @@ fn parse_chaos_args(mut it: impl Iterator<Item = String>) -> ChaosArgs {
         seed_base: 0,
         plans: 4,
         plan_seed: 1000,
+        corruption: 0,
+        corruption_seed: 5000,
         workers: None,
         deadline_ms: FallbackPolicy::default().deadline.as_millis(),
         restart: "on-failure".into(),
@@ -1140,6 +1151,14 @@ fn parse_chaos_args(mut it: impl Iterator<Item = String>) -> ChaosArgs {
             "--plans" => args.plans = value("--plans").parse().unwrap_or_else(|_| usage()),
             "--plan-seed" => {
                 args.plan_seed = value("--plan-seed").parse().unwrap_or_else(|_| usage())
+            }
+            "--corruption" => {
+                args.corruption = value("--corruption").parse().unwrap_or_else(|_| usage())
+            }
+            "--corruption-seed" => {
+                args.corruption_seed = value("--corruption-seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
             }
             "--workers" => {
                 args.workers = Some(value("--workers").parse().unwrap_or_else(|_| usage()))
@@ -1202,6 +1221,7 @@ fn run_chaos_cmd(args: ChaosArgs) {
             )
             .seeds(args.seed_base..args.seed_base + args.seeds)
             .fault_plans(args.plans, args.plan_seed)
+            .corruption_plans(args.corruption, args.corruption_seed)
             .supervision(supervision)
             .deadline_ms(args.deadline_ms)
             .conventional_vs_bb(),
@@ -1213,10 +1233,11 @@ fn run_chaos_cmd(args: ChaosArgs) {
         None => PoolConfig::default(),
     };
     eprintln!(
-        "chaos: {} cells, {} boots ({} fault plans + control), {} workers",
+        "chaos: {} cells, {} boots ({} fault plans + control, {} corruption plans + pristine), {} workers",
         spec.cells.len(),
         spec.total_boots(),
         args.plans,
+        args.corruption,
         pool.workers
     );
     let outcome = run_chaos(&spec, &pool);

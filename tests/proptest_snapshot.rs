@@ -9,11 +9,17 @@
 //!    [`BootRequest::checkpoint_at`] + [`BootRequest::resume`] matches
 //!    the uninterrupted [`BootRequest::run`] for arbitrary workload
 //!    seeds, service counts, and suffix configurations.
-//! 3. The golden file `tests/golden/snapshot_v1.bin` pins format
-//!    version 1 byte for byte. Any codec change — field order, widths,
-//!    new sections — fails the test until the format version is bumped
-//!    and the golden is deliberately re-blessed with
+//! 3. The golden file `tests/golden/snapshot_v2.bin` pins the current
+//!    format byte for byte, and `tests/golden/snapshot_v1.bin` pins
+//!    backward compatibility: the committed v1 image (no trailing
+//!    checksum) must keep restoring. Any codec change — field order,
+//!    widths, new sections — fails the test until the format version is
+//!    bumped and the golden is deliberately re-blessed with
 //!    `BB_BLESS_GOLDEN=1 cargo test --test proptest_snapshot`.
+//! 4. Integrity: [`snapshot::restore`] never panics on arbitrary or
+//!    corrupted bytes, and any byte-level damage to a v2 image is
+//!    *detected* (the restore errs rather than returning a silently
+//!    wrong machine).
 
 use proptest::prelude::*;
 
@@ -242,7 +248,8 @@ fn golden_machine() -> Machine {
     m
 }
 
-const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/snapshot_v1.bin");
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/snapshot_v2.bin");
+const LEGACY_V1_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/snapshot_v1.bin");
 
 /// The committed golden bytes are exactly what today's codec produces,
 /// and they still restore to a machine that finishes the run the same
@@ -258,7 +265,7 @@ fn golden_snapshot_format_is_stable() {
         return;
     }
     let golden = std::fs::read(GOLDEN_PATH).expect(
-        "tests/golden/snapshot_v1.bin missing — run \
+        "tests/golden/snapshot_v2.bin missing — run \
          BB_BLESS_GOLDEN=1 cargo test --test proptest_snapshot",
     );
     assert_eq!(
@@ -291,4 +298,80 @@ fn golden_snapshot_format_is_stable() {
         restored.trace().events().len(),
         fresh.trace().events().len()
     );
+}
+
+/// The committed v1 image (written before the trailing payload
+/// checksum existed) must keep restoring: devices in the field hold
+/// old suspend images, and a format bump must never strand them.
+#[test]
+fn legacy_v1_snapshot_still_restores() {
+    let golden = std::fs::read(LEGACY_V1_PATH)
+        .expect("tests/golden/snapshot_v1.bin missing — the committed legacy fixture was removed");
+    let header = snapshot::read_header(&golden).expect("v1 header");
+    assert_eq!(header.version, 1);
+    assert!(header.version >= snapshot::MIN_SUPPORTED_VERSION);
+    let mut restored = snapshot::restore(&golden).expect("v1 image must keep restoring");
+    let mut fresh = golden_machine();
+    restored.run();
+    fresh.run();
+    assert_eq!(restored.now(), fresh.now());
+    assert_eq!(
+        restored.trace().events().len(),
+        fresh.trace().events().len()
+    );
+}
+
+// ---------------------------------------------------------------------
+// 4. Integrity: restore never panics, and damage is always detected.
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Arbitrary bytes never panic the decoder: garbage in, `Err` out.
+    #[test]
+    fn restore_never_panics_on_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let _ = snapshot::restore(&bytes);
+        let _ = snapshot::read_header(&bytes);
+    }
+
+    /// A seeded [`CorruptionPlan`] applied to a valid v2 image never
+    /// panics the decoder, and if it changed any byte the restore MUST
+    /// fail — the whole-payload checksum makes silent damage
+    /// impossible.
+    #[test]
+    fn corrupted_snapshots_are_always_detected(seed in any::<u64>()) {
+        use booting_booster::sim::CorruptionPlan;
+
+        let pristine = snapshot::save(&golden_machine()).expect("snapshot");
+        let mut damaged = pristine.clone();
+        CorruptionPlan::seeded(seed).apply(&mut damaged);
+        if damaged == pristine {
+            // The plan was a no-op on these bytes (e.g. zeroing an
+            // already-zero page): the image must still restore.
+            prop_assert!(snapshot::restore(&damaged).is_ok());
+        } else {
+            prop_assert!(
+                snapshot::restore(&damaged).is_err(),
+                "byte-level damage restored silently"
+            );
+        }
+    }
+
+    /// Single bit-flips anywhere in the image — header, payload, or the
+    /// checksum itself — are detected.
+    #[test]
+    fn single_bit_flips_are_always_detected(
+        pos in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let pristine = snapshot::save(&golden_machine()).expect("snapshot");
+        let mut damaged = pristine.clone();
+        let idx = pos.index(damaged.len());
+        damaged[idx] ^= 1 << bit;
+        prop_assert!(
+            snapshot::restore(&damaged).is_err(),
+            "bit flip at byte {idx} restored silently"
+        );
+    }
 }

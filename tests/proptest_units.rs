@@ -113,15 +113,47 @@ proptest! {
         prop_assert_eq!(reparsed, decoded);
     }
 
-    /// Corrupting any single byte of a cache blob never panics: it
-    /// either still decodes (e.g. a benign description byte) or returns
-    /// an error.
+    /// Corrupting any single byte of a cache blob never panics — and
+    /// with the trailing CRC, any single-byte change is *detected*: the
+    /// decode errs rather than returning silently wrong units.
     #[test]
     fn corrupted_cache_never_panics(units in unit_set_strategy(), pos in any::<prop::sample::Index>(), delta in 1u8..255) {
         let mut blob = encode_units(&units);
         let idx = pos.index(blob.len());
         blob[idx] = blob[idx].wrapping_add(delta);
-        let _ = decode_units(&blob);
+        prop_assert!(
+            decode_units(&blob).is_err(),
+            "single-byte damage at {idx} decoded silently"
+        );
+    }
+
+    /// Arbitrary bytes never panic the cache decoder: garbage in,
+    /// `Err` (or a valid decode, for the empty-ish prefixes) out.
+    #[test]
+    fn decode_never_panics_on_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..1024),
+    ) {
+        let _ = decode_units(&bytes);
+    }
+
+    /// A seeded [`CorruptionPlan`] applied to a valid blob never panics
+    /// the decoder, and if it changed any byte the decode MUST fail —
+    /// the boot-time recovery chain depends on damage being detected.
+    #[test]
+    fn corruption_plans_are_always_detected(units in unit_set_strategy(), seed in any::<u64>()) {
+        use booting_booster::sim::CorruptionPlan;
+
+        let pristine = encode_units(&units);
+        let mut damaged = pristine.clone();
+        CorruptionPlan::seeded(seed).apply(&mut damaged);
+        if damaged == pristine {
+            prop_assert!(decode_units(&damaged).is_ok());
+        } else {
+            prop_assert!(
+                decode_units(&damaged).is_err(),
+                "corruption plan {seed} decoded silently"
+            );
+        }
     }
 
     /// Graph construction + topological order: when the ordering graph
