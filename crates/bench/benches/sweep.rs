@@ -22,7 +22,7 @@
 use std::time::{Duration, Instant};
 
 use bb_core::BbConfig;
-use bb_fleet::{json, run_sweep, CellSpec, PoolConfig, PoolStats, SweepSpec};
+use bb_fleet::{json, run_sweep, CellSpec, FleetCache, PoolConfig, PoolStats, SweepSpec};
 use bb_workloads::{profiles, TizenParams};
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -70,7 +70,7 @@ fn measure(spec: &SweepSpec, iters: u64) -> (f64, PoolStats) {
     let mut stats = None;
     for i in 0..iters + 3 {
         let t0 = Instant::now();
-        let outcome = run_sweep(spec, &pool);
+        let outcome = run_sweep(spec, &pool, &FleetCache::fresh());
         let dt = t0.elapsed();
         assert!(outcome.report.failures.is_empty());
         assert_eq!(outcome.report.total_boots, boots);
@@ -92,7 +92,13 @@ fn bench_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("sweep");
     group.sample_size(10);
     group.bench_function("ablation-grid", |b| {
-        b.iter(|| run_sweep(&spec.clone().with_fork(true), &PoolConfig::with_workers(1)))
+        b.iter(|| {
+            run_sweep(
+                &spec.clone().with_fork(true),
+                &PoolConfig::with_workers(1),
+                &FleetCache::fresh(),
+            )
+        })
     });
     group.finish();
 

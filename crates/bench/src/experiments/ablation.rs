@@ -11,7 +11,7 @@
 //! coordinate, booted conventional-vs-BB on the work-stealing pool —
 //! and read back from the deterministic aggregated report.
 
-use bb_fleet::{run_sweep, CellSpec, PoolConfig, SweepReport, SweepSpec};
+use bb_fleet::{run_sweep, CellSpec, FleetCache, PoolConfig, SweepReport, SweepSpec};
 use bb_sim::SimTime;
 use bb_workloads::{profiles, TizenParams};
 
@@ -85,7 +85,7 @@ pub fn run() -> Ablation {
     for c in CORE_SWEEP {
         spec = spec.cell(cell(&format!("{c} cores"), 250, c));
     }
-    let outcome = run_sweep(&spec, &PoolConfig::default());
+    let outcome = run_sweep(&spec, &PoolConfig::default(), &FleetCache::fresh());
     let report = &outcome.report;
     Ablation {
         service_sweep: (0..SERVICE_SWEEP.len()).map(|i| point(report, i)).collect(),

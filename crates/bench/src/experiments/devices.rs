@@ -10,7 +10,7 @@
 //! The device matrix is one bb-fleet grid (one cell per device class)
 //! executed on the work-stealing pool.
 
-use bb_fleet::{run_sweep, CellSpec, PoolConfig, SweepSpec};
+use bb_fleet::{run_sweep, CellSpec, FleetCache, PoolConfig, SweepSpec};
 use bb_sim::SimTime;
 use bb_workloads::{profiles, TizenParams};
 
@@ -67,7 +67,7 @@ pub fn run() -> Devices {
             .conventional_vs_bb(),
         );
     }
-    let outcome = run_sweep(&spec, &PoolConfig::default());
+    let outcome = run_sweep(&spec, &PoolConfig::default(), &FleetCache::fresh());
     let results = cases
         .iter()
         .zip(&outcome.report.cells)

@@ -14,7 +14,7 @@
 //! cell, one seed per instance, conventional and full-BB configs per
 //! job — the aggregator's per-config statistics are the spread.
 
-use bb_fleet::{run_sweep, CellSpec, ConfigStats, PoolConfig, SweepSpec};
+use bb_fleet::{run_sweep, CellSpec, ConfigStats, FleetCache, PoolConfig, SweepSpec};
 use bb_sim::SimTime;
 use bb_workloads::{profiles, TizenParams};
 
@@ -66,7 +66,7 @@ pub fn run_with(instances: usize) -> Variance {
             .seeds((0..instances as u64).map(|i| 9000 + i))
             .conventional_vs_bb(),
     );
-    let outcome = run_sweep(&spec, &PoolConfig::default());
+    let outcome = run_sweep(&spec, &PoolConfig::default(), &FleetCache::fresh());
     let cell = &outcome.report.cells[0];
     assert_eq!(
         cell.completed, instances,

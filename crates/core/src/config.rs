@@ -108,6 +108,72 @@ impl BbConfig {
         )
     }
 
+    /// The CLI/wire feature names, in `bits()` order. `"all"`, `"full"`,
+    /// `"none"`, `"conventional"`, and comma-separated subsets of these
+    /// are what [`BbConfig::from_feature_list`] accepts.
+    pub const FEATURE_NAMES: [&'static str; 7] = [
+        "rcu-booster",
+        "defer-memory",
+        "modularizer",
+        "defer-journal",
+        "deferred-executor",
+        "preparser",
+        "bb-group",
+    ];
+
+    /// Parses a feature-list string — the `--features` CLI value and the
+    /// fleet wire format's `"features"` field: `"all"`/`"full"` for the
+    /// full Booting Booster, `"none"`/`"conventional"` for everything
+    /// off, or a comma-separated subset of [`BbConfig::FEATURE_NAMES`].
+    pub fn from_feature_list(spec: &str) -> Result<Self, String> {
+        match spec {
+            "all" | "full" => return Ok(BbConfig::full()),
+            "none" | "conventional" => return Ok(BbConfig::conventional()),
+            _ => {}
+        }
+        let mut cfg = BbConfig::conventional();
+        for feature in spec.split(',') {
+            match feature.trim() {
+                "rcu-booster" => cfg.rcu_booster = true,
+                "defer-memory" => cfg.defer_memory = true,
+                "modularizer" => cfg.ondemand_modularizer = true,
+                "defer-journal" => cfg.defer_journal = true,
+                "deferred-executor" => cfg.deferred_executor = true,
+                "preparser" => cfg.preparser = true,
+                "bb-group" => cfg.bb_group = true,
+                other => {
+                    return Err(format!(
+                        "unknown feature {other:?} (expected all, none, or a comma-separated \
+                         subset of {})",
+                        Self::FEATURE_NAMES.join(",")
+                    ))
+                }
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Renders this configuration as a canonical feature-list string
+    /// that [`BbConfig::from_feature_list`] round-trips: `"all"`,
+    /// `"none"`, or the active subset of [`BbConfig::FEATURE_NAMES`] in
+    /// `bits()` order.
+    pub fn feature_list(&self) -> String {
+        if *self == BbConfig::full() {
+            return "all".to_owned();
+        }
+        if *self == BbConfig::conventional() {
+            return "none".to_owned();
+        }
+        let bits = self.bits();
+        let active: Vec<&str> = Self::FEATURE_NAMES
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| bits & (1 << i) != 0)
+            .map(|(_, name)| *name)
+            .collect();
+        active.join(",")
+    }
+
     /// All single-feature configurations, as `(feature name, config)` —
     /// the conventional boot with exactly one mechanism enabled.
     pub fn single_feature_configs() -> Vec<(&'static str, BbConfig)> {
@@ -274,5 +340,36 @@ mod tests {
         // Names are distinct.
         let names: std::collections::BTreeSet<_> = singles.iter().map(|(n, _)| *n).collect();
         assert_eq!(names.len(), 7);
+    }
+
+    #[test]
+    fn feature_lists_round_trip_through_the_wire_rendering() {
+        let mut all: Vec<BbConfig> = vec![BbConfig::conventional(), BbConfig::full()];
+        all.extend(
+            BbConfig::single_feature_configs()
+                .into_iter()
+                .map(|(_, c)| c),
+        );
+        all.extend(
+            BbConfig::leave_one_out_configs()
+                .into_iter()
+                .map(|(_, c)| c),
+        );
+        for c in all {
+            let rendered = c.feature_list();
+            assert_eq!(
+                BbConfig::from_feature_list(&rendered),
+                Ok(c),
+                "{rendered} must round-trip"
+            );
+        }
+        assert_eq!(BbConfig::full().feature_list(), "all");
+        assert_eq!(BbConfig::conventional().feature_list(), "none");
+        assert_eq!(
+            BbConfig::from_feature_list("full"),
+            Ok(BbConfig::full()),
+            "historic spelling stays accepted"
+        );
+        assert!(BbConfig::from_feature_list("warp-drive").is_err());
     }
 }

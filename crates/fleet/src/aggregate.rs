@@ -80,6 +80,17 @@ impl Aggregator {
         }
     }
 
+    /// Results accepted so far (filled slots plus failures) — the
+    /// service's progress signal for [`crate::FleetService::poll`].
+    pub fn accepted(&self) -> usize {
+        let filled: usize = self
+            .cells
+            .iter()
+            .map(|c| c.boots.iter().filter(|b| b.is_some()).count())
+            .sum();
+        filled + self.failures.len()
+    }
+
     /// Computes the final report, walking slots in deterministic order.
     pub fn finalize(self) -> SweepReport {
         let Aggregator {
@@ -555,66 +566,116 @@ impl SweepReport {
         tolerance_pct: f64,
     ) -> Result<Vec<DiffEntry>, json::JsonError> {
         let baseline = json::parse(baseline_json)?;
-        let cells = baseline
-            .get("cells")
-            .and_then(Json::as_arr)
-            .ok_or(json::JsonError {
-                pos: 0,
-                msg: "baseline has no cells array".into(),
-            })?;
-        let mut diffs = Vec::new();
-        for cell in &self.cells {
-            let base_cell = cells
+        let rows = self.cells.iter().flat_map(|cell| {
+            cell.configs
                 .iter()
-                .find(|c| c.get("label").and_then(Json::as_str) == Some(cell.label.as_str()));
-            for cfg in &cell.configs {
-                let base_mean_ms = base_cell
-                    .and_then(|bc| bc.get("configs"))
-                    .and_then(Json::as_arr)
-                    .and_then(|cfgs| {
-                        cfgs.iter().find(|c| {
-                            c.get("label").and_then(Json::as_str) == Some(cfg.label.as_str())
-                        })
-                    })
-                    .and_then(|c| c.get("mean_ms"))
-                    .and_then(Json::as_f64);
-                let current_ms = cfg.mean_ns / 1e6;
-                diffs.push(match base_mean_ms {
-                    None => DiffEntry {
-                        cell: cell.label.clone(),
-                        config: cfg.label.clone(),
-                        baseline_ms: None,
-                        current_ms,
-                        delta_pct: None,
-                        verdict: DiffVerdict::NewCell,
-                    },
-                    Some(base) => {
-                        let delta_pct = if base > 0.0 {
-                            100.0 * (current_ms - base) / base
-                        } else {
-                            0.0
-                        };
-                        let verdict = if delta_pct > tolerance_pct {
-                            DiffVerdict::Regression
-                        } else if delta_pct < -tolerance_pct {
-                            DiffVerdict::Improvement
-                        } else {
-                            DiffVerdict::Unchanged
-                        };
-                        DiffEntry {
-                            cell: cell.label.clone(),
-                            config: cfg.label.clone(),
-                            baseline_ms: Some(base),
-                            current_ms,
-                            delta_pct: Some(delta_pct),
-                            verdict,
-                        }
-                    }
-                });
-            }
-        }
-        Ok(diffs)
+                .map(move |cfg| (cell.label.clone(), cfg.label.clone(), cfg.mean_ns / 1e6))
+        });
+        diff_rows(rows, &baseline, tolerance_pct)
     }
+}
+
+/// Compares a saved `bb-fleet-v1` document against a baseline document
+/// without reconstructing the report — what `bbsim submit --baseline`
+/// runs on the streamed artifact. Means are read back from the
+/// document's fixed `{:.3}` formatting, so a verdict sitting exactly
+/// on the tolerance edge can differ from the in-process
+/// [`SweepReport::diff_baseline`] by one rounding ulp.
+pub fn diff_baseline_json(
+    current_json: &str,
+    baseline_json: &str,
+    tolerance_pct: f64,
+) -> Result<Vec<DiffEntry>, json::JsonError> {
+    let current = json::parse(current_json)?;
+    let baseline = json::parse(baseline_json)?;
+    let cells = current
+        .get("cells")
+        .and_then(Json::as_arr)
+        .ok_or(json::JsonError {
+            pos: 0,
+            msg: "report has no cells array".into(),
+        })?;
+    let mut rows = Vec::new();
+    for cell in cells {
+        let label = cell
+            .get("label")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_owned();
+        for cfg in cell.get("configs").and_then(Json::as_arr).unwrap_or(&[]) {
+            let cfg_label = cfg
+                .get("label")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_owned();
+            let mean_ms = cfg.get("mean_ms").and_then(Json::as_f64).unwrap_or(0.0);
+            rows.push((label.clone(), cfg_label, mean_ms));
+        }
+    }
+    diff_rows(rows.into_iter(), &baseline, tolerance_pct)
+}
+
+/// The shared comparison: each row is `(cell label, config label,
+/// current mean ms)`, looked up against the baseline document's cells.
+fn diff_rows(
+    rows: impl Iterator<Item = (String, String, f64)>,
+    baseline: &Json,
+    tolerance_pct: f64,
+) -> Result<Vec<DiffEntry>, json::JsonError> {
+    let cells = baseline
+        .get("cells")
+        .and_then(Json::as_arr)
+        .ok_or(json::JsonError {
+            pos: 0,
+            msg: "baseline has no cells array".into(),
+        })?;
+    let mut diffs = Vec::new();
+    for (cell_label, cfg_label, current_ms) in rows {
+        let base_mean_ms = cells
+            .iter()
+            .find(|c| c.get("label").and_then(Json::as_str) == Some(cell_label.as_str()))
+            .and_then(|bc| bc.get("configs"))
+            .and_then(Json::as_arr)
+            .and_then(|cfgs| {
+                cfgs.iter()
+                    .find(|c| c.get("label").and_then(Json::as_str) == Some(cfg_label.as_str()))
+            })
+            .and_then(|c| c.get("mean_ms"))
+            .and_then(Json::as_f64);
+        diffs.push(match base_mean_ms {
+            None => DiffEntry {
+                cell: cell_label,
+                config: cfg_label,
+                baseline_ms: None,
+                current_ms,
+                delta_pct: None,
+                verdict: DiffVerdict::NewCell,
+            },
+            Some(base) => {
+                let delta_pct = if base > 0.0 {
+                    100.0 * (current_ms - base) / base
+                } else {
+                    0.0
+                };
+                let verdict = if delta_pct > tolerance_pct {
+                    DiffVerdict::Regression
+                } else if delta_pct < -tolerance_pct {
+                    DiffVerdict::Improvement
+                } else {
+                    DiffVerdict::Unchanged
+                };
+                DiffEntry {
+                    cell: cell_label,
+                    config: cfg_label,
+                    baseline_ms: Some(base),
+                    current_ms,
+                    delta_pct: Some(delta_pct),
+                    verdict,
+                }
+            }
+        });
+    }
+    Ok(diffs)
 }
 
 /// How one (cell, config) mean compares against the baseline.

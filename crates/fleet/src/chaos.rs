@@ -28,13 +28,10 @@
 //! count.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::time::Instant;
-
-use crossbeam::channel;
-use crossbeam::deque::{Injector, Stealer, Worker};
 
 use crate::json;
-use crate::pool::{next_job, panic_message, FailureKind, PoolConfig, PoolStats, WorkerStats};
+use crate::pool::{panic_message, FailureKind, FleetCache, PoolConfig, PoolStats};
+use crate::service::{FleetService, ServiceConfig, ServiceReport, WorkItem};
 use crate::spec::ScenarioSource;
 use bb_core::booster::Scenario;
 use bb_core::{
@@ -284,12 +281,12 @@ struct ChaosSample {
 /// filled slot holds one sample per config, in config order.
 type CellSlots = Vec<Vec<Vec<Option<Vec<ChaosSample>>>>>;
 
-struct ChaosJobOutput {
+pub(crate) struct ChaosJobOutput {
     job: ChaosJob,
     samples: Vec<ChaosSample>, // one per config, in config order
 }
 
-struct ChaosJobFailure {
+pub(crate) struct ChaosJobFailure {
     job: ChaosJob,
     seed: u64,
     kind: FailureKind,
@@ -611,116 +608,99 @@ pub struct ChaosOutcome {
     pub stats: PoolStats,
 }
 
-/// Runs the chaos grid on a work-stealing pool of `pool.workers`
-/// threads. Output is byte-identical for any worker count.
+/// Runs the chaos grid to completion on a private one-shot
+/// [`FleetService`] of `pool.workers` threads. Output is byte-identical
+/// for any worker count. Long-lived callers wanting `submit`/`poll`/
+/// `cancel` should hold a [`FleetService`] and submit
+/// [`WorkItem::Chaos`] tickets instead.
 pub fn run_chaos(spec: &ChaosSpec, pool: &PoolConfig) -> ChaosOutcome {
-    let jobs = spec.jobs();
-    let n_workers = pool.workers.max(1);
-
-    let injector: Injector<ChaosJob> = Injector::new();
-    for &job in &jobs {
-        injector.push(job);
-    }
-    let locals: Vec<Worker<ChaosJob>> = (0..n_workers).map(|_| Worker::new_fifo()).collect();
-    let stealers: Vec<Stealer<ChaosJob>> = locals.iter().map(Worker::stealer).collect();
-
-    let (tx, rx) = channel::unbounded::<Result<ChaosJobOutput, ChaosJobFailure>>();
-    let started = Instant::now();
-    let mut max_queue_depth = jobs.len();
-    let mut per_worker: Vec<WorkerStats> = Vec::new();
-
-    // Slots addressed by (cell, plan, corruption, seed); filled in
-    // arrival order, read in slot order.
-    let mut slots: Vec<CellSlots> = spec
-        .cells
-        .iter()
-        .map(|c| {
-            vec![vec![vec![None; c.seeds.len()]; c.corruption_seeds.len()]; c.plan_seeds.len()]
-        })
-        .collect();
-    let mut raw_failures: Vec<(usize, usize, usize, usize, u64, String)> = Vec::new();
-
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (w, local) in locals.into_iter().enumerate() {
-            let tx = tx.clone();
-            let injector = &injector;
-            let stealers = &stealers;
-            handles.push(scope.spawn(move |_| {
-                let mut stats = WorkerStats::default();
-                while let Some(job) = next_job(&local, injector, stealers, w, &mut stats) {
-                    let job_started = Instant::now();
-                    let result = run_chaos_job(spec, job);
-                    stats.busy += job_started.elapsed();
-                    stats.jobs += 1;
-                    if tx.send(result).is_err() {
-                        break;
-                    }
-                }
-                stats
-            }));
-        }
-        drop(tx);
-
-        while let Ok(msg) = rx.recv() {
-            max_queue_depth = max_queue_depth.max(injector.len());
-            match msg {
-                Ok(out) => {
-                    let slot = &mut slots[out.job.cell][out.job.plan_idx][out.job.corr_idx]
-                        [out.job.seed_idx];
-                    debug_assert!(slot.is_none(), "chaos slot filled twice");
-                    *slot = Some(out.samples);
-                }
-                Err(fail) => raw_failures.push((
-                    fail.job.cell,
-                    fail.job.plan_idx,
-                    fail.job.corr_idx,
-                    fail.job.seed_idx,
-                    fail.seed,
-                    fail.kind.reason(),
-                )),
-            }
-        }
-
-        per_worker = handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panics are caught per job"))
-            .collect();
-    })
-    .expect("chaos scope");
-
-    let wall = started.elapsed();
-    let (report, totals) = finalize(spec, &slots, raw_failures);
-    ChaosOutcome {
-        report,
-        stats: PoolStats {
-            workers: n_workers,
-            wall,
-            jobs: jobs.len(),
-            max_queue_depth,
-            restarts: totals.restarts,
-            kernel_sims: 0,
-            // The supervised entry point consumes its machine
-            // internally, so chaos sweeps have no queue depth to
-            // report, and they share no artifacts (every boot runs
-            // under its own fault plan).
-            peak_events: 0,
-            plans_compiled: 0,
-            plan_cache_hits: 0,
-            cells_deduped: 0,
-            recoveries: totals.recoveries,
-            artifacts_rejected: totals.artifacts_rejected,
-            per_worker,
-        },
+    let service =
+        FleetService::with_cache(ServiceConfig::one_shot(pool.workers), FleetCache::fresh());
+    let ticket = service
+        .submit(0, WorkItem::Chaos(spec.clone()))
+        .expect("a one-shot service accepts a single chaos sweep");
+    match service.wait(ticket) {
+        Ok(ServiceReport::Chaos(outcome)) => outcome,
+        _ => unreachable!("chaos tickets finalize into chaos reports"),
     }
 }
 
-/// Deterministic totals finalize derives alongside the report.
+/// Deterministic totals finalize derives alongside the report. These
+/// are aggregate-level facts (not host observability), replayed into
+/// `PoolStats` by the service.
 #[derive(Default)]
-struct ChaosTotals {
-    restarts: usize,
-    recoveries: usize,
-    artifacts_rejected: usize,
+pub(crate) struct ChaosTotals {
+    pub(crate) restarts: usize,
+    pub(crate) recoveries: usize,
+    pub(crate) artifacts_rejected: usize,
+}
+
+/// Accumulates chaos job results into `[plan][corruption][seed]` slots —
+/// the chaos counterpart of [`crate::Aggregator`], driven by the
+/// service's accept loop.
+pub(crate) struct ChaosAggregator {
+    slots: Vec<CellSlots>,
+    raw_failures: Vec<(usize, usize, usize, usize, u64, String)>,
+}
+
+impl ChaosAggregator {
+    /// Allocates slots for every `(cell, plan, corruption, seed)` of
+    /// `spec`.
+    pub(crate) fn new(spec: &ChaosSpec) -> Self {
+        ChaosAggregator {
+            slots: spec
+                .cells
+                .iter()
+                .map(|c| {
+                    vec![
+                        vec![vec![None; c.seeds.len()]; c.corruption_seeds.len()];
+                        c.plan_seeds.len()
+                    ]
+                })
+                .collect(),
+            raw_failures: Vec::new(),
+        }
+    }
+
+    /// Accepts one result, in arrival (nondeterministic) order.
+    pub(crate) fn accept(&mut self, msg: Result<ChaosJobOutput, ChaosJobFailure>) {
+        match msg {
+            Ok(out) => {
+                let slot = &mut self.slots[out.job.cell][out.job.plan_idx][out.job.corr_idx]
+                    [out.job.seed_idx];
+                debug_assert!(slot.is_none(), "chaos slot filled twice");
+                *slot = Some(out.samples);
+            }
+            Err(fail) => self.raw_failures.push((
+                fail.job.cell,
+                fail.job.plan_idx,
+                fail.job.corr_idx,
+                fail.job.seed_idx,
+                fail.seed,
+                fail.kind.reason(),
+            )),
+        }
+    }
+
+    /// Results accepted so far (filled slots plus failures) — the
+    /// service's progress signal.
+    pub(crate) fn accepted(&self) -> usize {
+        let filled: usize = self
+            .slots
+            .iter()
+            .flatten()
+            .flatten()
+            .flatten()
+            .filter(|s| s.is_some())
+            .count();
+        filled + self.raw_failures.len()
+    }
+
+    /// Computes the final report and totals, walking slots in
+    /// deterministic order.
+    pub(crate) fn finalize(self, spec: &ChaosSpec) -> (ChaosReport, ChaosTotals) {
+        finalize(spec, &self.slots, self.raw_failures)
+    }
 }
 
 /// Walks the slots in deterministic order, deriving stats and events.
@@ -886,7 +866,10 @@ fn transient_reads(seed: u64) -> u32 {
 }
 
 /// Executes one chaos job with panic isolation.
-fn run_chaos_job(spec: &ChaosSpec, job: ChaosJob) -> Result<ChaosJobOutput, ChaosJobFailure> {
+pub(crate) fn run_chaos_job(
+    spec: &ChaosSpec,
+    job: ChaosJob,
+) -> Result<ChaosJobOutput, ChaosJobFailure> {
     let cell = &spec.cells[job.cell];
     let seed = cell.seeds[job.seed_idx];
     let plan_seed = cell.plan_seeds[job.plan_idx];

@@ -35,6 +35,12 @@ pub const SCHEMA_HOTPATH: &str = "bb-hotpath-v1";
 /// Schema stamp of the sweep-throughput perf baseline
 /// (`BENCH_sweep.json`, written by `cargo bench --bench sweep`).
 pub const SCHEMA_SWEEP: &str = "bb-sweep-v1";
+/// Schema stamp of every `bbsim serve` wire envelope (requests are
+/// plain NDJSON; every response carries this stamp first).
+pub const SCHEMA_SERVE: &str = "bb-serve-v1";
+/// Schema stamp of the service observability document
+/// ([`crate::ServiceStats::to_json`]).
+pub const SCHEMA_SERVE_STATS: &str = "bb-serve-stats-v1";
 
 /// Opens a top-level JSON document with its version stamp. Every
 /// emitter in the workspace goes through this helper, so the `"schema"`

@@ -1,25 +1,30 @@
-//! # bb-fleet — parallel boot-simulation sweep engine
+//! # bb-fleet — boot-simulation sweep engine and fleet service
 //!
 //! The evaluation sections of the paper (and this repo's EXPERIMENTS.md)
 //! are built from *sweeps*: thousands of independent boot simulations
 //! across seeds, workload parameters, machine profiles, and
 //! [`bb_core::BbConfig`] feature sets. Serially those dominate
-//! experiment turnaround; bb-fleet executes them on a work-stealing
-//! thread pool while keeping the one property the experiments depend
-//! on — **deterministic output**.
+//! experiment turnaround; bb-fleet executes them on a persistent
+//! work-queue service while keeping the one property the experiments
+//! depend on — **deterministic output**.
 //!
 //! * [`spec`] — [`SweepSpec`]: a grid of cells, each a scenario source
 //!   × seed list × config list. One job boots every config of one
 //!   `(cell, seed)` instance, sharing one generated scenario and one
 //!   [`bb_core::PreParser`] measurement across the config axis.
-//! * [`pool`] — [`run_sweep`]: fixed-size work-stealing pool
-//!   (`crossbeam` injector + per-worker deques) with per-job panic
-//!   isolation, per-job wall-clock deadlines, a failed-job report
-//!   channel, and per-worker observability counters. Every sweep runs
-//!   over a [`FleetCache`] of shared artifacts — compiled boot plans
-//!   ([`bb_core::PlanCache`]), memoized scenarios, and deduplicated
-//!   boot outcomes ([`SweepSpec::dedup`]) — and [`run_sweep_cached`]
-//!   carries that cache across sweeps.
+//! * [`service`] — [`FleetService`]: the persistent executor. Long-lived
+//!   workers, a central bounded work queue with per-client round-robin
+//!   fairness, `submit`/`poll`/`wait`/`cancel` tickets, per-client
+//!   quotas, and one service-wide [`FleetCache`] every ticket shares.
+//!   This is what `bbsim serve` runs.
+//! * [`pool`] — the one-shot entry point [`run_sweep`] (a thin client
+//!   that runs a single ticket on a private service) plus the shared
+//!   [`FleetCache`] — compiled boot plans ([`bb_core::PlanCache`]),
+//!   memoized scenarios, deduplicated boot outcomes
+//!   ([`SweepSpec::dedup`]), and service-wide kernel checkpoints
+//!   ([`SweepSpec::fork`]). Per-job panic isolation, per-job wall-clock
+//!   deadlines, a failed-job report path, and observability counters
+//!   ([`PoolStats`]).
 //! * [`aggregate`] — the streaming [`Aggregator`]: consumes results in
 //!   arrival order into seed-addressed slots, finalizes in slot order.
 //!   Count/mean/stddev/min/max and nearest-rank p50/p95/p99 per
@@ -38,16 +43,19 @@
 //!   recovery rate, restart counts, degraded-boot rate, artifact
 //!   rejection rates, recovery-cost percentiles, and
 //!   boot-time-under-fault percentiles (schema `bb-fleet-chaos-v2`).
+//!   Chaos grids submit to the same service as plain sweeps
+//!   ([`WorkItem::Chaos`]).
 //!
 //! The aggregated report — including its JSON serialization — is
-//! byte-identical for any worker count: results land in slots addressed
+//! byte-identical for any worker count, any cache state, and any
+//! interleaving of concurrent clients: results land in slots addressed
 //! by `(cell, seed_idx)`, statistics are computed in slot order at
 //! finalize, and nothing host-time-dependent (worker timings, queue
 //! depths) enters the report. Pool observability lives separately in
-//! [`PoolStats`].
+//! [`PoolStats`] and [`ServiceStats`].
 //!
 //! ```
-//! use bb_fleet::{CellSpec, PoolConfig, SweepSpec, run_sweep};
+//! use bb_fleet::{CellSpec, FleetCache, PoolConfig, SweepSpec, run_sweep};
 //! use bb_workloads::{profiles, TizenParams};
 //!
 //! let spec = SweepSpec::new().cell(
@@ -59,7 +67,7 @@
 //!     .seeds(0..4)
 //!     .conventional_vs_bb(),
 //! );
-//! let outcome = run_sweep(&spec, &PoolConfig::with_workers(2));
+//! let outcome = run_sweep(&spec, &PoolConfig::with_workers(2), &FleetCache::fresh());
 //! assert_eq!(outcome.report.total_boots, 8);
 //! println!("{}", outcome.report.summary());
 //! println!("{}", outcome.stats.summary());
@@ -69,11 +77,12 @@ pub mod aggregate;
 pub mod chaos;
 pub mod json;
 pub mod pool;
+pub mod service;
 pub mod spec;
 
 pub use aggregate::{
-    Aggregator, CellMetrics, CellReport, ConfigMetrics, ConfigStats, DiffEntry, DiffVerdict,
-    FailureReport, MetricsReport, SpanStats, SweepReport,
+    diff_baseline_json, Aggregator, CellMetrics, CellReport, ConfigMetrics, ConfigStats, DiffEntry,
+    DiffVerdict, FailureReport, MetricsReport, SpanStats, SweepReport,
 };
 pub use chaos::{
     run_chaos, ChaosCellSpec, ChaosConfigStats, ChaosEvent, ChaosFailure, ChaosJob, ChaosOutcome,
@@ -81,7 +90,11 @@ pub use chaos::{
 };
 pub use json::{parse as parse_json, Json, JsonError};
 pub use pool::{
-    run_sweep, run_sweep_cached, BootSample, FailureKind, FleetCache, JobFailure, JobOutput,
-    PoolConfig, PoolStats, SweepOutcome, WorkerStats,
+    run_sweep, BootSample, FailureKind, FleetCache, JobFailure, JobOutput, PoolConfig, PoolStats,
+    SweepOutcome, WorkerStats,
+};
+pub use service::{
+    ClientId, FleetService, ServiceConfig, ServiceReport, ServiceStats, SubmitError, TicketId,
+    TicketStatus, WaitError, WorkItem,
 };
 pub use spec::{CellSpec, Job, ScenarioSource, SweepSpec};

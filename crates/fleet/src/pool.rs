@@ -1,11 +1,17 @@
-//! The worker pool: a fixed-size, work-stealing executor for sweep
-//! jobs.
+//! One-shot sweep execution and the shared artifact cache.
 //!
-//! Jobs are seeded into a [`crossbeam::deque::Injector`]; each worker
-//! owns a FIFO deque and steals from the injector first, then from
-//! siblings. Every job runs under [`std::panic::catch_unwind`], so one
-//! poisoned scenario cannot take down the sweep: the panic becomes a
-//! [`JobFailure`] on the report channel and the pool keeps draining.
+//! Since the fleet API redesign, the long-lived executor lives in
+//! [`crate::service`]: a [`crate::FleetService`] owns the worker
+//! threads, the bounded work queue, and the per-client fairness
+//! machinery. This module keeps the *one-shot* entry point —
+//! [`run_sweep`] spins up a private service, submits the spec as a
+//! single ticket, and waits — plus everything a sweep job needs to
+//! execute: the [`FleetCache`], the job runner, and the observability
+//! types ([`PoolStats`], [`WorkerStats`]).
+//!
+//! Every job runs under [`std::panic::catch_unwind`], so one poisoned
+//! scenario cannot take down a sweep: the panic becomes a
+//! [`JobFailure`] on the failure path and the queue keeps draining.
 //! A per-job wall-clock deadline (from [`SweepSpec::deadline`]) is
 //! checked after the job runs — the simulator has no preemption points,
 //! so overruns are detected post-hoc and the result discarded.
@@ -21,29 +27,31 @@
 //! each (scenario, config) pair compiles its boot plan once, a
 //! scenario memo so jobs with identical sources share one `Arc`'d
 //! scenario (which is what makes the pointer-keyed plan cache hit
-//! across jobs), and a boot-outcome cache that lets [`SweepSpec::dedup`]
-//! serve identical grid points without re-simulating. All three are
-//! keyed by the content fingerprints from [`crate::spec`], and all
-//! three are invisible in the report: simulation is deterministic, so
-//! cached results are bit-identical to fresh ones. [`run_sweep`] uses a
-//! fresh cache per call; [`run_sweep_cached`] lets a long-lived caller
-//! (a serve loop, a bench harness) carry artifacts across sweeps.
+//! across jobs), a boot-outcome cache that lets [`SweepSpec::dedup`]
+//! serve identical grid points without re-simulating, and a
+//! service-wide checkpoint memo so forked sweeps ([`SweepSpec::fork`])
+//! share kernel-prefix snapshots across jobs, workers, and clients.
+//! All four are keyed by the content fingerprints from [`crate::spec`],
+//! and all four are invisible in the report: simulation is
+//! deterministic, so cached results are bit-identical to fresh ones.
+//! [`run_sweep`] takes the cache explicitly; pass [`FleetCache::fresh`]
+//! for a private per-call cache, or hold one `Arc` across calls (or
+//! behind a [`crate::FleetService`]) to carry artifacts across sweeps.
 
-use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex, MutexGuard};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use crossbeam::channel;
-use crossbeam::deque::{Injector, Steal, Stealer, Worker};
-
-use crate::aggregate::{Aggregator, SweepReport};
-use crate::spec::{cell_fingerprint, job_fingerprint, job_scenario, Job, SweepSpec};
+use crate::aggregate::SweepReport;
+use crate::service::{FleetService, ServiceConfig, ServiceReport, WorkItem};
+use crate::spec::{job_fingerprint, job_scenario, Job, SweepSpec};
 use bb_core::booster::Scenario;
 use bb_core::{BootRequest, Checkpoint, CheckpointPhase, PlanCache, PreParser};
 
-/// Pool sizing and policy.
+/// Pool sizing for the one-shot entry points ([`run_sweep`],
+/// [`crate::run_chaos`]). The persistent service has its own
+/// [`ServiceConfig`].
 #[derive(Debug, Clone)]
 pub struct PoolConfig {
     /// Worker thread count. Defaults to available parallelism.
@@ -71,7 +79,7 @@ impl PoolConfig {
 
 /// Prefix key of a [`bb_core::BbConfig`] — the features that shape the
 /// boot up to the kernel→init handoff.
-type PrefixKey = (bool, bool, bool, bool);
+pub(crate) type PrefixKey = (bool, bool, bool, bool);
 
 /// Entries above which the scenario memo is reset. Generous: a sweep
 /// holds one entry per distinct (source, seed) pair, and losing an
@@ -81,9 +89,10 @@ const SCENARIO_MEMO_CAP: usize = 4096;
 /// Entries above which the boot-outcome cache is reset.
 const BOOT_CACHE_CAP: usize = 65536;
 
-/// Checkpoints a single worker keeps across jobs. Small: checkpoints
-/// own a machine snapshot, and a clear only costs re-forking.
-const CHECKPOINT_MEMO_CAP: usize = 64;
+/// Checkpoints the service-wide memo keeps before resetting. Small
+/// relative to the other caps: checkpoints own a machine snapshot, and
+/// a clear only costs re-forking.
+const CHECKPOINT_MEMO_CAP: usize = 256;
 
 /// One memoized boot outcome (everything a job extracts from a boot),
 /// fanned out to every grid point that requests the same
@@ -110,11 +119,13 @@ enum CachedBoot {
 }
 
 /// Shared artifacts of one or more sweeps: compiled boot plans, memoized
-/// scenarios, and deduplicated boot outcomes (see the module docs).
+/// scenarios, deduplicated boot outcomes, and kernel-prefix checkpoints
+/// (see the module docs).
 ///
-/// [`run_sweep`] creates a private one per call; hand the same cache to
-/// repeated [`run_sweep_cached`] calls to reuse artifacts across sweeps
-/// — a repeat of an identical sweep then simulates nothing at all.
+/// All interior state is behind its own lock, so one cache can back any
+/// number of concurrent workers — and, through [`crate::FleetService`],
+/// any number of concurrent clients: two clients submitting overlapping
+/// grids share plans, scenarios, boot outcomes, and checkpoints.
 /// Everything in here is derived deterministically from scenario
 /// content, so sharing never changes a report.
 #[derive(Debug, Default)]
@@ -122,12 +133,24 @@ pub struct FleetCache {
     plans: PlanCache,
     scenarios: Mutex<HashMap<u64, (Arc<Scenario>, PreParser)>>,
     boots: Mutex<HashMap<(u64, u8), CachedBoot>>,
+    /// Kernel-handoff checkpoints, keyed by (job fingerprint, prefix
+    /// key). Promoted from per-worker to service-wide: any worker (or
+    /// client) forking the same scenario prefix resumes from one shared
+    /// snapshot.
+    checkpoints: Mutex<HashMap<(u64, PrefixKey), Arc<Checkpoint>>>,
 }
 
 impl FleetCache {
     /// An empty cache.
     pub fn new() -> Self {
         FleetCache::default()
+    }
+
+    /// An empty cache behind the `Arc` the fleet APIs take — the
+    /// fresh-cache convenience default:
+    /// `run_sweep(&spec, &pool, &FleetCache::fresh())`.
+    pub fn fresh() -> Arc<Self> {
+        Arc::new(FleetCache::new())
     }
 
     /// The plan-compilation cache (for counter snapshots).
@@ -140,6 +163,7 @@ impl FleetCache {
         self.plans.clear();
         lock(&self.scenarios).clear();
         lock(&self.boots).clear();
+        lock(&self.checkpoints).clear();
     }
 
     /// The memoized `(scenario, preparser)` for job fingerprint `fp`,
@@ -186,12 +210,31 @@ impl FleetCache {
         }
         map.insert((fp, bits), outcome);
     }
+
+    /// The memoized kernel-handoff checkpoint for `key`, if any worker
+    /// has forked it already.
+    fn checkpoint(&self, key: (u64, PrefixKey)) -> Option<Arc<Checkpoint>> {
+        lock(&self.checkpoints).get(&key).cloned()
+    }
+
+    /// Memoizes a freshly forked checkpoint. First insert wins: on a
+    /// racing double-fork both boots resume from the winner (the
+    /// snapshots are deterministic and identical, so the race is
+    /// invisible in reports — only the kernel-simulation *count* can
+    /// vary, and that is host-side observability).
+    fn checkpoint_insert(&self, key: (u64, PrefixKey), ckpt: Checkpoint) -> Arc<Checkpoint> {
+        let mut map = lock(&self.checkpoints);
+        if map.len() >= CHECKPOINT_MEMO_CAP {
+            map.clear();
+        }
+        map.entry(key).or_insert_with(|| Arc::new(ckpt)).clone()
+    }
 }
 
 /// Locks a cache map, recovering from poisoning: worker panics are
 /// caught per job and these maps are only ever mutated whole-entry, so
 /// a poisoned lock cannot hide a half-written state.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|p| p.into_inner())
 }
 
@@ -220,9 +263,9 @@ pub struct JobOutput {
     pub spans: Vec<Vec<(String, u64)>>,
     /// Kernel-phase simulations this job actually executed. Equals the
     /// config count for a plain sweep; with [`SweepSpec::fork`] it is
-    /// the number of distinct prefix keys in the cell's config list
-    /// this worker had no memoized checkpoint for, and boots served
-    /// from the dedup cache simulate nothing at all.
+    /// the number of distinct prefix keys in the cell's config list the
+    /// service-wide memo had no checkpoint for, and boots served from
+    /// the dedup cache simulate nothing at all.
     pub kernel_sims: usize,
     /// Deepest simulator event queue observed across this job's boots
     /// (the machine's high-water mark, a sizing signal for
@@ -255,8 +298,6 @@ pub struct JobFailure {
 pub struct WorkerStats {
     /// Jobs this worker executed.
     pub jobs: usize,
-    /// Jobs it stole from sibling deques (subset of `jobs`).
-    pub steals: usize,
     /// Wall-clock time spent executing jobs.
     pub busy: Duration,
 }
@@ -267,11 +308,12 @@ pub struct WorkerStats {
 pub struct PoolStats {
     /// Worker thread count.
     pub workers: usize,
-    /// Wall-clock duration of the whole sweep.
+    /// Wall-clock duration of the whole sweep (submit to finalize).
     pub wall: Duration,
     /// Jobs executed (completed + failed).
     pub jobs: usize,
-    /// Maximum injector queue depth observed by the aggregator.
+    /// Maximum service work-queue depth observed while this sweep's
+    /// jobs were completing (at least this sweep's own job count).
     pub max_queue_depth: usize,
     /// Supervised respawns observed across all boots. Always 0 for
     /// fault-free sweeps; chaos sweeps count every `Restart=` respawn.
@@ -279,17 +321,20 @@ pub struct PoolStats {
     /// Kernel-phase simulations executed across all completed jobs.
     /// Equals the boot count for a plain sweep; a forked sweep
     /// ([`SweepSpec::fork`]) simulates the shared prefix once per
-    /// distinct prefix key per job, so this drops well below the boot
-    /// count — the work the checkpoint fork saved.
+    /// distinct prefix key the service-wide memo was missing, so this
+    /// drops well below the boot count — the work the checkpoint fork
+    /// saved.
     pub kernel_sims: usize,
     /// Deepest simulator event queue observed across all completed
     /// boots. Deterministic (simulated state, not host time), but kept
     /// out of the JSON report so sweep documents stay byte-stable
     /// across simulator sizing changes.
     pub peak_events: usize,
-    /// Boot plans compiled during this sweep — one per distinct
+    /// Boot plans compiled while this sweep ran — one per distinct
     /// (scenario, config) pair that actually booted (see
-    /// [`bb_core::PlanCache`]).
+    /// [`bb_core::PlanCache`]). Measured as a cache-counter delta, so
+    /// on a service running concurrent tickets a neighbor's compiles
+    /// can be attributed here — observability, never report data.
     pub plans_compiled: u64,
     /// Boots that reused an already-compiled plan instead of running
     /// the pass pipeline again.
@@ -307,7 +352,9 @@ pub struct PoolStats {
     /// Artifacts the integrity chain rejected outright (subset of
     /// `recoveries`): corrupt, stale, or unreadable.
     pub artifacts_rejected: usize,
-    /// Per-worker counters.
+    /// Per-worker counters, snapshotted when this sweep finalized.
+    /// On a long-lived service these are service-lifetime totals, not
+    /// per-ticket ones.
     pub per_worker: Vec<WorkerStats>,
 }
 
@@ -379,9 +426,8 @@ impl PoolStats {
         for (w, ws) in self.per_worker.iter().enumerate() {
             let _ = writeln!(
                 out,
-                "  worker {w}: {} jobs ({} stolen), {:.0}% utilized",
+                "  worker {w}: {} jobs, {:.0}% utilized",
                 ws.jobs,
-                ws.steals,
                 100.0 * self.utilization(w),
             );
         }
@@ -399,187 +445,48 @@ pub struct SweepOutcome {
     pub stats: PoolStats,
 }
 
-/// Runs `spec` on a work-stealing pool of `pool.workers` threads, with
-/// a fresh private [`FleetCache`].
+/// Runs `spec` to completion on a private [`FleetService`] of
+/// `pool.workers` threads, over the given [`FleetCache`].
+///
+/// This is the single one-shot entry point (the historical
+/// `run_sweep`/`run_sweep_cached` pair collapsed into it). Pass
+/// [`FleetCache::fresh`] for the old fresh-cache behavior, or hold one
+/// `Arc<FleetCache>` across calls to carry compiled plans, memoized
+/// scenarios, deduplicated boot outcomes, and checkpoints between
+/// sweeps. Reports are unaffected by cache state — a warm cache only
+/// changes how much work the sweep skips (visible in [`PoolStats`]).
 ///
 /// The aggregated report is byte-identical for any worker count: result
 /// slots are addressed by `(cell, seed_idx)` and finalized in slot
-/// order, and nothing host-time-dependent enters the report.
-pub fn run_sweep(spec: &SweepSpec, pool: &PoolConfig) -> SweepOutcome {
-    run_sweep_cached(spec, pool, &FleetCache::new())
-}
-
-/// [`run_sweep`] over a caller-owned [`FleetCache`], so compiled plans,
-/// memoized scenarios, and deduplicated boot outcomes carry across
-/// sweeps. Reports are unaffected by cache state — a warm cache only
-/// changes how much work the sweep skips (visible in [`PoolStats`]).
-pub fn run_sweep_cached(spec: &SweepSpec, pool: &PoolConfig, cache: &FleetCache) -> SweepOutcome {
-    let jobs = spec.jobs();
-    let shared = spec.shared_templates();
-    let fps: Vec<(u64, bool)> = spec.cells.iter().map(cell_fingerprint).collect();
-    let n_workers = pool.workers.max(1);
-
-    let injector: Injector<Job> = Injector::new();
-    for &job in &jobs {
-        injector.push(job);
+/// order, and nothing host-time-dependent enters the report. Long-lived
+/// callers wanting `submit`/`poll`/`cancel` and cross-client sharing
+/// should hold a [`FleetService`] instead.
+pub fn run_sweep(spec: &SweepSpec, pool: &PoolConfig, cache: &Arc<FleetCache>) -> SweepOutcome {
+    let service =
+        FleetService::with_cache(ServiceConfig::one_shot(pool.workers), Arc::clone(cache));
+    let ticket = service
+        .submit(0, WorkItem::Sweep(spec.clone()))
+        .expect("a one-shot service accepts a single sweep");
+    match service.wait(ticket) {
+        Ok(ServiceReport::Sweep(outcome)) => outcome,
+        _ => unreachable!("sweep tickets finalize into sweep reports"),
     }
-
-    let locals: Vec<Worker<Job>> = (0..n_workers).map(|_| Worker::new_fifo()).collect();
-    let stealers: Vec<Stealer<Job>> = locals.iter().map(Worker::stealer).collect();
-
-    let (tx, rx) = channel::unbounded::<Result<JobOutput, JobFailure>>();
-    let mut aggregator = Aggregator::new(spec);
-    let started = Instant::now();
-    let plans_before = cache.plans.stats();
-    let mut max_queue_depth = jobs.len();
-    let mut kernel_sims = 0usize;
-    let mut peak_events = 0usize;
-    let mut cells_deduped = 0usize;
-    let mut per_worker: Vec<WorkerStats> = Vec::new();
-
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (w, local) in locals.into_iter().enumerate() {
-            let tx = tx.clone();
-            let injector = &injector;
-            let stealers = &stealers;
-            let shared = &shared;
-            let fps = &fps;
-            handles.push(scope.spawn(move |_| {
-                let mut stats = WorkerStats::default();
-                // One machine pool per worker: every boot this worker
-                // runs draws on (and returns to) the same recycled
-                // allocations, so the inner loop stops paying fresh
-                // table growth per job. Recycling is observationally
-                // invisible (the MachineBuilder contract), so reports
-                // stay byte-identical for any worker count.
-                let mut builder = bb_sim::MachineBuilder::new();
-                // Checkpoints survive across this worker's jobs, keyed
-                // by (job fingerprint, prefix key) — a seed-independent
-                // source (Fixed cells) forks its kernel prefix once per
-                // worker, not once per job.
-                let mut checkpoints: HashMap<(u64, PrefixKey), Checkpoint> = HashMap::new();
-                loop {
-                    let job = next_job(&local, injector, stealers, w, &mut stats);
-                    let Some(job) = job else { break };
-                    let job_started = Instant::now();
-                    let result = run_job(
-                        spec,
-                        shared,
-                        fps,
-                        cache,
-                        job,
-                        &mut builder,
-                        &mut checkpoints,
-                    );
-                    stats.busy += job_started.elapsed();
-                    stats.jobs += 1;
-                    if tx.send(result).is_err() {
-                        break; // aggregator went away; nothing to do
-                    }
-                }
-                stats
-            }));
-        }
-        drop(tx);
-
-        // Streaming aggregation on this thread while workers run.
-        while let Ok(msg) = rx.recv() {
-            max_queue_depth = max_queue_depth.max(injector.len());
-            if let Ok(out) = &msg {
-                kernel_sims += out.kernel_sims;
-                peak_events = peak_events.max(out.peak_events);
-                cells_deduped += out.deduped;
-            }
-            aggregator.accept(msg);
-        }
-
-        per_worker = handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panics are caught per job"))
-            .collect();
-    })
-    .expect("sweep scope");
-
-    let wall = started.elapsed();
-    let plans_after = cache.plans.stats();
-    SweepOutcome {
-        report: aggregator.finalize(),
-        stats: PoolStats {
-            workers: n_workers,
-            wall,
-            jobs: jobs.len(),
-            max_queue_depth,
-            restarts: 0,
-            kernel_sims,
-            peak_events,
-            plans_compiled: plans_after.plans_compiled - plans_before.plans_compiled,
-            plan_cache_hits: plans_after.hits - plans_before.hits,
-            cells_deduped,
-            recoveries: 0,
-            artifacts_rejected: 0,
-            per_worker,
-        },
-    }
-}
-
-/// Acquires the next job: local deque, then the global injector, then
-/// sibling deques (work stealing). Generic so the chaos runner can
-/// drive the same pool shape with its own job type.
-pub(crate) fn next_job<T>(
-    local: &Worker<T>,
-    injector: &Injector<T>,
-    stealers: &[Stealer<T>],
-    me: usize,
-    stats: &mut WorkerStats,
-) -> Option<T> {
-    if let Some(job) = local.pop() {
-        return Some(job);
-    }
-    loop {
-        match injector.steal_batch_and_pop(local) {
-            Steal::Success(job) => return Some(job),
-            Steal::Retry => continue,
-            Steal::Empty => break,
-        }
-    }
-    for (other, stealer) in stealers.iter().enumerate() {
-        if other == me {
-            continue;
-        }
-        loop {
-            match stealer.steal() {
-                Steal::Success(job) => {
-                    stats.steals += 1;
-                    return Some(job);
-                }
-                Steal::Retry => continue,
-                Steal::Empty => break,
-            }
-        }
-    }
-    None
 }
 
 /// Executes one job with panic isolation and post-hoc deadline check.
-#[allow(clippy::too_many_arguments)]
-fn run_job(
+pub(crate) fn run_job(
     spec: &SweepSpec,
     shared: &[Option<(Arc<Scenario>, PreParser)>],
     fps: &[(u64, bool)],
     cache: &FleetCache,
     job: Job,
     builder: &mut bb_sim::MachineBuilder,
-    checkpoints: &mut HashMap<(u64, PrefixKey), Checkpoint>,
 ) -> Result<JobOutput, JobFailure> {
     let cell = &spec.cells[job.cell];
     let seed = cell.seeds[job.seed_idx];
     let (base_fp, seed_dependent) = fps[job.cell];
     let fp = job_fingerprint(base_fp, seed_dependent, seed);
-    if checkpoints.len() >= CHECKPOINT_MEMO_CAP {
-        checkpoints.clear();
-    }
-    let started = Instant::now();
+    let started = std::time::Instant::now();
 
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         let builder = &mut *builder;
@@ -627,14 +534,15 @@ fn run_job(
             }
             let boot = if spec.fork {
                 // Forked mode: one checkpoint per distinct (scenario,
-                // prefix key), memoized across the worker's jobs. Every
-                // boot resumes (the first included), so forked ≡
+                // prefix key), memoized service-wide in the FleetCache.
+                // Every boot resumes (the first included), so forked ≡
                 // unforked reduces to resume ≡ run — the property
                 // bb-core's checkpoint tests pin.
-                let ckpt = match checkpoints.entry((fp, cfg.prefix_key())) {
-                    Entry::Occupied(e) => e.into_mut(),
-                    Entry::Vacant(v) => {
-                        let ckpt = BootRequest::new(&scenario)
+                let key = (fp, cfg.prefix_key());
+                let ckpt = match cache.checkpoint(key) {
+                    Some(ckpt) => ckpt,
+                    None => {
+                        let forked = BootRequest::new(&scenario)
                             .config(*cfg)
                             .prepared(&pre)
                             .machine_builder(&mut *builder)
@@ -642,7 +550,7 @@ fn run_job(
                             .checkpoint_at(CheckpointPhase::KernelHandoff)
                             .map_err(|e| FailureKind::Boost(e.to_string()))?;
                         kernel_sims += 1;
-                        v.insert(ckpt)
+                        cache.checkpoint_insert(key, forked)
                     }
                 };
                 BootRequest::new(&scenario)
@@ -650,7 +558,7 @@ fn run_job(
                     .prepared(&pre)
                     .machine_builder(&mut *builder)
                     .plan_cache(&cache.plans, &scenario)
-                    .resume(ckpt)
+                    .resume(&ckpt)
             } else {
                 kernel_sims += 1;
                 BootRequest::new(&scenario)
@@ -765,7 +673,7 @@ mod tests {
     #[test]
     fn sweep_completes_and_counts_jobs() {
         let spec = tiny_spec([1, 2, 3]);
-        let outcome = run_sweep(&spec, &PoolConfig::with_workers(2));
+        let outcome = run_sweep(&spec, &PoolConfig::with_workers(2), &FleetCache::fresh());
         assert_eq!(outcome.stats.jobs, 3);
         assert_eq!(outcome.stats.workers, 2);
         assert_eq!(outcome.report.total_boots, 6);
@@ -784,7 +692,7 @@ mod tests {
     #[test]
     fn zero_deadline_fails_every_job_but_sweep_survives() {
         let spec = tiny_spec([1, 2]).deadline(Duration::ZERO);
-        let outcome = run_sweep(&spec, &PoolConfig::with_workers(2));
+        let outcome = run_sweep(&spec, &PoolConfig::with_workers(2), &FleetCache::fresh());
         assert_eq!(outcome.report.failures.len(), 2);
         assert_eq!(outcome.report.total_boots, 0);
         assert!(outcome
@@ -831,7 +739,7 @@ mod tests {
                 .seeds([0, 1])
                 .conventional_vs_bb(),
         );
-        let outcome = run_sweep(&spec, &PoolConfig::with_workers(2));
+        let outcome = run_sweep(&spec, &PoolConfig::with_workers(2), &FleetCache::fresh());
         assert_eq!(outcome.report.total_boots, 0);
         assert_eq!(outcome.report.failures.len(), 2);
         assert!(outcome
@@ -847,11 +755,14 @@ mod tests {
     #[test]
     fn forked_sweep_is_byte_identical_and_simulates_the_kernel_once() {
         let spec = tiny_spec([1, 2]);
-        let plain = run_sweep(&spec, &PoolConfig::with_workers(2));
-        let forked = run_sweep(&spec.clone().with_fork(true), &PoolConfig::with_workers(2));
+        let pool = PoolConfig::with_workers(2);
+        let plain = run_sweep(&spec, &pool, &FleetCache::fresh());
+        let forked = run_sweep(&spec.clone().with_fork(true), &pool, &FleetCache::fresh());
         assert_eq!(plain.report.to_json(), forked.report.to_json());
         // conventional vs bb differ in every prefix feature → 2 keys
-        // per job; the plain sweep simulates the kernel per boot.
+        // per job; the plain sweep simulates the kernel per boot. The
+        // job fingerprints are seed-dependent, so the service-wide memo
+        // cannot share across the two jobs and the counts stay exact.
         assert_eq!(plain.stats.kernel_sims, 4);
         assert_eq!(forked.stats.kernel_sims, 4);
 
@@ -876,10 +787,11 @@ mod tests {
                 },
             ),
         );
-        let plain = run_sweep(&shared_prefix, &PoolConfig::with_workers(2));
+        let plain = run_sweep(&shared_prefix, &pool, &FleetCache::fresh());
         let forked = run_sweep(
             &shared_prefix.clone().with_fork(true),
-            &PoolConfig::with_workers(2),
+            &pool,
+            &FleetCache::fresh(),
         );
         assert_eq!(plain.report.to_json(), forked.report.to_json());
         assert_eq!(plain.stats.kernel_sims, 4, "2 jobs x 2 configs");
@@ -927,10 +839,11 @@ mod tests {
             );
         // One worker makes the dedup count deterministic: jobs run in
         // order, so cell b's 4 boots are all cache hits.
-        let deduped = run_sweep(&spec, &PoolConfig::with_workers(1));
+        let deduped = run_sweep(&spec, &PoolConfig::with_workers(1), &FleetCache::fresh());
         let plain = run_sweep(
             &spec.clone().with_dedup(false),
             &PoolConfig::with_workers(2),
+            &FleetCache::fresh(),
         );
         assert_eq!(deduped.report.to_json(), plain.report.to_json());
         assert_eq!(plain.stats.cells_deduped, 0);
@@ -961,7 +874,7 @@ mod tests {
                     .conventional_vs_bb(),
             )
             .with_dedup(false);
-        let outcome = run_sweep(&spec, &PoolConfig::with_workers(1));
+        let outcome = run_sweep(&spec, &PoolConfig::with_workers(1), &FleetCache::fresh());
         assert!(outcome.report.failures.is_empty());
         assert_eq!(outcome.report.total_boots, 6);
         assert_eq!(outcome.stats.plans_compiled, 2, "one per config");
@@ -975,9 +888,10 @@ mod tests {
     #[test]
     fn a_shared_fleet_cache_carries_results_across_sweeps() {
         let spec = tiny_spec([1]);
-        let cache = FleetCache::new();
-        let first = run_sweep_cached(&spec, &PoolConfig::with_workers(1), &cache);
-        let second = run_sweep_cached(&spec, &PoolConfig::with_workers(1), &cache);
+        let pool = PoolConfig::with_workers(1);
+        let cache = FleetCache::fresh();
+        let first = run_sweep(&spec, &pool, &cache);
+        let second = run_sweep(&spec, &pool, &cache);
         assert_eq!(first.report.to_json(), second.report.to_json());
         assert_eq!(first.stats.cells_deduped, 0);
         assert_eq!(second.stats.cells_deduped, 2);
@@ -985,8 +899,26 @@ mod tests {
         assert_eq!(second.stats.plans_compiled, 0);
         cache.clear();
         assert!(cache.plans().is_empty());
-        let third = run_sweep_cached(&spec, &PoolConfig::with_workers(1), &cache);
+        let third = run_sweep(&spec, &pool, &cache);
         assert_eq!(third.stats.cells_deduped, 0, "clear() really clears");
+    }
+
+    /// The checkpoint memo lives in the cache now: a second forked
+    /// sweep over the same cache resumes from the memoized kernel
+    /// snapshots without simulating the prefix again.
+    #[test]
+    fn checkpoints_carry_across_sweeps_through_the_cache() {
+        let spec = tiny_spec([1, 2]).with_fork(true).with_dedup(false);
+        let pool = PoolConfig::with_workers(1);
+        let cache = FleetCache::fresh();
+        let first = run_sweep(&spec, &pool, &cache);
+        assert_eq!(first.stats.kernel_sims, 4, "2 jobs x 2 prefix keys");
+        let second = run_sweep(&spec, &pool, &cache);
+        assert_eq!(
+            second.stats.kernel_sims, 0,
+            "every prefix resumes from the service-wide memo"
+        );
+        assert_eq!(first.report.to_json(), second.report.to_json());
     }
 
     /// A metrics sweep must not be served span-less outcomes cached by
@@ -994,21 +926,14 @@ mod tests {
     #[test]
     fn metrics_sweeps_do_not_reuse_spanless_cached_boots() {
         let spec = tiny_spec([1]);
-        let cache = FleetCache::new();
-        run_sweep_cached(&spec, &PoolConfig::with_workers(1), &cache);
-        let with_metrics = run_sweep_cached(
-            &spec.clone().with_metrics(true),
-            &PoolConfig::with_workers(1),
-            &cache,
-        );
+        let pool = PoolConfig::with_workers(1);
+        let cache = FleetCache::fresh();
+        run_sweep(&spec, &pool, &cache);
+        let with_metrics = run_sweep(&spec.clone().with_metrics(true), &pool, &cache);
         assert_eq!(with_metrics.stats.cells_deduped, 0);
         assert!(with_metrics.report.metrics.is_some());
         // The upgraded entries now serve metrics sweeps.
-        let again = run_sweep_cached(
-            &spec.clone().with_metrics(true),
-            &PoolConfig::with_workers(1),
-            &cache,
-        );
+        let again = run_sweep(&spec.clone().with_metrics(true), &pool, &cache);
         assert_eq!(again.stats.cells_deduped, 2);
         assert_eq!(
             with_metrics.report.to_json(),

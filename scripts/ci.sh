@@ -65,6 +65,35 @@ run ./target/release/bbsim sweep --services 24 --seeds 3 \
     --workers 1 --no-dedup --json "$chaos_tmp/nodedup.json"
 run cmp "$chaos_tmp/plain.json" "$chaos_tmp/nodedup.json"
 
+# Serve smoke: a live server on a temp socket must hand two concurrent
+# clients reports byte-identical to the in-process sweep, publish the
+# bb-serve-stats-v1 document, and shut down cleanly on request.
+run ./target/release/bbsim sweep --services 24 --seeds 2 \
+    --workers 2 --json "$chaos_tmp/serve-ref.json"
+echo "==> bbsim serve --socket $chaos_tmp/bb.sock --workers 2 &"
+./target/release/bbsim serve --socket "$chaos_tmp/bb.sock" --workers 2 &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    [ -S "$chaos_tmp/bb.sock" ] && break
+    sleep 0.1
+done
+[ -S "$chaos_tmp/bb.sock" ] || { echo "serve socket never appeared"; exit 1; }
+./target/release/bbsim submit --socket "$chaos_tmp/bb.sock" \
+    --services 24 --seeds 2 --json "$chaos_tmp/serve-a.json" >/dev/null &
+client_a=$!
+./target/release/bbsim submit --socket "$chaos_tmp/bb.sock" \
+    --services 24 --seeds 2 --json "$chaos_tmp/serve-b.json" >/dev/null &
+client_b=$!
+wait "$client_a" "$client_b"
+run cmp "$chaos_tmp/serve-a.json" "$chaos_tmp/serve-ref.json"
+run cmp "$chaos_tmp/serve-b.json" "$chaos_tmp/serve-ref.json"
+echo "==> bbsim submit --stats | grep bb-serve-stats-v1"
+./target/release/bbsim submit --socket "$chaos_tmp/bb.sock" --stats \
+    | grep -q '"schema": "bb-serve-stats-v1"'
+run ./target/release/bbsim submit --socket "$chaos_tmp/bb.sock" --shutdown
+wait "$serve_pid"
+run cargo test -q --test serve_service
+
 # Instant-on smoke: suspend must emit a valid bb-snapshot-v1 document.
 echo "==> bbsim suspend --services 24 --json | grep schema"
 ./target/release/bbsim suspend --services 24 --json >"$chaos_tmp/suspend.json"

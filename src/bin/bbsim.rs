@@ -3,7 +3,9 @@
 //! Boots a scenario under a chosen Booting Booster configuration and
 //! prints the timeline; optionally writes a bootchart SVG and the
 //! dependency graph. The `sweep` subcommand runs a parallel seed sweep
-//! on the bb-fleet work-stealing pool instead of a single boot.
+//! on the bb-fleet work-queue service instead of a single boot; `serve`
+//! keeps that service alive behind a socket and `submit` sends jobs to
+//! it.
 //!
 //! ```text
 //! bbsim [--scenario tv|tv136|camera] [--units DIR --target T --completion U]
@@ -24,7 +26,22 @@
 //!             [--corruption-seed N] [--workers N] [--deadline-ms N]
 //!             [--restart no|on-failure|always] [--restart-sec-ms N]
 //!             [--burst N] [--json FILE|-]
+//!
+//! bbsim serve (--socket PATH | --tcp ADDR) [--workers N]
+//!             [--queue-cap N] [--client-quota N]
+//!
+//! bbsim submit [sweep|chaos] (--socket PATH | --tcp ADDR) [job flags]
+//!              [--json FILE|-] [--metrics FILE|-] [--stats] [--shutdown]
 //! ```
+//!
+//! `serve` runs the persistent fleet service: one shared cache of
+//! compiled plans, memoized scenarios, deduplicated boots, and kernel
+//! checkpoints across every job any client submits. `submit` speaks
+//! the `bb-serve-v1` NDJSON protocol to it; a submitted sweep's
+//! `--json` output is byte-identical to the in-process
+//! `bbsim sweep --json` for the same flags. `submit --stats` prints
+//! the service's `bb-serve-stats-v1` counters; `submit --shutdown`
+//! stops the server.
 //!
 //! With `--units DIR`, your own systemd unit files are parsed and booted
 //! with synthesized workload bodies (structure exploration, not absolute
@@ -82,22 +99,20 @@
 
 use std::process::exit;
 
-use booting_booster::bb::FallbackPolicy;
 use booting_booster::bb::{
     analyze_directives, attribution_table, metrics_snapshot, profile, BbConfig, BootRequest,
     Comparison, Pipeline,
 };
 use booting_booster::fleet::{
-    json, run_chaos, run_sweep, CellSpec, ChaosCellSpec, ChaosSpec, DiffVerdict, PoolConfig,
-    Supervision, SweepSpec,
+    json, run_chaos, run_sweep, DiffVerdict, FleetCache, PoolConfig, ServiceConfig,
 };
 use booting_booster::init::{
-    blame, parse_unit_dir_with_warnings, time_summary, Bootchart, RestartPolicy, UnitGraph,
-    UnitName,
+    blame, parse_unit_dir_with_warnings, time_summary, Bootchart, UnitGraph, UnitName,
 };
+use booting_booster::serve::{BindAddr, Client, JobKind, Server, SweepArgs};
 use booting_booster::workloads::{
     camera_scenario, custom_scenario, profiles, tv_scenario, tv_scenario_open_source,
-    tv_scenario_with, MachineProfile, TizenParams,
+    tv_scenario_with, TizenParams,
 };
 
 struct Args {
@@ -137,6 +152,11 @@ fn usage() -> ! {
          \u{20}            [--corruption-seed N] [--workers N] [--deadline-ms N]\n\
          \u{20}            [--restart no|on-failure|always] [--restart-sec-ms N]\n\
          \u{20}            [--burst N] [--json FILE|-]\n\
+         \u{20}      bbsim serve (--socket PATH | --tcp ADDR) [--workers N]\n\
+         \u{20}            [--queue-cap N] [--client-quota N]\n\
+         \u{20}      bbsim submit [sweep|chaos] (--socket PATH | --tcp ADDR)\n\
+         \u{20}            [job flags] [--json FILE|-] [--metrics FILE|-]\n\
+         \u{20}            [--stats] [--shutdown]\n\
          LIST: comma-separated of rcu-booster,defer-memory,modularizer,\n\
          \u{20}     defer-journal,deferred-executor,preparser,bb-group"
     );
@@ -201,28 +221,10 @@ fn parse_args(mut it: impl Iterator<Item = String>) -> Args {
 }
 
 fn parse_features(spec: &str) -> BbConfig {
-    match spec {
-        "all" | "full" => return BbConfig::full(),
-        "none" | "conventional" => return BbConfig::conventional(),
-        _ => {}
-    }
-    let mut cfg = BbConfig::conventional();
-    for feature in spec.split(',') {
-        match feature.trim() {
-            "rcu-booster" => cfg.rcu_booster = true,
-            "defer-memory" => cfg.defer_memory = true,
-            "modularizer" => cfg.ondemand_modularizer = true,
-            "defer-journal" => cfg.defer_journal = true,
-            "deferred-executor" => cfg.deferred_executor = true,
-            "preparser" => cfg.preparser = true,
-            "bb-group" => cfg.bb_group = true,
-            other => {
-                eprintln!("unknown feature {other:?}");
-                usage()
-            }
-        }
-    }
-    cfg
+    BbConfig::from_feature_list(spec).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        usage()
+    })
 }
 
 fn build_scenario(args: &Args) -> booting_booster::bb::Scenario {
@@ -700,259 +702,160 @@ fn run_boot(args: Args) {
 // sweep subcommand
 // ---------------------------------------------------------------------
 
-struct SweepArgs {
-    profiles: String,
-    services: usize,
-    seeds: u64,
-    seed_base: u64,
-    features: String,
+/// Flags that never cross the wire: execution placement and output
+/// destinations. Everything grid-shaped lives in the shared
+/// [`SweepArgs`] wire struct.
+#[derive(Default)]
+struct LocalFlags {
     workers: Option<usize>,
-    deadline_ms: Option<u64>,
-    fork_from: Option<String>,
-    no_dedup: bool,
     json: Option<String>,
     metrics: Option<String>,
     baseline: Option<String>,
     tolerance: f64,
 }
 
-fn parse_sweep_args(mut it: impl Iterator<Item = String>) -> SweepArgs {
-    let mut args = SweepArgs {
-        profiles: "ue48h6200".into(),
-        services: 136,
-        seeds: 20,
-        seed_base: 0,
-        features: "all".into(),
-        workers: None,
-        deadline_ms: None,
-        fork_from: None,
-        no_dedup: false,
-        json: None,
-        metrics: None,
-        baseline: None,
+/// Parses a sweep/chaos/suspend command line: wire flags go through
+/// [`SweepArgs::parse_flag`]; whatever it doesn't claim is matched
+/// against the client-side flags here.
+fn parse_job_args(kind: JobKind, mut it: impl Iterator<Item = String>) -> (SweepArgs, LocalFlags) {
+    let mut job = SweepArgs::new(kind);
+    let mut local = LocalFlags {
         tolerance: 2.0,
+        ..LocalFlags::default()
     };
+    let name = kind.as_str();
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
+        match job.parse_flag(&flag, &mut || it.next()) {
+            Err(e) => {
+                eprintln!("error: {e}");
+                usage()
+            }
+            Ok(true) => continue,
+            Ok(false) => {}
+        }
+        let mut value = |flag: &str| {
             it.next().unwrap_or_else(|| {
-                eprintln!("missing value for {name}");
+                eprintln!("missing value for {flag}");
                 usage()
             })
         };
-        match flag.as_str() {
-            "--profiles" => args.profiles = value("--profiles"),
-            "--services" => args.services = value("--services").parse().unwrap_or_else(|_| usage()),
-            "--seeds" => args.seeds = value("--seeds").parse().unwrap_or_else(|_| usage()),
-            "--seed" => args.seed_base = value("--seed").parse().unwrap_or_else(|_| usage()),
-            "--features" => args.features = value("--features"),
-            "--workers" => {
-                args.workers = Some(value("--workers").parse().unwrap_or_else(|_| usage()))
+        match (flag.as_str(), kind) {
+            ("--workers", JobKind::Sweep | JobKind::Chaos) => {
+                local.workers = Some(value("--workers").parse().unwrap_or_else(|_| usage()))
             }
-            "--deadline-ms" => {
-                args.deadline_ms = Some(value("--deadline-ms").parse().unwrap_or_else(|_| usage()))
+            // suspend's --json is a mode switch (print to stdout);
+            // sweep/chaos take a destination path.
+            ("--json", JobKind::Suspend) => local.json = Some("-".into()),
+            ("--json", _) => local.json = Some(value("--json")),
+            ("--metrics", JobKind::Sweep) => {
+                job.metrics = true;
+                local.metrics = Some(value("--metrics"));
             }
-            "--fork-from" => args.fork_from = Some(value("--fork-from")),
-            "--no-dedup" => args.no_dedup = true,
-            "--json" => args.json = Some(value("--json")),
-            "--metrics" => args.metrics = Some(value("--metrics")),
-            "--baseline" => args.baseline = Some(value("--baseline")),
-            "--tolerance" => {
-                args.tolerance = value("--tolerance").parse().unwrap_or_else(|_| usage())
+            ("--baseline", JobKind::Sweep) => local.baseline = Some(value("--baseline")),
+            ("--tolerance", JobKind::Sweep) => {
+                local.tolerance = value("--tolerance").parse().unwrap_or_else(|_| usage())
             }
-            "--help" | "-h" => usage(),
-            other => {
-                eprintln!("unknown sweep flag {other}");
+            ("--help" | "-h", _) => usage(),
+            (other, _) => {
+                eprintln!("unknown {name} flag {other}");
                 usage()
             }
         }
     }
-    args
+    (job, local)
 }
 
-fn resolve_profiles(spec: &str) -> Vec<MachineProfile> {
-    if spec == "all" {
-        return profiles::all_profiles();
-    }
-    // Accept any dash/underscore/case spelling: "galaxy-s6" == "GalaxyS6".
-    fn fold(name: &str) -> String {
-        name.chars()
-            .filter(char::is_ascii_alphanumeric)
-            .map(|c| c.to_ascii_lowercase())
-            .collect()
-    }
-    spec.split(',')
-        .map(|name| {
-            let all = profiles::all_profiles();
-            let known: Vec<&str> = all.iter().map(|p| p.name).collect();
-            all.iter()
-                .find(|p| fold(p.name) == fold(name.trim()))
-                .cloned()
-                .unwrap_or_else(|| {
-                    eprintln!("unknown profile {name:?} (try: {} or all)", known.join(","));
-                    exit(2);
-                })
-        })
-        .collect()
-}
-
-fn run_sweep_cmd(args: SweepArgs) {
-    if args.services < 24 {
-        eprintln!("error: --services must be at least 24 (the TV backbone alone needs that)");
-        exit(2);
-    }
-    let boosted = parse_features(&args.features);
-    let boosted_label = if args.features == "all" || args.features == "full" {
-        "bb".to_string()
-    } else {
-        args.features.clone()
-    };
-    let mut spec = SweepSpec::new()
-        .with_metrics(args.metrics.is_some())
-        .with_dedup(!args.no_dedup);
-    if let Some(ms) = args.deadline_ms {
-        spec = spec.deadline(std::time::Duration::from_millis(ms));
-    }
-    if let Some(phase) = &args.fork_from {
-        match phase.as_str() {
-            "kernel" | "kernel-handoff" => spec = spec.with_fork(true),
-            other => {
-                eprintln!("unknown --fork-from phase {other:?} (kernel-handoff)");
-                usage()
-            }
-        }
-    }
-    for profile in resolve_profiles(&args.profiles) {
-        let label = format!("{}-s{}", profile.name, args.services);
-        spec = spec.cell(
-            CellSpec::tizen(
-                label,
-                profile,
-                TizenParams {
-                    services: args.services,
-                    ..TizenParams::default()
-                },
-            )
-            .seeds(args.seed_base..args.seed_base + args.seeds)
-            .config("conventional", BbConfig::conventional())
-            .config(boosted_label.clone(), boosted),
-        );
-    }
-
-    let pool = match args.workers {
+fn pool_config(local: &LocalFlags) -> PoolConfig {
+    match local.workers {
         Some(n) => PoolConfig::with_workers(n),
         None => PoolConfig::default(),
-    };
+    }
+}
+
+/// Writes a report document to a `--json`/`--metrics` style
+/// destination: `-` is stdout, anything else a file path.
+fn write_doc(path: &str, doc: &str, what: &str) {
+    if path == "-" {
+        print!("{doc}");
+    } else {
+        std::fs::write(path, doc).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {what} to {path}: {e}");
+            exit(1);
+        });
+        eprintln!("{what} written to {path}");
+    }
+}
+
+fn read_baseline(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read baseline {path}: {e}");
+        exit(1);
+    })
+}
+
+/// Prints baseline drift and exits 1 on regression. Shared by the
+/// in-process sweep and `submit`.
+fn report_diffs(diffs: Vec<booting_booster::fleet::DiffEntry>, tolerance: f64) {
+    let mut regressions = 0;
+    for d in &diffs {
+        if d.verdict != DiffVerdict::Unchanged {
+            println!("{d}");
+        }
+        if d.verdict == DiffVerdict::Regression {
+            regressions += 1;
+        }
+    }
+    if regressions > 0 {
+        eprintln!("{regressions} regression(s) beyond {tolerance}%");
+        exit(1);
+    }
+    println!(
+        "baseline check passed ({} entries, tolerance {tolerance}%)",
+        diffs.len(),
+    );
+}
+
+fn run_sweep_cmd(job: SweepArgs, local: LocalFlags) {
+    let spec = job.sweep_spec().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        exit(2);
+    });
+    let pool = pool_config(&local);
     eprintln!(
         "sweep: {} cells, {} boots, {} workers",
         spec.cells.len(),
         spec.total_boots(),
         pool.workers
     );
-    let outcome = run_sweep(&spec, &pool);
+    let outcome = run_sweep(&spec, &pool, &FleetCache::fresh());
 
     print!("{}", outcome.report.summary());
     eprintln!("{}", outcome.stats.summary());
 
-    if let Some(path) = &args.json {
-        let doc = outcome.report.to_json();
-        if path == "-" {
-            print!("{doc}");
-        } else {
-            std::fs::write(path, doc).expect("write sweep json");
-            eprintln!("sweep report written to {path}");
-        }
+    if let Some(path) = &local.json {
+        write_doc(path, &outcome.report.to_json(), "sweep report");
     }
-    if let Some(path) = &args.metrics {
+    if let Some(path) = &local.metrics {
         match &outcome.report.metrics {
             None => eprintln!("no span metrics collected (every job failed)"),
-            Some(metrics) => {
-                let doc = metrics.to_json();
-                if path == "-" {
-                    print!("{doc}");
-                } else {
-                    std::fs::write(path, doc).expect("write metrics json");
-                    eprintln!("span metrics written to {path}");
-                }
-            }
+            Some(metrics) => write_doc(path, &metrics.to_json(), "span metrics"),
         }
     }
-    if let Some(path) = &args.baseline {
-        let baseline = std::fs::read_to_string(path).unwrap_or_else(|e| {
-            eprintln!("error: cannot read baseline {path}: {e}");
-            exit(1);
-        });
+    if let Some(path) = &local.baseline {
         let diffs = outcome
             .report
-            .diff_baseline(&baseline, args.tolerance)
+            .diff_baseline(&read_baseline(path), local.tolerance)
             .unwrap_or_else(|e| {
                 eprintln!("error: bad baseline JSON: {e}");
                 exit(1);
             });
-        let mut regressions = 0;
-        for d in &diffs {
-            if d.verdict != DiffVerdict::Unchanged {
-                println!("{d}");
-            }
-            if d.verdict == DiffVerdict::Regression {
-                regressions += 1;
-            }
-        }
-        if regressions > 0 {
-            eprintln!("{regressions} regression(s) beyond {}%", args.tolerance);
-            exit(1);
-        }
-        println!(
-            "baseline check passed ({} entries, tolerance {}%)",
-            diffs.len(),
-            args.tolerance
-        );
+        report_diffs(diffs, local.tolerance);
     }
 }
 
 // ---------------------------------------------------------------------
 // suspend subcommand
 // ---------------------------------------------------------------------
-
-struct SuspendArgs {
-    scenario: String,
-    services: Option<usize>,
-    cores: Option<usize>,
-    seed: Option<u64>,
-    json: bool,
-}
-
-fn parse_suspend_args(mut it: impl Iterator<Item = String>) -> SuspendArgs {
-    let mut args = SuspendArgs {
-        scenario: "tv".into(),
-        services: None,
-        cores: None,
-        seed: None,
-        json: false,
-    };
-    while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().unwrap_or_else(|| {
-                eprintln!("missing value for {name}");
-                usage()
-            })
-        };
-        match flag.as_str() {
-            "--scenario" => args.scenario = value("--scenario"),
-            "--services" => {
-                args.services = Some(value("--services").parse().unwrap_or_else(|_| usage()))
-            }
-            "--cores" => args.cores = Some(value("--cores").parse().unwrap_or_else(|_| usage())),
-            "--seed" => args.seed = Some(value("--seed").parse().unwrap_or_else(|_| usage())),
-            "--json" => args.json = true,
-            "--help" | "-h" => usage(),
-            other => {
-                eprintln!("unknown suspend flag {other}");
-                usage()
-            }
-        }
-    }
-    args
-}
 
 fn suspend_json(
     scenario: &booting_booster::bb::Scenario,
@@ -994,22 +897,23 @@ fn suspend_json(
     out
 }
 
-fn run_suspend_cmd(args: SuspendArgs) {
+fn run_suspend_cmd(job: SweepArgs, local: LocalFlags) {
     use booting_booster::kernel::{StandbyPolicy, SuspendToRam};
     use booting_booster::sim::snapshot;
 
+    let json = local.json.is_some();
     let boot_args = Args {
-        scenario: args.scenario,
+        scenario: job.scenario,
         units_dir: None,
         target: "boot.target".into(),
         completion: None,
         features: "all".into(),
-        services: args.services,
-        cores: args.cores,
-        seed: args.seed,
+        services: job.services,
+        cores: job.cores,
+        seed: job.seed,
         compare: false,
         explain: false,
-        json: args.json,
+        json,
         profile: false,
         metrics: false,
         chart: None,
@@ -1047,7 +951,7 @@ fn run_suspend_cmd(args: SuspendArgs) {
         .simulate_resume(&mut resumed)
         .resume_time();
 
-    if args.json {
+    if json {
         print!(
             "{}",
             suspend_json(&scenario, bytes.len(), resume, bb_boot, conv_boot)
@@ -1102,40 +1006,56 @@ fn run_suspend_cmd(args: SuspendArgs) {
 // chaos subcommand
 // ---------------------------------------------------------------------
 
-struct ChaosArgs {
-    profiles: String,
-    services: usize,
-    seeds: u64,
-    seed_base: u64,
-    plans: u64,
-    plan_seed: u64,
-    corruption: u64,
-    corruption_seed: u64,
-    workers: Option<usize>,
-    deadline_ms: u64,
-    restart: String,
-    restart_sec_ms: u64,
-    burst: u32,
-    json: Option<String>,
+fn run_chaos_cmd(job: SweepArgs, local: LocalFlags) {
+    let spec = job.chaos_spec().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        exit(2);
+    });
+    let pool = pool_config(&local);
+    eprintln!(
+        "chaos: {} cells, {} boots ({} fault plans + control, {} corruption plans + pristine), {} workers",
+        spec.cells.len(),
+        spec.total_boots(),
+        job.plans,
+        job.corruption,
+        pool.workers
+    );
+    let outcome = run_chaos(&spec, &pool);
+
+    print!("{}", outcome.report.summary());
+    eprintln!("{}", outcome.stats.summary());
+
+    if let Some(path) = &local.json {
+        write_doc(path, &outcome.report.to_json(), "chaos report");
+    }
+    if !outcome.report.failures.is_empty() {
+        exit(1);
+    }
 }
 
-fn parse_chaos_args(mut it: impl Iterator<Item = String>) -> ChaosArgs {
-    let mut args = ChaosArgs {
-        profiles: "ue48h6200".into(),
-        services: 136,
-        seeds: 10,
-        seed_base: 0,
-        plans: 4,
-        plan_seed: 1000,
-        corruption: 0,
-        corruption_seed: 5000,
-        workers: None,
-        deadline_ms: FallbackPolicy::default().deadline.as_millis(),
-        restart: "on-failure".into(),
-        restart_sec_ms: 100,
-        burst: 3,
-        json: None,
-    };
+// ---------------------------------------------------------------------
+// serve / submit subcommands
+// ---------------------------------------------------------------------
+
+fn parse_bind_addr(socket: Option<String>, tcp: Option<String>) -> BindAddr {
+    match (socket, tcp) {
+        (Some(path), None) => BindAddr::Unix(path.into()),
+        (None, Some(addr)) => BindAddr::Tcp(addr),
+        (None, None) => {
+            eprintln!("error: pass --socket PATH or --tcp ADDR");
+            usage()
+        }
+        (Some(_), Some(_)) => {
+            eprintln!("error: --socket and --tcp are mutually exclusive");
+            usage()
+        }
+    }
+}
+
+fn run_serve_cmd(mut it: impl Iterator<Item = String>) {
+    let mut socket = None;
+    let mut tcp = None;
+    let mut config = ServiceConfig::default();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
             it.next().unwrap_or_else(|| {
@@ -1144,117 +1064,153 @@ fn parse_chaos_args(mut it: impl Iterator<Item = String>) -> ChaosArgs {
             })
         };
         match flag.as_str() {
-            "--profiles" => args.profiles = value("--profiles"),
-            "--services" => args.services = value("--services").parse().unwrap_or_else(|_| usage()),
-            "--seeds" => args.seeds = value("--seeds").parse().unwrap_or_else(|_| usage()),
-            "--seed" => args.seed_base = value("--seed").parse().unwrap_or_else(|_| usage()),
-            "--plans" => args.plans = value("--plans").parse().unwrap_or_else(|_| usage()),
-            "--plan-seed" => {
-                args.plan_seed = value("--plan-seed").parse().unwrap_or_else(|_| usage())
+            "--socket" => socket = Some(value("--socket")),
+            "--tcp" => tcp = Some(value("--tcp")),
+            "--workers" => config.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
+            "--queue-cap" => {
+                config.queue_capacity = value("--queue-cap").parse().unwrap_or_else(|_| usage())
             }
-            "--corruption" => {
-                args.corruption = value("--corruption").parse().unwrap_or_else(|_| usage())
+            "--client-quota" => {
+                config.max_pending_per_client =
+                    value("--client-quota").parse().unwrap_or_else(|_| usage())
             }
-            "--corruption-seed" => {
-                args.corruption_seed = value("--corruption-seed")
-                    .parse()
-                    .unwrap_or_else(|_| usage())
-            }
-            "--workers" => {
-                args.workers = Some(value("--workers").parse().unwrap_or_else(|_| usage()))
-            }
-            "--deadline-ms" => {
-                args.deadline_ms = value("--deadline-ms").parse().unwrap_or_else(|_| usage())
-            }
-            "--restart" => args.restart = value("--restart"),
-            "--restart-sec-ms" => {
-                args.restart_sec_ms = value("--restart-sec-ms")
-                    .parse()
-                    .unwrap_or_else(|_| usage())
-            }
-            "--burst" => args.burst = value("--burst").parse().unwrap_or_else(|_| usage()),
-            "--json" => args.json = Some(value("--json")),
             "--help" | "-h" => usage(),
             other => {
-                eprintln!("unknown chaos flag {other}");
+                eprintln!("unknown serve flag {other}");
                 usage()
             }
         }
     }
-    args
+    let addr = parse_bind_addr(socket, tcp);
+    let workers = config.workers;
+    let server = Server::bind(&addr, config).unwrap_or_else(|e| {
+        eprintln!("error: cannot bind {addr}: {e}");
+        exit(1);
+    });
+    eprintln!("serving on {addr} with {workers} workers (submit jobs with: bbsim submit)");
+    if let Err(e) = server.run() {
+        eprintln!("serve loop failed: {e}");
+        exit(1);
+    }
+    eprintln!("serve: drained and stopped");
 }
 
-fn run_chaos_cmd(args: ChaosArgs) {
-    if args.services < 24 {
-        eprintln!("error: --services must be at least 24 (the TV backbone alone needs that)");
-        exit(2);
-    }
-    let restart = match args.restart.as_str() {
-        "no" | "none" => RestartPolicy::No,
-        "on-failure" => RestartPolicy::OnFailure,
-        "always" => RestartPolicy::Always,
-        other => {
-            eprintln!("unknown --restart policy {other:?} (no|on-failure|always)");
-            usage()
+fn run_submit_cmd(mut it: std::iter::Peekable<impl Iterator<Item = String>>) {
+    let kind = match it.peek().map(String::as_str) {
+        Some("sweep") => {
+            it.next();
+            JobKind::Sweep
         }
+        Some("chaos") => {
+            it.next();
+            JobKind::Chaos
+        }
+        _ => JobKind::Sweep,
     };
-    let supervision = if restart == RestartPolicy::No {
-        None
-    } else {
-        Some(Supervision {
-            restart,
-            restart_sec_ms: args.restart_sec_ms,
-            start_limit_burst: args.burst,
-        })
-    };
-    let mut spec = ChaosSpec::new();
-    for profile in resolve_profiles(&args.profiles) {
-        let label = format!("{}-s{}", profile.name, args.services);
-        spec = spec.cell(
-            ChaosCellSpec::tizen(
-                label,
-                profile,
-                TizenParams {
-                    services: args.services,
-                    ..TizenParams::default()
-                },
-            )
-            .seeds(args.seed_base..args.seed_base + args.seeds)
-            .fault_plans(args.plans, args.plan_seed)
-            .corruption_plans(args.corruption, args.corruption_seed)
-            .supervision(supervision)
-            .deadline_ms(args.deadline_ms)
-            .conventional_vs_bb(),
-        );
-    }
-
-    let pool = match args.workers {
-        Some(n) => PoolConfig::with_workers(n),
-        None => PoolConfig::default(),
-    };
-    eprintln!(
-        "chaos: {} cells, {} boots ({} fault plans + control, {} corruption plans + pristine), {} workers",
-        spec.cells.len(),
-        spec.total_boots(),
-        args.plans,
-        args.corruption,
-        pool.workers
-    );
-    let outcome = run_chaos(&spec, &pool);
-
-    print!("{}", outcome.report.summary());
-    eprintln!("{}", outcome.stats.summary());
-
-    if let Some(path) = &args.json {
-        let doc = outcome.report.to_json();
-        if path == "-" {
-            print!("{doc}");
-        } else {
-            std::fs::write(path, doc).expect("write chaos json");
-            eprintln!("chaos report written to {path}");
+    let mut job = SweepArgs::new(kind);
+    let mut socket = None;
+    let mut tcp = None;
+    let mut json = None;
+    let mut metrics = None;
+    let mut baseline = None;
+    let mut tolerance = 2.0f64;
+    let mut stats = false;
+    let mut shutdown = false;
+    while let Some(flag) = it.next() {
+        match job.parse_flag(&flag, &mut || it.next()) {
+            Err(e) => {
+                eprintln!("error: {e}");
+                usage()
+            }
+            Ok(true) => continue,
+            Ok(false) => {}
+        }
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--socket" => socket = Some(value("--socket")),
+            "--tcp" => tcp = Some(value("--tcp")),
+            "--json" => json = Some(value("--json")),
+            "--metrics" if kind == JobKind::Sweep => {
+                job.metrics = true;
+                metrics = Some(value("--metrics"));
+            }
+            "--baseline" if kind == JobKind::Sweep => baseline = Some(value("--baseline")),
+            "--tolerance" if kind == JobKind::Sweep => {
+                tolerance = value("--tolerance").parse().unwrap_or_else(|_| usage())
+            }
+            "--stats" => stats = true,
+            "--shutdown" => shutdown = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown submit flag {other}");
+                usage()
+            }
         }
     }
-    if !outcome.report.failures.is_empty() {
+    let addr = parse_bind_addr(socket, tcp);
+    let mut client = Client::connect(&addr).unwrap_or_else(|e| {
+        eprintln!("error: cannot connect to {addr}: {e}");
+        exit(1);
+    });
+
+    // --stats / --shutdown are service operations, not job submissions.
+    if stats {
+        let doc = client.stats().unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            exit(1);
+        });
+        print!("{doc}");
+    }
+    if shutdown {
+        client.shutdown().unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            exit(1);
+        });
+        eprintln!("server on {addr} is stopping");
+    }
+    if stats || shutdown {
+        return;
+    }
+
+    let result = client.run(&job).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        exit(1);
+    });
+    print!("{}", result.summary);
+    eprintln!("{}", result.pool_summary);
+    if let Some(path) = &json {
+        let what = match kind {
+            JobKind::Chaos => "chaos report",
+            _ => "sweep report",
+        };
+        write_doc(path, &result.report, what);
+    }
+    if let Some(path) = &metrics {
+        match &result.metrics {
+            None => eprintln!("no span metrics collected (every job failed)"),
+            Some(doc) => write_doc(path, doc, "span metrics"),
+        }
+    }
+    if let Some(path) = &baseline {
+        let diffs = booting_booster::fleet::diff_baseline_json(
+            &result.report,
+            &read_baseline(path),
+            tolerance,
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("error: bad baseline or report JSON: {e}");
+            exit(1);
+        });
+        report_diffs(diffs, tolerance);
+    }
+    // A chaos grid that failed boots is a failed run, same as the
+    // in-process `bbsim chaos`.
+    if kind == JobKind::Chaos && result.failures > 0 {
         exit(1);
     }
 }
@@ -1264,15 +1220,26 @@ fn main() {
     match argv.peek().map(String::as_str) {
         Some("sweep") => {
             argv.next();
-            run_sweep_cmd(parse_sweep_args(argv));
+            let (job, local) = parse_job_args(JobKind::Sweep, argv);
+            run_sweep_cmd(job, local);
         }
         Some("chaos") => {
             argv.next();
-            run_chaos_cmd(parse_chaos_args(argv));
+            let (job, local) = parse_job_args(JobKind::Chaos, argv);
+            run_chaos_cmd(job, local);
         }
         Some("suspend") => {
             argv.next();
-            run_suspend_cmd(parse_suspend_args(argv));
+            let (job, local) = parse_job_args(JobKind::Suspend, argv);
+            run_suspend_cmd(job, local);
+        }
+        Some("serve") => {
+            argv.next();
+            run_serve_cmd(argv);
+        }
+        Some("submit") => {
+            argv.next();
+            run_submit_cmd(argv);
         }
         _ => run_boot(parse_args(argv)),
     }

@@ -16,11 +16,15 @@
 //!   with telemetry and the critical-path profiler.
 //! * [`workloads`] — machine profiles, the synthetic Tizen TV service
 //!   graph, and calibrated scenarios.
-//! * [`fleet`] — work-stealing parallel sweep engine: expands a
-//!   {seed × params × profile × config} grid into jobs, executes them
-//!   with panic/deadline isolation, and streams results into a
+//! * [`fleet`] — the fleet work-queue service and sweep engine:
+//!   expands a {seed × params × profile × config} grid into jobs,
+//!   executes them on a persistent [`fleet::FleetService`] with
+//!   panic/deadline isolation, and streams results into a
 //!   deterministic aggregated report (byte-identical for any worker
-//!   count).
+//!   count, cache state, or client interleaving).
+//! * [`serve`] — the `bbsim serve` layer: the `bb-serve-v1` NDJSON
+//!   wire protocol, the socket server in front of one fleet service,
+//!   and the submitting client.
 //!
 //! # Quickstart
 //!
@@ -45,5 +49,6 @@ pub use bb_fleet as fleet;
 pub use bb_init as init;
 pub use bb_kernel as kernel;
 pub use bb_rcu as rcu;
+pub use bb_serve as serve;
 pub use bb_sim as sim;
 pub use bb_workloads as workloads;

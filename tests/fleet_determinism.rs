@@ -7,7 +7,7 @@ use std::time::{Duration, Instant};
 
 use booting_booster::bb::BbConfig;
 use booting_booster::fleet::{
-    parse_json, run_sweep, CellSpec, PoolConfig, ScenarioSource, SweepSpec,
+    parse_json, run_sweep, CellSpec, FleetCache, PoolConfig, ScenarioSource, SweepSpec,
 };
 use booting_booster::init::UnitName;
 use booting_booster::workloads::{profiles, tv_scenario_with, TizenParams};
@@ -42,13 +42,17 @@ fn two_cell_spec() -> SweepSpec {
 #[test]
 fn aggregated_json_is_byte_identical_across_worker_counts() {
     let spec = two_cell_spec();
-    let serial = run_sweep(&spec, &PoolConfig::with_workers(1));
+    let serial = run_sweep(&spec, &PoolConfig::with_workers(1), &FleetCache::fresh());
     let json_serial = serial.report.to_json();
     assert_eq!(serial.report.total_boots, spec.total_boots());
     assert!(serial.report.failures.is_empty());
 
     for workers in [2, 3, 5] {
-        let parallel = run_sweep(&spec, &PoolConfig::with_workers(workers));
+        let parallel = run_sweep(
+            &spec,
+            &PoolConfig::with_workers(workers),
+            &FleetCache::fresh(),
+        );
         assert_eq!(parallel.report, serial.report, "{workers} workers");
         assert_eq!(
             parallel.report.to_json(),
@@ -63,7 +67,7 @@ fn aggregated_json_is_byte_identical_across_worker_counts() {
 #[test]
 fn span_metrics_json_is_byte_identical_across_worker_counts() {
     let spec = two_cell_spec().with_metrics(true);
-    let serial = run_sweep(&spec, &PoolConfig::with_workers(1));
+    let serial = run_sweep(&spec, &PoolConfig::with_workers(1), &FleetCache::fresh());
     let metrics = serial
         .report
         .metrics
@@ -82,7 +86,11 @@ fn span_metrics_json_is_byte_identical_across_worker_counts() {
     }
 
     for workers in [2, 4] {
-        let parallel = run_sweep(&spec, &PoolConfig::with_workers(workers));
+        let parallel = run_sweep(
+            &spec,
+            &PoolConfig::with_workers(workers),
+            &FleetCache::fresh(),
+        );
         assert_eq!(
             parallel.report.metrics.as_ref().unwrap().to_json(),
             json_serial,
@@ -107,7 +115,7 @@ fn panicking_job_is_reported_and_sweep_completes() {
         )
         .cell(CellSpec::fixed("poisoned", poisoned).config("bb", BbConfig::full()));
 
-    let outcome = run_sweep(&spec, &PoolConfig::with_workers(2));
+    let outcome = run_sweep(&spec, &PoolConfig::with_workers(2), &FleetCache::fresh());
     // The healthy cell aggregated fully...
     assert_eq!(outcome.report.cells[0].completed, 2);
     assert_eq!(outcome.report.total_boots, 4);
@@ -131,7 +139,7 @@ fn deadline_exceeded_jobs_are_isolated_failures() {
                 .conventional_vs_bb(),
         )
         .deadline(Duration::ZERO);
-    let outcome = run_sweep(&spec, &PoolConfig::with_workers(2));
+    let outcome = run_sweep(&spec, &PoolConfig::with_workers(2), &FleetCache::fresh());
     assert_eq!(outcome.report.total_boots, 0);
     assert_eq!(outcome.report.failures.len(), 2);
     assert!(outcome
@@ -156,7 +164,7 @@ fn fixed_cells_reuse_one_template() {
         ScenarioSource::Fixed(s) => assert!(Arc::strong_count(s) >= 1),
         other => panic!("expected fixed source, got {other:?}"),
     }
-    let outcome = run_sweep(&spec, &PoolConfig::with_workers(2));
+    let outcome = run_sweep(&spec, &PoolConfig::with_workers(2), &FleetCache::fresh());
     // Identical template => identical boot time in every slot.
     let stats = &outcome.report.cells[0].configs[0];
     assert_eq!(stats.count, 4);
@@ -190,11 +198,15 @@ fn multicore_sweep_speedup_scales_with_cores() {
     assert_eq!(spec.total_boots(), 200);
 
     let start = Instant::now();
-    let serial = run_sweep(&spec, &PoolConfig::with_workers(1));
+    let serial = run_sweep(&spec, &PoolConfig::with_workers(1), &FleetCache::fresh());
     let serial_wall = start.elapsed();
 
     let start = Instant::now();
-    let parallel = run_sweep(&spec, &PoolConfig::with_workers(cores));
+    let parallel = run_sweep(
+        &spec,
+        &PoolConfig::with_workers(cores),
+        &FleetCache::fresh(),
+    );
     let parallel_wall = start.elapsed();
 
     // The determinism half holds on any hardware.

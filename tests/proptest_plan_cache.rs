@@ -17,7 +17,7 @@ use std::sync::Arc;
 use proptest::prelude::*;
 
 use booting_booster::bb::{fault_targets, BbConfig, BootRequest, PlanCache};
-use booting_booster::fleet::{run_sweep, CellSpec, PoolConfig, SweepSpec};
+use booting_booster::fleet::{run_sweep, CellSpec, FleetCache, PoolConfig, SweepSpec};
 use booting_booster::sim::{snapshot, FaultPlan};
 use booting_booster::workloads::{profiles, tv_scenario_with, TizenParams};
 
@@ -139,10 +139,11 @@ proptest! {
                     .conventional_vs_bb(),
             );
 
-        let deduped = run_sweep(&spec, &PoolConfig::with_workers(dedup_workers));
+        let deduped = run_sweep(&spec, &PoolConfig::with_workers(dedup_workers), &FleetCache::fresh());
         let plain = run_sweep(
             &spec.clone().with_dedup(false),
             &PoolConfig::with_workers(plain_workers),
+            &FleetCache::fresh(),
         );
         prop_assert_eq!(plain.stats.cells_deduped, 0);
         if dedup_workers == 1 {

@@ -1,0 +1,179 @@
+//! Serving acceptance tests: N concurrent clients against one
+//! [`FleetService`] must each get a report byte-identical to a
+//! one-shot in-process sweep, the shared cache must dedup *across*
+//! clients, and the socket server must round-trip the same bytes over
+//! the `bb-serve-v1` wire protocol and shut down cleanly.
+
+use std::sync::Arc;
+use std::thread;
+
+use booting_booster::fleet::{
+    run_sweep, FleetCache, FleetService, PoolConfig, ServiceConfig, ServiceReport, TicketStatus,
+};
+use booting_booster::serve::{BindAddr, Client, JobKind, Server, SweepArgs};
+
+/// The small grid every test submits: 1 cell × 3 seeds × 2 configs.
+fn small_job() -> SweepArgs {
+    let mut job = SweepArgs::new(JobKind::Sweep);
+    job.services = Some(24);
+    job.seeds = 3;
+    job
+}
+
+/// What `bbsim sweep` would print for the same grid, computed
+/// in-process with a fresh cache.
+fn reference_report(job: &SweepArgs) -> String {
+    let spec = job.sweep_spec().expect("reference spec");
+    run_sweep(&spec, &PoolConfig::with_workers(2), &FleetCache::fresh())
+        .report
+        .to_json()
+}
+
+#[test]
+fn concurrent_clients_get_byte_identical_reports() {
+    let reference = reference_report(&small_job());
+    let service = Arc::new(FleetService::start(ServiceConfig::with_workers(3)));
+
+    let run_ticket = |service: &FleetService, client| {
+        let item = small_job().to_work_item().expect("work item");
+        let ticket = service.submit(client, item).expect("submit");
+        match service.wait(ticket).expect("wait") {
+            ServiceReport::Sweep(outcome) => outcome.report.to_json(),
+            other => panic!("expected a sweep report, got {other:?}"),
+        }
+    };
+
+    // Client 1 warms the shared cache so the later, fully concurrent
+    // clients hit it deterministically.
+    assert_eq!(run_ticket(&service, 1), reference);
+
+    let mut handles = Vec::new();
+    for client in 2..=4 {
+        let service = Arc::clone(&service);
+        handles.push(thread::spawn(move || run_ticket(&service, client)));
+    }
+    for handle in handles {
+        let report = handle.join().expect("client thread");
+        assert_eq!(
+            report, reference,
+            "every client's report must match the one-shot sweep byte for byte"
+        );
+    }
+
+    // All four clients booted the same grid through one shared cache:
+    // the first ticket ran its 6 boots for real, the other three were
+    // served entirely from the dedup cache — a *cross-client* effect
+    // the one-shot pool could never produce.
+    let stats = service.stats();
+    assert_eq!(stats.clients, 4);
+    assert_eq!(stats.tickets_completed, 4);
+    assert_eq!(
+        stats.cells_deduped, 18,
+        "3 of 4 identical tickets (6 boots each) must hit the shared dedup cache"
+    );
+}
+
+#[test]
+fn tickets_poll_through_to_done() {
+    let service = FleetService::start(ServiceConfig::with_workers(2));
+    let ticket = service
+        .submit(1, small_job().to_work_item().expect("work item"))
+        .expect("submit");
+    // The ticket reaches Done before anyone collects the report...
+    loop {
+        match service.poll(ticket) {
+            Some(TicketStatus::Done) => break,
+            Some(_) => thread::sleep(std::time::Duration::from_millis(5)),
+            None => panic!("ticket vanished before the report was collected"),
+        }
+    }
+    // ...and collecting it is a one-shot operation.
+    let report = service.wait(ticket).expect("wait");
+    assert!(matches!(report, ServiceReport::Sweep(_)));
+    assert!(
+        service.poll(ticket).is_none(),
+        "report collected exactly once"
+    );
+    service.shutdown();
+}
+
+#[test]
+fn socket_server_round_trips_the_same_bytes() {
+    let reference = reference_report(&small_job());
+    let server = Server::bind(
+        &BindAddr::Tcp("127.0.0.1:0".into()),
+        ServiceConfig::with_workers(2),
+    )
+    .expect("bind");
+    let addr = BindAddr::Tcp(server.tcp_addr().expect("tcp addr").to_string());
+    let server_thread = thread::spawn(move || server.run().expect("serve loop"));
+
+    // One client warms the shared cache, then two fully concurrent
+    // clients replay the same grid over the wire.
+    {
+        let mut warm = Client::connect(&addr).expect("connect warm");
+        let result = warm.run(&small_job()).expect("warm job");
+        assert_eq!(result.report, reference);
+    }
+    let mut handles = Vec::new();
+    for _ in 0..2 {
+        let addr = addr.clone();
+        handles.push(thread::spawn(move || {
+            let mut client = Client::connect(&addr).expect("connect");
+            client.run(&small_job()).expect("run job")
+        }));
+    }
+    for handle in handles {
+        let result = handle.join().expect("wire client");
+        assert_eq!(result.kind, JobKind::Sweep);
+        assert_eq!(result.failures, 0);
+        assert_eq!(
+            result.report, reference,
+            "the report document that crossed the wire must match the in-process sweep"
+        );
+        assert!(result.summary.contains("UE48H6200-s24"));
+        assert!(result.metrics.is_none(), "metrics were not requested");
+    }
+
+    // The stats document is live and schema-stamped.
+    let mut client = Client::connect(&addr).expect("connect for stats");
+    let stats = client.stats().expect("stats");
+    assert!(stats.starts_with("{\n  \"schema\": \"bb-serve-stats-v1\""));
+    assert!(
+        stats.contains("\"cells_deduped\": 12"),
+        "both replay tickets (6 boots each) dedup against the warm cache: {stats}"
+    );
+
+    // A clean shutdown drains the accept loop and joins the workers.
+    client.shutdown().expect("shutdown");
+    server_thread.join().expect("server thread");
+}
+
+#[test]
+fn wire_errors_are_reported_not_fatal() {
+    let server = Server::bind(
+        &BindAddr::Tcp("127.0.0.1:0".into()),
+        ServiceConfig::with_workers(1),
+    )
+    .expect("bind");
+    let addr = BindAddr::Tcp(server.tcp_addr().expect("tcp addr").to_string());
+    let server_thread = thread::spawn(move || server.run().expect("serve loop"));
+
+    let mut client = Client::connect(&addr).expect("connect");
+    // A grid below the 24-service floor is rejected at submit, but the
+    // connection (and the server) stays up for the next request.
+    let mut bad = small_job();
+    bad.services = Some(3);
+    let err = client.submit(&bad).expect_err("tiny grid must be rejected");
+    assert!(
+        err.to_string().contains("24"),
+        "error names the floor: {err}"
+    );
+
+    let good = small_job();
+    let result = client.run(&good).expect("recovered after the error");
+    assert_eq!(result.failures, 0);
+
+    client.shutdown().expect("shutdown");
+    server_thread.join().expect("server thread");
+}
